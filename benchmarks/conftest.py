@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Expensive simulations are shared
+through session-scoped fixtures; every bench prints its paper-style
+rows/series and also writes them to ``benchmarks/results/<id>.txt`` so
+the artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import (
+    AggShuffleScheduler,
+    DelayStageScheduler,
+    StockSparkScheduler,
+    WORKLOADS,
+    compare_schedulers,
+    ec2_m4large_cluster,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Writer that persists a rendered figure/table and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def ec2():
+    """The paper's 30-node EC2 cluster (Sec. 5.1)."""
+    return ec2_m4large_cluster()
+
+
+@pytest.fixture(scope="session")
+def workload_runs(ec2):
+    """The four Fig. 10 workloads under the three strategies.
+
+    Metrics are tracked so Figs. 11-12/16-17 and Table 3 can reuse the
+    same runs.  This is the most expensive shared computation of the
+    harness (~2 minutes); everything downstream reads from it.
+    """
+    runs = {}
+    for name, ctor in WORKLOADS.items():
+        runs[name] = compare_schedulers(
+            ctor(),
+            ec2,
+            [
+                StockSparkScheduler(),
+                AggShuffleScheduler(),
+                DelayStageScheduler(profiled=False),
+            ],
+        )
+    return runs

@@ -1,0 +1,57 @@
+"""Extension — how the DAG's shape bounds DelayStage's benefit.
+
+Spans the structural spectrum with one workload per regime: a pure
+chain (PageRank — no parallel stages, nothing to delay), a
+sequential-tail-dominated DAG (ConnectedComponents — the paper's
+smallest gain), and wide balanced parallelism (TriangleCount and the
+bonus StarJoin).  The gain should rise monotonically with the share of
+work in parallel stages.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.dag import parallel_stage_set
+from repro.schedulers import DelayStageScheduler, StockSparkScheduler, compare_schedulers
+from repro.workloads import connected_components, pagerank, star_join, triangle_count
+
+
+def run(ec2):
+    cases = [
+        ("PageRank (chain)", pagerank()),
+        ("ConnectedComponents (tail-heavy)", connected_components()),
+        ("StarJoin (wide)", star_join()),
+        ("TriangleCount (wide+deep)", triangle_count()),
+    ]
+    rows = []
+    gains = []
+    for label, job in cases:
+        runs = compare_schedulers(
+            job,
+            ec2,
+            [StockSparkScheduler(track_metrics=False),
+             DelayStageScheduler(profiled=False, track_metrics=False)],
+        )
+        spark, ds = runs["spark"].jct, runs["delaystage"].jct
+        gain = 1 - ds / spark
+        gains.append((label, gain))
+        k = len(parallel_stage_set(job))
+        rows.append([label, job.num_stages, k, f"{spark:.0f}", f"{ds:.0f}", f"{gain:.1%}"])
+    return rows, gains
+
+
+def test_extension_dag_shapes(benchmark, ec2, artifact):
+    rows, gains = benchmark.pedantic(run, args=(ec2,), rounds=1, iterations=1)
+
+    text = render_table(
+        ["workload (shape)", "stages", "|K|", "stock JCT (s)", "delaystage (s)", "gain"],
+        rows,
+        title="Extension — DelayStage benefit across DAG shapes",
+    )
+    artifact("extension_dag_shapes", text)
+
+    by_label = dict(gains)
+    assert by_label["PageRank (chain)"] == pytest.approx(0.0, abs=1e-9)
+    assert by_label["ConnectedComponents (tail-heavy)"] > 0.05
+    assert by_label["StarJoin (wide)"] > 0.05
+    assert by_label["TriangleCount (wide+deep)"] > by_label["ConnectedComponents (tail-heavy)"]

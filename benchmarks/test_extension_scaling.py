@@ -1,0 +1,40 @@
+"""Extension — dataset-size scaling of the DelayStage benefit.
+
+Not a paper figure: sweeps each workload's dataset scale and reports
+how the improvement moves.  The interleaving benefit should persist
+across sizes (it is structural, not volume-specific).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.workloads import WORKLOADS, scaling_sweep
+
+
+def run(ec2):
+    rows = []
+    gains = {}
+    for name in ("LDA", "CosineSimilarity"):
+        points = scaling_sweep(WORKLOADS[name], ec2, scales=(0.5, 1.0, 1.5))
+        gains[name] = [p.gain for p in points]
+        for p in points:
+            rows.append([name, p.scale, f"{p.stock_jct:.1f}",
+                         f"{p.delaystage_jct:.1f}", f"{p.gain:.1%}"])
+    return rows, gains
+
+
+def test_extension_scaling(benchmark, ec2, artifact):
+    rows, gains = benchmark.pedantic(run, args=(ec2,), rounds=1, iterations=1)
+
+    text = render_table(
+        ["workload", "scale", "stock JCT (s)", "delaystage JCT (s)", "gain"],
+        rows,
+        title="Extension — DelayStage benefit across dataset scales",
+    )
+    artifact("extension_scaling", text)
+
+    for name, gs in gains.items():
+        # The benefit persists at every scale.
+        assert min(gs) > 0.10, name
+        # And stays in the same regime (no wild swings).
+        assert max(gs) - min(gs) < 0.15, name

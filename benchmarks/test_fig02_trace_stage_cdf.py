@@ -1,0 +1,42 @@
+"""Fig. 2 — CDF of stages and parallel stages per production job.
+
+Paper claims reproduced: 68.6 % of jobs contain parallel stages;
+parallel stages are ~79.1 % of all stages; the two CDFs nearly track
+each other; ~90 % of jobs have < 15 parallel stages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_cdf
+from repro.trace import TraceGeneratorConfig, generate_trace, stage_count_summary
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceGeneratorConfig(num_jobs=1200), rng=42)
+
+
+def test_fig02_stage_count_cdf(benchmark, trace, artifact):
+    summary = benchmark.pedantic(stage_count_summary, args=(trace,), rounds=1, iterations=1)
+
+    text = render_cdf(
+        {
+            "# stages/job": summary.stages_per_job,
+            "# parallel stages/job": summary.parallel_per_job,
+        },
+        title=(
+            "Fig. 2 — CDF of stage counts per job "
+            f"(jobs with parallel stages: {summary.fraction_jobs_with_parallel:.1%} "
+            "[paper 68.6%]; parallel share of stages: "
+            f"{summary.parallel_stage_fraction:.1%} [paper 79.1%])"
+        ),
+        percentiles=(10, 25, 50, 75, 90, 99),
+    )
+    artifact("fig02_trace_stage_cdf", text)
+
+    assert summary.fraction_jobs_with_parallel == pytest.approx(0.686, abs=0.06)
+    assert summary.parallel_stage_fraction == pytest.approx(0.791, abs=0.07)
+    assert np.percentile(summary.parallel_per_job, 90) < 15
+    # The parallel CDF roughly tracks the stage CDF (Fig. 2's visual).
+    assert np.median(summary.parallel_per_job) >= np.median(summary.stages_per_job) - 3

@@ -1,0 +1,39 @@
+"""Fig. 3 — CDF of parallel-stage makespan over job execution time.
+
+Paper claims reproduced: the makespan of parallel stages exceeds 60 %
+of job completion time for over 80 % of jobs; the average proportion
+is 82.3 %.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_cdf
+from repro.trace import TraceGeneratorConfig, generate_trace, parallel_makespan_fraction
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceGeneratorConfig(num_jobs=1200), rng=42)
+
+
+def compute_fractions(trace):
+    return np.array([f for f in map(parallel_makespan_fraction, trace) if f > 0])
+
+
+def test_fig03_makespan_fraction_cdf(benchmark, trace, artifact):
+    fractions = benchmark.pedantic(compute_fractions, args=(trace,), rounds=1, iterations=1)
+
+    text = render_cdf(
+        {"T(parallel)/T(job) %": fractions * 100},
+        title=(
+            "Fig. 3 — parallel-stage makespan as a fraction of JCT "
+            f"(mean {fractions.mean():.1%} [paper 82.3%]; "
+            f">60% for {np.mean(fractions > 0.6):.1%} of jobs [paper >80%])"
+        ),
+        percentiles=(10, 20, 50, 80, 90),
+    )
+    artifact("fig03_makespan_fraction_cdf", text)
+
+    assert np.mean(fractions > 0.6) > 0.80
+    assert fractions.mean() == pytest.approx(0.823, abs=0.07)

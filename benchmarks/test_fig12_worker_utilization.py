@@ -1,0 +1,46 @@
+"""Fig. 12 — worker network throughput and CPU utilization running
+CosineSimilarity and TriangleCount under stock Spark vs DelayStage.
+
+Paper claims reproduced: DelayStage fills the idle periods, raising a
+worker's average network throughput and CPU utilization.
+"""
+
+import pytest
+
+from repro.analysis import render_series, utilization_series
+
+
+def test_fig12_worker_utilization(benchmark, workload_runs, artifact):
+    def build():
+        sections = []
+        stats = {}
+        for name, job_id in (
+            ("CosineSimilarity", "cosinesimilarity"),
+            ("TriangleCount", "trianglecount"),
+        ):
+            runs = workload_runs[name]
+            for strategy in ("spark", "delaystage"):
+                run = runs[strategy]
+                t, cpu, net = utilization_series(run.result, "w0", step=2.0)
+                net_mb = net / 2**20
+                stats[(name, strategy)] = (
+                    cpu[t < run.jct].mean(),
+                    net_mb[t < run.jct].mean(),
+                )
+                sections.append(render_series(
+                    t,
+                    {"CPU %": cpu, "net MB/s": net_mb},
+                    title=f"{name} / {strategy} (JCT {run.jct:.0f} s)",
+                    x_label="t(s)",
+                    max_points=14,
+                ))
+        return "\n\n".join(sections), stats
+
+    text, stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("fig12_worker_utilization", "Fig. 12 — worker w0 utilization\n" + text)
+
+    for name in ("CosineSimilarity", "TriangleCount"):
+        cpu_spark, net_spark = stats[(name, "spark")]
+        cpu_ds, net_ds = stats[(name, "delaystage")]
+        assert cpu_ds > cpu_spark, f"{name}: CPU util must improve"
+        assert net_ds > net_spark, f"{name}: network throughput must improve"

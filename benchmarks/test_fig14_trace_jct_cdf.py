@@ -1,0 +1,79 @@
+"""Fig. 14 — JCT CDF of trace jobs under Alibaba Fuxi and the three
+DelayStage path-order variants (default/descending, random,
+ascending).
+
+Paper claims reproduced: all DelayStage variants beat Fuxi (the paper
+measures mean JCTs of 871 / 945 / 996 s vs Fuxi's 1,373 s, i.e.
+−36.6 % / −31.2 % / −27.5 %), and the default descending order is the
+best of the three.
+
+The replay follows the paper's even-partitioning simplification: each
+job runs on a small per-job slice of the simulated cluster; the
+contention-inefficiency knob (``contention_penalty``) models the
+overheads real clusters exhibit beyond ideal processor sharing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DelayStageScheduler, FuxiScheduler, alibaba_sim_cluster
+from repro.analysis import render_cdf
+from repro.core import DelayStageParams, PathOrder
+from repro.schedulers import run_with_scheduler
+from repro.trace import TraceGeneratorConfig, generate_trace, to_job
+
+PENALTY = 0.5
+NUM_JOBS = 70
+
+
+def replay():
+    cluster = alibaba_sim_cluster(
+        num_machines=3, storage_nodes=1, nic_mbps_range=(600, 2000), rng=0
+    )
+    trace = generate_trace(
+        TraceGeneratorConfig(num_jobs=120, replay_workers=3, max_stages=60,
+                             replay_read_mb_per_sec=85.0),
+        rng=3,
+    )
+    jobs = [to_job(tj) for tj in trace[:NUM_JOBS]]
+
+    def ds(order, rng=0):
+        return DelayStageScheduler(
+            profiled=False, track_metrics=False, contention_penalty=PENALTY,
+            params=DelayStageParams(order=order, max_slots=12, rng=rng),
+        )
+
+    schedulers = {
+        "fuxi": FuxiScheduler(track_metrics=False, contention_penalty=PENALTY),
+        "default": ds(PathOrder.DESCENDING),
+        "random": ds(PathOrder.RANDOM, rng=7),
+        "ascending": ds(PathOrder.ASCENDING),
+    }
+    jcts = {name: [] for name in schedulers}
+    for job in jobs:
+        for name, sched in schedulers.items():
+            jcts[name].append(run_with_scheduler(job, cluster, sched).jct)
+    return {name: np.array(v) for name, v in jcts.items()}
+
+
+def test_fig14_trace_jct_cdf(benchmark, artifact):
+    jcts = benchmark.pedantic(replay, rounds=1, iterations=1)
+
+    means = {name: float(v.mean()) for name, v in jcts.items()}
+    header = (
+        "Fig. 14 — trace-job JCT CDF by strategy "
+        f"(means: fuxi {means['fuxi']:.0f}s, default {means['default']:.0f}s, "
+        f"random {means['random']:.0f}s, ascending {means['ascending']:.0f}s; "
+        "paper: 1373 / 871 / 945 / 996 s)\n"
+    )
+    text = header + render_cdf(jcts, percentiles=(10, 25, 50, 75, 90, 99))
+    artifact("fig14_trace_jct_cdf", text)
+
+    # Every DelayStage variant beats Fuxi; default is (essentially) the
+    # best variant — allow a 2 % sampling tolerance on this job sample.
+    for variant in ("default", "random", "ascending"):
+        assert means[variant] < means["fuxi"], variant
+    best_other = min(means["random"], means["ascending"])
+    assert means["default"] <= best_other * 1.02
+    # The headline factor: default cuts mean JCT by >20 % (paper 36.6 %).
+    assert 1 - means["default"] / means["fuxi"] > 0.20

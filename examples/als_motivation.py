@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The paper's motivation example: ALS on a three-node cluster.
+
+Reproduces the story of Figs. 5-6: under stock Spark the ALS job's
+parallel stages fetch input simultaneously (network saturated, CPU
+idle) and then compute simultaneously (CPU saturated, network idle);
+delaying Stages 2 and 3 interleaves the resources and shortens the job
+(the paper measures 133 s -> 104 s).
+
+Run:  python examples/als_motivation.py
+"""
+
+import numpy as np
+
+from repro import (
+    DelayStageScheduler,
+    StockSparkScheduler,
+    als,
+    compare_schedulers,
+    uniform_cluster,
+)
+from repro.analysis import render_series, stage_gantt, utilization_series
+
+
+def main() -> None:
+    # Three m4.large-like nodes, input data co-hosted on the workers.
+    cluster = uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
+                              disk_mb_per_sec=150, storage_nodes=0)
+    job = als()
+
+    runs = compare_schedulers(
+        job,
+        cluster,
+        [StockSparkScheduler(), DelayStageScheduler(profiled=False)],
+    )
+    stock, delay = runs["spark"], runs["delaystage"]
+
+    print(f"stock Spark JCT: {stock.jct:6.1f} s   (paper: 133 s)")
+    print(f"DelayStage JCT:  {delay.jct:6.1f} s   (paper: 104 s)")
+    print(f"improvement:     {1 - delay.jct / stock.jct:6.1%}  (paper: ~22 %)")
+    schedule = delay.info["schedule"]
+    print(f"delayed stages:  {schedule.delayed_stages}  (paper delays Stages 2 and 3)\n")
+
+    # Fig. 5: one worker's CPU utilization and network throughput under
+    # stock Spark — the full-or-idle oscillation.
+    t, cpu, net = utilization_series(stock.result, "w0", step=1.0)
+    print(render_series(
+        t,
+        {"cpu_%": cpu, "net_MB/s": net / 2**20},
+        title="Fig. 5 — worker w0 under stock Spark",
+        x_label="t(s)",
+        max_points=18,
+    ))
+
+    # Fig. 6: the stage gantt for both schedules.
+    for name, run in (("stock Spark", stock), ("DelayStage", delay)):
+        print(f"\nFig. 6 — stage execution under {name}:")
+        for row in stage_gantt(run.result, "als"):
+            bar_scale = 0.5  # seconds per character
+            pre = " " * int(row.submit * bar_scale)
+            read = "▒" * max(int((row.read_done - row.submit) * bar_scale), 1)
+            proc = "█" * max(int((row.finish - row.read_done) * bar_scale), 1)
+            print(f"  {row.stage_id:3s} |{pre}{read}{proc}  "
+                  f"[{row.submit:5.1f} → {row.finish:5.1f}]")
+
+    # Average utilization comparison (the paper's +31.3 % network /
+    # +40.1 % CPU claim for the hand-delayed schedule).
+    for name, run in (("stock", stock), ("delay", delay)):
+        m = run.result.metrics
+        cpu_avg = m.cluster_average("cpu_utilization", 0, run.jct) * 100
+        net_avg = np.mean([
+            m.node_series(w).average("net_in", 0, run.jct) / 2**20
+            for w in cluster.worker_ids
+        ])
+        print(f"\n{name:6s} avg worker CPU {cpu_avg:5.1f} %   avg net {net_avg:5.1f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Extending the library: writing a custom submission policy.
+
+Any object with ``delay(job, stage_id, ready_time) -> float`` is a
+submission policy the simulator accepts.  This example implements a
+naive "jittered" scheduler that staggers parallel stages by a fixed
+spacing (no model, no profiling) and compares it against stock Spark
+and the real DelayStage on CosineSimilarity — showing that delaying
+*blindly* actively hurts (it postpones the long path too), while
+choosing which stages to delay and by how much (Algorithm 1) wins.
+
+Run:  python examples/custom_policy.py     (~30 s)
+"""
+
+from repro import (
+    DelayStageScheduler,
+    StockSparkScheduler,
+    cosine_similarity,
+    ec2_m4large_cluster,
+    parallel_stage_set,
+    simulate_job,
+)
+from repro.analysis import render_table
+from repro.schedulers import run_with_scheduler
+from repro.simulator import SimulationConfig
+
+
+class StaggerPolicy:
+    """Delay the i-th parallel stage by ``i * spacing`` seconds.
+
+    A strawman: it decoheres the synchronized resource phases but,
+    knowing nothing about stage durations or paths, it also delays the
+    long execution path itself — which directly extends the makespan.
+    """
+
+    def __init__(self, job, spacing: float) -> None:
+        members = sorted(parallel_stage_set(job))
+        self._delays = {sid: i * spacing for i, sid in enumerate(members)}
+
+    def delay(self, job, stage_id: str, ready_time: float) -> float:
+        return self._delays.get(stage_id, 0.0)
+
+
+def main() -> None:
+    cluster = ec2_m4large_cluster()
+    job = cosine_similarity()
+
+    spark = run_with_scheduler(job, cluster, StockSparkScheduler(track_metrics=False)).jct
+    delaystage = run_with_scheduler(
+        job, cluster, DelayStageScheduler(profiled=False, track_metrics=False)
+    ).jct
+
+    rows = [["spark (no delay)", spark, "0.0%"]]
+    cfg = SimulationConfig(track_metrics=False)
+    for spacing in (30.0, 90.0, 180.0):
+        policy = StaggerPolicy(job, spacing)
+        jct = simulate_job(job, cluster, policy, cfg).job_completion_time(job.job_id)
+        rows.append([f"stagger({spacing:.0f}s)", jct, f"{1 - jct / spark:.1%}"])
+    rows.append(["delaystage", delaystage, f"{1 - delaystage / spark:.1%}"])
+
+    print(render_table(
+        ["policy", "JCT(s)", "gain"],
+        rows,
+        title="CosineSimilarity on 30 EC2 nodes — custom policy vs Algorithm 1",
+    ))
+    print("\nBlind staggering backfires: it delays the long path too, extending")
+    print("the makespan.  Knowing WHICH stages to delay and by HOW MUCH —")
+    print("Algorithm 1's whole job — is what turns delays into speedups.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Robustness study: DelayStage under node degradation.
+
+Production clusters are not stable: nodes slow down mid-job (noisy
+neighbors, failing disks, congested links).  DelayStage computes its
+delays *before* the job runs — so does a degraded node invalidate the
+schedule?  This example injects a mid-run NIC/CPU slowdown on one
+worker and compares stock Spark against the (healthy-cluster-planned)
+DelayStage schedule.
+
+Run:  python examples/failure_injection.py     (~30 s)
+"""
+
+from repro import (
+    DelayStageParams,
+    FixedDelayPolicy,
+    Simulation,
+    SimulationConfig,
+    delay_stage_schedule,
+    ec2_m4large_cluster,
+    lda,
+)
+from repro.analysis import render_table
+
+
+def run(job, cluster, delays, degrade):
+    sim = Simulation(cluster, SimulationConfig(track_metrics=False))
+    if degrade:
+        # At t = 60 s worker w0's NIC drops to 30 % and it loses half
+        # its effective compute capacity (e.g. a co-located batch job).
+        sim.inject_degradation("w0", 60.0, nic_factor=0.3, executor_factor=0.5)
+    sim.add_job(job, FixedDelayPolicy(delays))
+    return sim.run().job_completion_time(job.job_id)
+
+
+def main() -> None:
+    cluster = ec2_m4large_cluster()
+    job = lda()
+    schedule = delay_stage_schedule(job, cluster, DelayStageParams(max_slots=24))
+    print(f"delays (planned on the healthy cluster): "
+          f"{ {s: round(x, 1) for s, x in schedule.delays.items() if x > 0} }\n")
+
+    rows = []
+    for degrade in (False, True):
+        stock = run(job, cluster, {}, degrade)
+        delayed = run(job, cluster, schedule.delays, degrade)
+        label = "w0 degraded at t=60s" if degrade else "healthy cluster"
+        rows.append([label, f"{stock:.1f}", f"{delayed:.1f}",
+                     f"{1 - delayed / stock:.1%}"])
+
+    print(render_table(
+        ["scenario", "stock JCT (s)", "delaystage JCT (s)", "gain"],
+        rows,
+        title="LDA on 30 EC2 workers — schedule robustness to a straggler node",
+    ))
+    print("\nThe delays were chosen for the healthy cluster, yet the gain")
+    print("survives the straggler: interleaving reduces *contention*, and a")
+    print("degraded node suffers less when fewer stages fight over it.")
+
+
+if __name__ == "__main__":
+    main()

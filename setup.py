@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package and no network access, so
+PEP 660 editable installs fail; with this shim ``pip install -e .``
+falls back to ``setup.py develop``, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DelayStage: stage delay scheduling for DAG-style data analytics "
+        "jobs (ICPP 2019 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,129 @@
+"""DelayStage — stage delay scheduling for DAG-style data analytics jobs.
+
+A full reproduction of *"Stage Delay Scheduling: Speeding up DAG-style
+Data Analytics Jobs with Resource Interleaving"* (ICPP 2019): the
+DelayStage algorithm, a fluid-flow cluster simulator standing in for
+the Spark/EC2 testbed, the AggShuffle and Fuxi baselines, the paper's
+benchmark workloads, and an Alibaba-trace statistical twin.
+
+Quickstart
+----------
+>>> from repro import (
+...     ec2_m4large_cluster, cosine_similarity,
+...     StockSparkScheduler, DelayStageScheduler, compare_schedulers,
+... )
+>>> cluster = ec2_m4large_cluster()
+>>> job = cosine_similarity()
+>>> runs = compare_schedulers(job, cluster, [
+...     StockSparkScheduler(), DelayStageScheduler(profiled=False)])
+>>> runs["delaystage"].jct < runs["spark"].jct
+True
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the reproduced tables and figures.
+"""
+
+from repro.dag import (
+    Job,
+    JobBuilder,
+    Stage,
+    critical_path,
+    execution_paths,
+    parallel_stage_set,
+    sequential_stage_set,
+    topological_order,
+)
+from repro.cluster import (
+    ClusterSpec,
+    NodeSpec,
+    alibaba_sim_cluster,
+    ec2_m4large_cluster,
+    uniform_cluster,
+)
+from repro.simulator import (
+    FixedDelayPolicy,
+    ImmediatePolicy,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    simulate_job,
+)
+from repro.core import (
+    DelaySchedule,
+    DelayStageParams,
+    DelayTimeCalculator,
+    PathOrder,
+    StageDelayer,
+    delay_stage_schedule,
+)
+from repro.schedulers import (
+    AggShuffleScheduler,
+    DelayStageScheduler,
+    FuxiScheduler,
+    StockSparkScheduler,
+    compare_schedulers,
+    run_with_scheduler,
+)
+from repro.workloads import (
+    WORKLOADS,
+    als,
+    connected_components,
+    cosine_similarity,
+    lda,
+    triangle_count,
+    workload_by_name,
+)
+from repro.profiling import measure_cluster, profile_job
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # dag
+    "Stage",
+    "Job",
+    "JobBuilder",
+    "topological_order",
+    "parallel_stage_set",
+    "sequential_stage_set",
+    "execution_paths",
+    "critical_path",
+    # cluster
+    "NodeSpec",
+    "ClusterSpec",
+    "ec2_m4large_cluster",
+    "alibaba_sim_cluster",
+    "uniform_cluster",
+    # simulator
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_job",
+    "ImmediatePolicy",
+    "FixedDelayPolicy",
+    # core
+    "DelaySchedule",
+    "DelayStageParams",
+    "DelayTimeCalculator",
+    "PathOrder",
+    "StageDelayer",
+    "delay_stage_schedule",
+    # schedulers
+    "StockSparkScheduler",
+    "AggShuffleScheduler",
+    "DelayStageScheduler",
+    "FuxiScheduler",
+    "run_with_scheduler",
+    "compare_schedulers",
+    # workloads
+    "als",
+    "connected_components",
+    "cosine_similarity",
+    "lda",
+    "triangle_count",
+    "workload_by_name",
+    "WORKLOADS",
+    # profiling
+    "profile_job",
+    "measure_cluster",
+]

@@ -1,0 +1,38 @@
+"""Result post-processing: CDFs, stage timelines, summary statistics,
+and paper-style text rendering used by the benchmark harness."""
+
+from repro.analysis.cdf import empirical_cdf, cdf_at, percentile
+from repro.analysis.compare import ResultComparison, StageDelta, compare_results
+from repro.analysis.export import export_stage_records_csv, export_utilization_csv
+from repro.analysis.stats import (
+    improvement,
+    utilization_summary,
+    UtilizationSummary,
+)
+from repro.analysis.timeline import (
+    GanttRow,
+    stage_gantt,
+    utilization_series,
+)
+from repro.analysis.report import render_cdf, render_gantt, render_series, render_table
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_at",
+    "percentile",
+    "improvement",
+    "UtilizationSummary",
+    "utilization_summary",
+    "GanttRow",
+    "stage_gantt",
+    "utilization_series",
+    "render_table",
+    "render_series",
+    "render_cdf",
+    "render_gantt",
+    "compare_results",
+    "ResultComparison",
+    "StageDelta",
+    "export_stage_records_csv",
+    "export_utilization_csv",
+]

@@ -1,0 +1,34 @@
+"""Empirical CDF utilities for the paper's CDF figures (2, 3, 14)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative probabilities in percent.
+
+    Returns ``(x, p)`` with ``p[i]`` the fraction (0–100 %) of samples
+    ``<= x[i]`` — the coordinates the paper's CDF plots use.
+    """
+    x = np.sort(np.asarray(values, dtype=float))
+    if x.size == 0:
+        return x, np.zeros(0)
+    p = np.arange(1, x.size + 1) / x.size * 100.0
+    return x, p
+
+
+def cdf_at(values, threshold: float) -> float:
+    """Fraction of samples <= threshold, in [0, 1]."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return 0.0
+    return float(np.mean(v <= threshold))
+
+
+def percentile(values, q: float) -> float:
+    """q-th percentile (0-100) of the samples."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("percentile of empty sample")
+    return float(np.percentile(v, q))

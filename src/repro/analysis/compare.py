@@ -1,0 +1,85 @@
+"""Side-by-side comparison of two simulation results.
+
+Useful when eyeballing what a schedule change did: per-stage deltas of
+submission, phases, and finish, plus the JCT movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.simulation import SimulationResult
+
+
+@dataclass(frozen=True)
+class StageDelta:
+    """Per-stage difference B minus A (negative = B earlier/faster)."""
+
+    stage_id: str
+    submit: float
+    read_time: float
+    compute_time: float
+    finish: float
+
+
+@dataclass(frozen=True)
+class ResultComparison:
+    """Stage-level deltas between two runs of the same job."""
+
+    job_id: str
+    jct_a: float
+    jct_b: float
+    stages: tuple[StageDelta, ...]
+
+    @property
+    def jct_delta(self) -> float:
+        return self.jct_b - self.jct_a
+
+    @property
+    def improvement(self) -> float:
+        """Fractional JCT reduction of B relative to A."""
+        return 1.0 - self.jct_b / self.jct_a if self.jct_a > 0 else 0.0
+
+    def most_shifted(self, n: int = 3) -> list[StageDelta]:
+        """Stages whose submission moved the most (the delayed ones)."""
+        return sorted(self.stages, key=lambda d: -abs(d.submit))[:n]
+
+
+def compare_results(
+    a: SimulationResult, b: SimulationResult, job_id: "str | None" = None
+) -> ResultComparison:
+    """Diff two results of the same job (e.g. stock vs DelayStage)."""
+    if job_id is None:
+        ids_a = set(a.job_records)
+        ids_b = set(b.job_records)
+        common = ids_a & ids_b
+        if len(common) != 1:
+            raise ValueError(
+                f"pass job_id explicitly; runs share {sorted(common)}"
+            )
+        (job_id,) = common
+    if job_id not in a.job_records or job_id not in b.job_records:
+        raise KeyError(f"job {job_id!r} missing from one of the results")
+
+    stage_ids = sorted(
+        sid for (jid, sid) in a.stage_records if jid == job_id
+    )
+    deltas = []
+    for sid in stage_ids:
+        ra = a.stage(job_id, sid)
+        rb = b.stage(job_id, sid)
+        deltas.append(
+            StageDelta(
+                stage_id=sid,
+                submit=rb.submit_time - ra.submit_time,
+                read_time=rb.read_time - ra.read_time,
+                compute_time=rb.compute_time - ra.compute_time,
+                finish=rb.finish_time - ra.finish_time,
+            )
+        )
+    return ResultComparison(
+        job_id=job_id,
+        jct_a=a.job_completion_time(job_id),
+        jct_b=b.job_completion_time(job_id),
+        stages=tuple(deltas),
+    )

@@ -1,0 +1,95 @@
+"""CSV export of simulation results.
+
+The benchmark harness renders text; external plotting pipelines
+(matplotlib, gnuplot, spreadsheets) want CSV.  Two exporters cover the
+two result shapes: per-stage lifecycle rows and per-node utilization
+time series.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+import numpy as np
+
+from repro.simulator.simulation import SimulationResult
+
+
+def export_stage_records_csv(
+    result: SimulationResult,
+    destination: "str | pathlib.Path | io.TextIOBase",
+) -> int:
+    """Write one row per stage: lifecycle instants and phase durations.
+
+    Columns: ``job_id, stage_id, ready, submit, delay, read_done,
+    compute_done, finish, read_time, compute_time, write_time,
+    duration``.  Returns the row count.
+    """
+    if isinstance(destination, (str, pathlib.Path)):
+        with open(destination, "w", encoding="utf-8", newline="") as fh:
+            return export_stage_records_csv(result, fh)
+
+    writer = csv.writer(destination)
+    writer.writerow([
+        "job_id", "stage_id", "ready", "submit", "delay", "read_done",
+        "compute_done", "finish", "read_time", "compute_time",
+        "write_time", "duration",
+    ])
+    rows = 0
+    for (job_id, stage_id), rec in sorted(result.stage_records.items()):
+        writer.writerow([
+            job_id, stage_id,
+            f"{rec.ready_time:.6f}", f"{rec.submit_time:.6f}",
+            f"{rec.delay:.6f}", f"{rec.read_done_time:.6f}",
+            f"{rec.compute_done_time:.6f}", f"{rec.finish_time:.6f}",
+            f"{rec.read_time:.6f}", f"{rec.compute_time:.6f}",
+            f"{rec.write_time:.6f}", f"{rec.duration:.6f}",
+        ])
+        rows += 1
+    return rows
+
+
+def export_utilization_csv(
+    result: SimulationResult,
+    destination: "str | pathlib.Path | io.TextIOBase",
+    step: float = 1.0,
+    nodes: "list[str] | None" = None,
+) -> int:
+    """Write sampled per-node utilization series.
+
+    Columns: ``time, node, cpu_busy, cpu_utilization, net_in_bytes,
+    net_out_bytes, disk_bytes``; one row per (sample time, node).
+    Requires the run to have tracked metrics.
+    """
+    if result.metrics is None:
+        raise ValueError("run had metrics tracking disabled")
+    if isinstance(destination, (str, pathlib.Path)):
+        with open(destination, "w", encoding="utf-8", newline="") as fh:
+            return export_utilization_csv(result, fh, step=step, nodes=nodes)
+    if step <= 0:
+        raise ValueError("step must be > 0")
+
+    node_ids = nodes or result.cluster.worker_ids
+    times = np.arange(0.0, result.makespan + step, step)
+    writer = csv.writer(destination)
+    writer.writerow([
+        "time", "node", "cpu_busy", "cpu_utilization",
+        "net_in_bytes", "net_out_bytes", "disk_bytes",
+    ])
+    rows = 0
+    for node in node_ids:
+        series = result.metrics.node_series(node)
+        cpu = series.sample(times, "cpu_busy")
+        cpu_util = series.sample(times, "cpu_utilization")
+        net_in = series.sample(times, "net_in")
+        net_out = series.sample(times, "net_out")
+        disk = series.sample(times, "disk")
+        for i, t in enumerate(times):
+            writer.writerow([
+                f"{t:.3f}", node, f"{cpu[i]:.4f}", f"{cpu_util[i]:.4f}",
+                f"{net_in[i]:.1f}", f"{net_out[i]:.1f}", f"{disk[i]:.1f}",
+            ])
+            rows += 1
+    return rows

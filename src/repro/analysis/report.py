@@ -1,0 +1,99 @@
+"""Plain-text rendering of tables, series, and CDFs.
+
+The benchmark harness prints each reproduced table/figure in a textual
+form that mirrors what the paper plots, so a terminal run of
+``pytest benchmarks/`` shows the same rows and series the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    ys: "dict[str, Sequence[float]]",
+    title: str = "",
+    x_label: str = "t",
+    max_points: int = 24,
+) -> str:
+    """Downsampled multi-series table (one row per x sample)."""
+    x = np.asarray(x, dtype=float)
+    idx = np.linspace(0, len(x) - 1, min(max_points, len(x))).astype(int)
+    headers = [x_label] + list(ys)
+    rows = []
+    for i in idx:
+        rows.append([f"{x[i]:.0f}"] + [f"{np.asarray(v)[i]:.1f}" for v in ys.values()])
+    return render_table(headers, rows, title)
+
+
+def render_cdf(
+    samples: "dict[str, Sequence[float]]",
+    title: str = "",
+    percentiles: Sequence[float] = (10, 25, 50, 75, 90, 99),
+) -> str:
+    """CDF summary: one row per percentile, one column per series."""
+    headers = ["pctile"] + list(samples)
+    rows = []
+    for q in percentiles:
+        rows.append(
+            [f"p{q:g}"]
+            + [f"{np.percentile(np.asarray(v, dtype=float), q):.1f}" for v in samples.values()]
+        )
+    return render_table(headers, rows, title)
+
+
+def render_gantt(
+    rows,
+    title: str = "",
+    width: int = 72,
+) -> str:
+    """ASCII stage gantt in the paper's Fig. 6 style.
+
+    ``rows`` are :class:`repro.analysis.timeline.GanttRow` objects;
+    shuffle read renders as ``▒`` (the paper's gray block) and
+    processing + shuffle write as ``█`` (the white block).
+    """
+    rows = list(rows)
+    if not rows:
+        return title
+    t_max = max(r.finish for r in rows)
+    scale = width / t_max if t_max > 0 else 1.0
+    lines = [title] if title else []
+    for r in rows:
+        pre = " " * int(r.submit * scale)
+        read = "▒" * max(int((r.read_done - r.submit) * scale), 1)
+        proc = "█" * max(int((r.finish - r.read_done) * scale), 1)
+        delay = f" (+{r.delay:.0f}s delay)" if r.delay > 0.5 else ""
+        lines.append(
+            f"  {r.stage_id:>4s} |{pre}{read}{proc}  "
+            f"[{r.submit:6.1f} → {r.finish:6.1f}]{delay}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

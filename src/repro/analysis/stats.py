@@ -1,0 +1,60 @@
+"""Summary statistics for scheduler comparisons (Tables 3–4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.simulation import SimulationResult
+from repro.util.units import mb_per_sec
+
+
+def improvement(baseline: float, improved: float) -> float:
+    """Fractional reduction of ``improved`` relative to ``baseline``.
+
+    Positive = better (smaller).  The quantity behind every
+    "reduces JCT by X %" claim.
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be > 0, got {baseline}")
+    return 1.0 - improved / baseline
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Average (std) of a worker's network throughput and CPU
+    utilization over a window — one cell pair of Table 3."""
+
+    net_mb_mean: float
+    net_mb_std: float
+    cpu_pct_mean: float
+    cpu_pct_std: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"net {self.net_mb_mean:.1f} ({self.net_mb_std:.1f}) MB/s, "
+            f"cpu {self.cpu_pct_mean:.1f} ({self.cpu_pct_std:.1f}) %"
+        )
+
+
+def utilization_summary(
+    result: SimulationResult,
+    node_id: "str | None" = None,
+    t_lo: float = 0.0,
+    t_hi: "float | None" = None,
+) -> UtilizationSummary:
+    """Table 3 row: a worker node's utilization during the job.
+
+    Uses the first worker unless ``node_id`` is given; the window
+    defaults to the full run (job start to last completion).
+    """
+    if result.metrics is None:
+        raise ValueError("run had metrics tracking disabled")
+    node = node_id or result.cluster.worker_ids[0]
+    hi = t_hi if t_hi is not None else result.makespan
+    series = result.metrics.node_series(node)
+    return UtilizationSummary(
+        net_mb_mean=mb_per_sec(series.average("net_in", t_lo, hi)),
+        net_mb_std=mb_per_sec(series.std("net_in", t_lo, hi)),
+        cpu_pct_mean=series.average("cpu_utilization", t_lo, hi) * 100.0,
+        cpu_pct_std=series.std("cpu_utilization", t_lo, hi) * 100.0,
+    )

@@ -1,0 +1,76 @@
+"""Stage gantt and utilization time-series extraction.
+
+Backs the paper's stage-breakdown figures (6, 11, 16) and worker
+utilization figures (5, 12, 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.simulation import SimulationResult
+
+
+@dataclass(frozen=True)
+class GanttRow:
+    """One stage's timeline: the gray (shuffle read) and white
+    (processing + shuffle write) blocks of the paper's Fig. 6."""
+
+    stage_id: str
+    ready: float
+    submit: float
+    read_done: float
+    finish: float
+
+    @property
+    def delay(self) -> float:
+        return self.submit - self.ready
+
+    @property
+    def read_span(self) -> tuple[float, float]:
+        return (self.submit, self.read_done)
+
+    @property
+    def process_span(self) -> tuple[float, float]:
+        return (self.read_done, self.finish)
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.submit
+
+
+def stage_gantt(result: SimulationResult, job_id: str) -> list[GanttRow]:
+    """Per-stage timeline rows, ordered by submission time."""
+    rows = [
+        GanttRow(
+            stage_id=sid,
+            ready=rec.ready_time,
+            submit=rec.submit_time,
+            read_done=rec.read_done_time,
+            finish=rec.finish_time,
+        )
+        for (jid, sid), rec in result.stage_records.items()
+        if jid == job_id
+    ]
+    rows.sort(key=lambda r: (r.submit, r.stage_id))
+    return rows
+
+
+def utilization_series(
+    result: SimulationResult,
+    node_id: "str | None" = None,
+    step: float = 1.0,
+    metric_net: str = "net_in",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sampled (time, cpu_percent, net_bytes_per_sec) series for one
+    worker — the Fig. 5/12/17 time series."""
+    if result.metrics is None:
+        raise ValueError("run had metrics tracking disabled")
+    node = node_id or result.cluster.worker_ids[0]
+    series = result.metrics.node_series(node)
+    t = np.arange(0.0, result.makespan + step, step)
+    cpu = series.sample(t, "cpu_utilization") * 100.0
+    net = series.sample(t, metric_net)
+    return t, cpu, net

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the common workflows without writing any code:
+
+* ``compare``   — run a workload under the scheduling strategies and
+  print the Fig. 10-style JCT table.
+* ``schedule``  — run Algorithm 1 for a workload and print (optionally
+  persist) the delay table.
+* ``timeline``  — print the stage gantt of a workload under a strategy.
+* ``trace-stats`` — generate the trace twin and print the Sec. 2.1
+  statistics and Fig. 2/3 CDF summaries.
+* ``replay``    — replay trace jobs under Fuxi vs DelayStage and print
+  the Fig. 14-style comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import render_cdf, render_gantt, render_table, stage_gantt
+from repro.cluster import alibaba_sim_cluster, ec2_m4large_cluster, uniform_cluster
+from repro.core import DelayStageParams, delay_stage_schedule
+from repro.core.properties import write_metrics_properties
+from repro.schedulers import (
+    AggShuffleScheduler,
+    DelayStageScheduler,
+    FuxiScheduler,
+    StockSparkScheduler,
+    compare_schedulers,
+    run_with_scheduler,
+)
+from repro.trace import (
+    TraceGeneratorConfig,
+    generate_trace,
+    parallel_makespan_fraction,
+    stage_count_summary,
+    to_job,
+)
+from repro.workloads import workload_by_name
+
+WORKLOAD_CHOICES = ["ALS", "ConnectedComponents", "CosineSimilarity", "LDA", "TriangleCount"]
+
+
+def _cluster_for(args) -> "object":
+    if args.workload == "ALS":
+        # The motivation setup: three nodes, data co-hosted.
+        return uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
+                               disk_mb_per_sec=150, storage_nodes=0)
+    return ec2_m4large_cluster(args.workers)
+
+
+def cmd_compare(args) -> int:
+    cluster = _cluster_for(args)
+    job = workload_by_name(args.workload, args.scale)
+    runs = compare_schedulers(
+        job,
+        cluster,
+        [
+            StockSparkScheduler(track_metrics=False),
+            AggShuffleScheduler(track_metrics=False),
+            DelayStageScheduler(profiled=not args.oracle, track_metrics=False),
+        ],
+    )
+    spark = runs["spark"].jct
+    rows = [
+        [name, run.jct, f"{1 - run.jct / spark:.1%}"]
+        for name, run in runs.items()
+    ]
+    print(render_table(
+        ["strategy", "JCT (s)", "vs spark"],
+        rows,
+        title=f"{args.workload} on {cluster.num_workers} workers",
+    ))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    cluster = _cluster_for(args)
+    job = workload_by_name(args.workload, args.scale)
+    schedule = delay_stage_schedule(
+        job, cluster, DelayStageParams(order=args.order, max_slots=args.max_slots)
+    )
+    rows = [[sid, f"{x:.1f}"] for sid, x in sorted(schedule.delays.items())]
+    print(render_table(
+        ["stage", "delay (s)"],
+        rows,
+        title=(
+            f"DelayStage schedule for {args.workload} "
+            f"(predicted makespan {schedule.predicted_makespan:.1f} s, "
+            f"baseline {schedule.baseline_makespan:.1f} s, "
+            f"computed in {schedule.compute_seconds * 1000:.0f} ms)"
+        ),
+    ))
+    if args.output:
+        write_metrics_properties(args.output, job.job_id, schedule.delays)
+        print(f"\ndelay table written to {args.output}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    cluster = _cluster_for(args)
+    job = workload_by_name(args.workload, args.scale)
+    scheduler = {
+        "spark": StockSparkScheduler(track_metrics=False),
+        "aggshuffle": AggShuffleScheduler(track_metrics=False),
+        "delaystage": DelayStageScheduler(profiled=not args.oracle, track_metrics=False),
+    }[args.strategy]
+    run = run_with_scheduler(job, cluster, scheduler)
+    rows = stage_gantt(run.result, job.job_id)
+    print(render_gantt(
+        rows,
+        title=(
+            f"{args.workload} under {args.strategy} — JCT {run.jct:.1f} s "
+            "(▒ shuffle read, █ processing + write)"
+        ),
+    ))
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    from repro.core import delay_stage_schedule, makespan_bounds, optimality_gap
+    from repro.core.delaystage import DelayStageParams
+
+    cluster = _cluster_for(args)
+    job = workload_by_name(args.workload, args.scale)
+    bounds = makespan_bounds(job, cluster)
+    schedule = delay_stage_schedule(job, cluster, DelayStageParams(max_slots=args.max_slots))
+    rows = [
+        ["critical path", f"{bounds.critical_path:.1f}"],
+        ["CPU work", f"{bounds.cpu_work:.1f}"],
+        ["storage egress", f"{bounds.storage_egress:.1f}"],
+        ["network volume", f"{bounds.network_volume:.1f}"],
+        ["disk volume", f"{bounds.disk_volume:.1f}"],
+    ]
+    print(render_table(
+        ["lower bound", "seconds"],
+        rows,
+        title=(
+            f"{args.workload}: makespan bounds (binding: {bounds.binding}); "
+            f"Algorithm 1 achieves {schedule.predicted_makespan:.1f} s — "
+            f"gap {optimality_gap(schedule.predicted_makespan, bounds):.1%}"
+        ),
+    ))
+    return 0
+
+
+def cmd_trace_stats(args) -> int:
+    trace = generate_trace(TraceGeneratorConfig(num_jobs=args.jobs), rng=args.seed)
+    summary = stage_count_summary(trace)
+    print(f"jobs: {len(trace)}")
+    print(f"jobs with parallel stages: {summary.fraction_jobs_with_parallel:.1%} (paper 68.6%)")
+    print(f"parallel share of stages:  {summary.parallel_stage_fraction:.1%} (paper 79.1%)")
+    fr = np.array([f for f in map(parallel_makespan_fraction, trace) if f > 0])
+    print(f"mean parallel-makespan/JCT: {fr.mean():.1%} (paper 82.3%)\n")
+    print(render_cdf(
+        {"stages/job": summary.stages_per_job, "parallel/job": summary.parallel_per_job},
+        title="Fig. 2 — stage counts per job",
+    ))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    cluster = alibaba_sim_cluster(
+        num_machines=3, storage_nodes=1, nic_mbps_range=(600, 2000), rng=0
+    )
+    trace = generate_trace(
+        TraceGeneratorConfig(num_jobs=args.jobs * 2, replay_workers=3,
+                             max_stages=60, replay_read_mb_per_sec=85.0),
+        rng=args.seed,
+    )
+    jobs = [to_job(tj) for tj in trace[: args.jobs]]
+    fuxi = FuxiScheduler(track_metrics=False, contention_penalty=args.penalty)
+    ds = DelayStageScheduler(
+        profiled=False, track_metrics=False, contention_penalty=args.penalty,
+        params=DelayStageParams(max_slots=12),
+    )
+    jct_f = [run_with_scheduler(j, cluster, fuxi).jct for j in jobs]
+    jct_d = [run_with_scheduler(j, cluster, ds).jct for j in jobs]
+    rows = [
+        ["fuxi", float(np.mean(jct_f)), float(np.median(jct_f))],
+        ["delaystage", float(np.mean(jct_d)), float(np.median(jct_d))],
+    ]
+    print(render_table(
+        ["strategy", "mean JCT (s)", "median (s)"],
+        rows,
+        title=f"trace replay — {len(jobs)} jobs (contention penalty {args.penalty})",
+    ))
+    print(f"\nDelayStage vs Fuxi: {1 - np.mean(jct_d) / np.mean(jct_f):.1%} (paper 36.6%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DelayStage (ICPP 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--workload", choices=WORKLOAD_CHOICES, default="CosineSimilarity")
+        p.add_argument("--workers", type=int, default=30, help="EC2 worker count")
+        p.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+
+    p = sub.add_parser("compare", help="JCT under Spark/AggShuffle/DelayStage")
+    add_workload_args(p)
+    p.add_argument("--oracle", action="store_true",
+                   help="plan on true parameters instead of profiling")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("schedule", help="compute a DelayStage delay table")
+    add_workload_args(p)
+    p.add_argument("--order", choices=["descending", "random", "ascending"],
+                   default="descending")
+    p.add_argument("--max-slots", type=int, default=48, dest="max_slots")
+    p.add_argument("--output", help="write metrics.properties here")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("timeline", help="print a stage gantt")
+    add_workload_args(p)
+    p.add_argument("--strategy", choices=["spark", "aggshuffle", "delaystage"],
+                   default="delaystage")
+    p.add_argument("--oracle", action="store_true")
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("bounds", help="makespan lower bounds + Alg. 1 gap")
+    add_workload_args(p)
+    p.add_argument("--max-slots", type=int, default=24, dest="max_slots")
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("trace-stats", help="trace-twin statistics (Figs. 2-3)")
+    p.add_argument("--jobs", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_trace_stats)
+
+    p = sub.add_parser("replay", help="Fig. 14-style trace replay")
+    p.add_argument("--jobs", type=int, default=40)
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--penalty", type=float, default=0.5)
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Cluster substrate: node and cluster specifications.
+
+The paper evaluates on 30 Amazon EC2 ``m4.large`` instances (2 vCPUs,
+8 GB RAM, 32 GB SSD, 100–480 Mbps NIC) with two 1-vCPU executors per
+instance and 3 dedicated HDFS storage instances, and simulates 4,000
+Alibaba machines (NIC 100 Mbps–2 Gbps, disk 80 MB/s, executors = CPU
+cores).  Both configurations are available as ready-made constructors.
+"""
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    NodeSpec,
+    alibaba_sim_cluster,
+    ec2_m4large_cluster,
+    uniform_cluster,
+)
+from repro.cluster.geo import GeoCluster, geo_cluster
+from repro.cluster.topology import Topology
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "ec2_m4large_cluster",
+    "alibaba_sim_cluster",
+    "uniform_cluster",
+    "GeoCluster",
+    "geo_cluster",
+    "Topology",
+]

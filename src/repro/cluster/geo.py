@@ -1,0 +1,120 @@
+"""Geo-distributed cluster construction (the paper's Sec. 6 extension).
+
+The related-work discussion positions DelayStage as orthogonal to
+geo-distributed analytics (Iridium, Tetrium, Clarinet) and names the
+geo-distributed setting as planned future work.  This module provides
+the substrate: a cluster whose workers live in multiple datacenters
+with wide-area links far slower than intra-DC networking, expressed
+via per-pair capacity constraints that the simulator's max-min solver
+honors.
+
+DelayStage applies unchanged — the model's ``B^{i,w}`` was always
+per-link — so the extension is an experiment, not new scheduling code:
+cross-DC shuffle reads become the long network phases that delaying
+can overlap with computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.util.units import mbps_to_bytes_per_sec, MB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GeoCluster:
+    """A cluster spec plus its inter-datacenter link constraints.
+
+    Attributes
+    ----------
+    spec:
+        The flat :class:`~repro.cluster.spec.ClusterSpec` (node ids are
+        ``dc<i>-w<j>`` / ``dc<i>-store<j>``).
+    pair_capacities:
+        ``(src, dst) -> bytes/s`` caps for node pairs crossing a
+        datacenter boundary.  Apply to a topology with
+        :meth:`apply_to`.
+    datacenters:
+        Node ids grouped per datacenter.
+    """
+
+    spec: ClusterSpec
+    pair_capacities: dict
+    datacenters: tuple[tuple[str, ...], ...]
+
+    def apply_to(self, topology) -> None:
+        """Install the WAN caps on a :class:`~repro.cluster.topology.Topology`."""
+        for (src, dst), cap in self.pair_capacities.items():
+            topology.set_pair_capacity(src, dst, cap)
+
+    def dc_of(self, node_id: str) -> int:
+        for i, nodes in enumerate(self.datacenters):
+            if node_id in nodes:
+                return i
+        raise KeyError(f"unknown node {node_id!r}")
+
+
+def geo_cluster(
+    num_datacenters: int = 2,
+    workers_per_dc: int = 4,
+    *,
+    executors_per_worker: int = 2,
+    intra_dc_mbps: float = 1000.0,
+    inter_dc_mbps: float = 150.0,
+    disk_mb_per_sec: float = 150.0,
+    storage_per_dc: int = 1,
+) -> GeoCluster:
+    """Build a multi-datacenter cluster with constrained WAN links.
+
+    Every node pair spanning two datacenters is capped at
+    ``inter_dc_mbps`` (per-pair — the WAN share each transfer can get),
+    while intra-DC pairs run at NIC speed.
+    """
+    if num_datacenters < 2:
+        raise ValueError("a geo cluster needs at least 2 datacenters")
+    check_positive(inter_dc_mbps, "inter_dc_mbps")
+    if inter_dc_mbps > intra_dc_mbps:
+        raise ValueError("inter_dc_mbps must not exceed intra_dc_mbps")
+
+    nodes: list[NodeSpec] = []
+    groups: list[tuple[str, ...]] = []
+    for dc in range(num_datacenters):
+        ids = []
+        for w in range(workers_per_dc):
+            nid = f"dc{dc}-w{w}"
+            nodes.append(
+                NodeSpec(
+                    node_id=nid,
+                    executors=executors_per_worker,
+                    nic_bandwidth=mbps_to_bytes_per_sec(intra_dc_mbps),
+                    disk_bandwidth=disk_mb_per_sec * MB,
+                )
+            )
+            ids.append(nid)
+        for s in range(storage_per_dc):
+            nid = f"dc{dc}-store{s}"
+            nodes.append(
+                NodeSpec(
+                    node_id=nid,
+                    executors=0,
+                    nic_bandwidth=mbps_to_bytes_per_sec(intra_dc_mbps),
+                    disk_bandwidth=disk_mb_per_sec * MB,
+                    is_storage=True,
+                )
+            )
+            ids.append(nid)
+        groups.append(tuple(ids))
+
+    spec = ClusterSpec(nodes)
+    wan_cap = mbps_to_bytes_per_sec(inter_dc_mbps)
+    pair_caps: dict = {}
+    for i, group_a in enumerate(groups):
+        for j, group_b in enumerate(groups):
+            if i == j:
+                continue
+            for a in group_a:
+                for b in group_b:
+                    pair_caps[(a, b)] = wan_cap
+    return GeoCluster(spec=spec, pair_capacities=pair_caps, datacenters=tuple(groups))

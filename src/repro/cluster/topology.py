@@ -1,0 +1,92 @@
+"""Network topology: endpoint-limited full-bisection fabric.
+
+The paper's model exposes a per-link available bandwidth ``B^{i,w}``
+between a source node ``i`` and a worker ``w``.  We model the common
+datacenter case: a non-blocking core, so a transfer is limited only by
+the sender's NIC egress and the receiver's NIC ingress (each fairly
+shared among the flows using it).  ``Topology`` resolves node ids to
+dense indices and capacity arrays for the max-min fair-share solver,
+and supports per-pair capacity overrides for experiments that need an
+explicitly heterogeneous ``B^{i,w}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.util.validation import check_positive
+
+
+class Topology:
+    """Dense-index view of a cluster's network capacities."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.node_ids: list[str] = spec.node_ids
+        self.index: dict[str, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        self.egress_capacity = np.array(
+            [spec.node(nid).nic_bandwidth for nid in self.node_ids], dtype=float
+        )
+        self.ingress_capacity = self.egress_capacity.copy()
+        self._pair_caps: dict[tuple[int, int], float] = {}
+        #: Optional oversubscribed-core model: rack id per node index and
+        #: the aggregate capacity of the core fabric shared by all
+        #: cross-rack flows.  ``None`` = non-blocking core (the default).
+        self.rack_of: "np.ndarray | None" = None
+        self.core_capacity: "float | None" = None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    def set_core_oversubscription(
+        self, racks: "dict[str, int]", core_capacity: float
+    ) -> None:
+        """Model an oversubscribed datacenter core.
+
+        Parameters
+        ----------
+        racks:
+            Rack id per node id (every node must appear).
+        core_capacity:
+            Aggregate bytes/s the core fabric carries; all cross-rack
+            flows share it max-min fairly on top of their NIC limits.
+        """
+        check_positive(core_capacity, "core_capacity")
+        missing = set(self.node_ids) - racks.keys()
+        if missing:
+            raise ValueError(f"racks missing entries for nodes {sorted(missing)}")
+        self.rack_of = np.array([racks[nid] for nid in self.node_ids], dtype=np.int64)
+        self.core_capacity = float(core_capacity)
+
+    def crosses_core(self, src_idx: np.ndarray, dst_idx: np.ndarray) -> np.ndarray:
+        """Boolean mask of flows traversing the core fabric."""
+        if self.rack_of is None:
+            return np.zeros(len(src_idx), dtype=bool)
+        return self.rack_of[src_idx] != self.rack_of[dst_idx]
+
+    def set_pair_capacity(self, src: str, dst: str, bandwidth: float) -> None:
+        """Cap the ``src → dst`` path below the endpoint NICs.
+
+        Used by ablations that model an oversubscribed core or the
+        paper's explicitly heterogeneous ``B^{i,w}``.
+        """
+        check_positive(bandwidth, "bandwidth")
+        self._pair_caps[(self.index[src], self.index[dst])] = bandwidth
+
+    def pair_capacity(self, src_idx: int, dst_idx: int) -> float:
+        """Path capacity between two node indices ignoring sharing."""
+        base = min(self.egress_capacity[src_idx], self.ingress_capacity[dst_idx])
+        override = self._pair_caps.get((src_idx, dst_idx))
+        return base if override is None else min(base, override)
+
+    def pair_cap_array(self, src_idx: np.ndarray, dst_idx: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pair_capacity` for flow arrays."""
+        caps = np.minimum(self.egress_capacity[src_idx], self.ingress_capacity[dst_idx])
+        if self._pair_caps:
+            for i, (s, d) in enumerate(zip(src_idx, dst_idx)):
+                override = self._pair_caps.get((int(s), int(d)))
+                if override is not None:
+                    caps[i] = min(caps[i], override)
+        return caps

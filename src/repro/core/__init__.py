@@ -1,0 +1,46 @@
+"""DelayStage: the paper's contribution.
+
+* :mod:`repro.core.delaystage` — Algorithm 1, the stage delay
+  scheduling strategy.
+* :mod:`repro.core.ordering` — descending / random / ascending
+  execution-path orders (the paper's default and its two ablation
+  variants, Sec. 4.1 / Fig. 14).
+* :mod:`repro.core.calculator` — the Delay Time Calculator module of
+  the prototype (Fig. 9): profiling → model parameters → Algorithm 1 →
+  delay table, persisted in Spark's ``metrics.properties`` format.
+* :mod:`repro.core.delayer` — the Stage Delayer module: applies the
+  delay table by postponing stage submission (the prototype's
+  ``stageDelayScheduling()`` hook in ``DAGScheduler``).
+
+Beyond the paper: :mod:`repro.core.bounds` (provable makespan lower
+bounds and optimality gaps), :mod:`repro.core.search` (random-search
+baseline for greedy-quality analysis), and :mod:`repro.core.heuristics`
+(an O(|K|) analytic planner for latency-critical scheduling).
+"""
+
+from repro.core.bounds import MakespanBounds, makespan_bounds, optimality_gap
+from repro.core.heuristics import staggered_read_schedule
+from repro.core.ordering import PathOrder, order_paths
+from repro.core.search import random_search_schedule
+from repro.core.schedule import DelaySchedule
+from repro.core.delaystage import DelayStageParams, delay_stage_schedule
+from repro.core.calculator import DelayTimeCalculator
+from repro.core.delayer import StageDelayer
+from repro.core.properties import read_metrics_properties, write_metrics_properties
+
+__all__ = [
+    "PathOrder",
+    "order_paths",
+    "DelaySchedule",
+    "DelayStageParams",
+    "delay_stage_schedule",
+    "DelayTimeCalculator",
+    "StageDelayer",
+    "write_metrics_properties",
+    "read_metrics_properties",
+    "MakespanBounds",
+    "makespan_bounds",
+    "optimality_gap",
+    "random_search_schedule",
+    "staggered_read_schedule",
+]

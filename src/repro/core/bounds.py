@@ -1,0 +1,121 @@
+"""Lower bounds on the parallel-stage makespan.
+
+Sec. 3.2 shows the scheduling problem is (at least) NP-hard in
+general, so the paper evaluates Algorithm 1 empirically.  These bounds
+quantify how much room *any* schedule has, making the greedy's
+optimality gap measurable:
+
+* **Critical-path bound** — the longest execution path's standalone
+  time: no delay schedule can finish the parallel set before its
+  longest chain runs uncontended.
+* **Resource bounds** — total work divided by cluster capacity, per
+  resource: CPU work (executor-seconds), storage egress for root
+  reads, aggregate NIC for shuffle volume, disk for writes.  A
+  work-conserving schedule cannot beat any of them.
+
+``makespan_lower_bound`` is their maximum; the optimality-gap of a
+schedule is ``predicted_makespan / bound - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+from repro.dag.graph import parallel_stage_set
+from repro.dag.job import Job
+from repro.dag.paths import execution_paths
+from repro.model.perf import standalone_stage_times
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """The individual lower bounds (seconds) and their maximum."""
+
+    critical_path: float
+    cpu_work: float
+    storage_egress: float
+    network_volume: float
+    disk_volume: float
+
+    @property
+    def bound(self) -> float:
+        return max(
+            self.critical_path,
+            self.cpu_work,
+            self.storage_egress,
+            self.network_volume,
+            self.disk_volume,
+        )
+
+    @property
+    def binding(self) -> str:
+        """Name of the binding (largest) bound."""
+        values = {
+            "critical_path": self.critical_path,
+            "cpu_work": self.cpu_work,
+            "storage_egress": self.storage_egress,
+            "network_volume": self.network_volume,
+            "disk_volume": self.disk_volume,
+        }
+        return max(values, key=values.get)
+
+
+def makespan_bounds(job: Job, cluster: ClusterSpec) -> MakespanBounds:
+    """Lower bounds on the makespan of the job's parallel-stage set."""
+    members = parallel_stage_set(job)
+    if not members:
+        return MakespanBounds(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    t_hat = standalone_stage_times(job, cluster)
+    paths = execution_paths(job, {sid: t_hat[sid] for sid in members})
+    critical = max(p.execution_time for p in paths)
+
+    workers = cluster.worker_ids
+    total_executors = sum(cluster.node(w).executors for w in workers)
+    cpu_work = sum(
+        job.stage(sid).input_bytes / job.stage(sid).process_rate for sid in members
+    ) / max(total_executors, 1)
+
+    storage = cluster.storage_ids
+    storage_egress_cap = sum(cluster.node(s).nic_bandwidth for s in storage)
+    root_volume = sum(
+        job.stage(sid).input_bytes
+        for sid in members
+        if not job.parents(sid)
+    )
+    storage_bound = root_volume / storage_egress_cap if storage else 0.0
+
+    # Shuffle traffic crosses worker NICs; the remote fraction of each
+    # non-root member's input must traverse aggregate worker ingress.
+    n_w = len(workers)
+    shuffle_volume = sum(
+        job.stage(sid).input_bytes * (n_w - 1) / n_w
+        for sid in members
+        if job.parents(sid)
+    )
+    ingress_cap = sum(cluster.node(w).nic_bandwidth for w in workers)
+    network_bound = shuffle_volume / ingress_cap if ingress_cap else 0.0
+
+    disk_volume = sum(job.stage(sid).output_bytes for sid in members)
+    disk_cap = sum(cluster.node(w).disk_bandwidth for w in workers)
+    disk_bound = disk_volume / disk_cap if disk_cap else 0.0
+
+    return MakespanBounds(
+        critical_path=critical,
+        cpu_work=cpu_work,
+        storage_egress=storage_bound,
+        network_volume=network_bound,
+        disk_volume=disk_bound,
+    )
+
+
+def optimality_gap(predicted_makespan: float, bounds: MakespanBounds) -> float:
+    """Fractional distance of a schedule's makespan above the bound.
+
+    0 means provably optimal (under the fluid model); the bound itself
+    may be loose, so the gap is an upper estimate of suboptimality.
+    """
+    if bounds.bound <= 0:
+        return 0.0
+    return predicted_makespan / bounds.bound - 1.0

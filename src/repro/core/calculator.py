@@ -1,0 +1,104 @@
+"""Delay Time Calculator: the first prototype module of Fig. 9.
+
+End-to-end reproduction of the paper's calculator pipeline:
+
+1. profile the job on sampled input data (``repro.profiling``),
+2. measure cluster bandwidths (with observation noise),
+3. run Algorithm 1 on the resulting *model* job and *measured*
+   cluster,
+4. persist the delay table in ``metrics.properties`` format for the
+   Stage Delayer.
+
+Because planning happens on estimated parameters while execution
+happens on the true ones, the calculator's schedules inherit realistic
+model error (Appendix A.2).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.delaystage import DelayStageParams, delay_stage_schedule
+from repro.core.properties import write_metrics_properties
+from repro.core.schedule import DelaySchedule
+from repro.dag.job import Job
+from repro.profiling.measurement import measure_cluster
+from repro.profiling.profiler import ProfileReport, profile_job
+from repro.util.rng import resolve_rng
+
+
+class DelayTimeCalculator:
+    """Compute delay schedules from profiled job/cluster observations.
+
+    Parameters
+    ----------
+    cluster:
+        The real cluster the job will run on.
+    params:
+        Algorithm 1 tunables.
+    sample_fraction:
+        Profiling-run input fraction (paper default 10 %).
+    profiling_noise / measurement_noise:
+        Lognormal sigma of parameter estimation error; set both to 0
+        for an oracle calculator (useful in tests isolating the
+        algorithm from estimation error).
+    rng:
+        Seed controlling both noise sources.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        params: "DelayStageParams | None" = None,
+        *,
+        sample_fraction: float = 0.1,
+        profiling_noise: float = 0.03,
+        measurement_noise: float = 0.02,
+        rng: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.params = params or DelayStageParams()
+        self.sample_fraction = sample_fraction
+        self.profiling_noise = profiling_noise
+        self.measurement_noise = measurement_noise
+        self._rng = resolve_rng(rng)
+        self.last_profile: "ProfileReport | None" = None
+
+    def profile(self, job: Job) -> ProfileReport:
+        """Run the sampled profiling pass and cache the report."""
+        report = profile_job(
+            job,
+            self.cluster,
+            sample_fraction=self.sample_fraction,
+            noise=self.profiling_noise,
+            rng=self._rng,
+        )
+        self.last_profile = report
+        return report
+
+    def compute(self, job: Job, profile: "ProfileReport | None" = None) -> DelaySchedule:
+        """Profile (unless given) and run Algorithm 1 on the model job."""
+        report = profile or self.profile(job)
+        model_job = report.to_model_job()
+        # Scalar (homogenized) measurement: the calculator consumes
+        # scalar bandwidth parameters, and a homogeneous model cluster
+        # keeps Algorithm 1's fluid evaluations fast.
+        measured = measure_cluster(
+            self.cluster, self.measurement_noise, self._rng, homogenize=True
+        )
+        return delay_stage_schedule(model_job, measured, self.params)
+
+    def compute_and_store(
+        self,
+        job: Job,
+        path: "str | pathlib.Path",
+        profile: "ProfileReport | None" = None,
+        append: bool = False,
+    ) -> DelaySchedule:
+        """Compute the schedule and persist it as ``metrics.properties``."""
+        schedule = self.compute(job, profile)
+        write_metrics_properties(path, job.job_id, schedule.delays, append=append)
+        return schedule

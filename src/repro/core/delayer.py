@@ -1,0 +1,65 @@
+"""Stage Delayer: applies a delay table at stage-submission time.
+
+This is the second prototype module of Fig. 9 — the counterpart of the
+``stageDelayScheduling()`` function the paper adds to Spark's
+``DAGScheduler.submitStage()``.  It is a
+:class:`~repro.simulator.simulation.SubmissionPolicy`: the simulator
+invokes it when a stage becomes ready, and it answers how long to
+sleep the submission.
+
+Unknown stages are never delayed, matching the prototype's behaviour
+of leaving sequential stages and un-profiled jobs untouched.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping
+
+from repro.core.properties import read_metrics_properties
+from repro.core.schedule import DelaySchedule
+from repro.dag.job import Job
+
+
+class StageDelayer:
+    """Submission policy backed by a per-job delay table."""
+
+    def __init__(self, tables: Mapping[str, Mapping[str, float]]) -> None:
+        self._tables: dict[str, dict[str, float]] = {}
+        for jid, table in tables.items():
+            clean: dict[str, float] = {}
+            for sid, x in table.items():
+                if x < 0:
+                    raise ValueError(f"negative delay for {jid}/{sid}: {x}")
+                clean[sid] = float(x)
+            self._tables[jid] = clean
+
+    # -- constructors --------------------------------------------------- #
+
+    @classmethod
+    def from_schedule(cls, schedule: DelaySchedule) -> "StageDelayer":
+        """Wrap a single job's Algorithm 1 output."""
+        return cls({schedule.job_id: schedule.delays})
+
+    @classmethod
+    def from_schedules(cls, schedules: "list[DelaySchedule]") -> "StageDelayer":
+        return cls({s.job_id: s.delays for s in schedules})
+
+    @classmethod
+    def from_properties(cls, path: "str | pathlib.Path") -> "StageDelayer":
+        """Load the delay tables the calculator persisted (Sec. 4.2)."""
+        return cls(read_metrics_properties(path))
+
+    # -- SubmissionPolicy ------------------------------------------------ #
+
+    def delay(self, job: Job, stage_id: str, ready_time: float) -> float:
+        """Sleep duration for this stage's submission (0 if untabulated)."""
+        return self._tables.get(job.job_id, {}).get(stage_id, 0.0)
+
+    # -- introspection --------------------------------------------------- #
+
+    def table(self, job_id: str) -> dict[str, float]:
+        return dict(self._tables.get(job_id, {}))
+
+    def __contains__(self, job_id: object) -> bool:
+        return job_id in self._tables

@@ -1,0 +1,98 @@
+"""Closed-form delay heuristics: cheap alternatives to Algorithm 1.
+
+Algorithm 1 evaluates O(|K| · m) fluid-model candidates.  For latency-
+critical planning (or the trace's 186-stage giants) this module offers
+``staggered_read_schedule``: an O(|K|) analytic heuristic that treats
+the parallel stages as a two-machine flow shop — the network "machine"
+runs shuffle reads, the CPU "machine" runs processing — and staggers
+path heads so their reads serialize instead of colliding.
+
+Under the paper's model this is exactly the interleaving intuition of
+Fig. 6: each delayed stage starts fetching the moment the network
+frees up, and computes while the next stage fetches.  It knows nothing
+about second-order interference (which Algorithm 1's fluid evaluation
+captures), so it trades a few points of JCT for ~1000× cheaper
+planning; the greedy-vs-heuristic bench quantifies the trade.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.ordering import PathOrder, order_paths
+from repro.core.schedule import DelaySchedule
+from repro.dag.graph import parallel_stage_set
+from repro.dag.job import Job
+from repro.dag.paths import execution_paths
+from repro.model.perf import (
+    _sources_for,
+    standalone_read_time,
+    standalone_stage_times,
+)
+
+
+def staggered_read_schedule(
+    job: Job,
+    cluster: ClusterSpec,
+    *,
+    order: "PathOrder | str" = PathOrder.DESCENDING,
+    max_paths: int = 256,
+    rng: "int | None" = 0,
+) -> DelaySchedule:
+    """Analytic delays: serialize path-head reads in path order.
+
+    The first (longest) path's head fetches immediately; each later
+    path's head is delayed until the network is projected to free up —
+    the cumulative standalone read time of the heads before it.  Stages
+    deeper in a path inherit zero extra delay (their parents gate them
+    anyway).
+
+    Returns a :class:`~repro.core.schedule.DelaySchedule` whose
+    ``predicted_makespan``/``baseline_makespan`` are *not* model-backed
+    (no fluid evaluation is run); they are analytic projections from
+    standalone times, kept so downstream code can treat both schedule
+    sources uniformly.
+    """
+    started = _time.perf_counter()
+    members = parallel_stage_set(job)
+    if not members:
+        return DelaySchedule(job.job_id, {}, 0.0, 0.0, (), {}, 0,
+                             _time.perf_counter() - started)
+
+    t_hat = standalone_stage_times(job, cluster)
+    paths = execution_paths(
+        job, {sid: t_hat[sid] for sid in members}, max_paths=max_paths
+    )
+    paths = order_paths(paths, order, rng)
+
+    delays: dict[str, float] = {}
+    network_free_at = 0.0
+    for path in paths:
+        head = path.stages[0]
+        if head in delays:
+            continue  # shared prefix already scheduled via earlier path
+        stage = job.stage(head)
+        read = standalone_read_time(stage, cluster, _sources_for(job, head, cluster))
+        delays[head] = network_free_at
+        network_free_at += read
+        for sid in path.stages[1:]:
+            delays.setdefault(sid, 0.0)
+
+    # Analytic projections (no interference modeled): each path ends at
+    # its head delay plus its standalone time.
+    projected = max(
+        delays[p.stages[0]] + p.execution_time for p in paths
+    )
+    baseline = max(p.execution_time for p in paths)
+
+    return DelaySchedule(
+        job_id=job.job_id,
+        delays=delays,
+        predicted_makespan=projected,
+        baseline_makespan=baseline,
+        paths=tuple(paths),
+        standalone_times=t_hat,
+        evaluations=0,
+        compute_seconds=_time.perf_counter() - started,
+    )

@@ -1,0 +1,48 @@
+"""Execution-path ordering variants (paper Sec. 4.1, evaluated in Fig. 14).
+
+DelayStage processes execution paths in *descending* order of their
+standalone execution time, so the long-running path is scheduled first
+(with zero delay) and shorter paths are delayed into its resource
+gaps.  The paper also evaluates random and ascending orders as
+ablations; on the Alibaba trace the three complete jobs in 871, 945,
+and 996 seconds on average respectively.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.dag.paths import ExecutionPath
+from repro.util.rng import resolve_rng
+
+
+class PathOrder(enum.Enum):
+    """How Algorithm 1 iterates over execution paths."""
+
+    DESCENDING = "descending"
+    ASCENDING = "ascending"
+    RANDOM = "random"
+
+
+def order_paths(
+    paths: Sequence[ExecutionPath],
+    order: "PathOrder | str" = PathOrder.DESCENDING,
+    rng: "int | object | None" = None,
+) -> list[ExecutionPath]:
+    """Return paths reordered according to the chosen variant.
+
+    ``paths`` are expected in descending-time order (as produced by
+    :func:`repro.dag.paths.execution_paths`); ordering is nevertheless
+    recomputed from each path's ``execution_time`` so callers may pass
+    arbitrary sequences.
+    """
+    order = PathOrder(order)
+    if order is PathOrder.DESCENDING:
+        return sorted(paths, key=lambda p: (-p.execution_time, p.stages))
+    if order is PathOrder.ASCENDING:
+        return sorted(paths, key=lambda p: (p.execution_time, p.stages))
+    gen = resolve_rng(rng)
+    out = list(paths)
+    gen.shuffle(out)
+    return out

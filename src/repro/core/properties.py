@@ -1,0 +1,77 @@
+"""Reading/writing the delay table in Spark's properties format.
+
+The paper's prototype stores the computed delay schedule ``X`` in
+Spark's default ``metrics.properties`` configuration file, from which
+the stage delayer reads it at submission time (Sec. 4.2).  We
+reproduce that interface: Java-properties lines of the form
+``spark.delaystage.<job_id>.<stage_id>=<seconds>``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping
+
+_PREFIX = "spark.delaystage"
+
+
+def write_metrics_properties(
+    path: "str | pathlib.Path",
+    job_id: str,
+    delays: Mapping[str, float],
+    append: bool = False,
+) -> None:
+    """Persist a job's delay table in properties format.
+
+    Parameters
+    ----------
+    append:
+        Add to an existing file (multi-job clusters) instead of
+        overwriting.
+    """
+    path = pathlib.Path(path)
+    lines = [
+        f"{_PREFIX}.{job_id}.{sid}={float(x):.6f}\n" for sid, x in sorted(delays.items())
+    ]
+    mode = "a" if append else "w"
+    with path.open(mode, encoding="utf-8") as fh:
+        if not append:
+            fh.write("# DelayStage schedule (stage submission delays, seconds)\n")
+        fh.writelines(lines)
+
+
+def read_metrics_properties(
+    path: "str | pathlib.Path", job_id: "str | None" = None
+) -> dict[str, dict[str, float]]:
+    """Parse a properties file back into ``{job_id: {stage_id: delay}}``.
+
+    Lines that are blank, comments, or unrelated properties are
+    ignored, as a real ``metrics.properties`` mixes the delay table
+    with Spark's own metric settings.
+    """
+    out: dict[str, dict[str, float]] = {}
+    path = pathlib.Path(path)
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("#", "!")):
+            continue
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip()
+        if not key.startswith(_PREFIX + "."):
+            continue
+        rest = key[len(_PREFIX) + 1 :]
+        jid, _, sid = rest.partition(".")
+        if not jid or not sid:
+            raise ValueError(f"malformed delaystage property line: {raw!r}")
+        try:
+            delay = float(value.strip())
+        except ValueError as exc:
+            raise ValueError(f"non-numeric delay in line: {raw!r}") from exc
+        if delay < 0:
+            raise ValueError(f"negative delay in line: {raw!r}")
+        out.setdefault(jid, {})[sid] = delay
+    if job_id is not None:
+        return {job_id: out.get(job_id, {})}
+    return out

@@ -1,0 +1,63 @@
+"""Delay-schedule result objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.dag.paths import ExecutionPath
+
+
+@dataclass(frozen=True)
+class DelaySchedule:
+    """The output of Algorithm 1 for one job.
+
+    Attributes
+    ----------
+    job_id:
+        Job the schedule applies to.
+    delays:
+        ``X``: extra submission delay (seconds past ready time) per
+        parallel stage.  Stages absent from the table (sequential
+        stages) submit immediately.
+    predicted_makespan:
+        Model-predicted makespan of the parallel-stage set under
+        ``delays`` (``T_max`` at termination of Algorithm 1).
+    baseline_makespan:
+        Model-predicted makespan with all-zero delays, for reporting
+        the expected improvement.
+    paths:
+        The execution paths in the order the algorithm processed them.
+    standalone_times:
+        ``t̂_k`` used to order the paths (Alg. 1 line 2).
+    evaluations:
+        Number of candidate schedules evaluated (complexity metric for
+        Fig. 15).
+    compute_seconds:
+        Wall-clock time Algorithm 1 took (Sec. 5.4's strategy
+        computation time).
+    """
+
+    job_id: str
+    delays: dict[str, float]
+    predicted_makespan: float
+    baseline_makespan: float
+    paths: tuple[ExecutionPath, ...]
+    standalone_times: dict[str, float] = field(default_factory=dict)
+    evaluations: int = 0
+    compute_seconds: float = 0.0
+
+    @property
+    def delayed_stages(self) -> list[str]:
+        """Stages receiving a strictly positive delay."""
+        return sorted(sid for sid, x in self.delays.items() if x > 0)
+
+    @property
+    def predicted_improvement(self) -> float:
+        """Fractional makespan reduction the model expects vs no delays."""
+        if self.baseline_makespan <= 0:
+            return 0.0
+        return 1.0 - self.predicted_makespan / self.baseline_makespan
+
+    def as_mapping(self) -> Mapping[str, float]:
+        return dict(self.delays)

@@ -1,0 +1,89 @@
+"""Random-search delay optimizer: a brute-force baseline for Alg. 1.
+
+Samples random delay vectors over the parallel stages and keeps the
+best one under the same fluid-model objective Algorithm 1 uses.  With
+enough samples this approaches the best achievable delay schedule, so
+it quantifies how much the greedy's structure (path ordering, one
+stage at a time) costs — the paper's implicit claim being "very
+little" (Sec. 4.1's remark that other orders also work).
+
+This is an analysis tool, not a practical scheduler: its evaluation
+budget is exponential-ish where Algorithm 1 is linear in stages.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.schedule import DelaySchedule
+from repro.dag.graph import parallel_stage_set
+from repro.dag.job import Job
+from repro.dag.paths import execution_paths
+from repro.model.interference import evaluate_schedule
+from repro.model.perf import standalone_stage_times
+from repro.simulator.simulation import SimulationConfig
+from repro.util.rng import resolve_rng
+
+
+def random_search_schedule(
+    job: Job,
+    cluster: ClusterSpec,
+    samples: int = 200,
+    *,
+    rng: "int | np.random.Generator | None" = 0,
+    sim_config: "SimulationConfig | None" = None,
+) -> DelaySchedule:
+    """Best-of-``samples`` random delay vectors (plus the all-zero one).
+
+    Delays are drawn per stage from ``[0, T_max]`` with half the draws
+    zeroed, biasing toward sparse schedules like those Algorithm 1
+    produces.
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    gen = resolve_rng(rng)
+    started = _time.perf_counter()
+
+    members = sorted(parallel_stage_set(job))
+    eval_config = sim_config or SimulationConfig(track_metrics=False)
+    if not members:
+        return DelaySchedule(job.job_id, {}, 0.0, 0.0, (), {}, 1,
+                             _time.perf_counter() - started)
+
+    t_hat = standalone_stage_times(job, cluster)
+    paths = execution_paths(job, {sid: t_hat[sid] for sid in members})
+    t_max = max(p.execution_time for p in paths)
+
+    baseline = evaluate_schedule(
+        job, cluster, {}, members=frozenset(members), config=eval_config
+    )
+    best_delays: dict[str, float] = {sid: 0.0 for sid in members}
+    best_obj = baseline.parallel_makespan
+    evaluations = 1
+
+    for _ in range(samples):
+        draw = gen.uniform(0.0, t_max, size=len(members))
+        mask = gen.random(len(members)) < 0.5
+        draw[mask] = 0.0
+        trial = {sid: float(x) for sid, x in zip(members, draw)}
+        ev = evaluate_schedule(
+            job, cluster, trial, members=frozenset(members), config=eval_config
+        )
+        evaluations += 1
+        if ev.parallel_makespan < best_obj - 1e-9:
+            best_obj = ev.parallel_makespan
+            best_delays = trial
+
+    return DelaySchedule(
+        job_id=job.job_id,
+        delays=best_delays,
+        predicted_makespan=best_obj,
+        baseline_makespan=baseline.parallel_makespan,
+        paths=tuple(paths),
+        standalone_times=t_hat,
+        evaluations=evaluations,
+        compute_seconds=_time.perf_counter() - started,
+    )

@@ -1,0 +1,48 @@
+"""DAG model for DAG-style data analytics jobs.
+
+A :class:`~repro.dag.job.Job` is a directed acyclic graph of
+:class:`~repro.dag.stage.Stage` objects.  Stages carry the per-stage
+parameters the paper's model (Sec. 3) consumes: shuffle-input volume
+``s``, shuffle-output volume ``d``, per-executor data-processing rate
+``R_k``, task count and task-duration heterogeneity.
+
+Graph algorithms (topological order, ancestor sets, the parallel-stage
+set ``K``, critical path) live in :mod:`repro.dag.graph`; the
+execution-path decomposition illustrated in the paper's Fig. 7 lives in
+:mod:`repro.dag.paths`.
+"""
+
+from repro.dag.stage import Stage
+from repro.dag.job import Job
+from repro.dag.builder import JobBuilder, job_from_edges
+from repro.dag.graph import (
+    ancestors,
+    critical_path,
+    descendants,
+    is_parallel_pair,
+    parallel_pairs,
+    parallel_stage_set,
+    sequential_stage_set,
+    topological_order,
+)
+from repro.dag.convert import from_networkx, to_networkx
+from repro.dag.paths import ExecutionPath, execution_paths
+
+__all__ = [
+    "Stage",
+    "Job",
+    "JobBuilder",
+    "job_from_edges",
+    "topological_order",
+    "ancestors",
+    "descendants",
+    "is_parallel_pair",
+    "parallel_pairs",
+    "parallel_stage_set",
+    "sequential_stage_set",
+    "critical_path",
+    "ExecutionPath",
+    "execution_paths",
+    "to_networkx",
+    "from_networkx",
+]

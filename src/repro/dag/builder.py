@@ -1,0 +1,122 @@
+"""Fluent construction helpers for job DAGs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.dag.job import Job
+from repro.dag.stage import Stage
+from repro.util.units import MB
+
+
+class JobBuilder:
+    """Incrementally assemble a :class:`~repro.dag.job.Job`.
+
+    Example
+    -------
+    >>> job = (
+    ...     JobBuilder("demo")
+    ...     .stage("S1", input_mb=512, output_mb=256, process_rate_mb=20)
+    ...     .stage("S2", input_mb=512, output_mb=256, process_rate_mb=20)
+    ...     .stage("S3", input_mb=512, output_mb=128, process_rate_mb=20,
+    ...            parents=["S1", "S2"])
+    ...     .build()
+    ... )
+    >>> sorted(job.parents("S3"))
+    ['S1', 'S2']
+    """
+
+    def __init__(self, job_id: str) -> None:
+        self._job_id = job_id
+        self._stages: list[Stage] = []
+        self._edges: list[tuple[str, str]] = []
+
+    def stage(
+        self,
+        stage_id: str,
+        *,
+        input_mb: float,
+        output_mb: float,
+        process_rate_mb: float,
+        num_tasks: int = 64,
+        task_cv: float = 0.0,
+        parents: Iterable[str] = (),
+        name: str = "",
+    ) -> "JobBuilder":
+        """Add a stage with MB-denominated volumes and rate.
+
+        ``parents`` may reference stages added earlier; forward
+        references are rejected at :meth:`build` time by Job validation.
+        """
+        self._stages.append(
+            Stage(
+                stage_id=stage_id,
+                input_bytes=input_mb * MB,
+                output_bytes=output_mb * MB,
+                process_rate=process_rate_mb * MB,
+                num_tasks=num_tasks,
+                task_cv=task_cv,
+                name=name,
+            )
+        )
+        for parent in parents:
+            self._edges.append((parent, stage_id))
+        return self
+
+    def edge(self, parent: str, child: str) -> "JobBuilder":
+        """Add a dependency edge between existing stages."""
+        self._edges.append((parent, child))
+        return self
+
+    def build(self) -> Job:
+        """Validate and return the job."""
+        return Job(self._job_id, self._stages, self._edges)
+
+
+def job_from_edges(
+    job_id: str,
+    edges: Sequence[tuple[str, str]],
+    stage_params: "Mapping[str, Mapping[str, float]] | None" = None,
+    *,
+    default_input_mb: float = 512.0,
+    default_output_mb: float = 256.0,
+    default_process_rate_mb: float = 20.0,
+) -> Job:
+    """Build a job from an edge list, filling in default stage parameters.
+
+    Convenient for graph-shaped tests and for converting trace DAGs whose
+    per-stage volumes are synthesized separately.
+
+    Parameters
+    ----------
+    edges:
+        ``(parent, child)`` pairs; the stage set is their union.
+    stage_params:
+        Optional per-stage overrides with keys ``input_mb``,
+        ``output_mb``, ``process_rate_mb``, ``num_tasks``, ``task_cv``.
+    """
+    ids: list[str] = []
+    seen: set[str] = set()
+    for a, b in edges:
+        for sid in (a, b):
+            if sid not in seen:
+                seen.add(sid)
+                ids.append(sid)
+    if not ids:
+        raise ValueError("edge list is empty; use JobBuilder for single-stage jobs")
+
+    params = stage_params or {}
+    stages = []
+    for sid in ids:
+        p = dict(params.get(sid, {}))
+        stages.append(
+            Stage(
+                stage_id=sid,
+                input_bytes=float(p.get("input_mb", default_input_mb)) * MB,
+                output_bytes=float(p.get("output_mb", default_output_mb)) * MB,
+                process_rate=float(p.get("process_rate_mb", default_process_rate_mb)) * MB,
+                num_tasks=int(p.get("num_tasks", 64)),
+                task_cv=float(p.get("task_cv", 0.0)),
+            )
+        )
+    return Job(job_id, stages, edges)

@@ -1,0 +1,67 @@
+"""Interop with :mod:`networkx`.
+
+Jobs convert losslessly to/from ``networkx.DiGraph`` so users can
+apply the networkx toolbox (drawing, centrality, transitive
+reduction, …) to job DAGs, or import DAGs produced elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dag.job import Job
+from repro.dag.stage import Stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx as nx
+
+
+def to_networkx(job: Job) -> "nx.DiGraph":
+    """Convert a job to a ``networkx.DiGraph``.
+
+    Node attributes carry the full stage parameters plus the job id as
+    a graph attribute, so :func:`from_networkx` round-trips exactly.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph(job_id=job.job_id)
+    for stage in job:
+        graph.add_node(
+            stage.stage_id,
+            input_bytes=stage.input_bytes,
+            output_bytes=stage.output_bytes,
+            process_rate=stage.process_rate,
+            num_tasks=stage.num_tasks,
+            task_cv=stage.task_cv,
+            name=stage.name,
+        )
+    graph.add_edges_from(job.edges)
+    return graph
+
+
+def from_networkx(graph: "nx.DiGraph", job_id: "str | None" = None) -> Job:
+    """Build a job from a ``networkx.DiGraph``.
+
+    Node attributes missing from a node fall back to defaults
+    (512 MB in, 256 MB out, 10 MB/s per executor), so hand-drawn
+    structural graphs import without ceremony; cycles are rejected by
+    Job validation.
+    """
+    from repro.util.units import MB
+
+    jid = job_id or graph.graph.get("job_id") or "imported"
+    stages = []
+    for node, attrs in graph.nodes(data=True):
+        stages.append(
+            Stage(
+                stage_id=str(node),
+                input_bytes=float(attrs.get("input_bytes", 512 * MB)),
+                output_bytes=float(attrs.get("output_bytes", 256 * MB)),
+                process_rate=float(attrs.get("process_rate", 10 * MB)),
+                num_tasks=int(attrs.get("num_tasks", 64)),
+                task_cv=float(attrs.get("task_cv", 0.0)),
+                name=str(attrs.get("name", "")) or str(node),
+            )
+        )
+    edges = [(str(a), str(b)) for a, b in graph.edges()]
+    return Job(jid, stages, edges)

@@ -1,0 +1,184 @@
+"""Graph algorithms over a job's DAG.
+
+The paper (Sec. 2.1) defines *parallel stages* as "the kind of stages
+which can be executed in parallel with at least one of the other stages
+in the job's DAG" — i.e. two stages are parallel iff neither is an
+ancestor of the other.  Everything else here (topological order,
+ancestor sets, critical path) supports that definition and the
+execution-path decomposition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Mapping
+
+from repro.dag.job import Job
+
+
+def topological_order(job: Job) -> list[str]:
+    """Stage ids in a deterministic topological order.
+
+    Ties are broken by stage-id insertion order so that repeated runs
+    (and the trace-analysis CDFs built on top) are reproducible.
+    """
+    order_index = {sid: i for i, sid in enumerate(job.stage_ids)}
+    indeg = {sid: len(job.parents(sid)) for sid in job.stage_ids}
+    ready = sorted((sid for sid, d in indeg.items() if d == 0), key=order_index.__getitem__)
+    out: list[str] = []
+    while ready:
+        sid = ready.pop(0)
+        out.append(sid)
+        changed = False
+        for child in job.children(sid):
+            indeg[child] -= 1
+            if indeg[child] == 0:
+                ready.append(child)
+                changed = True
+        if changed:
+            ready.sort(key=order_index.__getitem__)
+    if len(out) != job.num_stages:  # pragma: no cover - Job guarantees acyclicity
+        raise ValueError("cycle detected")
+    return out
+
+
+def ancestors(job: Job, stage_id: str) -> frozenset[str]:
+    """All transitive ancestors (proper) of ``stage_id``."""
+    seen: set[str] = set()
+    frontier = deque(job.parents(stage_id))
+    while frontier:
+        sid = frontier.popleft()
+        if sid in seen:
+            continue
+        seen.add(sid)
+        frontier.extend(job.parents(sid))
+    return frozenset(seen)
+
+
+def descendants(job: Job, stage_id: str) -> frozenset[str]:
+    """All transitive descendants (proper) of ``stage_id``."""
+    seen: set[str] = set()
+    frontier = deque(job.children(stage_id))
+    while frontier:
+        sid = frontier.popleft()
+        if sid in seen:
+            continue
+        seen.add(sid)
+        frontier.extend(job.children(sid))
+    return frozenset(seen)
+
+
+def _ancestor_table(job: Job) -> dict[str, frozenset[str]]:
+    """Ancestor sets for every stage in one topological sweep."""
+    table: dict[str, set[str]] = {}
+    for sid in topological_order(job):
+        acc: set[str] = set()
+        for parent in job.parents(sid):
+            acc.add(parent)
+            acc |= table[parent]
+        table[sid] = acc
+    return {sid: frozenset(s) for sid, s in table.items()}
+
+
+def is_parallel_pair(job: Job, a: str, b: str) -> bool:
+    """True iff stages ``a`` and ``b`` can execute simultaneously.
+
+    Two distinct stages are parallel iff neither is a transitive
+    ancestor of the other.
+    """
+    if a == b:
+        return False
+    return b not in ancestors(job, a) and a not in ancestors(job, b)
+
+
+def parallel_pairs(job: Job) -> set[frozenset[str]]:
+    """All unordered pairs of mutually parallel stages."""
+    table = _ancestor_table(job)
+    ids = job.stage_ids
+    pairs: set[frozenset[str]] = set()
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            if a not in table[b] and b not in table[a]:
+                pairs.add(frozenset((a, b)))
+    return pairs
+
+
+def parallel_stage_set(job: Job) -> frozenset[str]:
+    """The paper's parallel-stage set ``K``.
+
+    A stage belongs to ``K`` iff it is parallel with at least one other
+    stage of the job.  (In the paper's Fig. 7, Stage 5 is excluded
+    because it is sequential with every other stage.)
+    """
+    table = _ancestor_table(job)
+    ids = job.stage_ids
+    n = len(ids)
+    members: set[str] = set()
+    for i, a in enumerate(ids):
+        if a in members:
+            continue
+        for j in range(n):
+            b = ids[j]
+            if a == b:
+                continue
+            if a not in table[b] and b not in table[a]:
+                members.add(a)
+                members.add(b)
+                break
+    return frozenset(members)
+
+
+def sequential_stage_set(job: Job) -> frozenset[str]:
+    """Stages *not* in the parallel-stage set ``K``.
+
+    The paper notes (Sec. 5.2) that the execution time of these stages
+    bounds DelayStage's achievable improvement — e.g.
+    ConnectedComponents spends ~54.8 % of its JCT in sequential stages
+    and therefore sees the smallest gain.
+    """
+    return frozenset(job.stage_ids) - parallel_stage_set(job)
+
+
+def critical_path(
+    job: Job,
+    weight: "Callable[[str], float] | Mapping[str, float] | None" = None,
+) -> tuple[list[str], float]:
+    """Longest weighted root→leaf chain of the DAG.
+
+    Parameters
+    ----------
+    weight:
+        Per-stage weight: a callable, a mapping, or ``None`` to use each
+        stage's standalone single-executor compute work.
+
+    Returns
+    -------
+    ``(stage_ids_along_path, total_weight)``.
+    """
+    if weight is None:
+        wfn = lambda sid: job.stage(sid).compute_work  # noqa: E731
+    elif callable(weight):
+        wfn = weight
+    else:
+        mapping = dict(weight)
+        wfn = mapping.__getitem__
+
+    best: dict[str, float] = {}
+    pred: dict[str, str | None] = {}
+    for sid in topological_order(job):
+        parent_best = None
+        for parent in job.parents(sid):
+            if parent_best is None or best[parent] > best[parent_best]:
+                parent_best = parent
+        base = best[parent_best] if parent_best is not None else 0.0
+        best[sid] = base + wfn(sid)
+        pred[sid] = parent_best
+
+    end = max(best, key=lambda sid: best[sid])
+    path: list[str] = []
+    cur: str | None = end
+    while cur is not None:
+        path.append(cur)
+        cur = pred[cur]
+    path.reverse()
+    return path, best[end]

@@ -1,0 +1,164 @@
+"""Job: a DAG of stages with dependency bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.dag.stage import Stage
+
+
+class Job:
+    """A DAG-style data-analytics job.
+
+    A job owns a set of :class:`~repro.dag.stage.Stage` objects plus the
+    parent→child edges between them.  The constructor validates that the
+    edge set references known stages and is acyclic.
+
+    Parameters
+    ----------
+    job_id:
+        Unique job identifier.
+    stages:
+        The stages of the job, in any order.
+    edges:
+        ``(parent_id, child_id)`` pairs: the child shuffle-reads the
+        parent's output, so it cannot start before the parent completes.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        stages: Iterable[Stage],
+        edges: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        if not job_id:
+            raise ValueError("job_id must be a non-empty string")
+        self.job_id = job_id
+        self._stages: dict[str, Stage] = {}
+        for stage in stages:
+            if stage.stage_id in self._stages:
+                raise ValueError(f"duplicate stage_id {stage.stage_id!r} in job {job_id!r}")
+            self._stages[stage.stage_id] = stage
+        if not self._stages:
+            raise ValueError(f"job {job_id!r} must contain at least one stage")
+
+        self._parents: dict[str, set[str]] = {sid: set() for sid in self._stages}
+        self._children: dict[str, set[str]] = {sid: set() for sid in self._stages}
+        for parent, child in edges:
+            if parent not in self._stages:
+                raise ValueError(f"edge references unknown parent stage {parent!r}")
+            if child not in self._stages:
+                raise ValueError(f"edge references unknown child stage {child!r}")
+            if parent == child:
+                raise ValueError(f"self-loop on stage {parent!r}")
+            self._parents[child].add(parent)
+            self._children[parent].add(child)
+
+        self._assert_acyclic()
+
+    # ------------------------------------------------------------------ #
+    # structure queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stages(self) -> Mapping[str, Stage]:
+        """Read-only mapping from stage id to stage."""
+        return dict(self._stages)
+
+    @property
+    def stage_ids(self) -> list[str]:
+        """Stage ids in insertion order."""
+        return list(self._stages)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self._stages)
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """All (parent, child) edges, parent-sorted for determinism."""
+        out = []
+        for parent in self._stages:
+            for child in sorted(self._children[parent]):
+                out.append((parent, child))
+        return out
+
+    def stage(self, stage_id: str) -> Stage:
+        """Look up a stage by id, raising ``KeyError`` with context."""
+        try:
+            return self._stages[stage_id]
+        except KeyError:
+            raise KeyError(f"job {self.job_id!r} has no stage {stage_id!r}") from None
+
+    def parents(self, stage_id: str) -> frozenset[str]:
+        """Direct parents of ``stage_id``."""
+        self.stage(stage_id)
+        return frozenset(self._parents[stage_id])
+
+    def children(self, stage_id: str) -> frozenset[str]:
+        """Direct children of ``stage_id``."""
+        self.stage(stage_id)
+        return frozenset(self._children[stage_id])
+
+    @property
+    def roots(self) -> list[str]:
+        """Stages with no parents (they read input from cluster storage)."""
+        return [sid for sid in self._stages if not self._parents[sid]]
+
+    @property
+    def leaves(self) -> list[str]:
+        """Stages with no children (the job is done when they finish)."""
+        return [sid for sid in self._stages if not self._children[sid]]
+
+    @property
+    def total_input_bytes(self) -> float:
+        """Sum of shuffle-input volumes over all stages."""
+        return sum(s.input_bytes for s in self._stages.values())
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self._stages.values())
+
+    def __contains__(self, stage_id: object) -> bool:
+        return stage_id in self._stages
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job({self.job_id!r}, stages={len(self._stages)}, edges={len(self.edges)})"
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+
+    def scaled(self, factor: float, job_id: str | None = None) -> "Job":
+        """Return a copy of the job with every stage's data volumes scaled.
+
+        This is how the profiling substrate constructs the 10 %-sampled
+        copy of a job (Sec. 4.2 of the paper).
+        """
+        return Job(
+            job_id or f"{self.job_id}-x{factor:g}",
+            [s.scaled(factor) for s in self._stages.values()],
+            self.edges,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _assert_acyclic(self) -> None:
+        """Kahn's algorithm; raises ``ValueError`` on a cycle."""
+        indeg = {sid: len(self._parents[sid]) for sid in self._stages}
+        queue = [sid for sid, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            sid = queue.pop()
+            seen += 1
+            for child in self._children[sid]:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    queue.append(child)
+        if seen != len(self._stages):
+            cyclic = sorted(sid for sid, d in indeg.items() if d > 0)
+            raise ValueError(f"job {self.job_id!r} contains a cycle among stages {cyclic}")

@@ -1,0 +1,181 @@
+"""Execution-path decomposition of the parallel-stage set (paper Fig. 7).
+
+DelayStage organizes the parallel-stage set ``K`` into *execution
+paths*: chains of stages in ``K`` that must execute sequentially.
+Paths may share stages — in the paper's Fig. 7, Stage 3 appears in both
+``P1 = {Stage 1, Stage 3}`` and ``P2 = {Stage 2, Stage 3}`` — and
+Algorithm 1 simply skips a stage that was already scheduled in an
+earlier path.
+
+The decomposition enumerates the maximal source→sink chains of the
+sub-DAG induced by ``K``.  Jobs from the Alibaba trace can have up to
+186 stages, where full enumeration could blow up combinatorially, so
+beyond ``max_paths`` candidate paths we fall back to a greedy
+longest-path cover that still guarantees every stage of ``K`` appears
+in at least one path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.dag.graph import parallel_stage_set, topological_order
+from repro.dag.job import Job
+
+
+@dataclass(frozen=True)
+class ExecutionPath:
+    """One execution path ``P_m``: a dependency chain of parallel stages.
+
+    Attributes
+    ----------
+    stages:
+        Stage ids in dependency order (parent before child).
+    execution_time:
+        ``T_m``: the sum of the standalone execution times of the path's
+        stages (Alg. 1 line 3), used only for ordering paths.
+    """
+
+    stages: tuple[str, ...]
+    execution_time: float
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def __contains__(self, stage_id: object) -> bool:
+        return stage_id in self.stages
+
+
+def _induced_edges(job: Job, members: frozenset[str]) -> dict[str, list[str]]:
+    """Children adjacency of the sub-DAG induced by ``members``.
+
+    An edge survives only if both endpoints are in ``members`` — a
+    parent→child dependency passing through a non-member stage breaks
+    the chain (the non-member is a sequential stage that serializes the
+    job anyway).
+    """
+    return {
+        sid: sorted(c for c in job.children(sid) if c in members)
+        for sid in members
+    }
+
+
+def _enumerate_chains(
+    roots: Sequence[str], children: Mapping[str, Sequence[str]], limit: int
+) -> "list[tuple[str, ...]] | None":
+    """All maximal chains from the given roots; ``None`` if > ``limit``."""
+    chains: list[tuple[str, ...]] = []
+    stack: list[tuple[str, ...]] = [(r,) for r in roots]
+    while stack:
+        chain = stack.pop()
+        kids = children[chain[-1]]
+        if not kids:
+            chains.append(chain)
+            if len(chains) > limit:
+                return None
+        else:
+            for kid in kids:
+                stack.append(chain + (kid,))
+    return chains
+
+
+def _greedy_cover(
+    members: frozenset[str],
+    children: Mapping[str, Sequence[str]],
+    parents_in: Mapping[str, list[str]],
+    order: Sequence[str],
+    time_of: Callable[[str], float],
+) -> list[tuple[str, ...]]:
+    """Longest-path cover: repeatedly extract the heaviest chain that
+    still contains at least one uncovered stage, until all covered."""
+    uncovered = set(members)
+    paths: list[tuple[str, ...]] = []
+    while uncovered:
+        # Longest-path DP over the induced sub-DAG, counting only weight.
+        best: dict[str, float] = {}
+        pred: dict[str, str | None] = {}
+        for sid in order:
+            pbest = None
+            for p in parents_in[sid]:
+                if pbest is None or best[p] > best[pbest]:
+                    pbest = p
+            best[sid] = (best[pbest] if pbest is not None else 0.0) + time_of(sid)
+            pred[sid] = pbest
+        # Pick the heaviest endpoint whose chain covers something new.
+        chosen: tuple[str, ...] | None = None
+        for end in sorted(best, key=lambda s: -best[s]):
+            chain: list[str] = []
+            cur: str | None = end
+            while cur is not None:
+                chain.append(cur)
+                cur = pred[cur]
+            chain.reverse()
+            if uncovered.intersection(chain):
+                chosen = tuple(chain)
+                break
+        assert chosen is not None  # uncovered nonempty => some chain covers
+        paths.append(chosen)
+        uncovered.difference_update(chosen)
+    return paths
+
+
+def execution_paths(
+    job: Job,
+    stage_times: "Mapping[str, float] | None" = None,
+    max_paths: int = 256,
+) -> list[ExecutionPath]:
+    """Decompose the parallel-stage set of ``job`` into execution paths.
+
+    Parameters
+    ----------
+    job:
+        The job whose DAG to decompose.
+    stage_times:
+        Standalone execution time ``t̂_k`` per stage (Alg. 1 line 2).
+        Defaults to each stage's single-executor compute work, which
+        preserves relative path ordering for untimed DAGs.
+    max_paths:
+        Enumeration budget before falling back to the greedy cover.
+
+    Returns
+    -------
+    Paths sorted in **descending** order of ``T_m`` (Alg. 1 line 4) with
+    path stage-tuples as a deterministic tiebreak.  Callers wanting the
+    random/ascending variants re-sort via :mod:`repro.core.ordering`.
+    """
+    members = parallel_stage_set(job)
+    if not members:
+        return []
+
+    time_of: Callable[[str], float]
+    if stage_times is None:
+        time_of = lambda sid: job.stage(sid).compute_work  # noqa: E731
+    else:
+        table = dict(stage_times)
+        missing = members - table.keys()
+        if missing:
+            raise ValueError(f"stage_times missing entries for stages {sorted(missing)}")
+        time_of = table.__getitem__
+
+    children = _induced_edges(job, members)
+    parents_in = {sid: [] for sid in members}
+    for sid, kids in children.items():
+        for kid in kids:
+            parents_in[kid].append(sid)
+    order = [sid for sid in topological_order(job) if sid in members]
+    roots = [sid for sid in order if not parents_in[sid]]
+
+    chains = _enumerate_chains(roots, children, max_paths)
+    if chains is None:
+        chains = _greedy_cover(members, children, parents_in, order, time_of)
+
+    paths = [
+        ExecutionPath(stages=chain, execution_time=sum(time_of(s) for s in chain))
+        for chain in chains
+    ]
+    paths.sort(key=lambda p: (-p.execution_time, p.stages))
+    return paths

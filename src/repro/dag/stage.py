@@ -1,0 +1,103 @@
+"""Stage: the unit the paper schedules.
+
+A stage reads its (shuffle) input over the network, processes it on
+worker CPUs, and shuffle-writes its output to local disks — the three
+phases of Eq. (1) and Fig. 8 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Stage:
+    """Immutable description of one stage of a DAG-style job.
+
+    Parameters
+    ----------
+    stage_id:
+        Unique identifier within the job (e.g. ``"S1"``).
+    input_bytes:
+        Total shuffle-input volume ``s_k`` the stage reads over the
+        network, summed across all workers and source nodes.  For a
+        source stage (no parents) this is the volume read from cluster
+        storage (HDFS in the paper's setup).
+    output_bytes:
+        Total shuffle-write volume ``d_k`` the stage writes to local
+        disks across all workers.
+    process_rate:
+        Data-processing rate ``R_k`` in bytes/second *per executor*.
+        The task-processing term of Eq. (1) is
+        ``sum_i s_k^{i,w} / (eps_k^w * R_k)``.
+    num_tasks:
+        Number of tasks (stage partitions).  Together with the executor
+        count this determines the number of waves, which bounds how much
+        of the stage's output can be pipelined to children under
+        AggShuffle-style shuffle pipelining.
+    task_cv:
+        Coefficient of variation of task durations within the stage.
+        ``0`` means perfectly homogeneous tasks (the paper's LDA case,
+        where AggShuffle gains nothing); larger values let more output
+        trickle out early.
+    name:
+        Optional human-readable label (defaults to ``stage_id``).
+    """
+
+    stage_id: str
+    input_bytes: float
+    output_bytes: float
+    process_rate: float
+    num_tasks: int = 64
+    task_cv: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stage_id:
+            raise ValueError("stage_id must be a non-empty string")
+        check_non_negative(self.input_bytes, "input_bytes")
+        check_non_negative(self.output_bytes, "output_bytes")
+        check_positive(self.process_rate, "process_rate")
+        if self.num_tasks < 1:
+            raise ValueError(f"num_tasks must be >= 1, got {self.num_tasks}")
+        check_non_negative(self.task_cv, "task_cv")
+        if not self.name:
+            object.__setattr__(self, "name", self.stage_id)
+
+    @property
+    def shuffle_ratio(self) -> float:
+        """Ratio of shuffle-input size to shuffle-output size.
+
+        The paper observes (Sec. 5.2) that AggShuffle hurts stages whose
+        shuffle-input/intermediate-data ratio exceeds 1 (e.g. LDA Stage 1
+        at 1.3) because the proactive transfer adds CPU work.
+        """
+        if self.output_bytes == 0:
+            return float("inf") if self.input_bytes > 0 else 0.0
+        return self.input_bytes / self.output_bytes
+
+    @property
+    def compute_work(self) -> float:
+        """Executor-seconds of processing if run on a single executor."""
+        return self.input_bytes / self.process_rate
+
+    def scaled(self, factor: float) -> "Stage":
+        """Return a copy with data volumes scaled by ``factor``.
+
+        Used by the profiling substrate, which runs the job on a sampled
+        (e.g. 10 %) copy of the input data, and by dataset-size sweeps.
+        """
+        check_positive(factor, "factor")
+        return replace(
+            self,
+            input_bytes=self.input_bytes * factor,
+            output_bytes=self.output_bytes * factor,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Stage({self.stage_id}: in={self.input_bytes / 2**20:.0f}MB, "
+            f"out={self.output_bytes / 2**20:.0f}MB, R={self.process_rate / 2**20:.1f}MB/s)"
+        )

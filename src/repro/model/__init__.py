@@ -1,0 +1,37 @@
+"""Analytical performance model of parallel-stage execution (paper Sec. 3).
+
+:mod:`repro.model.perf` evaluates Eqs. (1)–(3) in closed form for a
+stage running *alone* in the cluster — the initialization step of
+Algorithm 1 (line 2).  :mod:`repro.model.interference` evaluates a full
+candidate delay schedule ``X`` under stage interference by running the
+deterministic fluid model (the quantity the paper calls ``f_w_tau(X)``
+is intractable in closed form — Sec. 3.2 — so the calculator predicts
+it numerically, exactly as the paper's prototype does with profiled
+parameters).  :mod:`repro.model.makespan` extracts path execution times
+and the parallel-stage makespan from either source.
+"""
+
+from repro.model.perf import (
+    standalone_read_time,
+    standalone_stage_time,
+    standalone_stage_times,
+    standalone_task_time,
+)
+from repro.model.interference import ScheduleEvaluation, evaluate_schedule
+from repro.model.makespan import (
+    parallel_stage_makespan,
+    path_completion_times,
+    predicted_path_time,
+)
+
+__all__ = [
+    "standalone_task_time",
+    "standalone_read_time",
+    "standalone_stage_time",
+    "standalone_stage_times",
+    "evaluate_schedule",
+    "ScheduleEvaluation",
+    "path_completion_times",
+    "parallel_stage_makespan",
+    "predicted_path_time",
+]

@@ -1,0 +1,47 @@
+"""Path-time and makespan extraction (Eqs. (3)–(4)).
+
+These helpers convert per-stage timing — predicted by
+:mod:`repro.model.interference` or observed by the simulator — into
+the objective DelayStage minimizes: the makespan of the parallel-stage
+set, i.e. the completion time of the slowest execution path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.dag.paths import ExecutionPath
+
+
+def predicted_path_time(
+    path: ExecutionPath,
+    delays: Mapping[str, float],
+    stage_times: Mapping[str, float],
+) -> float:
+    """Eq. (3): ``T_m = sum_{k in P_m} (x_k + t_k)``.
+
+    This closed form assumes the path's stages run back to back (each
+    stage becomes ready exactly when its path predecessor completes);
+    cross-path parents can push a stage's actual start later, which the
+    fluid evaluation captures and this expression underestimates.
+    """
+    return sum(delays.get(sid, 0.0) + stage_times[sid] for sid in path)
+
+
+def path_completion_times(
+    paths: Sequence[ExecutionPath],
+    stage_finish: Mapping[str, float],
+) -> list[float]:
+    """Observed completion time of each path (its last stage's finish)."""
+    return [max(stage_finish[sid] for sid in path) for path in paths]
+
+
+def parallel_stage_makespan(
+    paths: Sequence[ExecutionPath],
+    stage_finish: Mapping[str, float],
+    job_start: float = 0.0,
+) -> float:
+    """Objective (4): latest path completion, measured from job start."""
+    if not paths:
+        return 0.0
+    return max(path_completion_times(paths, stage_finish)) - job_start

@@ -1,0 +1,100 @@
+"""Closed-form evaluation of Eq. (1)/(2) for an isolated stage.
+
+With the stage running alone, the time-varying resource shares of
+Sec. 3.2 collapse to constants, so the three terms of Eq. (1) —
+network transfer, processing, shuffle write — can be evaluated
+directly.  These standalone times ``t̂_k`` seed Algorithm 1 (line 2)
+and order the execution paths (line 4).
+
+The formulas mirror the simulator's fluid semantics exactly (including
+the co-located-read bypass), which the test suite asserts: for a
+single stage the simulator and this module agree to float precision.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import ClusterSpec
+from repro.dag.job import Job
+from repro.dag.stage import Stage
+
+
+def _sources_for(job: Job, stage_id: str, cluster: ClusterSpec) -> list[str]:
+    """Which nodes hold the stage's input (mirrors the simulator)."""
+    if job.parents(stage_id):
+        return cluster.worker_ids
+    return cluster.storage_ids if cluster.storage_ids else cluster.worker_ids
+
+
+def standalone_read_time(stage: Stage, cluster: ClusterSpec, sources: list[str]) -> float:
+    """Shuffle-read time of the slowest worker, stage running alone.
+
+    Each worker reads ``s_k / |W|`` split evenly over the sources; the
+    co-located slice (when the worker is itself a source) is local and
+    free.  Per-flow bandwidth is the max-min share of the endpoint NICs:
+    a source fans out to every remote worker, a worker fans in from
+    every remote source.
+    """
+    workers = cluster.worker_ids
+    n_w = len(workers)
+    per_worker = stage.input_bytes / n_w
+    if per_worker == 0 or not sources:
+        return 0.0
+
+    worst = 0.0
+    for w in workers:
+        remote_sources = [s for s in sources if s != w]
+        if not remote_sources:
+            continue  # single-worker cluster reading its own data
+        per_source = (per_worker / len(sources)) if w in sources else (
+            per_worker / len(remote_sources)
+        )
+        # Eq. (1) first term: the slowest source-to-worker transfer.
+        t_read = 0.0
+        ingress_share = cluster.node(w).nic_bandwidth / len(remote_sources)
+        for src in remote_sources:
+            dst_count = n_w - 1 if src in workers else n_w
+            egress_share = cluster.node(src).nic_bandwidth / dst_count
+            bandwidth = min(egress_share, ingress_share)
+            t_read = max(t_read, per_source / bandwidth)
+        worst = max(worst, t_read)
+    return worst
+
+
+def standalone_task_time(
+    stage: Stage, cluster: ClusterSpec, sources: list[str], worker_id: str
+) -> float:
+    """Eq. (1): the full task time on one worker, stage running alone."""
+    workers = cluster.worker_ids
+    n_w = len(workers)
+    node = cluster.node(worker_id)
+
+    per_worker = stage.input_bytes / n_w
+    t_read = 0.0
+    remote_sources = [s for s in sources if s != worker_id]
+    if per_worker > 0 and remote_sources:
+        per_source = (per_worker / len(sources)) if worker_id in sources else (
+            per_worker / len(remote_sources)
+        )
+        ingress_share = node.nic_bandwidth / len(remote_sources)
+        for src in remote_sources:
+            dst_count = n_w - 1 if src in workers else n_w
+            egress_share = cluster.node(src).nic_bandwidth / dst_count
+            t_read = max(t_read, per_source / min(egress_share, ingress_share))
+
+    t_compute = per_worker / (node.executors * stage.process_rate)
+    t_write = (stage.output_bytes / n_w) / node.disk_bandwidth
+    return t_read + t_compute + t_write
+
+
+def standalone_stage_time(job: Job, stage_id: str, cluster: ClusterSpec) -> float:
+    """Eq. (2): stage time = the slowest worker's task time, alone."""
+    stage = job.stage(stage_id)
+    sources = _sources_for(job, stage_id, cluster)
+    return max(
+        standalone_task_time(stage, cluster, sources, w) for w in cluster.worker_ids
+    )
+
+
+def standalone_stage_times(job: Job, cluster: ClusterSpec) -> dict[str, float]:
+    """``t̂_k`` for every stage of the job (Alg. 1 line 2)."""
+    return {sid: standalone_stage_time(job, sid, cluster) for sid in job.stage_ids}

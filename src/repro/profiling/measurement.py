@@ -1,0 +1,68 @@
+"""Cluster bandwidth measurement with observation noise.
+
+The prototype measures available network and disk bandwidth
+periodically with ``netperf`` and ``iotop``.  Against a simulated
+cluster the "measurement" is the spec itself; ``measure_cluster``
+returns a perturbed copy modeling measurement error, so the planner
+sees slightly wrong ``B^{i,w}`` / ``D^w`` exactly as the prototype
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_non_negative
+
+
+def measure_cluster(
+    cluster: ClusterSpec,
+    noise: float = 0.03,
+    rng: "int | np.random.Generator | None" = None,
+    homogenize: bool = False,
+) -> ClusterSpec:
+    """Return the cluster spec as the measurement tools would report it.
+
+    Each node's NIC and disk bandwidth is scaled by a lognormal factor
+    with sigma ``noise``; executor counts and topology are observed
+    exactly.
+
+    Parameters
+    ----------
+    homogenize:
+        ``False`` (default) draws an independent factor per node —
+        what repeated per-node ``netperf`` runs would report.  ``True``
+        applies one common factor per resource, modeling a scalar
+        calibration error: the prototype's calculator consumes scalar
+        bandwidth parameters, and a homogeneous model cluster keeps the
+        planner's fluid evaluations on the fast symmetric path.
+    """
+    check_non_negative(noise, "noise")
+    if noise == 0:
+        return cluster
+    gen = resolve_rng(rng)
+    if homogenize:
+        nic_factor = float(gen.lognormal(0.0, noise))
+        disk_factor = float(gen.lognormal(0.0, noise))
+        nodes = [
+            replace(
+                n,
+                nic_bandwidth=n.nic_bandwidth * nic_factor,
+                disk_bandwidth=n.disk_bandwidth * disk_factor,
+            )
+            for n in cluster.nodes
+        ]
+    else:
+        nodes = [
+            replace(
+                n,
+                nic_bandwidth=n.nic_bandwidth * float(gen.lognormal(0.0, noise)),
+                disk_bandwidth=n.disk_bandwidth * float(gen.lognormal(0.0, noise)),
+            )
+            for n in cluster.nodes
+        ]
+    return ClusterSpec(nodes)

@@ -1,0 +1,41 @@
+"""Stage-scheduling strategies compared in the paper's evaluation.
+
+Each scheduler bundles a submission policy with the simulation
+behaviour it requires, behind a uniform :class:`Scheduler` interface:
+
+* :class:`~repro.schedulers.spark.StockSparkScheduler` — submit every
+  stage the instant it is ready (the naive baseline).
+* :class:`~repro.schedulers.aggshuffle.AggShuffleScheduler` — no
+  delays, but shuffle data is proactively pipelined to children
+  (ICDCS'17 comparator).
+* :class:`~repro.schedulers.delaystage.DelayStageScheduler` — the
+  paper's strategy, in oracle mode (plans on true parameters) or
+  profiled mode (plans on sampled-run estimates, the full prototype
+  pipeline).
+* :class:`~repro.schedulers.fuxi.FuxiScheduler` — Alibaba's
+  load-balancing scheduler as abstracted by the paper's Sec. 5.3
+  simulation: balanced placement, immediate submission.
+"""
+
+from repro.schedulers.base import Prepared, Scheduler
+from repro.schedulers.spark import StockSparkScheduler
+from repro.schedulers.aggshuffle import AggShuffleScheduler
+from repro.schedulers.delaystage import DelayStageScheduler
+from repro.schedulers.fuxi import FuxiScheduler
+from repro.schedulers.runner import (
+    compare_schedulers,
+    run_jobs_with_scheduler,
+    run_with_scheduler,
+)
+
+__all__ = [
+    "Scheduler",
+    "Prepared",
+    "StockSparkScheduler",
+    "AggShuffleScheduler",
+    "DelayStageScheduler",
+    "FuxiScheduler",
+    "run_with_scheduler",
+    "compare_schedulers",
+    "run_jobs_with_scheduler",
+]

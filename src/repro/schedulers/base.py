@@ -1,0 +1,48 @@
+"""Scheduler interface shared by all strategies."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.cluster.spec import ClusterSpec
+from repro.dag.job import Job
+from repro.simulator.simulation import SimulationConfig, SubmissionPolicy
+
+
+@dataclass
+class Prepared:
+    """A scheduler's decisions for one job, ready to simulate.
+
+    ``info`` carries strategy-specific artifacts (e.g. DelayStage's
+    :class:`~repro.core.schedule.DelaySchedule`) for overhead
+    accounting and inspection.
+    """
+
+    policy: SubmissionPolicy
+    config: SimulationConfig
+    info: dict = field(default_factory=dict)
+
+
+class Scheduler(abc.ABC):
+    """A named stage-scheduling strategy."""
+
+    #: Display name used in benchmark tables.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def prepare(self, job: Job, cluster: ClusterSpec) -> Prepared:
+        """Make all scheduling decisions for ``job`` on ``cluster``.
+
+        Called once per job before simulation, mirroring how the
+        prototype's calculator runs ahead of the job (its cost is
+        *not* part of the simulated timeline; it is reported separately
+        as runtime overhead, Sec. 5.4).
+        """
+
+    def simulation_config(self) -> SimulationConfig:
+        """Default simulation behaviour for this strategy."""
+        return SimulationConfig()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,200 @@
+"""Generic fluid event loop.
+
+The engine advances a set of :class:`WorkItem` objects, each with a
+remaining volume and a rate.  Rates are recomputed by a caller-supplied
+allocator whenever the active set changes (an item completes or a timer
+fires).  Between changes, rates are constant, so the next completion
+time is exact: ``now + min(remaining / rate)``.
+
+The engine is deliberately ignorant of *what* the items are; the
+resource semantics (network max-min sharing, executor splitting, disk
+sharing) live in :mod:`repro.simulator.fairshare` and are wired up by
+:mod:`repro.simulator.simulation`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Iterable
+
+
+class WorkItem:
+    """A unit of fluid work with a remaining volume and a current rate.
+
+    Subclasses add routing/ownership attributes; the engine only touches
+    ``remaining``, ``rate``, and ``on_complete``.
+    """
+
+    __slots__ = ("remaining", "rate", "on_complete")
+
+    def __init__(self, volume: float, on_complete: "Callable[[float], None] | None" = None):
+        if volume < 0 or math.isnan(volume) or math.isinf(volume):
+            raise ValueError(f"volume must be finite and >= 0, got {volume!r}")
+        self.remaining = float(volume)
+        self.rate = 0.0
+        self.on_complete = on_complete
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0.0
+
+
+class EngineStalledError(RuntimeError):
+    """Raised when active items exist but every rate is zero and no timer
+    is pending — the simulation can never make progress."""
+
+
+class FluidEngine:
+    """Fluid event loop with timers.
+
+    Parameters
+    ----------
+    allocate:
+        Callback invoked with the list of active items; it must set each
+        item's ``rate`` (>= 0).  Called whenever the active set may have
+        changed.
+    observe:
+        Optional callback ``observe(t0, t1, items)`` invoked for every
+        interval of constant rates, used for exact metric integration.
+    max_events:
+        Safety valve against livelock bugs; the engine raises after this
+        many loop iterations.
+    """
+
+    #: Relative tolerance used to snap near-complete items to done.
+    EPS = 1e-9
+
+    def __init__(
+        self,
+        allocate: Callable[[list[WorkItem]], None],
+        observe: "Callable[[float, float, list[WorkItem]], None] | None" = None,
+        max_events: int = 5_000_000,
+    ) -> None:
+        self._allocate = allocate
+        self._observe = observe
+        self._max_events = max_events
+        self.now = 0.0
+        self._items: list[WorkItem] = []
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._dirty = True  # active set changed; rates must be recomputed
+
+    # ------------------------------------------------------------------ #
+    # public interface
+    # ------------------------------------------------------------------ #
+
+    def add_item(self, item: WorkItem) -> None:
+        """Register a new active work item (takes effect immediately)."""
+        if item.done:
+            # Zero-volume work completes instantly without entering the
+            # active set (e.g. a fully-local shuffle read).
+            if item.on_complete is not None:
+                item.on_complete(self.now)
+            return
+        self._items.append(item)
+        self._dirty = True
+
+    def add_items(self, items: Iterable[WorkItem]) -> None:
+        for item in items:
+            self.add_item(item)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulation time ``time``."""
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        heapq.heappush(self._timers, (max(time, self.now), next(self._seq), callback))
+
+    def mark_dirty(self) -> None:
+        """Force a rate reallocation before the next advance (call after
+        externally mutating item properties such as rate caps)."""
+        self._dirty = True
+
+    @property
+    def active_items(self) -> list[WorkItem]:
+        return list(self._items)
+
+    @property
+    def idle(self) -> bool:
+        return not self._items and not self._timers
+
+    def run(self, until: "float | None" = None) -> float:
+        """Advance until no work and no timers remain (or ``until``).
+
+        Returns the final simulation time.
+        """
+        events = 0
+        while not self.idle:
+            events += 1
+            if events > self._max_events:
+                raise RuntimeError(
+                    f"engine exceeded {self._max_events} events at t={self.now:.3f}; "
+                    "likely a livelock (items repeatedly added with zero volume?)"
+                )
+            if self._dirty:
+                self._reallocate()
+
+            # Next completion among items with positive rate.
+            dt_complete = math.inf
+            for item in self._items:
+                if item.rate > 0.0:
+                    dt = item.remaining / item.rate
+                    if dt < dt_complete:
+                        dt_complete = dt
+            t_complete = self.now + dt_complete
+
+            t_timer = self._timers[0][0] if self._timers else math.inf
+            t_next = min(t_complete, t_timer)
+
+            if math.isinf(t_next):
+                raise EngineStalledError(
+                    f"{len(self._items)} active items but all rates are zero "
+                    f"and no timers pending at t={self.now:.3f}"
+                )
+            if until is not None and t_next > until:
+                self._advance_to(until)
+                return self.now
+
+            self._advance_to(t_next)
+
+            # Fire due timers (they may add items / schedule more timers).
+            while self._timers and self._timers[0][0] <= self.now + 1e-12:
+                _, _, callback = heapq.heappop(self._timers)
+                callback()
+                self._dirty = True
+
+            # Collect completions.
+            completed = [it for it in self._items if it.remaining <= self.EPS * max(1.0, it.rate)]
+            if completed:
+                done_set = set(map(id, completed))
+                self._items = [it for it in self._items if id(it) not in done_set]
+                self._dirty = True
+                for item in completed:
+                    item.remaining = 0.0
+                    if item.on_complete is not None:
+                        item.on_complete(self.now)
+        return self.now
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _reallocate(self) -> None:
+        self._allocate(self._items)
+        for item in self._items:
+            if item.rate < 0 or math.isnan(item.rate):
+                raise ValueError(f"allocator produced invalid rate {item.rate!r}")
+        self._dirty = False
+
+    def _advance_to(self, t: float) -> None:
+        dt = t - self.now
+        if dt < 0:
+            return
+        if self._observe is not None and dt > 0:
+            self._observe(self.now, t, self._items)
+        if dt > 0:
+            for item in self._items:
+                if item.rate > 0.0:
+                    item.remaining = max(0.0, item.remaining - item.rate * dt)
+        self.now = t

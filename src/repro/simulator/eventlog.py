@@ -1,0 +1,90 @@
+"""JSON-lines event-log export and parsing.
+
+The simulator's event list plays the role of Spark's ``eventlog``
+(Sec. 4.2 profiles jobs by parsing it).  This module serializes a
+run's events to the same newline-delimited-JSON style Spark uses, and
+parses such logs back — so external tooling (or a profiling pipeline
+reading from disk rather than from the in-memory result) can consume
+simulation output.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Iterable
+
+from repro.simulator.events import EventKind, SimEvent
+
+
+def write_eventlog(
+    events: Iterable[SimEvent],
+    destination: "str | pathlib.Path | io.TextIOBase",
+) -> int:
+    """Write events as JSON lines; returns the number of lines."""
+    if isinstance(destination, (str, pathlib.Path)):
+        with open(destination, "w", encoding="utf-8") as fh:
+            return write_eventlog(events, fh)
+    count = 0
+    for event in events:
+        record = {
+            "Event": event.kind.value,
+            "Timestamp": event.time,
+            "Job ID": event.job_id,
+        }
+        if event.stage_id:
+            record["Stage ID"] = event.stage_id
+        if event.info:
+            record["Info"] = event.info
+        destination.write(json.dumps(record) + "\n")
+        count += 1
+    return count
+
+
+def read_eventlog(
+    source: "str | pathlib.Path | io.TextIOBase",
+) -> list[SimEvent]:
+    """Parse a JSON-lines event log back into :class:`SimEvent` records.
+
+    Blank lines are skipped; unknown event kinds or malformed lines
+    raise ``ValueError`` with the offending line number.
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_eventlog(fh)
+    events: list[SimEvent] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            kind = EventKind(record["Event"])
+            events.append(
+                SimEvent(
+                    time=float(record["Timestamp"]),
+                    kind=kind,
+                    job_id=str(record["Job ID"]),
+                    stage_id=str(record.get("Stage ID", "")),
+                    info=dict(record.get("Info", {})),
+                )
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ValueError(f"malformed eventlog line {lineno}: {line!r}") from exc
+    return events
+
+
+def stage_timings_from_eventlog(events: "list[SimEvent]") -> dict:
+    """Recover per-stage phase timings from an event log.
+
+    Returns ``{(job_id, stage_id): {kind_name: time}}`` — the quantity
+    a log-based profiler extracts (submission, read-done, compute-done,
+    completion instants per stage).
+    """
+    out: dict = {}
+    for event in events:
+        if not event.stage_id:
+            continue
+        out.setdefault((event.job_id, event.stage_id), {})[event.kind.value] = event.time
+    return out

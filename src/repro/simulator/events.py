@@ -1,0 +1,43 @@
+"""Simulation event log records.
+
+The event log plays the role of Spark's ``eventlog`` in the paper's
+Sec. 4.2: the profiling substrate parses it to extract the job's DAG
+timing information, and tests assert ordering invariants over it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    """Lifecycle events recorded by the simulator."""
+
+    JOB_SUBMITTED = "job_submitted"
+    STAGE_READY = "stage_ready"
+    STAGE_SUBMITTED = "stage_submitted"
+    STAGE_READ_DONE = "stage_read_done"
+    STAGE_COMPUTE_DONE = "stage_compute_done"
+    STAGE_COMPLETED = "stage_completed"
+    JOB_COMPLETED = "job_completed"
+    PREFETCH_STARTED = "prefetch_started"
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One event-log entry.
+
+    ``info`` carries kind-specific details (e.g. the worker node for
+    per-part events, prefetched volume for prefetch events).
+    """
+
+    time: float
+    kind: EventKind
+    job_id: str
+    stage_id: str = ""
+    info: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f" {self.info}" if self.info else ""
+        return f"[{self.time:10.3f}] {self.kind.value:18s} {self.job_id}/{self.stage_id}{tail}"

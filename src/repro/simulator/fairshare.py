@@ -1,0 +1,206 @@
+"""Max-min fair resource allocation.
+
+Implements the paper's "resources equally shared among parallel stages"
+assumption exactly:
+
+* **Network** — classic max-min (water-filling) over endpoint NIC
+  capacities, with optional per-flow rate caps (used by AggShuffle
+  prefetch flows).  Vectorized with numpy: each water-filling iteration
+  freezes at least one saturated constraint, so the loop runs at most
+  ``O(num_constraints)`` times with ``O(F)`` work per iteration.
+* **Executors** — each node's executors are split equally among the
+  stages currently *computing* there; a stage's rate is
+  ``share * R_k``.
+* **Disk** — each node's disk write bandwidth is split equally among the
+  stages currently writing there.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Topology
+from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
+
+
+def maxmin_network_rates(flows: Sequence[NetworkFlow], topology: Topology) -> np.ndarray:
+    """Max-min fair rates for ``flows`` over endpoint NIC capacities.
+
+    Every flow consumes egress at its source NIC and ingress at its
+    destination NIC; both capacities are shared max-min fairly.  A flow
+    with a finite ``rate_cap`` never exceeds it (the spare capacity is
+    redistributed to other flows, as water-filling requires).
+
+    Returns the rate array aligned with ``flows``.
+    """
+    n_flows = len(flows)
+    if n_flows == 0:
+        return np.zeros(0)
+    if n_flows <= 32 and not topology._pair_caps and topology.core_capacity is None:
+        return _maxmin_small(flows, topology)
+
+    src = np.fromiter((topology.index[f.src] for f in flows), dtype=np.int64, count=n_flows)
+    dst = np.fromiter((topology.index[f.dst] for f in flows), dtype=np.int64, count=n_flows)
+    caps = np.fromiter((f.rate_cap for f in flows), dtype=float, count=n_flows)
+
+    n_nodes = topology.num_nodes
+    egress = topology.egress_capacity.astype(float).copy()
+    ingress = topology.ingress_capacity.astype(float).copy()
+    pair_cap = topology.pair_cap_array(src, dst)
+    caps = np.minimum(caps, pair_cap)
+    cross_core = topology.crosses_core(src, dst)
+    core_left = topology.core_capacity
+
+    rates = np.zeros(n_flows)
+    active = np.ones(n_flows, dtype=bool)
+
+    # Each iteration saturates at least one NIC constraint or freezes at
+    # least one capped flow, so this terminates in <= 2*n_nodes + n_caps
+    # iterations; in practice a handful.
+    for _ in range(2 * n_nodes + n_flows + 1):
+        if not active.any():
+            break
+        a_src = src[active]
+        a_dst = dst[active]
+        n_eg = np.bincount(a_src, minlength=n_nodes)
+        n_ing = np.bincount(a_dst, minlength=n_nodes)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share_eg = np.where(n_eg > 0, egress / np.maximum(n_eg, 1), math.inf)
+            share_ing = np.where(n_ing > 0, ingress / np.maximum(n_ing, 1), math.inf)
+        # Fair level each active flow could reach, limited by both ends
+        # — and, for cross-rack flows, by the shared core fabric.
+        level = np.minimum(share_eg[a_src], share_ing[a_dst])
+        if core_left is not None:
+            a_cross = cross_core[active]
+            n_core = int(a_cross.sum())
+            if n_core:
+                level = np.where(a_cross, np.minimum(level, core_left / n_core), level)
+        bottleneck = level.min()
+
+        a_caps = caps[active]
+        cap_limited = a_caps <= bottleneck + 1e-12
+        idx_active = np.flatnonzero(active)
+        if cap_limited.any():
+            # Freeze capped flows at their cap and release leftover
+            # capacity back to the links for the remaining flows.
+            frozen = idx_active[cap_limited]
+            rates[frozen] = caps[frozen]
+            np.subtract.at(egress, src[frozen], caps[frozen])
+            np.subtract.at(ingress, dst[frozen], caps[frozen])
+            if core_left is not None:
+                core_left -= float(rates[frozen][cross_core[frozen]].sum())
+            active[frozen] = False
+        else:
+            # Freeze every flow constrained by a saturated link (NIC or
+            # the core fabric).
+            at_bottleneck = level <= bottleneck + 1e-12
+            frozen = idx_active[at_bottleneck]
+            rates[frozen] = bottleneck
+            np.subtract.at(egress, src[frozen], bottleneck)
+            np.subtract.at(ingress, dst[frozen], bottleneck)
+            if core_left is not None:
+                core_left -= bottleneck * int(cross_core[frozen].sum())
+            active[frozen] = False
+        egress = np.maximum(egress, 0.0)
+        ingress = np.maximum(ingress, 0.0)
+        if core_left is not None:
+            core_left = max(core_left, 0.0)
+    else:  # pragma: no cover - loop bound is generous
+        raise RuntimeError("water-filling failed to converge")
+
+    return rates
+
+
+def _maxmin_small(flows: Sequence[NetworkFlow], topology: Topology) -> np.ndarray:
+    """Pure-Python water-filling for small flow counts.
+
+    numpy's per-call overhead dominates below a few dozen flows — the
+    common case for per-job trace-replay slices — so this dict-based
+    variant implements the identical algorithm without array setup.
+    """
+    egress = dict(zip(topology.node_ids, topology.egress_capacity.tolist()))
+    ingress = dict(zip(topology.node_ids, topology.ingress_capacity.tolist()))
+    rates = [0.0] * len(flows)
+    active = set(range(len(flows)))
+    for _ in range(2 * topology.num_nodes + len(flows) + 1):
+        if not active:
+            return np.array(rates)
+        n_eg: dict[str, int] = {}
+        n_ing: dict[str, int] = {}
+        for i in active:
+            f = flows[i]
+            n_eg[f.src] = n_eg.get(f.src, 0) + 1
+            n_ing[f.dst] = n_ing.get(f.dst, 0) + 1
+        level = {
+            i: min(egress[flows[i].src] / n_eg[flows[i].src],
+                   ingress[flows[i].dst] / n_ing[flows[i].dst])
+            for i in active
+        }
+        bottleneck = min(level.values())
+        capped = [i for i in active if flows[i].rate_cap <= bottleneck + 1e-12]
+        if capped:
+            for i in capped:
+                r = flows[i].rate_cap
+                rates[i] = r
+                egress[flows[i].src] = max(egress[flows[i].src] - r, 0.0)
+                ingress[flows[i].dst] = max(ingress[flows[i].dst] - r, 0.0)
+                active.discard(i)
+        else:
+            frozen = [i for i in active if level[i] <= bottleneck + 1e-12]
+            for i in frozen:
+                rates[i] = bottleneck
+                egress[flows[i].src] = max(egress[flows[i].src] - bottleneck, 0.0)
+                ingress[flows[i].dst] = max(ingress[flows[i].dst] - bottleneck, 0.0)
+                active.discard(i)
+    raise RuntimeError("water-filling failed to converge")  # pragma: no cover
+
+
+def compute_shares(
+    demands: Sequence[ComputeDemand],
+    executors_per_node: dict[str, int],
+) -> None:
+    """Assign executor shares and compute rates in place.
+
+    Each node's executors are divided equally among the stages currently
+    computing there (the paper's ``eps_k^w`` with equal sharing); a
+    demand's rate is its share times the stage's per-executor
+    processing rate ``R_k``.
+    """
+    by_node: dict[str, list[ComputeDemand]] = defaultdict(list)
+    for d in demands:
+        by_node[d.node].append(d)
+    for node, items in by_node.items():
+        executors = executors_per_node.get(node, 0)
+        if executors <= 0:
+            raise ValueError(f"compute demand scheduled on node {node!r} with no executors")
+        # Distinct stages at the node share equally; multiple demands of
+        # the same stage on the same node (not produced by Simulation,
+        # but allowed) split their stage's share further.
+        stages = defaultdict(list)
+        for d in items:
+            stages[d.stage_key].append(d)
+        per_stage = executors / len(stages)
+        for stage_items in stages.values():
+            share = per_stage / len(stage_items)
+            for d in stage_items:
+                d.executor_share = share
+                d.rate = share * d.process_rate
+
+
+def disk_shares(writes: Sequence[DiskWrite], disk_bw_per_node: dict[str, float]) -> None:
+    """Assign disk write rates in place: equal split per node."""
+    by_node: dict[str, list[DiskWrite]] = defaultdict(list)
+    for w in writes:
+        by_node[w.node].append(w)
+    for node, items in by_node.items():
+        bw = disk_bw_per_node.get(node)
+        if bw is None or bw <= 0:
+            raise ValueError(f"disk write scheduled on node {node!r} with no disk bandwidth")
+        rate = bw / len(items)
+        for w in items:
+            w.rate = rate

@@ -1,0 +1,233 @@
+"""Exact (piecewise-constant) resource-utilization metrics.
+
+The fluid engine produces intervals of constant rates; the collector
+integrates them analytically, so averages and standard deviations of
+CPU utilization and network throughput — the quantities behind the
+paper's Figs. 4, 5, 12, 13, 17 and Tables 3–4 — carry no sampling
+error.  Plot-style series are produced on demand by resampling the
+step functions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import WorkItem
+
+
+@dataclass
+class NodeSeries:
+    """Step-function series for one node.
+
+    All arrays share the segment axis: segment ``i`` spans
+    ``[t0[i], t1[i])``.  Rates are bytes/s; ``cpu_busy`` counts busy
+    executors; utilization properties normalize by the node's capacity.
+    """
+
+    node_id: str
+    executors: int
+    nic_bandwidth: float
+    disk_bandwidth: float
+    t0: np.ndarray
+    t1: np.ndarray
+    net_in: np.ndarray
+    net_out: np.ndarray
+    cpu_busy: np.ndarray
+    disk: np.ndarray
+
+    @property
+    def durations(self) -> np.ndarray:
+        return self.t1 - self.t0
+
+    def _weighted(self, values: np.ndarray, t_lo: float, t_hi: float) -> tuple[np.ndarray, np.ndarray]:
+        """Clip segments to [t_lo, t_hi] and return (values, weights)."""
+        lo = np.maximum(self.t0, t_lo)
+        hi = np.minimum(self.t1, t_hi)
+        w = np.maximum(hi - lo, 0.0)
+        return values, w
+
+    def average(self, metric: str, t_lo: float = 0.0, t_hi: float = math.inf) -> float:
+        """Time-weighted mean of a metric over [t_lo, t_hi].
+
+        ``metric`` is one of ``net_in``, ``net_out``, ``cpu_busy``,
+        ``disk``, ``cpu_utilization`` (fraction of executors busy),
+        ``net_utilization`` (ingress fraction of NIC).
+        Idle gaps inside the window (time not covered by any segment)
+        count as zero, matching how a monitoring agent would report.
+        """
+        values = self._metric_values(metric)
+        values, w = self._weighted(values, t_lo, min(t_hi, float(self.t1[-1]) if len(self.t1) else t_lo))
+        span = (min(t_hi, float(self.t1[-1]) if len(self.t1) else t_lo)) - t_lo
+        if span <= 0:
+            return 0.0
+        return float(np.sum(values * w) / span)
+
+    def std(self, metric: str, t_lo: float = 0.0, t_hi: float = math.inf) -> float:
+        """Time-weighted standard deviation of a metric over the window."""
+        values = self._metric_values(metric)
+        hi = min(t_hi, float(self.t1[-1]) if len(self.t1) else t_lo)
+        values, w = self._weighted(values, t_lo, hi)
+        span = hi - t_lo
+        if span <= 0:
+            return 0.0
+        mean = float(np.sum(values * w) / span)
+        # Uncovered time contributes (0 - mean)^2 with the residual weight.
+        covered = float(np.sum(w))
+        var = float(np.sum(w * (values - mean) ** 2) + max(span - covered, 0.0) * mean**2) / span
+        return math.sqrt(max(var, 0.0))
+
+    def sample(self, times: Sequence[float], metric: str) -> np.ndarray:
+        """Evaluate the step function at the given time points."""
+        values = self._metric_values(metric)
+        times = np.asarray(times, dtype=float)
+        out = np.zeros(len(times))
+        if len(self.t0) == 0:
+            return out
+        idx = np.searchsorted(self.t0, times, side="right") - 1
+        valid = (idx >= 0) & (times < self.t1[np.clip(idx, 0, len(self.t1) - 1)])
+        out[valid] = values[idx[valid]]
+        return out
+
+    def _metric_values(self, metric: str) -> np.ndarray:
+        if metric == "net_in":
+            return self.net_in
+        if metric == "net_out":
+            return self.net_out
+        if metric == "cpu_busy":
+            return self.cpu_busy
+        if metric == "disk":
+            return self.disk
+        if metric == "cpu_utilization":
+            return self.cpu_busy / max(self.executors, 1)
+        if metric == "net_utilization":
+            return self.net_in / self.nic_bandwidth
+        raise ValueError(f"unknown metric {metric!r}")
+
+
+class MetricsCollector:
+    """Accumulates per-node rates for every constant-rate interval.
+
+    Plugged into the engine as its ``observe`` callback.  When
+    ``track_occupancy`` is on it also attributes executor occupancy to
+    stages (computing stages get their fair share; stages that are only
+    shuffle-reading at a node occupy the node's idle executor slots, as
+    Spark tasks hold their slots during shuffle reads — the behaviour
+    behind the paper's Fig. 13).
+    """
+
+    def __init__(self, cluster: ClusterSpec, track_occupancy: bool = False) -> None:
+        self.cluster = cluster
+        self.track_occupancy = track_occupancy
+        self._node_ids = cluster.node_ids
+        self._index = {nid: i for i, nid in enumerate(self._node_ids)}
+        self._executors = np.array([cluster.node(n).executors for n in self._node_ids], float)
+        self._t0: list[float] = []
+        self._t1: list[float] = []
+        self._net_in: list[np.ndarray] = []
+        self._net_out: list[np.ndarray] = []
+        self._cpu: list[np.ndarray] = []
+        self._disk: list[np.ndarray] = []
+        # occupancy: (t0, t1, {(stage_key, node_id): executors_occupied})
+        self.occupancy: list[tuple[float, float, dict]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def observe(self, t0: float, t1: float, items: "list[WorkItem]") -> None:
+        """Record one constant-rate interval (engine callback)."""
+        n = len(self._node_ids)
+        net_in = np.zeros(n)
+        net_out = np.zeros(n)
+        cpu = np.zeros(n)
+        disk = np.zeros(n)
+        occ: dict = {}
+        readers: dict[int, set] = {}
+        for item in items:
+            if isinstance(item, NetworkFlow):
+                si = self._index[item.src]
+                di = self._index[item.dst]
+                net_out[si] += item.rate
+                net_in[di] += item.rate
+                if self.track_occupancy:
+                    readers.setdefault(di, set()).add(item.stage_key)
+            elif isinstance(item, ComputeDemand):
+                ni = self._index[item.node]
+                cpu[ni] += item.executor_share
+                if self.track_occupancy:
+                    occ[(item.stage_key, item.node)] = (
+                        occ.get((item.stage_key, item.node), 0.0) + item.executor_share
+                    )
+            elif isinstance(item, DiskWrite):
+                disk[self._index[item.node]] += item.rate
+        if self.track_occupancy:
+            # Idle executors at each node are held by shuffle-reading stages.
+            for ni, stage_keys in readers.items():
+                node_id = self._node_ids[ni]
+                idle = max(self._executors[ni] - cpu[ni], 0.0)
+                waiting = [k for k in stage_keys if (k, node_id) not in occ]
+                if idle > 0 and waiting:
+                    share = idle / len(waiting)
+                    for key in waiting:
+                        occ[(key, node_id)] = share
+            self.occupancy.append((t0, t1, occ))
+        self._t0.append(t0)
+        self._t1.append(t1)
+        self._net_in.append(net_in)
+        self._net_out.append(net_out)
+        self._cpu.append(cpu)
+        self._disk.append(disk)
+
+    # ------------------------------------------------------------------ #
+
+    def node_series(self, node_id: str) -> NodeSeries:
+        """Materialize the step series for one node."""
+        i = self._index[node_id]
+        spec = self.cluster.node(node_id)
+        m = len(self._t0)
+        return NodeSeries(
+            node_id=node_id,
+            executors=spec.executors,
+            nic_bandwidth=spec.nic_bandwidth,
+            disk_bandwidth=spec.disk_bandwidth,
+            t0=np.array(self._t0),
+            t1=np.array(self._t1),
+            net_in=np.array([self._net_in[j][i] for j in range(m)]),
+            net_out=np.array([self._net_out[j][i] for j in range(m)]),
+            cpu_busy=np.array([self._cpu[j][i] for j in range(m)]),
+            disk=np.array([self._disk[j][i] for j in range(m)]),
+        )
+
+    def cluster_average(self, metric: str, t_lo: float = 0.0, t_hi: float = math.inf) -> float:
+        """Average of a per-node metric across all *worker* nodes."""
+        workers = self.cluster.worker_ids
+        return float(
+            np.mean([self.node_series(n).average(metric, t_lo, t_hi) for n in workers])
+        )
+
+    def stage_occupancy_series(
+        self, stage_key: tuple[str, str], node_id: "str | None" = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Executor occupancy of one stage over time.
+
+        Returns ``(t0, t1, occupied_executors)`` summed over all nodes
+        (or restricted to ``node_id``).  Requires ``track_occupancy``.
+        """
+        if not self.track_occupancy:
+            raise RuntimeError("occupancy tracking was not enabled for this run")
+        t0s, t1s, vals = [], [], []
+        for t0, t1, occ in self.occupancy:
+            total = 0.0
+            for (key, node), v in occ.items():
+                if key == stage_key and (node_id is None or node == node_id):
+                    total += v
+            t0s.append(t0)
+            t1s.append(t1)
+            vals.append(total)
+        return np.array(t0s), np.array(t1s), np.array(vals)

@@ -1,0 +1,830 @@
+"""Job-level simulation on top of the fluid engine.
+
+A :class:`Simulation` runs one or more jobs on a cluster under a
+pluggable :class:`SubmissionPolicy` deciding how long each stage's
+submission is postponed after it becomes ready — the exact knob the
+paper's stage delayer turns (Sec. 4.2).  Stock Spark is the policy that
+always answers zero; DelayStage answers with the delays computed by
+Algorithm 1; AggShuffle keeps zero delays but turns on shuffle
+pipelining (``SimulationConfig.pipelined_shuffle``).
+
+Execution semantics per stage (paper Eq. (1) / Fig. 8):
+
+1. The stage runs on every worker; worker ``w``'s partition reads
+   ``s_k / |W|`` bytes, split evenly across the source nodes (the
+   storage nodes for a root stage, the parents' workers — i.e. all
+   workers — for a shuffle stage).  The co-located fraction of shuffle
+   data is read from local disk and treated as instantly available.
+2. Processing at ``w`` starts only once the partition's *whole* input
+   has arrived, then proceeds at ``eps_k^w * R_k`` where the executor
+   share is recomputed by fair sharing as stages come and go.
+3. The partition finally shuffle-writes ``d_k / |W|`` bytes at its fair
+   share of the local disk bandwidth.
+4. The stage completes when the slowest worker finishes (Eq. (2)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.topology import Topology
+from repro.dag.job import Job
+from repro.simulator.engine import FluidEngine
+from repro.simulator.events import EventKind, SimEvent
+from repro.simulator.fairshare import compute_shares, disk_shares, maxmin_network_rates
+from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
+from repro.simulator.metrics import MetricsCollector
+
+
+class SubmissionPolicy(Protocol):
+    """Decides the extra delay applied to each ready stage."""
+
+    def delay(self, job: Job, stage_id: str, ready_time: float) -> float:
+        """Seconds to postpone submission past ``ready_time`` (>= 0)."""
+        ...
+
+
+class ImmediatePolicy:
+    """Stock Spark: submit a stage the moment its input is available."""
+
+    def delay(self, job: Job, stage_id: str, ready_time: float) -> float:
+        return 0.0
+
+
+class FixedDelayPolicy:
+    """Apply a precomputed per-stage delay table (DelayStage's output X).
+
+    Stages absent from the table are submitted immediately.
+    """
+
+    def __init__(self, delays: Mapping[str, float]) -> None:
+        for sid, d in delays.items():
+            if d < 0 or math.isnan(d):
+                raise ValueError(f"delay for stage {sid!r} must be >= 0, got {d}")
+        self._delays = dict(delays)
+
+    def delay(self, job: Job, stage_id: str, ready_time: float) -> float:
+        return self._delays.get(stage_id, 0.0)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tunable simulation behaviour.
+
+    Parameters
+    ----------
+    pipelined_shuffle:
+        AggShuffle mode: parents proactively push produced shuffle data
+        to their children's workers while still computing.
+    aggshuffle_cpu_penalty:
+        Extra compute work per unit of shuffle-ratio excess above 1 when
+        pipelining is on — models the paper's observation that stages
+        whose shuffle-input/intermediate-data ratio exceeds 1 (LDA
+        Stage 1, ratio 1.3) run *longer* under AggShuffle.
+    fanin:
+        If set, each (stage, worker) reads from at most this many source
+        nodes (rotating deterministically), trading flow-level fidelity
+        for speed in trace-scale sweeps.  ``None`` = read from all
+        sources.
+    track_metrics:
+        Record per-node utilization series (disable for large sweeps).
+    track_occupancy:
+        Additionally attribute executor occupancy to stages (Fig. 13).
+    contention_penalty:
+        Efficiency loss when ``n`` distinct stages share one resource:
+        every rate at that resource is scaled by ``1 / (1 + p*(n-1))``.
+        ``0`` (default) is ideal work-conserving processor sharing;
+        positive values model the overheads real clusters exhibit under
+        stage contention (TCP incast collapse on shuffle fan-ins,
+        executor context switching and cache pressure), which penalize
+        synchronized stage execution and are part of why the paper's
+        measured contention costs exceed the ideal fluid model's.
+    """
+
+    pipelined_shuffle: bool = False
+    aggshuffle_cpu_penalty: float = 0.15
+    fanin: "int | None" = None
+    track_metrics: bool = True
+    track_occupancy: bool = False
+    contention_penalty: float = 0.0
+    #: Discrete-task execution: instead of the fluid equal-share compute
+    #: model, each worker runs at most ``executors`` concurrent tasks;
+    #: stages' tasks are dispatched fairly (fewest-running-first) and
+    #: task sizes follow the stage's ``task_cv``, producing the waves
+    #: and stragglers real Spark stages exhibit.  Shuffle reads and disk
+    #: writes remain fluid.
+    task_granular: bool = False
+
+    def __post_init__(self) -> None:
+        if self.aggshuffle_cpu_penalty < 0:
+            raise ValueError("aggshuffle_cpu_penalty must be >= 0")
+        if self.fanin is not None and self.fanin < 1:
+            raise ValueError("fanin must be >= 1 or None")
+        if self.contention_penalty < 0:
+            raise ValueError("contention_penalty must be >= 0")
+
+
+@dataclass
+class StageRecord:
+    """Observed lifecycle of one stage."""
+
+    job_id: str
+    stage_id: str
+    ready_time: float = math.nan
+    submit_time: float = math.nan
+    read_done_time: float = math.nan
+    compute_done_time: float = math.nan
+    finish_time: float = math.nan
+
+    @property
+    def delay(self) -> float:
+        """Submission delay applied after the stage became ready."""
+        return self.submit_time - self.ready_time
+
+    @property
+    def read_time(self) -> float:
+        """Shuffle-read span (slowest worker)."""
+        return self.read_done_time - self.submit_time
+
+    @property
+    def compute_time(self) -> float:
+        return self.compute_done_time - self.read_done_time
+
+    @property
+    def write_time(self) -> float:
+        return self.finish_time - self.compute_done_time
+
+    @property
+    def duration(self) -> float:
+        """Stage execution time t_k (submission to completion)."""
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class JobRecord:
+    """Observed lifecycle of one job."""
+
+    job_id: str
+    submit_time: float
+    finish_time: float = math.nan
+
+    @property
+    def completion_time(self) -> float:
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    cluster: ClusterSpec
+    stage_records: dict[tuple[str, str], StageRecord]
+    job_records: dict[str, JobRecord]
+    metrics: "MetricsCollector | None"
+    events: list[SimEvent] = field(default_factory=list)
+
+    def job_completion_time(self, job_id: str) -> float:
+        return self.job_records[job_id].completion_time
+
+    def stage(self, job_id: str, stage_id: str) -> StageRecord:
+        return self.stage_records[(job_id, stage_id)]
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the last job (all jobs submitted at t=0 usually)."""
+        return max(rec.finish_time for rec in self.job_records.values())
+
+    def parallel_stage_makespan(self, job_id: str, members: "frozenset[str]") -> float:
+        """Span from the first submission to the last completion among the
+        given (parallel) stages of a job."""
+        recs = [r for (jid, sid), r in self.stage_records.items() if jid == job_id and sid in members]
+        if not recs:
+            return 0.0
+        return max(r.finish_time for r in recs) - min(r.submit_time for r in recs)
+
+
+class _StageRun:
+    """Runtime state of one stage of one job."""
+
+    __slots__ = (
+        "job",
+        "stage",
+        "key",
+        "record",
+        "remaining_parents",
+        "submitted",
+        "pending_reads",
+        "prefetch_assigned",
+        "parts_read_done",
+        "parts_compute_done",
+        "parts_write_done",
+        "compute_active",
+    )
+
+    def __init__(self, job: Job, stage_id: str, workers: list[str]) -> None:
+        self.job = job
+        self.stage = job.stage(stage_id)
+        self.key = (job.job_id, stage_id)
+        self.record = StageRecord(job.job_id, stage_id)
+        self.remaining_parents = len(job.parents(stage_id))
+        self.submitted = False
+        self.pending_reads = {w: 0 for w in workers}
+        self.prefetch_assigned = {w: 0.0 for w in workers}
+        self.parts_read_done: set[str] = set()
+        self.parts_compute_done: set[str] = set()
+        self.parts_write_done: set[str] = set()
+        self.compute_active: set[str] = set()  # workers currently computing
+
+
+class Simulation:
+    """Run jobs on a cluster under per-job submission policies."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        config: "SimulationConfig | None" = None,
+        pair_capacities: "dict[tuple[str, str], float] | None" = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or SimulationConfig()
+        self.topology = Topology(cluster)
+        if pair_capacities:
+            # Per-pair caps below NIC speed — the geo-distributed (WAN)
+            # extension and explicitly heterogeneous B^{i,w} experiments.
+            for (src, dst), cap in pair_capacities.items():
+                self.topology.set_pair_capacity(src, dst, cap)
+        self.workers = cluster.worker_ids
+        self.storage = cluster.storage_ids
+        self._executors = {n.node_id: n.executors for n in cluster.nodes}
+        self._disk_bw = {n.node_id: n.disk_bandwidth for n in cluster.nodes}
+        self.metrics: "MetricsCollector | None" = (
+            MetricsCollector(cluster, self.config.track_occupancy)
+            if self.config.track_metrics
+            else None
+        )
+        self.engine = FluidEngine(
+            allocate=self._allocate,
+            observe=self.metrics.observe if self.metrics else None,
+        )
+        self.events: list[SimEvent] = []
+        self._jobs: dict[str, tuple[Job, SubmissionPolicy, float]] = {}
+        self._runs: dict[tuple[str, str], _StageRun] = {}
+        self._remaining_stages: dict[str, int] = {}
+        self._job_records: dict[str, JobRecord] = {}
+        # Outstanding prefetch flows per (producer stage key, src worker).
+        self._prefetch_outstanding: dict[tuple[tuple[str, str], str], int] = {}
+        # Task-granular execution state: per-node free executor slots,
+        # FIFO of stages with queued tasks, queued task volumes, running
+        # and pending counters.
+        self._free_slots = {w: self._executors[w] for w in self.workers}
+        self._injections: list[tuple] = []
+        self._task_queues: dict[str, dict[tuple, list]] = {w: {} for w in self.workers}
+        self._running: dict[tuple, int] = {}
+        self._pending_tasks: dict[tuple, int] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # public interface
+    # ------------------------------------------------------------------ #
+
+    def inject_degradation(
+        self,
+        node_id: str,
+        time: float,
+        *,
+        nic_factor: float = 1.0,
+        disk_factor: float = 1.0,
+        executor_factor: float = 1.0,
+    ) -> None:
+        """Degrade a node's resources at a point in simulated time.
+
+        Failure-injection hook: at ``time`` the node's NIC, disk, and
+        executor capacity are scaled by the given factors (e.g. 0.3 =
+        a 70 % slowdown; straggler nodes, background interference,
+        partial hardware failure).  Factors apply to the node's
+        *current* capacities, so repeated injections compound.
+        Executor scaling requires the fluid compute model (in
+        task-granular mode slots are discrete).
+        """
+        if node_id not in self.cluster:
+            raise KeyError(f"cluster has no node {node_id!r}")
+        for name, f in (("nic_factor", nic_factor), ("disk_factor", disk_factor),
+                        ("executor_factor", executor_factor)):
+            if f <= 0:
+                raise ValueError(f"{name} must be > 0, got {f}")
+        if executor_factor != 1.0 and self.config.task_granular:
+            raise ValueError(
+                "executor degradation requires the fluid compute model"
+            )
+        if time < 0:
+            raise ValueError("time must be >= 0")
+        if self._started:
+            raise RuntimeError("inject_degradation must be called before run()")
+        self._injections.append(
+            (time, node_id, nic_factor, disk_factor, executor_factor)
+        )
+
+    def _apply_degradation(
+        self, node_id: str, nic_factor: float, disk_factor: float, executor_factor: float
+    ) -> None:
+        idx = self.topology.index[node_id]
+        self.topology.egress_capacity[idx] *= nic_factor
+        self.topology.ingress_capacity[idx] *= nic_factor
+        self._disk_bw[node_id] *= disk_factor
+        if executor_factor != 1.0:
+            self._executors[node_id] = self._executors[node_id] * executor_factor
+        self.engine.mark_dirty()
+
+    def add_job(
+        self,
+        job: Job,
+        policy: "SubmissionPolicy | None" = None,
+        submit_time: float = 0.0,
+    ) -> None:
+        """Register a job for execution.
+
+        Must be called before :meth:`run`.  Each job may carry its own
+        policy (multi-job trace replay mixes them).
+        """
+        if self._started:
+            raise RuntimeError("cannot add jobs after run() started")
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        if submit_time < 0:
+            raise ValueError("submit_time must be >= 0")
+        self._jobs[job.job_id] = (job, policy or ImmediatePolicy(), submit_time)
+
+    def run(self) -> SimulationResult:
+        """Execute all registered jobs to completion."""
+        if self._started:
+            raise RuntimeError("run() may only be called once per Simulation")
+        self._started = True
+        if not self._jobs:
+            raise RuntimeError("no jobs registered")
+        for when, node_id, nf, df, ef in self._injections:
+            self.engine.schedule(
+                when,
+                lambda n=node_id, a=nf, b=df, c=ef: self._apply_degradation(n, a, b, c),
+            )
+        for job_id, (job, _policy, submit_time) in self._jobs.items():
+            self._remaining_stages[job_id] = job.num_stages
+            self._job_records[job_id] = JobRecord(job_id, submit_time)
+            for sid in job.stage_ids:
+                self._runs[(job_id, sid)] = _StageRun(job, sid, self.workers)
+            self.engine.schedule(submit_time, self._make_job_start(job_id))
+        self.engine.run()
+        return SimulationResult(
+            cluster=self.cluster,
+            stage_records={k: r.record for k, r in self._runs.items()},
+            job_records=self._job_records,
+            metrics=self.metrics,
+            events=self.events,
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle transitions
+    # ------------------------------------------------------------------ #
+
+    def _make_job_start(self, job_id: str):
+        def start() -> None:
+            job, _policy, _t = self._jobs[job_id]
+            self._log(EventKind.JOB_SUBMITTED, job_id)
+            for sid in job.roots:
+                self._stage_ready(self._runs[(job_id, sid)])
+
+        return start
+
+    def _stage_ready(self, run: _StageRun) -> None:
+        now = self.engine.now
+        run.record.ready_time = now
+        self._log(EventKind.STAGE_READY, run.key[0], run.key[1])
+        job, policy, _t = self._jobs[run.key[0]]
+        delay = policy.delay(job, run.key[1], now)
+        if delay < 0 or math.isnan(delay):
+            raise ValueError(
+                f"policy returned invalid delay {delay!r} for stage {run.key[1]!r}"
+            )
+        self.engine.schedule(now + delay, lambda: self._submit_stage(run))
+
+    def _read_sources(self, run: _StageRun) -> list[str]:
+        """Nodes holding the stage's input data."""
+        if run.remaining_parents == 0 and not run.job.parents(run.key[1]):
+            # Source stage: input comes from cluster storage if present,
+            # otherwise from data spread across the workers themselves.
+            return self.storage if self.storage else list(self.workers)
+        return list(self.workers)
+
+    def _select_sources(self, sources: list[str], worker_index: int) -> list[str]:
+        """Apply the ``fanin`` cap with a deterministic rotation so load
+        stays spread across source nodes."""
+        fanin = self.config.fanin
+        if fanin is None or len(sources) <= fanin:
+            return sources
+        start = (worker_index * max(1, len(sources) // fanin)) % len(sources)
+        return [sources[(start + i) % len(sources)] for i in range(fanin)]
+
+    def _submit_stage(self, run: _StageRun) -> None:
+        now = self.engine.now
+        run.submitted = True
+        run.record.submit_time = now
+        self._log(EventKind.STAGE_SUBMITTED, run.key[0], run.key[1])
+
+        sources = self._read_sources(run)
+        per_worker = run.stage.input_bytes / len(self.workers)
+        for wi, w in enumerate(self.workers):
+            # The fraction served by a co-located source is read from
+            # local disk and treated as immediately available.
+            remote_fraction = (
+                (len(sources) - 1) / len(sources) if w in sources else 1.0
+            )
+            remote_volume = per_worker * remote_fraction
+            remote_volume -= run.prefetch_assigned[w]
+            remote_volume = max(remote_volume, 0.0)
+            remote_sources = self._select_sources([s for s in sources if s != w], wi)
+            if remote_volume > 0 and remote_sources:
+                per_source = remote_volume / len(remote_sources)
+                for src in remote_sources:
+                    run.pending_reads[w] += 1
+                    self.engine.add_item(
+                        NetworkFlow(
+                            src=src,
+                            dst=w,
+                            volume=per_source,
+                            stage_key=run.key,
+                            on_complete=self._make_flow_done(run, w),
+                        )
+                    )
+            if run.pending_reads[w] == 0:
+                self._part_read_done(run, w)
+
+    def _make_flow_done(self, run: _StageRun, worker: str):
+        def done(_t: float) -> None:
+            run.pending_reads[worker] -= 1
+            if run.submitted and run.pending_reads[worker] == 0:
+                self._part_read_done(run, worker)
+
+        return done
+
+    def _compute_volume(self, run: _StageRun) -> float:
+        """Per-worker compute volume, with the AggShuffle CPU penalty.
+
+        Under pipelined shuffle, a stage whose shuffle-*input* exceeds
+        the intermediate data its parents produced (ratio > 1, e.g. 1.3
+        for LDA in the paper) pays extra CPU for the proactive
+        aggregation, prolonging its execution (Sec. 5.2).
+        """
+        volume = run.stage.input_bytes / len(self.workers)
+        parents = run.job.parents(run.key[1])
+        if self.config.pipelined_shuffle and parents:
+            parent_out = sum(run.job.stage(p).output_bytes for p in parents)
+            if parent_out > 0:
+                ratio = run.stage.input_bytes / parent_out
+                if ratio > 1.0:
+                    excess = min(ratio - 1.0, 2.0)
+                    volume *= 1.0 + self.config.aggshuffle_cpu_penalty * excess
+        return volume
+
+    def _part_read_done(self, run: _StageRun, worker: str) -> None:
+        if worker in run.parts_read_done:
+            return
+        run.parts_read_done.add(worker)
+        if len(run.parts_read_done) == len(self.workers):
+            run.record.read_done_time = self.engine.now
+            self._log(EventKind.STAGE_READ_DONE, run.key[0], run.key[1])
+        volume = self._compute_volume(run)
+        run.compute_active.add(worker)
+        if self.config.pipelined_shuffle:
+            self._start_prefetch(run, worker)
+        if self.config.task_granular:
+            self._enqueue_tasks(run, worker, volume)
+        else:
+            self.engine.add_item(
+                ComputeDemand(
+                    node=worker,
+                    volume=volume,
+                    stage_key=run.key,
+                    process_rate=run.stage.process_rate,
+                    on_complete=lambda _t, w=worker: self._part_compute_done(run, w),
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # task-granular compute (SimulationConfig.task_granular)
+    # ------------------------------------------------------------------ #
+
+    def _task_volumes(self, run: _StageRun, worker: str, volume: float) -> list:
+        """Split a part's compute volume into heterogeneous task sizes.
+
+        The split is deterministic per (job, stage, worker): lognormal
+        weights with the stage's ``task_cv``, normalized to the part
+        volume, so repeated runs and model evaluations agree.
+        """
+        import zlib
+
+        import numpy as np
+
+        n_tasks = max(1, round(run.stage.num_tasks / len(self.workers)))
+        if volume <= 0:
+            return []
+        cv = run.stage.task_cv
+        if cv <= 0 or n_tasks == 1:
+            return [volume / n_tasks] * n_tasks
+        seed = zlib.crc32(f"{run.key[0]}/{run.key[1]}/{worker}".encode())
+        gen = np.random.default_rng(seed)
+        sigma = math.sqrt(math.log(1.0 + cv * cv))
+        weights = gen.lognormal(0.0, sigma, size=n_tasks)
+        weights /= weights.sum()
+        return [float(volume * w) for w in weights]
+
+    def _enqueue_tasks(self, run: _StageRun, worker: str, volume: float) -> None:
+        tasks = self._task_volumes(run, worker, volume)
+        key = (run.key, worker)
+        if not tasks:
+            self._part_compute_done(run, worker)
+            return
+        self._pending_tasks[key] = len(tasks)
+        self._running.setdefault(key, 0)
+        self._task_queues[worker].setdefault(run.key, []).extend(reversed(tasks))
+        self._dispatch(run, worker)
+
+    def _dispatch(self, run_hint: _StageRun, worker: str) -> None:
+        """Fill free executor slots from the node's task queues.
+
+        Among stages with queued tasks, the one with the fewest running
+        tasks on this node goes first (fair slot sharing); ties break by
+        queue insertion order.
+        """
+        queues = self._task_queues[worker]
+        while self._free_slots[worker] > 0 and queues:
+            stage_key = min(
+                queues, key=lambda k: self._running.get((k, worker), 0)
+            )
+            volume = queues[stage_key].pop()
+            if not queues[stage_key]:
+                del queues[stage_key]
+            run = self._runs[stage_key]
+            self._free_slots[worker] -= 1
+            self._running[(stage_key, worker)] = (
+                self._running.get((stage_key, worker), 0) + 1
+            )
+            self.engine.add_item(
+                ComputeDemand(
+                    node=worker,
+                    volume=volume,
+                    stage_key=stage_key,
+                    process_rate=run.stage.process_rate,
+                    on_complete=lambda _t, r=run, w=worker: self._task_done(r, w),
+                )
+            )
+
+    def _task_done(self, run: _StageRun, worker: str) -> None:
+        key = (run.key, worker)
+        self._free_slots[worker] += 1
+        self._running[key] -= 1
+        self._pending_tasks[key] -= 1
+        if self._pending_tasks[key] == 0:
+            self._part_compute_done(run, worker)
+        self._dispatch(run, worker)
+
+    def _part_compute_done(self, run: _StageRun, worker: str) -> None:
+        run.compute_active.discard(worker)
+        run.parts_compute_done.add(worker)
+        self.engine.mark_dirty()  # prefetch caps keyed on this part lapse
+        if len(run.parts_compute_done) == len(self.workers):
+            run.record.compute_done_time = self.engine.now
+            self._log(EventKind.STAGE_COMPUTE_DONE, run.key[0], run.key[1])
+        write_volume = run.stage.output_bytes / len(self.workers)
+        if write_volume > 0:
+            self.engine.add_item(
+                DiskWrite(
+                    node=worker,
+                    volume=write_volume,
+                    stage_key=run.key,
+                    on_complete=lambda _t, w=worker: self._part_write_done(run, w),
+                )
+            )
+        else:
+            self._part_write_done(run, worker)
+
+    def _part_write_done(self, run: _StageRun, worker: str) -> None:
+        run.parts_write_done.add(worker)
+        if len(run.parts_write_done) == len(self.workers):
+            self._stage_completed(run)
+
+    def _stage_completed(self, run: _StageRun) -> None:
+        now = self.engine.now
+        run.record.finish_time = now
+        job_id, stage_id = run.key
+        self._log(EventKind.STAGE_COMPLETED, job_id, stage_id)
+
+        job, _policy, _t = self._jobs[job_id]
+        for child in job.children(stage_id):
+            child_run = self._runs[(job_id, child)]
+            child_run.remaining_parents -= 1
+            if child_run.remaining_parents == 0:
+                self._stage_ready(child_run)
+
+        self._remaining_stages[job_id] -= 1
+        if self._remaining_stages[job_id] == 0:
+            self._job_records[job_id].finish_time = now
+            self._log(EventKind.JOB_COMPLETED, job_id)
+
+    # ------------------------------------------------------------------ #
+    # AggShuffle prefetch
+    # ------------------------------------------------------------------ #
+
+    def _pipelinable_fraction(self, run: _StageRun, worker: str) -> float:
+        """Fraction of this part's output transferable before it completes.
+
+        Tasks finish in waves: with ``v`` waves the first ``v - 1`` waves'
+        output is available before the part ends; task-duration
+        heterogeneity (``task_cv``) additionally spreads completions
+        within the final wave.
+        """
+        executors = self._executors[worker]
+        tasks_per_worker = max(1.0, run.stage.num_tasks / len(self.workers))
+        waves = max(1, math.ceil(tasks_per_worker / max(executors, 1)))
+        return (1.0 - 1.0 / waves) + (1.0 / waves) * min(1.0, run.stage.task_cv)
+
+    def _start_prefetch(self, run: _StageRun, worker: str) -> None:
+        """Push this part's pipelinable output toward the children early."""
+        job_id, stage_id = run.key
+        job, _policy, _t = self._jobs[job_id]
+        children = job.children(stage_id)
+        if not children or run.stage.output_bytes <= 0:
+            return
+        fraction = self._pipelinable_fraction(run, worker)
+        if fraction <= 0.0:
+            return
+        n_workers = len(self.workers)
+        for child in children:
+            child_run = self._runs[(job_id, child)]
+            if child_run.submitted:
+                continue  # the child already fetched/registered its reads
+            parents = job.parents(child)
+            total_parent_out = sum(job.stage(p).output_bytes for p in parents)
+            if total_parent_out <= 0:
+                continue
+            share = run.stage.output_bytes / total_parent_out
+            # This part holds 1/|W| of the parent's output; each child
+            # worker reads 1/|W| of that (the co-located slice is local).
+            portion = child_run.stage.input_bytes * share / n_workers
+            prefetched_any = False
+            for dst in self.workers:
+                if dst == worker:
+                    continue
+                volume = fraction * portion / n_workers
+                if volume <= 0:
+                    continue
+                child_run.prefetch_assigned[dst] += volume
+                child_run.pending_reads[dst] += 1
+                pkey = (run.key, worker)
+                self._prefetch_outstanding[pkey] = self._prefetch_outstanding.get(pkey, 0) + 1
+                self.engine.add_item(
+                    NetworkFlow(
+                        src=worker,
+                        dst=dst,
+                        volume=volume,
+                        stage_key=child_run.key,
+                        on_complete=self._make_prefetch_done(child_run, dst, pkey),
+                        rate_cap=0.0,  # real cap assigned by the allocator
+                        pipelined=True,
+                        producer_key=run.key,
+                    )
+                )
+                prefetched_any = True
+            if prefetched_any:
+                self._log(
+                    EventKind.PREFETCH_STARTED,
+                    job_id,
+                    child,
+                    info={"from_stage": stage_id, "worker": worker},
+                )
+
+    def _make_prefetch_done(self, child_run: _StageRun, dst: str, pkey):
+        def done(_t: float) -> None:
+            self._prefetch_outstanding[pkey] -= 1
+            child_run.pending_reads[dst] -= 1
+            if child_run.submitted and child_run.pending_reads[dst] == 0:
+                self._part_read_done(child_run, dst)
+
+        return done
+
+    # ------------------------------------------------------------------ #
+    # resource allocation (engine callback)
+    # ------------------------------------------------------------------ #
+
+    def _allocate(self, items: list) -> None:
+        demands: list[ComputeDemand] = []
+        writes: list[DiskWrite] = []
+        flows: list[NetworkFlow] = []
+        for item in items:
+            if isinstance(item, NetworkFlow):
+                flows.append(item)
+            elif isinstance(item, ComputeDemand):
+                demands.append(item)
+            elif isinstance(item, DiskWrite):
+                writes.append(item)
+            else:  # pragma: no cover - no other kinds exist
+                raise TypeError(f"unknown work item {type(item).__name__}")
+
+        if self.config.task_granular:
+            # Executor slots already serialize tasks; each running task
+            # gets one full executor.
+            for d in demands:
+                d.executor_share = 1.0
+                d.rate = d.process_rate
+        else:
+            compute_shares(demands, self._executors)
+        disk_shares(writes, self._disk_bw)
+
+        if flows:
+            # Prefetch flows are throttled to their producer part's current
+            # output production rate (compute rate times output/input ratio,
+            # split across the part's outstanding prefetch flows).  Once the
+            # producer part finished computing, the data exists in full and
+            # the cap lapses.
+            part_rate: dict = {}
+            for d in demands:
+                k = (d.stage_key, d.node)
+                part_rate[k] = part_rate.get(k, 0.0) + d.rate
+            for f in flows:
+                if not f.pipelined or f.producer_key is None:
+                    continue
+                rate = part_rate.get((f.producer_key, f.src))
+                if rate is None:
+                    f.rate_cap = math.inf
+                    continue
+                producer = self._runs[f.producer_key].stage
+                ratio = (
+                    producer.output_bytes / producer.input_bytes
+                    if producer.input_bytes > 0
+                    else math.inf
+                )
+                count = max(self._prefetch_outstanding.get((f.producer_key, f.src), 1), 1)
+                f.rate_cap = rate * ratio / count
+            rates = maxmin_network_rates(flows, self.topology)
+            for f, r in zip(flows, rates):
+                f.rate = float(r)
+
+        penalty = self.config.contention_penalty
+        if penalty > 0.0:
+            self._apply_contention_penalty(demands, writes, flows, penalty)
+
+    def _apply_contention_penalty(
+        self,
+        demands: list[ComputeDemand],
+        writes: list[DiskWrite],
+        flows: list[NetworkFlow],
+        penalty: float,
+    ) -> None:
+        """Scale rates down where multiple stages share a resource.
+
+        ``n`` distinct stages on a node's executors / disk / NIC ingress
+        reduce every sharer's rate by ``1 / (1 + penalty*(n-1))`` —
+        scaling down never violates capacity, so max-min feasibility is
+        preserved.
+        """
+        stages_at: dict[tuple[str, str], set] = {}
+        if not self.config.task_granular:
+            # With discrete tasks, executor slots already serialize CPU
+            # contention; penalizing again would double-count.
+            for d in demands:
+                stages_at.setdefault(("cpu", d.node), set()).add(d.stage_key)
+        for w in writes:
+            stages_at.setdefault(("disk", w.node), set()).add(w.stage_key)
+        for f in flows:
+            stages_at.setdefault(("net", f.dst), set()).add(f.stage_key)
+
+        def factor(kind: str, node: str) -> float:
+            n = len(stages_at.get((kind, node), ()))
+            return 1.0 / (1.0 + penalty * (n - 1)) if n > 1 else 1.0
+
+        for d in demands:
+            d.rate *= factor("cpu", d.node)
+        for w in writes:
+            w.rate *= factor("disk", w.node)
+        for f in flows:
+            f.rate *= factor("net", f.dst)
+
+    # ------------------------------------------------------------------ #
+
+    def _log(self, kind: EventKind, job_id: str, stage_id: str = "", info: "dict | None" = None) -> None:
+        self.events.append(
+            SimEvent(self.engine.now, kind, job_id, stage_id, info or {})
+        )
+
+
+def simulate_job(
+    job: Job,
+    cluster: ClusterSpec,
+    policy: "SubmissionPolicy | None" = None,
+    config: "SimulationConfig | None" = None,
+) -> SimulationResult:
+    """Convenience wrapper: run a single job to completion."""
+    sim = Simulation(cluster, config)
+    sim.add_job(job, policy)
+    return sim.run()

@@ -1,0 +1,49 @@
+"""Alibaba cluster-trace substrate.
+
+The paper's motivation (Figs. 2–4) and large-scale evaluation
+(Figs. 14–15, Table 4) are driven by the Alibaba cluster trace v2018:
+2,775,025 production jobs on 4,000 machines over 8 days.  The trace is
+proprietary-download-only, so this package provides both:
+
+* :mod:`repro.trace.parser` — a parser for the real ``batch_task.csv``
+  format (task-name-encoded DAGs), usable if a trace copy is present;
+* :mod:`repro.trace.generator` — a statistical twin that reproduces
+  every published statistic the paper relies on (fraction of jobs with
+  parallel stages, parallel-stage share, stage-count and stage-runtime
+  distributions, parallel-makespan fraction, machine utilization
+  bands), which the test suite asserts.
+
+:mod:`repro.trace.analysis` computes the Fig. 2/3/4 statistics from
+either source, and :mod:`repro.trace.replay` converts trace jobs into
+simulatable :class:`~repro.dag.job.Job` objects for the Fig. 14 /
+Table 4 scheduler comparison.
+"""
+
+from repro.trace.schema import TraceJob, TraceStage, MachineUsage
+from repro.trace.parser import parse_batch_task_csv, parse_task_name
+from repro.trace.generator import TraceGeneratorConfig, generate_trace, generate_machine_usage
+from repro.trace.analysis import (
+    job_parallel_fraction,
+    parallel_makespan_fraction,
+    stage_count_summary,
+    stage_runtime_range,
+)
+from repro.trace.export import export_batch_task_csv
+from repro.trace.replay import to_job
+
+__all__ = [
+    "TraceStage",
+    "TraceJob",
+    "MachineUsage",
+    "parse_batch_task_csv",
+    "parse_task_name",
+    "TraceGeneratorConfig",
+    "generate_trace",
+    "generate_machine_usage",
+    "stage_count_summary",
+    "job_parallel_fraction",
+    "parallel_makespan_fraction",
+    "stage_runtime_range",
+    "to_job",
+    "export_batch_task_csv",
+]

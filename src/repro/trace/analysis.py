@@ -1,0 +1,93 @@
+"""Trace statistics behind the paper's Figs. 2–4 and Sec. 2.1 claims."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import parallel_stage_set
+from repro.trace.replay import to_job
+from repro.trace.schema import TraceJob
+
+
+@dataclass(frozen=True)
+class StageCountSummary:
+    """Per-job stage counts and aggregate parallel-stage statistics."""
+
+    stages_per_job: np.ndarray
+    parallel_per_job: np.ndarray
+    fraction_jobs_with_parallel: float
+    parallel_stage_fraction: float
+
+    @property
+    def total_stages(self) -> int:
+        return int(self.stages_per_job.sum())
+
+    @property
+    def total_parallel(self) -> int:
+        return int(self.parallel_per_job.sum())
+
+
+def _parallel_count(job: TraceJob) -> int:
+    """Number of parallel stages in a trace job (paper definition)."""
+    return len(parallel_stage_set(to_job(job)))
+
+
+def stage_count_summary(jobs: "list[TraceJob]") -> StageCountSummary:
+    """Fig. 2 inputs: stage and parallel-stage counts per job.
+
+    Also yields Sec. 2.1's headline aggregates: the fraction of jobs
+    containing parallel stages (paper: 68.6 %) and the fraction of all
+    stages that are parallel (paper: 79.1 %).
+    """
+    stages = np.array([j.num_stages for j in jobs], dtype=int)
+    parallel = np.array([_parallel_count(j) for j in jobs], dtype=int)
+    with_parallel = float(np.mean(parallel > 0)) if len(jobs) else 0.0
+    frac = float(parallel.sum() / stages.sum()) if stages.sum() else 0.0
+    return StageCountSummary(stages, parallel, with_parallel, frac)
+
+
+def job_parallel_fraction(jobs: "list[TraceJob]") -> float:
+    """Fraction of jobs containing at least one parallel stage."""
+    if not jobs:
+        return 0.0
+    return float(np.mean([_parallel_count(j) > 0 for j in jobs]))
+
+
+def parallel_makespan_fraction(job: TraceJob) -> float:
+    """Fig. 3 quantity: parallel-stage makespan over job duration.
+
+    The makespan of parallel stages is the span from the earliest start
+    to the latest end among the job's parallel stages, per the recorded
+    trace timestamps.  Returns 0 for jobs without parallel stages.
+    """
+    members = parallel_stage_set(to_job(job))
+    if not members:
+        return 0.0
+    starts = [s.start_time for s in job.stages if s.stage_id in members]
+    ends = [s.end_time for s in job.stages if s.stage_id in members]
+    duration = job.duration
+    if duration <= 0:
+        return 0.0
+    return (max(ends) - min(starts)) / duration
+
+
+def stage_runtime_range(jobs: "list[TraceJob]") -> tuple[float, float, np.ndarray]:
+    """Stage-duration spread: (p01, p99, all durations).
+
+    The paper reports stage runtimes "mostly spanning 10 to 3,000
+    seconds"; the percentile pair quantifies "mostly".
+    """
+    durations = np.array([s.duration for j in jobs for s in j.stages])
+    if durations.size == 0:
+        return 0.0, 0.0, durations
+    return float(np.percentile(durations, 1)), float(np.percentile(durations, 99)), durations
+
+
+def machine_low_utilization_fraction(series: np.ndarray, threshold: float = 10.0) -> float:
+    """Fraction of samples below ``threshold`` percent (Sec. 2.1's
+    "below 10 % for ~39.1 % of the time" for one worker)."""
+    if series.size == 0:
+        return 0.0
+    return float(np.mean(series < threshold))

@@ -1,0 +1,86 @@
+"""Trace record types (modeled on the Alibaba v2018 ``batch_task`` table).
+
+A trace *task* corresponds to what Spark and the paper call a *stage*
+(the Alibaba DAGs are task-level, each task fanning out into
+instances); we use the paper's stage terminology throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceStage:
+    """One stage (Alibaba: task) of a traced job.
+
+    ``start_time``/``end_time`` are seconds relative to the trace
+    epoch, as recorded by the cluster's scheduler.  The three volume
+    fields are the simulation parameters attached by the statistical
+    twin generator (absent — zero — when parsed from a real trace,
+    which does not publish per-task data volumes; replay then derives
+    them from the recorded runtimes).
+    """
+
+    stage_id: str
+    start_time: float
+    end_time: float
+    instance_num: int = 1
+    input_mb: float = 0.0
+    output_mb: float = 0.0
+    process_rate_mb: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def __post_init__(self) -> None:
+        if self.end_time < self.start_time:
+            raise ValueError(
+                f"stage {self.stage_id!r}: end_time {self.end_time} < start_time {self.start_time}"
+            )
+
+
+@dataclass
+class TraceJob:
+    """One traced job: stages plus their dependency edges."""
+
+    job_id: str
+    stages: list[TraceStage]
+    edges: list[tuple[str, str]] = field(default_factory=list)
+    submit_time: float = 0.0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def start_time(self) -> float:
+        return min(s.start_time for s in self.stages)
+
+    @property
+    def end_time(self) -> float:
+        return max(s.end_time for s in self.stages)
+
+    @property
+    def duration(self) -> float:
+        """Job execution time as recorded (first start to last end)."""
+        return self.end_time - self.start_time
+
+    def stage(self, stage_id: str) -> TraceStage:
+        for s in self.stages:
+            if s.stage_id == stage_id:
+                return s
+        raise KeyError(f"trace job {self.job_id!r} has no stage {stage_id!r}")
+
+
+@dataclass(frozen=True)
+class MachineUsage:
+    """One machine's resource-usage sample (Alibaba ``machine_usage``)."""
+
+    machine_id: str
+    time_stamp: float
+    cpu_util_percent: float
+    net_in_percent: float
+    net_out_percent: float
+    disk_io_percent: float

@@ -1,0 +1,38 @@
+"""Shared utilities: unit conversions, RNG plumbing, argument validation.
+
+These helpers are deliberately dependency-light so every other subpackage
+can import them without cycles.
+"""
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    gbps_to_bytes_per_sec,
+    mbps_to_bytes_per_sec,
+    bytes_to_mb,
+    mb_per_sec,
+)
+from repro.util.rng import resolve_rng, spawn_rngs
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "mbps_to_bytes_per_sec",
+    "gbps_to_bytes_per_sec",
+    "bytes_to_mb",
+    "mb_per_sec",
+    "resolve_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_finite",
+]

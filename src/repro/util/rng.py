@@ -1,0 +1,41 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component (trace generator, profiling noise, synthetic
+DAGs) accepts either a seed, an existing :class:`numpy.random.Generator`,
+or ``None``; :func:`resolve_rng` normalizes all three so results are
+reproducible end to end whenever a seed is supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def resolve_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted input.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an ``int`` seed, or an
+        existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected seed, Generator, or None; got {type(rng).__name__}")
+
+
+def spawn_rngs(rng: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+    """Split one generator into ``n`` independent child generators.
+
+    Used to give parallel workers / per-job sampling independent streams
+    that are still fully determined by the parent seed.
+    """
+    parent = resolve_rng(rng)
+    return [np.random.default_rng(s) for s in parent.bit_generator.seed_seq.spawn(n)]

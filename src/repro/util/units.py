@@ -1,0 +1,40 @@
+"""Unit conversions.
+
+The simulator works internally in **bytes** and **seconds**.  The paper
+quotes dataset sizes in GB, NIC bandwidth in Mbps/Gbps, and throughput in
+MB/s; these helpers keep every conversion in one place so a misplaced
+factor of 8 cannot creep into individual modules.
+"""
+
+from __future__ import annotations
+
+#: One kilobyte/megabyte/gigabyte in bytes (binary prefixes, matching how
+#: Spark and the Alibaba trace report data volumes).
+KB: float = 1024.0
+MB: float = 1024.0**2
+GB: float = 1024.0**3
+
+_BITS_PER_BYTE = 8.0
+
+
+def mbps_to_bytes_per_sec(mbps: float) -> float:
+    """Convert a network bandwidth in megabits/s into bytes/s.
+
+    Network gear is quoted in decimal megabits (1 Mbps = 10^6 bit/s).
+    """
+    return mbps * 1e6 / _BITS_PER_BYTE
+
+
+def gbps_to_bytes_per_sec(gbps: float) -> float:
+    """Convert a network bandwidth in gigabits/s into bytes/s."""
+    return gbps * 1e9 / _BITS_PER_BYTE
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert a byte count into binary megabytes (MiB, reported as MB)."""
+    return n_bytes / MB
+
+
+def mb_per_sec(bytes_per_sec: float) -> float:
+    """Convert a rate in bytes/s into MB/s as reported in the paper."""
+    return bytes_per_sec / MB

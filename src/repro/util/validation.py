@@ -1,0 +1,40 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import math
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    check_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number >= 0."""
+    check_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(value: float, name: str, lo: float, hi: float) -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    check_finite(value, name)
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite real number."""
+    try:
+        v = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(v) or math.isinf(v):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return v

@@ -1,0 +1,47 @@
+"""Workload library: the paper's benchmark jobs plus synthetic DAGs.
+
+:mod:`repro.workloads.library` reconstructs the five Spark workloads
+the paper evaluates (Table 2 / Fig. 1): ALS (6 stages),
+ConnectedComponents (5), CosineSimilarity (5), LDA (5), and
+TriangleCount (11).  The DAG shapes follow the stage counts, execution
+paths, and delayed-stage sets reported in the paper; per-stage volumes
+and processing rates are calibrated so stock-Spark completion times on
+the default EC2 cluster land in the ranges of Fig. 10.
+
+:mod:`repro.workloads.synthetic` generates random DAG-style jobs for
+property tests and trace-style sweeps; :mod:`repro.workloads.scaling`
+sweeps dataset sizes.  Two bonus (non-paper) workloads —
+``pagerank`` (a pure chain) and ``star_join`` (wide balanced
+parallelism) — bracket the DAG-shape spectrum.
+"""
+
+from repro.workloads.library import (
+    EXTRA_WORKLOADS,
+    WORKLOADS,
+    als,
+    connected_components,
+    cosine_similarity,
+    lda,
+    pagerank,
+    star_join,
+    triangle_count,
+    workload_by_name,
+)
+from repro.workloads.scaling import ScalePoint, scaling_sweep
+from repro.workloads.synthetic import random_job
+
+__all__ = [
+    "als",
+    "connected_components",
+    "cosine_similarity",
+    "lda",
+    "triangle_count",
+    "workload_by_name",
+    "WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "pagerank",
+    "star_join",
+    "random_job",
+    "ScalePoint",
+    "scaling_sweep",
+]

@@ -1,0 +1,58 @@
+"""Dataset-size scaling sweeps.
+
+The paper fixes one dataset size per workload (Table 2); production
+users ask how the DelayStage benefit moves with input size.  These
+helpers sweep a workload's ``scale`` factor and report JCTs under a
+pair of schedulers — the basis of the scaling extension bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.delaystage import DelayStageParams, delay_stage_schedule
+from repro.dag.job import Job
+from repro.simulator.simulation import FixedDelayPolicy, SimulationConfig, simulate_job
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One sweep point: JCTs and gain at a given dataset scale."""
+
+    scale: float
+    stock_jct: float
+    delaystage_jct: float
+
+    @property
+    def gain(self) -> float:
+        return 1.0 - self.delaystage_jct / self.stock_jct
+
+
+def scaling_sweep(
+    workload: Callable[[float], Job],
+    cluster: ClusterSpec,
+    scales: Sequence[float] = (0.5, 1.0, 2.0),
+    params: "DelayStageParams | None" = None,
+) -> list[ScalePoint]:
+    """JCT under stock vs DelayStage across dataset scales.
+
+    Planning runs per scale (the calculator would re-profile a resized
+    dataset), using the oracle model to isolate the scaling behaviour
+    from profiling noise.
+    """
+    if not scales:
+        raise ValueError("scales must be non-empty")
+    params = params or DelayStageParams(max_slots=24)
+    cfg = SimulationConfig(track_metrics=False)
+    points = []
+    for scale in scales:
+        job = workload(scale)
+        stock = simulate_job(job, cluster, config=cfg).job_completion_time(job.job_id)
+        schedule = delay_stage_schedule(job, cluster, params)
+        ds = simulate_job(
+            job, cluster, FixedDelayPolicy(schedule.delays), cfg
+        ).job_completion_time(job.job_id)
+        points.append(ScalePoint(scale=scale, stock_jct=stock, delaystage_jct=ds))
+    return points

@@ -1,0 +1,90 @@
+"""Random DAG-style job generation.
+
+Produces jobs with controllable shape for property-based tests and
+sweeps: a layered DAG where each non-root stage draws 1–``max_fanin``
+parents from earlier layers.  Volumes and rates are drawn lognormally
+around configurable medians, giving the heavy-tailed stage-time mix
+seen in production traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.job import Job
+from repro.dag.stage import Stage
+from repro.util.rng import resolve_rng
+from repro.util.units import MB
+from repro.util.validation import check_positive
+
+
+def random_job(
+    num_stages: int,
+    *,
+    job_id: str = "synthetic",
+    max_fanin: int = 3,
+    parallelism: float = 0.5,
+    median_input_mb: float = 2048.0,
+    median_rate_mb: float = 2.0,
+    volume_sigma: float = 0.6,
+    rng: "int | np.random.Generator | None" = None,
+) -> Job:
+    """Generate a random job with ``num_stages`` stages.
+
+    Parameters
+    ----------
+    parallelism:
+        In [0, 1]: probability that a new stage starts a fresh branch
+        (root or attaching high in the DAG) rather than chaining off the
+        most recent stage.  0 yields a pure chain (no parallel stages),
+        1 yields a star of roots feeding a sink.
+    max_fanin:
+        Maximum number of parents per non-root stage.
+    """
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if not (0.0 <= parallelism <= 1.0):
+        raise ValueError("parallelism must be in [0, 1]")
+    check_positive(median_input_mb, "median_input_mb")
+    check_positive(median_rate_mb, "median_rate_mb")
+    gen = resolve_rng(rng)
+
+    stages: list[Stage] = []
+    edges: list[tuple[str, str]] = []
+    for i in range(num_stages):
+        sid = f"S{i + 1}"
+        input_mb = median_input_mb * float(gen.lognormal(0.0, volume_sigma))
+        output_mb = input_mb * float(gen.uniform(0.3, 1.1))
+        rate = median_rate_mb * float(gen.lognormal(0.0, volume_sigma / 2))
+        stages.append(
+            Stage(
+                stage_id=sid,
+                input_bytes=input_mb * MB,
+                output_bytes=output_mb * MB,
+                process_rate=rate * MB,
+                num_tasks=int(gen.integers(32, 256)),
+                task_cv=float(gen.uniform(0.0, 0.8)),
+            )
+        )
+        if i == 0:
+            continue
+        if gen.random() < parallelism:
+            # Fresh branch: with probability 1/2 a new root, otherwise
+            # attach to one random earlier stage.
+            if gen.random() < 0.5:
+                continue
+            parent = int(gen.integers(0, i))
+            edges.append((f"S{parent + 1}", sid))
+        else:
+            # Chain off the most recent stage; with branching enabled,
+            # possibly join in additional earlier parents.
+            parents = {i - 1}
+            if parallelism > 0 and i >= 2:
+                extra = int(gen.integers(0, max_fanin))
+                parents.update(
+                    int(p) for p in gen.choice(i, size=min(extra, i), replace=False)
+                )
+            for p in sorted(parents):
+                edges.append((f"S{p + 1}", sid))
+
+    return Job(job_id, stages, edges)

@@ -1,0 +1,58 @@
+"""Shared fixtures: small clusters and jobs that keep tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.dag import JobBuilder
+
+
+@pytest.fixture
+def small_cluster():
+    """4 workers (2 executors each) + 2 storage nodes."""
+    return uniform_cluster(4, executors_per_worker=2, nic_mbps=480, disk_mb_per_sec=150, storage_nodes=2)
+
+
+@pytest.fixture
+def tiny_cluster():
+    """2 workers, 1 storage — the smallest interesting topology."""
+    return uniform_cluster(2, executors_per_worker=2, nic_mbps=400, disk_mb_per_sec=100, storage_nodes=1)
+
+
+@pytest.fixture
+def diamond_job():
+    """S1 -> {S2, S3} -> S4: the classic diamond DAG."""
+    return (
+        JobBuilder("diamond")
+        .stage("S1", input_mb=256, output_mb=256, process_rate_mb=20)
+        .stage("S2", input_mb=256, output_mb=128, process_rate_mb=20, parents=["S1"])
+        .stage("S3", input_mb=256, output_mb=128, process_rate_mb=20, parents=["S1"])
+        .stage("S4", input_mb=256, output_mb=64, process_rate_mb=20, parents=["S2", "S3"])
+        .build()
+    )
+
+
+@pytest.fixture
+def fork_join_job():
+    """Three parallel roots joining into one stage (ALS-like core)."""
+    return (
+        JobBuilder("forkjoin")
+        .stage("A", input_mb=512, output_mb=256, process_rate_mb=10)
+        .stage("B", input_mb=384, output_mb=192, process_rate_mb=10)
+        .stage("C", input_mb=512, output_mb=256, process_rate_mb=10)
+        .stage("D", input_mb=704, output_mb=64, process_rate_mb=10, parents=["A", "B", "C"])
+        .build()
+    )
+
+
+@pytest.fixture
+def chain_job():
+    """A purely sequential three-stage chain (no parallel stages)."""
+    return (
+        JobBuilder("chain")
+        .stage("S1", input_mb=256, output_mb=128, process_rate_mb=20)
+        .stage("S2", input_mb=128, output_mb=64, process_rate_mb=20, parents=["S1"])
+        .stage("S3", input_mb=64, output_mb=16, process_rate_mb=20, parents=["S2"])
+        .build()
+    )

@@ -1,0 +1,102 @@
+"""Analysis helpers: CDFs, stats, timelines, text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GanttRow,
+    cdf_at,
+    empirical_cdf,
+    improvement,
+    percentile,
+    render_cdf,
+    render_series,
+    render_table,
+    stage_gantt,
+    utilization_series,
+    utilization_summary,
+)
+from repro.simulator import SimulationConfig, simulate_job
+
+
+def test_empirical_cdf():
+    x, p = empirical_cdf([3, 1, 2])
+    assert list(x) == [1, 2, 3]
+    assert list(p) == pytest.approx([100 / 3, 200 / 3, 100.0])
+    x0, p0 = empirical_cdf([])
+    assert x0.size == p0.size == 0
+
+
+def test_cdf_at():
+    assert cdf_at([1, 2, 3, 4], 2.5) == 0.5
+    assert cdf_at([], 1.0) == 0.0
+
+
+def test_percentile():
+    assert percentile([1, 2, 3], 50) == 2.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_improvement():
+    assert improvement(100, 80) == pytest.approx(0.2)
+    assert improvement(100, 120) == pytest.approx(-0.2)
+    with pytest.raises(ValueError):
+        improvement(0, 1)
+
+
+def test_utilization_summary(fork_join_job, small_cluster):
+    res = simulate_job(fork_join_job, small_cluster)
+    summary = utilization_summary(res)
+    assert summary.net_mb_mean > 0
+    assert 0 < summary.cpu_pct_mean <= 100
+    assert summary.net_mb_std >= 0
+
+
+def test_utilization_summary_requires_metrics(fork_join_job, small_cluster):
+    res = simulate_job(
+        fork_join_job, small_cluster, config=SimulationConfig(track_metrics=False)
+    )
+    with pytest.raises(ValueError):
+        utilization_summary(res)
+
+
+def test_stage_gantt(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    rows = stage_gantt(res, "diamond")
+    assert [r.stage_id for r in rows][0] == "S1"
+    for r in rows:
+        assert r.submit <= r.read_done <= r.finish
+        assert r.read_span == (r.submit, r.read_done)
+        assert r.process_span == (r.read_done, r.finish)
+        assert r.duration == pytest.approx(r.finish - r.submit)
+        assert r.delay >= 0
+
+
+def test_utilization_series(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    t, cpu, net = utilization_series(res, step=0.5)
+    assert len(t) == len(cpu) == len(net)
+    assert cpu.max() <= 100.0 + 1e-9
+    assert net.max() > 0
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "v"], [["a", 1.0], ["bb", 22.5]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "----" in lines[2]
+    assert "22.5" in lines[-1]
+
+
+def test_render_series_downsamples():
+    x = np.arange(100.0)
+    out = render_series(x, {"y": x * 2}, max_points=5, x_label="t")
+    rows = out.splitlines()
+    assert len(rows) == 2 + 5  # header + separator + 5 samples
+
+
+def test_render_cdf_percentiles():
+    out = render_cdf({"a": [1, 2, 3, 4, 5]}, percentiles=(50, 90))
+    assert "p50" in out and "p90" in out

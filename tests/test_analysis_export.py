@@ -1,0 +1,57 @@
+"""CSV export of simulation results."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import export_stage_records_csv, export_utilization_csv
+from repro.simulator import SimulationConfig, simulate_job
+
+
+def test_stage_records_csv(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    buf = io.StringIO()
+    rows = export_stage_records_csv(res, buf)
+    assert rows == 4
+    buf.seek(0)
+    parsed = list(csv.DictReader(buf))
+    assert {r["stage_id"] for r in parsed} == {"S1", "S2", "S3", "S4"}
+    s1 = next(r for r in parsed if r["stage_id"] == "S1")
+    assert float(s1["finish"]) == pytest.approx(
+        res.stage("diamond", "S1").finish_time
+    )
+    assert float(s1["duration"]) > 0
+
+
+def test_stage_records_to_file(diamond_job, small_cluster, tmp_path):
+    res = simulate_job(diamond_job, small_cluster)
+    path = tmp_path / "stages.csv"
+    export_stage_records_csv(res, path)
+    assert path.read_text().startswith("job_id,stage_id,")
+
+
+def test_utilization_csv(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    buf = io.StringIO()
+    rows = export_utilization_csv(res, buf, step=5.0, nodes=["w0"])
+    buf.seek(0)
+    parsed = list(csv.DictReader(buf))
+    assert len(parsed) == rows
+    assert all(r["node"] == "w0" for r in parsed)
+    assert any(float(r["net_in_bytes"]) > 0 for r in parsed)
+    assert all(0 <= float(r["cpu_utilization"]) <= 1 for r in parsed)
+
+
+def test_utilization_requires_metrics(diamond_job, small_cluster):
+    res = simulate_job(
+        diamond_job, small_cluster, config=SimulationConfig(track_metrics=False)
+    )
+    with pytest.raises(ValueError, match="metrics"):
+        export_utilization_csv(res, io.StringIO())
+
+
+def test_utilization_step_validated(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    with pytest.raises(ValueError, match="step"):
+        export_utilization_csv(res, io.StringIO(), step=0)

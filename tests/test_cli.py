@@ -1,0 +1,66 @@
+"""CLI subcommands (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_compare_als(capsys):
+    assert main(["compare", "--workload", "ALS", "--oracle"]) == 0
+    out = capsys.readouterr().out
+    assert "spark" in out and "delaystage" in out and "vs spark" in out
+
+
+def test_schedule_writes_properties(tmp_path, capsys):
+    out_file = tmp_path / "metrics.properties"
+    code = main([
+        "schedule", "--workload", "ALS", "--max-slots", "8",
+        "--output", str(out_file),
+    ])
+    assert code == 0
+    assert out_file.exists()
+    text = out_file.read_text()
+    assert "spark.delaystage.als." in text
+    out = capsys.readouterr().out
+    assert "predicted makespan" in out
+
+
+def test_schedule_order_variants(capsys):
+    assert main(["schedule", "--workload", "ALS", "--order", "ascending",
+                 "--max-slots", "6"]) == 0
+    assert "delay (s)" in capsys.readouterr().out
+
+
+def test_timeline(capsys):
+    assert main(["timeline", "--workload", "ALS", "--strategy", "spark"]) == 0
+    out = capsys.readouterr().out
+    assert "JCT" in out and "S1" in out
+
+
+def test_trace_stats(capsys):
+    assert main(["trace-stats", "--jobs", "80", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "parallel share of stages" in out
+    assert "Fig. 2" in out
+
+
+def test_replay_small(capsys):
+    assert main(["replay", "--jobs", "4", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fuxi" in out and "delaystage" in out and "vs Fuxi" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["compare", "--workload", "WordCount"])
+
+
+def test_bounds(capsys):
+    assert main(["bounds", "--workload", "ALS", "--max-slots", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "makespan bounds" in out and "critical path" in out and "gap" in out

@@ -1,0 +1,99 @@
+"""NodeSpec/ClusterSpec validation and the paper's cluster presets."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    NodeSpec,
+    alibaba_sim_cluster,
+    ec2_m4large_cluster,
+    uniform_cluster,
+)
+from repro.util.units import mbps_to_bytes_per_sec, MB
+
+
+def test_nodespec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec("", 1, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        NodeSpec("n", -1, 1.0, 1.0)
+    with pytest.raises(ValueError, match="executor"):
+        NodeSpec("n", 0, 1.0, 1.0)  # worker with no executors
+    with pytest.raises(ValueError):
+        NodeSpec("n", 1, 0.0, 1.0)
+    # storage node with zero executors is fine
+    NodeSpec("s", 0, 1.0, 1.0, is_storage=True)
+
+
+def test_cluster_duplicate_node_rejected():
+    n = NodeSpec("a", 1, 1.0, 1.0)
+    with pytest.raises(ValueError, match="duplicate"):
+        ClusterSpec([n, n])
+
+
+def test_cluster_needs_a_worker():
+    storage = NodeSpec("s", 0, 1.0, 1.0, is_storage=True)
+    with pytest.raises(ValueError, match="worker"):
+        ClusterSpec([storage])
+
+
+def test_uniform_cluster_shape():
+    c = uniform_cluster(4, executors_per_worker=3, storage_nodes=2)
+    assert c.num_workers == 4
+    assert len(c.storage_ids) == 2
+    assert c.total_executors == 12
+    assert "w0" in c and "hdfs1" in c
+    assert len(c) == 6
+
+
+def test_ec2_defaults_match_paper():
+    """Sec. 5.1: 30 m4.large instances, 2 executors each, 3 HDFS nodes."""
+    c = ec2_m4large_cluster()
+    assert c.num_workers == 30
+    assert len(c.storage_ids) == 3
+    assert all(c.node(w).executors == 2 for w in c.worker_ids)
+    assert c.node("w0").nic_bandwidth == pytest.approx(mbps_to_bytes_per_sec(450))
+
+
+def test_alibaba_cluster_heterogeneous_nics():
+    c = alibaba_sim_cluster(num_machines=10, rng=0)
+    nics = {c.node(w).nic_bandwidth for w in c.worker_ids}
+    assert len(nics) > 1  # heterogeneity is the point
+    lo = mbps_to_bytes_per_sec(100)
+    hi = mbps_to_bytes_per_sec(2000)
+    assert all(lo <= b <= hi for b in nics)
+    assert c.node("m0").disk_bandwidth == pytest.approx(80 * MB)
+
+
+def test_alibaba_cluster_deterministic_by_seed():
+    a = alibaba_sim_cluster(num_machines=5, rng=3)
+    b = alibaba_sim_cluster(num_machines=5, rng=3)
+    assert [n.nic_bandwidth for n in a.nodes] == [n.nic_bandwidth for n in b.nodes]
+
+
+def test_partitioned_scales_resources():
+    c = uniform_cluster(2, executors_per_worker=4, nic_mbps=400, storage_nodes=1)
+    half = c.partitioned(0.5)
+    assert half.node("w0").executors == 2
+    assert half.node("w0").nic_bandwidth == pytest.approx(c.node("w0").nic_bandwidth / 2)
+    # storage nodes keep zero executors
+    assert half.node("hdfs0").executors == 0
+
+
+def test_partitioned_keeps_at_least_one_executor():
+    c = uniform_cluster(1, executors_per_worker=2)
+    tiny = c.partitioned(0.1)
+    assert tiny.node("w0").executors == 1
+
+
+def test_partitioned_rejects_bad_share():
+    c = uniform_cluster(1)
+    for bad in (0.0, -0.5, 1.5):
+        with pytest.raises(ValueError):
+            c.partitioned(bad)
+
+
+def test_node_lookup_error():
+    c = uniform_cluster(1)
+    with pytest.raises(KeyError):
+        c.node("nope")

@@ -1,0 +1,94 @@
+"""Topology: index mapping, capacities, pair overrides."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Topology, uniform_cluster
+from repro.core import read_metrics_properties, write_metrics_properties
+from repro.simulator.fairshare import maxmin_network_rates
+from repro.simulator.flows import NetworkFlow
+
+
+def test_index_covers_all_nodes():
+    cluster = uniform_cluster(3, storage_nodes=2)
+    topo = Topology(cluster)
+    assert set(topo.index) == set(cluster.node_ids)
+    assert topo.num_nodes == 5
+    assert len(topo.egress_capacity) == 5
+
+
+def test_capacities_match_spec():
+    cluster = uniform_cluster(2, nic_mbps=100)
+    topo = Topology(cluster)
+    assert topo.egress_capacity[topo.index["w0"]] == pytest.approx(
+        cluster.node("w0").nic_bandwidth
+    )
+    assert np.array_equal(topo.egress_capacity, topo.ingress_capacity)
+
+
+def test_pair_capacity_lookup():
+    cluster = uniform_cluster(2, storage_nodes=1)
+    topo = Topology(cluster)
+    base = topo.pair_capacity(topo.index["w0"], topo.index["w1"])
+    topo.set_pair_capacity("w0", "w1", base / 10)
+    assert topo.pair_capacity(topo.index["w0"], topo.index["w1"]) == pytest.approx(base / 10)
+    # Other direction unaffected.
+    assert topo.pair_capacity(topo.index["w1"], topo.index["w0"]) == pytest.approx(base)
+
+
+def test_pair_capacity_validation():
+    topo = Topology(uniform_cluster(2))
+    with pytest.raises(ValueError):
+        topo.set_pair_capacity("w0", "w1", 0.0)
+    with pytest.raises(KeyError):
+        topo.set_pair_capacity("zzz", "w1", 1.0)
+
+
+def test_pair_cap_array_with_overrides():
+    cluster = uniform_cluster(3)
+    topo = Topology(cluster)
+    topo.set_pair_capacity("w0", "w1", 5.0)
+    src = np.array([topo.index["w0"], topo.index["w1"]])
+    dst = np.array([topo.index["w1"], topo.index["w2"]])
+    caps = topo.pair_cap_array(src, dst)
+    assert caps[0] == pytest.approx(5.0)
+    assert caps[1] == pytest.approx(cluster.node("w1").nic_bandwidth)
+
+
+def test_pair_caps_respected_by_waterfilling():
+    cluster = uniform_cluster(3)
+    topo = Topology(cluster)
+    topo.set_pair_capacity("w0", "w1", 1000.0)
+    flows = [
+        NetworkFlow("w0", "w1", 1.0, ("j", "s")),
+        NetworkFlow("w0", "w2", 1.0, ("j", "s")),
+    ]
+    rates = maxmin_network_rates(flows, topo)
+    assert rates[0] == pytest.approx(1000.0)
+    assert rates[1] > rates[0]  # freed capacity goes to the other flow
+
+
+# Bonus hypothesis round-trip on the properties format with odd ids.
+@given(
+    st.dictionaries(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="-_"),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=8,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_properties_roundtrip_hypothesis(tmp_path_factory, delays):
+    path = tmp_path_factory.mktemp("props") / "metrics.properties"
+    write_metrics_properties(path, "job", delays)
+    loaded = read_metrics_properties(path, "job")["job"]
+    assert set(loaded) == set(delays)
+    for sid, x in delays.items():
+        assert loaded[sid] == pytest.approx(x, abs=1e-6)

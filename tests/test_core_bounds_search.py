@@ -1,0 +1,136 @@
+"""Makespan lower bounds and the random-search baseline."""
+
+import pytest
+
+from repro.core import (
+    DelayStageParams,
+    delay_stage_schedule,
+    makespan_bounds,
+    optimality_gap,
+    random_search_schedule,
+)
+from repro.dag import JobBuilder
+from repro.model import evaluate_schedule
+
+
+def contended_job():
+    return (
+        JobBuilder("cb")
+        .stage("S1", input_mb=1024, output_mb=512, process_rate_mb=8)
+        .stage("S2", input_mb=1024, output_mb=2048, process_rate_mb=8)
+        .stage("S3", input_mb=2048, output_mb=512, process_rate_mb=16, parents=["S2"])
+        .stage("S4", input_mb=1024, output_mb=128, process_rate_mb=16, parents=["S1", "S3"])
+        .build()
+    )
+
+
+# ------------------------------ bounds --------------------------------- #
+
+
+def test_bound_below_any_schedule(small_cluster):
+    job = contended_job()
+    bounds = makespan_bounds(job, small_cluster)
+    stock = evaluate_schedule(job, small_cluster, {})
+    ds = delay_stage_schedule(job, small_cluster)
+    assert bounds.bound <= stock.parallel_makespan + 1e-6
+    assert bounds.bound <= ds.predicted_makespan + 1e-6
+
+
+def test_bound_components_nonnegative(small_cluster):
+    b = makespan_bounds(contended_job(), small_cluster)
+    for v in (b.critical_path, b.cpu_work, b.storage_egress, b.network_volume, b.disk_volume):
+        assert v >= 0
+    assert b.bound == max(
+        b.critical_path, b.cpu_work, b.storage_egress, b.network_volume, b.disk_volume
+    )
+    assert b.binding in {
+        "critical_path", "cpu_work", "storage_egress", "network_volume", "disk_volume"
+    }
+
+
+def test_bound_zero_for_sequential_job(chain_job, small_cluster):
+    b = makespan_bounds(chain_job, small_cluster)
+    assert b.bound == 0.0
+
+
+def test_optimality_gap(small_cluster):
+    job = contended_job()
+    b = makespan_bounds(job, small_cluster)
+    ds = delay_stage_schedule(job, small_cluster)
+    gap = optimality_gap(ds.predicted_makespan, b)
+    assert gap >= -1e-9
+    assert gap < 1.0  # the greedy lands within 2x of the (loose) bound
+    assert optimality_gap(5.0, makespan_bounds(chain_job_fixture(), small_cluster)) == 0.0
+
+
+def chain_job_fixture():
+    return (
+        JobBuilder("seq")
+        .stage("A", input_mb=64, output_mb=32, process_rate_mb=10)
+        .stage("B", input_mb=32, output_mb=8, process_rate_mb=10, parents=["A"])
+        .build()
+    )
+
+
+# ------------------------------ search --------------------------------- #
+
+
+def test_search_never_worse_than_stock(small_cluster):
+    job = contended_job()
+    rs = random_search_schedule(job, small_cluster, samples=20, rng=0)
+    assert rs.predicted_makespan <= rs.baseline_makespan + 1e-9
+
+
+def test_search_deterministic_by_seed(small_cluster):
+    job = contended_job()
+    a = random_search_schedule(job, small_cluster, samples=10, rng=5)
+    b = random_search_schedule(job, small_cluster, samples=10, rng=5)
+    assert a.delays == b.delays
+
+
+def test_search_on_sequential_job(chain_job, small_cluster):
+    rs = random_search_schedule(chain_job, small_cluster, samples=5)
+    assert rs.delays == {}
+
+
+def test_search_rejects_bad_samples(small_cluster):
+    with pytest.raises(ValueError):
+        random_search_schedule(contended_job(), small_cluster, samples=0)
+
+
+def test_greedy_competitive_with_search(small_cluster):
+    """Algorithm 1 lands within 10 % of a 60-sample random search —
+    the greedy's structure costs little (Sec. 4.1's implicit claim)."""
+    job = contended_job()
+    greedy = delay_stage_schedule(job, small_cluster, DelayStageParams(max_slots=24))
+    search = random_search_schedule(job, small_cluster, samples=60, rng=0)
+    assert greedy.predicted_makespan <= search.predicted_makespan * 1.10
+
+
+# ------------------------- property: bound validity -------------------- #
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import random_job
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0.0, max_value=120.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_bound_below_arbitrary_schedules(n, seed, delay):
+    """No delay vector can beat the lower bound (hypothesis sweep)."""
+    from repro.cluster import uniform_cluster
+    from repro.dag import parallel_stage_set
+
+    cluster = uniform_cluster(3, storage_nodes=1)
+    job = random_job(n, parallelism=0.7, rng=seed, median_input_mb=256, median_rate_mb=8)
+    members = parallel_stage_set(job)
+    if not members:
+        return
+    bounds = makespan_bounds(job, cluster)
+    delays = {sid: delay * ((i % 3) / 2) for i, sid in enumerate(sorted(members))}
+    ev = evaluate_schedule(job, cluster, delays, members=members)
+    assert ev.parallel_makespan >= bounds.bound - 1e-6

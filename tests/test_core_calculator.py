@@ -1,0 +1,69 @@
+"""DelayTimeCalculator: the full profile -> plan -> persist pipeline."""
+
+import pytest
+
+from repro.core import DelayTimeCalculator, StageDelayer, read_metrics_properties
+from repro.core.delaystage import DelayStageParams
+from repro.dag import parallel_stage_set
+from repro.simulator import FixedDelayPolicy, simulate_job
+
+
+def test_compute_produces_schedule(fork_join_job, small_cluster):
+    calc = DelayTimeCalculator(small_cluster, rng=0)
+    schedule = calc.compute(fork_join_job)
+    assert set(schedule.delays) == parallel_stage_set(fork_join_job)
+    assert calc.last_profile is not None
+
+
+def test_oracle_calculator_improves_contended_job(small_cluster):
+    from repro.dag import JobBuilder
+
+    job = (
+        JobBuilder("cal")
+        .stage("S1", input_mb=1024, output_mb=512, process_rate_mb=8)
+        .stage("S2", input_mb=1024, output_mb=2048, process_rate_mb=8)
+        .stage("S3", input_mb=2048, output_mb=512, process_rate_mb=16, parents=["S2"])
+        .stage("S4", input_mb=1024, output_mb=128, process_rate_mb=16, parents=["S1", "S3"])
+        .build()
+    )
+    calc = DelayTimeCalculator(
+        small_cluster, profiling_noise=0.0, measurement_noise=0.0, rng=0
+    )
+    schedule = calc.compute(job)
+    base = simulate_job(job, small_cluster).job_completion_time("cal")
+    delayed = simulate_job(
+        job, small_cluster, FixedDelayPolicy(schedule.delays)
+    ).job_completion_time("cal")
+    assert delayed < base
+
+
+def test_compute_with_cached_profile(fork_join_job, small_cluster):
+    calc = DelayTimeCalculator(small_cluster, rng=0)
+    profile = calc.profile(fork_join_job)
+    schedule = calc.compute(fork_join_job, profile=profile)
+    assert set(schedule.delays) == parallel_stage_set(fork_join_job)
+
+
+def test_compute_and_store_roundtrips(fork_join_job, small_cluster, tmp_path):
+    path = tmp_path / "metrics.properties"
+    calc = DelayTimeCalculator(small_cluster, rng=0)
+    schedule = calc.compute_and_store(fork_join_job, path)
+    loaded = read_metrics_properties(path)
+    assert loaded["forkjoin"] == pytest.approx(schedule.delays)
+    delayer = StageDelayer.from_properties(path)
+    for sid, x in schedule.delays.items():
+        assert delayer.delay(fork_join_job, sid, 0.0) == pytest.approx(x)
+
+
+def test_noisy_calculator_is_deterministic_by_seed(fork_join_job, small_cluster):
+    a = DelayTimeCalculator(small_cluster, rng=11).compute(fork_join_job)
+    b = DelayTimeCalculator(small_cluster, rng=11).compute(fork_join_job)
+    assert a.delays == b.delays
+
+
+def test_custom_params_forwarded(fork_join_job, small_cluster):
+    params = DelayStageParams(max_slots=4)
+    calc = DelayTimeCalculator(small_cluster, params=params, rng=0)
+    schedule = calc.compute(fork_join_job)
+    k = len(parallel_stage_set(fork_join_job))
+    assert schedule.evaluations <= k * (params.max_slots + 2) + 2

@@ -1,0 +1,66 @@
+"""StageDelayer: the prototype's submission-postponing module."""
+
+import pytest
+
+from repro.core import StageDelayer, write_metrics_properties
+from repro.core.schedule import DelaySchedule
+
+
+def schedule(job_id="j", delays=None):
+    return DelaySchedule(
+        job_id=job_id,
+        delays=delays or {"S1": 3.0, "S2": 0.0},
+        predicted_makespan=10.0,
+        baseline_makespan=12.0,
+        paths=(),
+    )
+
+
+def test_from_schedule(diamond_job):
+    d = StageDelayer.from_schedule(schedule("diamond", {"S2": 4.0}))
+    assert d.delay(diamond_job, "S2", 0.0) == 4.0
+    assert d.delay(diamond_job, "S3", 0.0) == 0.0  # untabulated
+    assert "diamond" in d
+
+
+def test_unknown_job_not_delayed(diamond_job):
+    d = StageDelayer.from_schedule(schedule("other"))
+    assert d.delay(diamond_job, "S1", 0.0) == 0.0
+
+
+def test_from_schedules(diamond_job):
+    d = StageDelayer.from_schedules([schedule("a"), schedule("b")])
+    assert "a" in d and "b" in d
+
+
+def test_from_properties(tmp_path, diamond_job):
+    path = tmp_path / "metrics.properties"
+    write_metrics_properties(path, "diamond", {"S3": 9.0})
+    d = StageDelayer.from_properties(path)
+    assert d.delay(diamond_job, "S3", 0.0) == 9.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        StageDelayer({"j": {"S1": -1.0}})
+
+
+def test_table_copy_isolated():
+    d = StageDelayer({"j": {"S1": 1.0}})
+    table = d.table("j")
+    table["S1"] = 99.0
+    assert d.table("j")["S1"] == 1.0
+    assert d.table("missing") == {}
+
+
+def test_schedule_predicted_improvement():
+    s = schedule()
+    assert s.predicted_improvement == pytest.approx(1 - 10.0 / 12.0)
+    zero = DelaySchedule("j", {}, 0.0, 0.0, ())
+    assert zero.predicted_improvement == 0.0
+
+
+def test_schedule_as_mapping_and_delayed_stages():
+    s = schedule(delays={"A": 0.0, "B": 2.0, "C": 1.0})
+    assert s.delayed_stages == ["B", "C"]
+    assert dict(s.as_mapping()) == {"A": 0.0, "B": 2.0, "C": 1.0}

@@ -1,0 +1,159 @@
+"""Algorithm 1: correctness, invariants, improvement, fallback."""
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.core import DelayStageParams, PathOrder, delay_stage_schedule
+from repro.dag import JobBuilder, parallel_stage_set
+from repro.model import evaluate_schedule
+from repro.simulator import FixedDelayPolicy, simulate_job
+from repro.workloads import random_job
+
+
+def contended_job():
+    """Two parallel roots + long path: delaying provably helps."""
+    return (
+        JobBuilder("cj")
+        .stage("S1", input_mb=1024, output_mb=512, process_rate_mb=8)
+        .stage("S2", input_mb=1024, output_mb=2048, process_rate_mb=8)
+        .stage("S3", input_mb=2048, output_mb=512, process_rate_mb=16, parents=["S2"])
+        .stage("S4", input_mb=1024, output_mb=128, process_rate_mb=16, parents=["S1", "S3"])
+        .build()
+    )
+
+
+def test_delays_only_parallel_stages(small_cluster):
+    job = contended_job()
+    schedule = delay_stage_schedule(job, small_cluster)
+    assert set(schedule.delays) == parallel_stage_set(job)
+    assert all(x >= 0 for x in schedule.delays.values())
+
+
+def test_improves_over_stock(small_cluster):
+    job = contended_job()
+    schedule = delay_stage_schedule(job, small_cluster)
+    base = simulate_job(job, small_cluster).job_completion_time("cj")
+    delayed = simulate_job(
+        job, small_cluster, FixedDelayPolicy(schedule.delays)
+    ).job_completion_time("cj")
+    assert delayed < base
+
+
+def test_predicted_matches_executed_with_oracle_model(small_cluster):
+    """Planning on the true job/cluster => prediction equals execution."""
+    job = contended_job()
+    schedule = delay_stage_schedule(job, small_cluster)
+    ev = evaluate_schedule(
+        job, small_cluster, schedule.delays, members=parallel_stage_set(job)
+    )
+    assert schedule.predicted_makespan == pytest.approx(ev.parallel_makespan, rel=1e-9)
+
+
+def test_long_path_head_not_delayed(small_cluster):
+    """The descending order schedules the longest path first, alone in
+    the model, so its stages get zero delay."""
+    job = contended_job()
+    schedule = delay_stage_schedule(job, small_cluster)
+    longest = schedule.paths[0]
+    assert schedule.delays[longest.stages[0]] == 0.0
+
+
+def test_never_worse_than_baseline(small_cluster):
+    """With the fallback guard the predicted makespan never exceeds the
+    all-zero-delays baseline."""
+    for seed in range(5):
+        job = random_job(10, parallelism=0.7, rng=seed, job_id=f"r{seed}")
+        schedule = delay_stage_schedule(
+            job, small_cluster, DelayStageParams(max_slots=8)
+        )
+        assert schedule.predicted_makespan <= schedule.baseline_makespan + 1e-6
+
+
+def test_fallback_disabled_keeps_delays(small_cluster):
+    job = contended_job()
+    schedule = delay_stage_schedule(
+        job, small_cluster, DelayStageParams(fallback_to_immediate=False)
+    )
+    assert set(schedule.delays) == parallel_stage_set(job)
+
+
+def test_sequential_job_gets_empty_schedule(chain_job, small_cluster):
+    schedule = delay_stage_schedule(chain_job, small_cluster)
+    assert schedule.delays == {}
+    assert schedule.paths == ()
+    assert schedule.predicted_improvement == 0.0
+
+
+def test_orders_produce_valid_schedules(small_cluster):
+    job = contended_job()
+    for order in (PathOrder.DESCENDING, PathOrder.ASCENDING, PathOrder.RANDOM):
+        schedule = delay_stage_schedule(
+            job, small_cluster, DelayStageParams(order=order, rng=1)
+        )
+        assert set(schedule.delays) == parallel_stage_set(job)
+
+
+def test_evaluations_bounded_by_slots(small_cluster):
+    job = contended_job()
+    params = DelayStageParams(max_slots=8)
+    schedule = delay_stage_schedule(job, small_cluster, params)
+    k = len(parallel_stage_set(job))
+    # <= (max_slots + 1) per stage plus baseline and final evaluations.
+    assert schedule.evaluations <= k * (params.max_slots + 2) + 2
+
+
+def test_compute_seconds_recorded(small_cluster):
+    schedule = delay_stage_schedule(contended_job(), small_cluster)
+    assert schedule.compute_seconds > 0
+
+
+def test_slot_granularity_validated():
+    with pytest.raises(ValueError):
+        DelayStageParams(slot=0)
+    with pytest.raises(ValueError):
+        DelayStageParams(max_slots=1)
+
+
+def test_delayed_stages_property(small_cluster):
+    schedule = delay_stage_schedule(contended_job(), small_cluster)
+    for sid in schedule.delayed_stages:
+        assert schedule.delays[sid] > 0
+
+
+def test_deterministic(small_cluster):
+    job = contended_job()
+    a = delay_stage_schedule(job, small_cluster)
+    b = delay_stage_schedule(job, small_cluster)
+    assert a.delays == b.delays
+    assert a.predicted_makespan == b.predicted_makespan
+
+
+def test_refinement_never_hurts(small_cluster):
+    """Coordinate-descent refinement keeps strict improvements only."""
+    job = contended_job()
+    plain = delay_stage_schedule(job, small_cluster, DelayStageParams(max_slots=12))
+    refined = delay_stage_schedule(
+        job, small_cluster, DelayStageParams(max_slots=12, refine_passes=2)
+    )
+    assert refined.predicted_makespan <= plain.predicted_makespan + 1e-6
+    assert refined.evaluations >= plain.evaluations
+
+
+def test_refinement_param_validated():
+    with pytest.raises(ValueError):
+        DelayStageParams(refine_passes=-1)
+
+
+def test_refinement_improves_or_matches_wide_dag(small_cluster):
+    from repro.workloads import random_job
+
+    job = random_job(12, parallelism=0.8, rng=4, job_id="wide")
+    plain = delay_stage_schedule(
+        job, small_cluster,
+        DelayStageParams(max_slots=8, fallback_to_immediate=False),
+    )
+    refined = delay_stage_schedule(
+        job, small_cluster,
+        DelayStageParams(max_slots=8, fallback_to_immediate=False, refine_passes=1),
+    )
+    assert refined.predicted_makespan <= plain.predicted_makespan + 1e-6

@@ -1,0 +1,82 @@
+"""The staggered-read analytic heuristic."""
+
+import pytest
+
+from repro.core import (
+    DelayStageParams,
+    delay_stage_schedule,
+    staggered_read_schedule,
+)
+from repro.dag import JobBuilder, parallel_stage_set
+from repro.simulator import FixedDelayPolicy, SimulationConfig, simulate_job
+from repro.workloads import cosine_similarity
+
+
+def contended_job():
+    return (
+        JobBuilder("h")
+        .stage("S1", input_mb=1024, output_mb=512, process_rate_mb=8)
+        .stage("S2", input_mb=1024, output_mb=2048, process_rate_mb=8)
+        .stage("S3", input_mb=2048, output_mb=512, process_rate_mb=16, parents=["S2"])
+        .stage("S4", input_mb=1024, output_mb=128, process_rate_mb=16, parents=["S1", "S3"])
+        .build()
+    )
+
+
+def test_covers_parallel_set(small_cluster):
+    schedule = staggered_read_schedule(contended_job(), small_cluster)
+    assert set(schedule.delays) == parallel_stage_set(contended_job())
+    assert all(x >= 0 for x in schedule.delays.values())
+
+
+def test_longest_path_head_first(small_cluster):
+    schedule = staggered_read_schedule(contended_job(), small_cluster)
+    head = schedule.paths[0].stages[0]
+    assert schedule.delays[head] == 0.0
+
+
+def test_heads_staggered_by_read_time(small_cluster):
+    schedule = staggered_read_schedule(contended_job(), small_cluster)
+    heads = [p.stages[0] for p in schedule.paths]
+    delays = [schedule.delays[h] for h in dict.fromkeys(heads)]
+    assert delays == sorted(delays)
+    assert delays[-1] > 0  # later heads actually wait
+
+
+def test_improves_over_stock(small_cluster):
+    job = contended_job()
+    cfg = SimulationConfig(track_metrics=False)
+    stock = simulate_job(job, small_cluster, config=cfg).job_completion_time("h")
+    schedule = staggered_read_schedule(job, small_cluster)
+    jct = simulate_job(
+        job, small_cluster, FixedDelayPolicy(schedule.delays), cfg
+    ).job_completion_time("h")
+    assert jct < stock
+
+
+def test_much_cheaper_than_algorithm_1(small_cluster):
+    job = contended_job()
+    heuristic = staggered_read_schedule(job, small_cluster)
+    greedy = delay_stage_schedule(job, small_cluster, DelayStageParams(max_slots=16))
+    assert heuristic.evaluations == 0
+    assert heuristic.compute_seconds < greedy.compute_seconds / 5
+
+
+def test_algorithm_1_at_least_as_good(small_cluster):
+    """The fluid-informed greedy never loses to the blind heuristic on
+    the workloads it was designed for."""
+    from repro.cluster import ec2_m4large_cluster
+
+    cluster = ec2_m4large_cluster()
+    job = cosine_similarity()
+    cfg = SimulationConfig(track_metrics=False)
+    h = staggered_read_schedule(job, cluster)
+    g = delay_stage_schedule(job, cluster, DelayStageParams(max_slots=24))
+    jh = simulate_job(job, cluster, FixedDelayPolicy(h.delays), cfg).job_completion_time(job.job_id)
+    jg = simulate_job(job, cluster, FixedDelayPolicy(g.delays), cfg).job_completion_time(job.job_id)
+    assert jg <= jh + 1e-6
+
+
+def test_sequential_job_empty(chain_job, small_cluster):
+    schedule = staggered_read_schedule(chain_job, small_cluster)
+    assert schedule.delays == {}

@@ -1,0 +1,54 @@
+"""Path-ordering variants."""
+
+import pytest
+
+from repro.core import PathOrder, order_paths
+from repro.dag.paths import ExecutionPath
+
+
+def paths():
+    return [
+        ExecutionPath(("A",), 10.0),
+        ExecutionPath(("B",), 30.0),
+        ExecutionPath(("C",), 20.0),
+    ]
+
+
+def test_descending():
+    out = order_paths(paths(), PathOrder.DESCENDING)
+    assert [p.execution_time for p in out] == [30.0, 20.0, 10.0]
+
+
+def test_ascending():
+    out = order_paths(paths(), PathOrder.ASCENDING)
+    assert [p.execution_time for p in out] == [10.0, 20.0, 30.0]
+
+
+def test_random_deterministic_by_seed():
+    a = order_paths(paths(), PathOrder.RANDOM, rng=5)
+    b = order_paths(paths(), PathOrder.RANDOM, rng=5)
+    assert a == b
+    assert sorted(p.execution_time for p in a) == [10.0, 20.0, 30.0]
+
+
+def test_string_order_accepted():
+    out = order_paths(paths(), "ascending")
+    assert out[0].execution_time == 10.0
+
+
+def test_invalid_order_rejected():
+    with pytest.raises(ValueError):
+        order_paths(paths(), "sideways")
+
+
+def test_tie_broken_by_stages():
+    tied = [ExecutionPath(("B",), 10.0), ExecutionPath(("A",), 10.0)]
+    out = order_paths(tied, PathOrder.DESCENDING)
+    assert [p.stages for p in out] == [("A",), ("B",)]
+
+
+def test_input_not_mutated():
+    original = paths()
+    copy = list(original)
+    order_paths(original, PathOrder.RANDOM, rng=0)
+    assert original == copy

@@ -1,0 +1,98 @@
+"""Oversubscribed-core network model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Topology, uniform_cluster
+from repro.dag import JobBuilder
+from repro.simulator import Simulation, SimulationConfig
+from repro.simulator.fairshare import maxmin_network_rates
+from repro.simulator.flows import NetworkFlow
+
+
+def topo_with_core(core_mb=50e6, nic_mbps=800):
+    cluster = uniform_cluster(4, nic_mbps=nic_mbps)
+    topo = Topology(cluster)
+    topo.set_core_oversubscription(
+        {"w0": 0, "w1": 0, "w2": 1, "w3": 1}, core_capacity=core_mb
+    )
+    return cluster, topo
+
+
+def flow(src, dst):
+    return NetworkFlow(src, dst, 1.0, ("j", "s"))
+
+
+def test_cross_rack_flows_share_core():
+    _c, topo = topo_with_core(core_mb=50e6)
+    rates = maxmin_network_rates([flow("w0", "w2"), flow("w1", "w3")], topo)
+    assert rates[0] + rates[1] == pytest.approx(50e6)
+    assert rates[0] == pytest.approx(rates[1])
+
+
+def test_intra_rack_unconstrained():
+    # Wide NICs so only the core binds: the cross-rack flow is capped at
+    # the core while the intra-rack flow keeps its NIC share.
+    _c, topo = topo_with_core(core_mb=50e6, nic_mbps=1600)
+    rates = maxmin_network_rates(
+        [flow("w0", "w2"), flow("w1", "w0")], topo
+    )
+    assert rates[0] == pytest.approx(50e6)
+    assert rates[1] > rates[0]
+
+
+def test_core_wider_than_nics_is_noop():
+    cluster = uniform_cluster(4, nic_mbps=100)
+    topo_plain = Topology(cluster)
+    topo_core = Topology(cluster)
+    topo_core.set_core_oversubscription(
+        {"w0": 0, "w1": 0, "w2": 1, "w3": 1}, core_capacity=1e12
+    )
+    flows = [flow("w0", "w2"), flow("w1", "w3"), flow("w0", "w1")]
+    a = maxmin_network_rates(flows, topo_plain)
+    b = maxmin_network_rates(
+        [flow("w0", "w2"), flow("w1", "w3"), flow("w0", "w1")], topo_core
+    )
+    assert np.allclose(a, b)
+
+
+def test_released_core_capacity_redistributed():
+    """A cap-limited cross-rack flow frees core capacity for others."""
+    _c, topo = topo_with_core(core_mb=50e6)
+    capped = NetworkFlow("w0", "w2", 1.0, ("j", "s"), rate_cap=10e6)
+    other = flow("w1", "w3")
+    rates = maxmin_network_rates([capped, other], topo)
+    assert rates[0] == pytest.approx(10e6)
+    assert rates[1] == pytest.approx(40e6)
+
+
+def test_racks_must_cover_all_nodes():
+    cluster = uniform_cluster(2)
+    topo = Topology(cluster)
+    with pytest.raises(ValueError, match="missing"):
+        topo.set_core_oversubscription({"w0": 0}, core_capacity=1.0)
+    with pytest.raises(ValueError):
+        topo.set_core_oversubscription({"w0": 0, "w1": 1}, core_capacity=0.0)
+
+
+def test_simulation_with_oversubscribed_core():
+    """End to end: a tighter core slows the shuffle-bound job."""
+    cluster = uniform_cluster(4, storage_nodes=0, nic_mbps=800)
+    job = (
+        JobBuilder("c")
+        .stage("A", input_mb=512, output_mb=1024, process_rate_mb=50)
+        .stage("B", input_mb=1024, output_mb=64, process_rate_mb=50, parents=["A"])
+        .build()
+    )
+    racks = {"w0": 0, "w1": 0, "w2": 1, "w3": 1}
+
+    def run(core_mbps):
+        sim = Simulation(cluster, SimulationConfig(track_metrics=False))
+        if core_mbps is not None:
+            sim.topology.set_core_oversubscription(racks, core_mbps * 1e6 / 8)
+        sim.add_job(job)
+        return sim.run().job_completion_time("c")
+
+    open_core = run(None)
+    tight = run(100)
+    assert tight > open_core

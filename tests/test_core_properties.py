@@ -1,0 +1,70 @@
+"""metrics.properties persistence of the delay table (Sec. 4.2)."""
+
+import pytest
+
+from repro.core import read_metrics_properties, write_metrics_properties
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "metrics.properties"
+    delays = {"S1": 12.5, "S2": 0.0, "S3": 107.0}
+    write_metrics_properties(path, "job1", delays)
+    loaded = read_metrics_properties(path)
+    assert loaded == {"job1": pytest.approx(delays)}
+
+
+def test_append_multiple_jobs(tmp_path):
+    path = tmp_path / "metrics.properties"
+    write_metrics_properties(path, "a", {"S1": 1.0})
+    write_metrics_properties(path, "b", {"S1": 2.0}, append=True)
+    loaded = read_metrics_properties(path)
+    assert set(loaded) == {"a", "b"}
+    assert loaded["b"]["S1"] == 2.0
+
+
+def test_overwrite_without_append(tmp_path):
+    path = tmp_path / "metrics.properties"
+    write_metrics_properties(path, "a", {"S1": 1.0})
+    write_metrics_properties(path, "b", {"S1": 2.0})
+    assert set(read_metrics_properties(path)) == {"b"}
+
+
+def test_job_filter(tmp_path):
+    path = tmp_path / "metrics.properties"
+    write_metrics_properties(path, "a", {"S1": 1.0})
+    write_metrics_properties(path, "b", {"S2": 2.0}, append=True)
+    assert read_metrics_properties(path, "a") == {"a": {"S1": 1.0}}
+    assert read_metrics_properties(path, "zzz") == {"zzz": {}}
+
+
+def test_ignores_unrelated_properties(tmp_path):
+    path = tmp_path / "metrics.properties"
+    path.write_text(
+        "# spark metrics config\n"
+        "*.sink.csv.period=1\n"
+        "\n"
+        "! another comment style\n"
+        "spark.delaystage.j.S1=4.25\n"
+    )
+    assert read_metrics_properties(path) == {"j": {"S1": 4.25}}
+
+
+def test_malformed_delay_rejected(tmp_path):
+    path = tmp_path / "metrics.properties"
+    path.write_text("spark.delaystage.j.S1=abc\n")
+    with pytest.raises(ValueError, match="non-numeric"):
+        read_metrics_properties(path)
+
+
+def test_negative_delay_rejected(tmp_path):
+    path = tmp_path / "metrics.properties"
+    path.write_text("spark.delaystage.j.S1=-3\n")
+    with pytest.raises(ValueError, match="negative"):
+        read_metrics_properties(path)
+
+
+def test_missing_stage_id_rejected(tmp_path):
+    path = tmp_path / "metrics.properties"
+    path.write_text("spark.delaystage.justjob=1\n")
+    with pytest.raises(ValueError, match="malformed"):
+        read_metrics_properties(path)

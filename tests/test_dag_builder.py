@@ -1,0 +1,83 @@
+"""JobBuilder and job_from_edges constructors."""
+
+import pytest
+
+from repro.dag import JobBuilder, job_from_edges
+from repro.util.units import MB
+
+
+def test_builder_units_are_mb():
+    job = (
+        JobBuilder("j")
+        .stage("A", input_mb=10, output_mb=5, process_rate_mb=2)
+        .build()
+    )
+    stage = job.stage("A")
+    assert stage.input_bytes == 10 * MB
+    assert stage.output_bytes == 5 * MB
+    assert stage.process_rate == 2 * MB
+
+
+def test_builder_parents_shortcut():
+    job = (
+        JobBuilder("j")
+        .stage("A", input_mb=1, output_mb=1, process_rate_mb=1)
+        .stage("B", input_mb=1, output_mb=1, process_rate_mb=1, parents=["A"])
+        .build()
+    )
+    assert job.parents("B") == {"A"}
+
+
+def test_builder_explicit_edge():
+    job = (
+        JobBuilder("j")
+        .stage("A", input_mb=1, output_mb=1, process_rate_mb=1)
+        .stage("B", input_mb=1, output_mb=1, process_rate_mb=1)
+        .edge("A", "B")
+        .build()
+    )
+    assert job.children("A") == {"B"}
+
+
+def test_builder_forward_parent_rejected_at_build():
+    builder = (
+        JobBuilder("j")
+        .stage("A", input_mb=1, output_mb=1, process_rate_mb=1, parents=["Z"])
+    )
+    with pytest.raises(ValueError, match="unknown"):
+        builder.build()
+
+
+def test_builder_extra_stage_params():
+    job = (
+        JobBuilder("j")
+        .stage("A", input_mb=1, output_mb=1, process_rate_mb=1,
+               num_tasks=99, task_cv=0.7, name="mapper")
+        .build()
+    )
+    stage = job.stage("A")
+    assert stage.num_tasks == 99
+    assert stage.task_cv == 0.7
+    assert stage.name == "mapper"
+
+
+def test_job_from_edges_defaults():
+    job = job_from_edges("j", [("A", "B"), ("B", "C")])
+    assert job.stage_ids == ["A", "B", "C"]
+    assert job.stage("A").input_bytes == 512 * MB
+
+
+def test_job_from_edges_overrides():
+    job = job_from_edges(
+        "j",
+        [("A", "B")],
+        stage_params={"A": {"input_mb": 64, "num_tasks": 8, "task_cv": 0.2}},
+    )
+    assert job.stage("A").input_bytes == 64 * MB
+    assert job.stage("A").num_tasks == 8
+    assert job.stage("B").input_bytes == 512 * MB
+
+
+def test_job_from_edges_empty_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        job_from_edges("j", [])

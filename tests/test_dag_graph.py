@@ -1,0 +1,141 @@
+"""Graph algorithms: topological order, ancestors, parallel stages,
+critical path — including hypothesis property tests on random DAGs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag import (
+    Job,
+    ancestors,
+    critical_path,
+    descendants,
+    is_parallel_pair,
+    parallel_pairs,
+    parallel_stage_set,
+    sequential_stage_set,
+    topological_order,
+)
+from repro.workloads import random_job
+
+from testutil import make_job
+
+
+def test_topological_order_respects_edges(diamond_job):
+    order = topological_order(diamond_job)
+    pos = {sid: i for i, sid in enumerate(order)}
+    for parent, child in diamond_job.edges:
+        assert pos[parent] < pos[child]
+
+
+def test_topological_order_deterministic(diamond_job):
+    assert topological_order(diamond_job) == topological_order(diamond_job)
+
+
+def test_ancestors_descendants(diamond_job):
+    assert ancestors(diamond_job, "S4") == {"S1", "S2", "S3"}
+    assert ancestors(diamond_job, "S1") == frozenset()
+    assert descendants(diamond_job, "S1") == {"S2", "S3", "S4"}
+    assert descendants(diamond_job, "S4") == frozenset()
+
+
+def test_parallel_pair(diamond_job):
+    assert is_parallel_pair(diamond_job, "S2", "S3")
+    assert not is_parallel_pair(diamond_job, "S1", "S2")
+    assert not is_parallel_pair(diamond_job, "S1", "S4")
+    assert not is_parallel_pair(diamond_job, "S2", "S2")
+
+
+def test_parallel_pairs_diamond(diamond_job):
+    assert parallel_pairs(diamond_job) == {frozenset(("S2", "S3"))}
+
+
+def test_parallel_stage_set_diamond(diamond_job):
+    # S1 and S4 are sequential with everything.
+    assert parallel_stage_set(diamond_job) == {"S2", "S3"}
+    assert sequential_stage_set(diamond_job) == {"S1", "S4"}
+
+
+def test_parallel_stage_set_chain(chain_job):
+    assert parallel_stage_set(chain_job) == frozenset()
+    assert sequential_stage_set(chain_job) == {"S1", "S2", "S3"}
+
+
+def test_parallel_stage_set_fork_join(fork_join_job):
+    assert parallel_stage_set(fork_join_job) == {"A", "B", "C"}
+
+
+def test_als_structure_matches_paper():
+    """Fig. 1/7: ALS parallel set is {S1..S4}; S5, S6 sequential."""
+    from repro.workloads import als
+
+    job = als()
+    assert parallel_stage_set(job) == {"S1", "S2", "S3", "S4"}
+    assert sequential_stage_set(job) == {"S5", "S6"}
+
+
+def test_critical_path_with_weights(diamond_job):
+    weights = {"S1": 1.0, "S2": 5.0, "S3": 2.0, "S4": 1.0}
+    path, total = critical_path(diamond_job, weights)
+    assert path == ["S1", "S2", "S4"]
+    assert total == pytest.approx(7.0)
+
+
+def test_critical_path_default_weight(fork_join_job):
+    path, total = critical_path(fork_join_job)
+    assert path[-1] == "D"
+    assert len(path) == 2
+
+
+def test_critical_path_callable_weight(chain_job):
+    path, total = critical_path(chain_job, lambda sid: 1.0)
+    assert path == ["S1", "S2", "S3"]
+    assert total == pytest.approx(3.0)
+
+
+# --------------------------------------------------------------------- #
+# property tests on random DAGs
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def random_jobs(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    par = draw(st.floats(min_value=0.0, max_value=1.0))
+    return random_job(n, parallelism=par, rng=seed)
+
+
+@given(random_jobs())
+@settings(max_examples=40, deadline=None)
+def test_topological_order_is_valid_permutation(job):
+    order = topological_order(job)
+    assert sorted(order) == sorted(job.stage_ids)
+    pos = {sid: i for i, sid in enumerate(order)}
+    for parent, child in job.edges:
+        assert pos[parent] < pos[child]
+
+
+@given(random_jobs())
+@settings(max_examples=40, deadline=None)
+def test_parallel_set_consistent_with_pairs(job):
+    members = parallel_stage_set(job)
+    in_pairs = {sid for pair in parallel_pairs(job) for sid in pair}
+    assert members == in_pairs
+
+
+@given(random_jobs())
+@settings(max_examples=40, deadline=None)
+def test_parallel_is_symmetric_and_antireflexive(job):
+    ids = job.stage_ids[:6]
+    for a in ids:
+        assert not is_parallel_pair(job, a, a)
+        for b in ids:
+            assert is_parallel_pair(job, a, b) == is_parallel_pair(job, b, a)
+
+
+@given(random_jobs())
+@settings(max_examples=30, deadline=None)
+def test_ancestors_never_parallel(job):
+    for sid in job.stage_ids[:5]:
+        for anc in list(ancestors(job, sid))[:5]:
+            assert not is_parallel_pair(job, sid, anc)

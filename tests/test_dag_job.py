@@ -1,0 +1,91 @@
+"""Job construction, validation, and structure queries."""
+
+import pytest
+
+from repro.dag import Job
+
+from testutil import make_job, make_stage
+
+
+def test_parents_children(diamond_job):
+    assert diamond_job.parents("S4") == {"S2", "S3"}
+    assert diamond_job.children("S1") == {"S2", "S3"}
+    assert diamond_job.parents("S1") == frozenset()
+    assert diamond_job.children("S4") == frozenset()
+
+
+def test_roots_and_leaves(diamond_job):
+    assert diamond_job.roots == ["S1"]
+    assert diamond_job.leaves == ["S4"]
+
+
+def test_multiple_roots(fork_join_job):
+    assert sorted(fork_join_job.roots) == ["A", "B", "C"]
+    assert fork_join_job.leaves == ["D"]
+
+
+def test_edges_deterministic(diamond_job):
+    assert diamond_job.edges == [("S1", "S2"), ("S1", "S3"), ("S2", "S4"), ("S3", "S4")]
+
+
+def test_cycle_detection():
+    with pytest.raises(ValueError, match="cycle"):
+        make_job("cyclic", [("A", "B"), ("B", "C"), ("C", "A")])
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError, match="self-loop"):
+        make_job("loop", [("A", "A")])
+
+
+def test_unknown_edge_endpoint_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        Job("j", [make_stage("A")], [("A", "B")])
+
+
+def test_duplicate_stage_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        Job("j", [make_stage("A"), make_stage("A")])
+
+
+def test_empty_job_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        Job("j", [])
+
+
+def test_empty_job_id_rejected():
+    with pytest.raises(ValueError, match="job_id"):
+        Job("", [make_stage("A")])
+
+
+def test_stage_lookup_error_mentions_job():
+    job = make_job("named", [("A", "B")])
+    with pytest.raises(KeyError, match="named"):
+        job.stage("Z")
+
+
+def test_iteration_and_len(diamond_job):
+    assert len(diamond_job) == 4
+    assert {s.stage_id for s in diamond_job} == {"S1", "S2", "S3", "S4"}
+    assert "S1" in diamond_job
+    assert "nope" not in diamond_job
+
+
+def test_total_input_bytes(diamond_job):
+    assert diamond_job.total_input_bytes == sum(s.input_bytes for s in diamond_job)
+
+
+def test_scaled_preserves_structure(diamond_job):
+    scaled = diamond_job.scaled(0.5)
+    assert scaled.edges == diamond_job.edges
+    assert scaled.stage("S1").input_bytes == pytest.approx(
+        diamond_job.stage("S1").input_bytes * 0.5
+    )
+    # Default id records the factor; explicit id wins.
+    assert scaled.job_id == "diamond-x0.5"
+    assert diamond_job.scaled(0.5, job_id="z").job_id == "z"
+
+
+def test_parents_of_unknown_stage_raises(diamond_job):
+    with pytest.raises(KeyError):
+        diamond_job.parents("Z")

@@ -1,0 +1,113 @@
+"""Execution-path decomposition (paper Fig. 7 semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag import ExecutionPath, Job, execution_paths, parallel_stage_set
+from repro.workloads import random_job
+
+from testutil import make_job, make_stage
+
+
+def fig7_job():
+    """The paper's Fig. 7: S1->S3, S2->S3, S4 parallel, S5 after all."""
+    return make_job(
+        "fig7",
+        [("S1", "S3"), ("S2", "S3"), ("S3", "S5"), ("S4", "S5")],
+    )
+
+
+def test_fig7_decomposition():
+    job = fig7_job()
+    times = {"S1": 20.0, "S2": 10.0, "S3": 30.0, "S4": 20.0}
+    paths = execution_paths(job, times)
+    as_sets = [p.stages for p in paths]
+    # P1 = {S1, S3}, P2 = {S2, S3} (S3 shared), P3 = {S4}; S5 excluded.
+    assert ("S1", "S3") in as_sets
+    assert ("S2", "S3") in as_sets
+    assert ("S4",) in as_sets
+    assert len(paths) == 3
+
+
+def test_fig7_path_times_and_order():
+    job = fig7_job()
+    times = {"S1": 20.0, "S2": 10.0, "S3": 30.0, "S4": 20.0}
+    paths = execution_paths(job, times)
+    assert [p.execution_time for p in paths] == [50.0, 40.0, 20.0]
+    assert paths[0].stages == ("S1", "S3")
+
+
+def test_stage5_not_in_any_path():
+    job = fig7_job()
+    paths = execution_paths(job, {"S1": 1, "S2": 1, "S3": 1, "S4": 1})
+    assert all("S5" not in p for p in paths)
+
+
+def test_chain_job_has_no_paths(chain_job):
+    assert execution_paths(chain_job) == []
+
+
+def test_single_parallel_pair(diamond_job):
+    paths = execution_paths(diamond_job)
+    assert sorted(p.stages for p in paths) == [("S2",), ("S3",)]
+
+
+def test_default_times_use_compute_work(fork_join_job):
+    paths = execution_paths(fork_join_job)
+    # A and C have equal work > B; deterministic tiebreak by stages.
+    assert paths[0].execution_time >= paths[-1].execution_time
+
+
+def test_missing_stage_times_rejected(diamond_job):
+    with pytest.raises(ValueError, match="missing"):
+        execution_paths(diamond_job, {"S2": 1.0})
+
+
+def test_execution_path_dunder():
+    p = ExecutionPath(("A", "B"), 3.0)
+    assert len(p) == 2
+    assert list(p) == ["A", "B"]
+    assert "A" in p and "C" not in p
+
+
+def test_greedy_cover_on_wide_dag():
+    """With a tiny max_paths budget the cover must still hit every
+    parallel stage."""
+    edges = []
+    for i in range(6):
+        edges.append((f"A{i}", "J"))
+        edges.append((f"B{i}", f"A{i}"))
+    job = make_job("wide", edges)
+    members = parallel_stage_set(job)
+    paths = execution_paths(job, {m: 1.0 for m in members}, max_paths=2)
+    covered = {sid for p in paths for sid in p}
+    assert covered == members
+
+
+@given(
+    st.integers(min_value=2, max_value=18),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_paths_cover_parallel_set_and_respect_edges(n, seed):
+    job = random_job(n, parallelism=0.6, rng=seed)
+    members = parallel_stage_set(job)
+    paths = execution_paths(job)
+    covered = {sid for p in paths for sid in p}
+    assert covered == members
+    # Each path is a dependency chain: consecutive stages are connected.
+    for p in paths:
+        for a, b in zip(p.stages, p.stages[1:]):
+            assert b in job.children(a)
+
+
+@given(
+    st.integers(min_value=2, max_value=18),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_paths_sorted_descending(n, seed):
+    job = random_job(n, parallelism=0.6, rng=seed)
+    paths = execution_paths(job)
+    times = [p.execution_time for p in paths]
+    assert times == sorted(times, reverse=True)

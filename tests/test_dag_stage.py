@@ -1,0 +1,86 @@
+"""Stage construction, derived properties, and scaling."""
+
+import pytest
+
+from repro.dag import Stage
+from repro.util.units import MB
+
+from testutil import make_stage
+
+
+def test_basic_construction():
+    s = make_stage("S1", input_mb=100, output_mb=50, rate_mb=10)
+    assert s.stage_id == "S1"
+    assert s.input_bytes == 100 * MB
+    assert s.name == "S1"  # defaults to the id
+
+
+def test_custom_name_kept():
+    s = make_stage("S1", name="shuffle-map")
+    assert s.name == "shuffle-map"
+
+
+def test_shuffle_ratio():
+    s = make_stage(input_mb=130, output_mb=100)
+    assert s.shuffle_ratio == pytest.approx(1.3)
+
+
+def test_shuffle_ratio_zero_output():
+    assert make_stage(input_mb=10, output_mb=0).shuffle_ratio == float("inf")
+    assert Stage("z", 0.0, 0.0, 1.0).shuffle_ratio == 0.0
+
+
+def test_compute_work_is_input_over_rate():
+    s = make_stage(input_mb=100, rate_mb=10)
+    assert s.compute_work == pytest.approx(10.0)
+
+
+def test_scaled_scales_volumes_only():
+    s = make_stage(input_mb=100, output_mb=40, rate_mb=10, num_tasks=32, task_cv=0.5)
+    t = s.scaled(0.1)
+    assert t.input_bytes == pytest.approx(10 * MB)
+    assert t.output_bytes == pytest.approx(4 * MB)
+    assert t.process_rate == s.process_rate
+    assert t.num_tasks == 32
+    assert t.task_cv == 0.5
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        make_stage().scaled(0)
+
+
+def test_rejects_empty_id():
+    with pytest.raises(ValueError, match="stage_id"):
+        Stage("", 1.0, 1.0, 1.0)
+
+
+def test_rejects_negative_input():
+    with pytest.raises(ValueError):
+        Stage("s", -1.0, 1.0, 1.0)
+
+
+def test_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        Stage("s", 1.0, 1.0, 0.0)
+
+
+def test_rejects_zero_tasks():
+    with pytest.raises(ValueError):
+        Stage("s", 1.0, 1.0, 1.0, num_tasks=0)
+
+
+def test_rejects_negative_cv():
+    with pytest.raises(ValueError):
+        Stage("s", 1.0, 1.0, 1.0, task_cv=-0.1)
+
+
+def test_zero_input_allowed():
+    s = Stage("s", 0.0, 10.0, 1.0)
+    assert s.compute_work == 0.0
+
+
+def test_frozen():
+    s = make_stage()
+    with pytest.raises(Exception):
+        s.input_bytes = 0.0

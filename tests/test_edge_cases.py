@@ -1,0 +1,162 @@
+"""Edge cases across modules that the mainline tests don't reach."""
+
+import math
+
+import pytest
+
+from repro.dag import JobBuilder
+from repro.cluster import uniform_cluster
+from repro.simulator import (
+    FixedDelayPolicy,
+    Simulation,
+    SimulationConfig,
+    simulate_job,
+)
+from repro.simulator.engine import FluidEngine, WorkItem
+from repro.trace import TraceGeneratorConfig, generate_trace
+from repro.trace.analysis import job_parallel_fraction, stage_runtime_range
+
+
+# ------------------------------- engine -------------------------------- #
+
+
+def test_engine_item_without_callback():
+    engine = FluidEngine(lambda items: [setattr(i, "rate", 1.0) for i in items])
+    engine.add_item(WorkItem(2.0))  # no on_complete
+    assert engine.run() == pytest.approx(2.0)
+
+
+def test_engine_add_items_bulk():
+    done = []
+    engine = FluidEngine(lambda items: [setattr(i, "rate", 1.0) for i in items])
+    engine.add_items([WorkItem(1.0, done.append), WorkItem(2.0, done.append)])
+    engine.run()
+    assert len(done) == 2
+
+
+def test_engine_event_fuse():
+    """The livelock fuse trips instead of spinning forever."""
+
+    def allocate(items):
+        for item in items:
+            item.rate = 1.0
+
+    engine = FluidEngine(allocate, max_events=10)
+
+    def respawn():
+        engine.add_item(WorkItem(0.5))
+        engine.schedule(engine.now + 0.1, respawn)
+
+    respawn()
+    with pytest.raises(RuntimeError, match="exceeded"):
+        engine.run()
+
+
+# ----------------------------- simulation ------------------------------ #
+
+
+def test_storage_nodes_never_compute(small_cluster, diamond_job):
+    res = simulate_job(diamond_job, small_cluster)
+    for sid in small_cluster.storage_ids:
+        series = res.metrics.node_series(sid)
+        assert series.cpu_busy.max() == 0.0
+        assert series.net_out.max() > 0  # they do serve data
+
+
+def test_fanin_larger_than_sources(small_cluster):
+    job = (
+        JobBuilder("f")
+        .stage("A", input_mb=256, output_mb=64, process_rate_mb=10)
+        .build()
+    )
+    # fanin 99 > 2 storage nodes: clamps to all sources.
+    res = simulate_job(job, small_cluster, config=SimulationConfig(fanin=99))
+    base = simulate_job(job, small_cluster)
+    assert res.stage("f", "A").duration == pytest.approx(
+        base.stage("f", "A").duration, rel=1e-9
+    )
+
+
+def test_multi_job_makespan(small_cluster):
+    sim = Simulation(small_cluster, SimulationConfig(track_metrics=False))
+    a = JobBuilder("a").stage("S", input_mb=128, output_mb=32, process_rate_mb=10).build()
+    b = JobBuilder("b").stage("S", input_mb=128, output_mb=32, process_rate_mb=10).build()
+    sim.add_job(a)
+    sim.add_job(b, submit_time=500.0)
+    res = sim.run()
+    assert res.makespan == pytest.approx(
+        res.job_records["b"].finish_time
+    )
+    assert res.job_records["b"].completion_time < 500.0
+
+
+def test_negative_submit_time_rejected(small_cluster, diamond_job):
+    sim = Simulation(small_cluster)
+    with pytest.raises(ValueError):
+        sim.add_job(diamond_job, submit_time=-1.0)
+
+
+def test_nan_delay_rejected():
+    with pytest.raises(ValueError):
+        FixedDelayPolicy({"A": math.nan})
+
+
+def test_record_properties(small_cluster, diamond_job):
+    res = simulate_job(diamond_job, small_cluster, FixedDelayPolicy({"S2": 3.0}))
+    rec = res.stage("diamond", "S2")
+    assert rec.delay == pytest.approx(3.0)
+    assert rec.duration == pytest.approx(
+        rec.read_time + rec.compute_time + rec.write_time, rel=1e-9
+    )
+
+
+def test_parallel_stage_makespan_empty_members(small_cluster, diamond_job):
+    res = simulate_job(diamond_job, small_cluster)
+    assert res.parallel_stage_makespan("diamond", frozenset()) == 0.0
+
+
+# ------------------------------- trace --------------------------------- #
+
+
+def test_job_parallel_fraction_empty():
+    assert job_parallel_fraction([]) == 0.0
+
+
+def test_stage_runtime_range_empty():
+    lo, hi, arr = stage_runtime_range([])
+    assert lo == hi == 0.0
+    assert arr.size == 0
+
+
+def test_trace_tiny_config():
+    jobs = generate_trace(TraceGeneratorConfig(num_jobs=3, max_stages=6), rng=0)
+    assert len(jobs) == 3
+    assert all(j.num_stages <= 6 for j in jobs)
+
+
+# ----------------------------- heterogeneous --------------------------- #
+
+
+def test_heterogeneous_workers_slowest_determines_stage():
+    from repro.cluster import ClusterSpec, NodeSpec
+    from repro.util.units import mbps_to_bytes_per_sec, MB
+
+    nodes = [
+        NodeSpec("fast", 4, mbps_to_bytes_per_sec(1000), 200 * MB),
+        NodeSpec("slow", 1, mbps_to_bytes_per_sec(200), 50 * MB),
+        NodeSpec("store", 0, mbps_to_bytes_per_sec(2000), 200 * MB, is_storage=True),
+    ]
+    cluster = ClusterSpec(nodes)
+    job = (
+        JobBuilder("het")
+        .stage("A", input_mb=512, output_mb=128, process_rate_mb=10)
+        .build()
+    )
+    res = simulate_job(job, cluster)
+    # The slow node's part is the last to finish: the stage ends when a
+    # compute/write completes there, not on the fast node.
+    rec = res.stage("het", "A")
+    assert rec.duration > 0
+    m = res.metrics.node_series("slow")
+    busy_end = m.t1[m.cpu_busy > 0].max() if (m.cpu_busy > 0).any() else 0
+    assert busy_end == pytest.approx(rec.compute_done_time, abs=m.t1[-1] * 0.1)

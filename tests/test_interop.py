@@ -1,0 +1,92 @@
+"""Interop: networkx conversion and trace CSV export round-trips."""
+
+import io
+
+import networkx as nx
+import pytest
+
+from repro.dag import Job, from_networkx, parallel_stage_set, to_networkx
+from repro.trace import (
+    TraceGeneratorConfig,
+    export_batch_task_csv,
+    generate_trace,
+    parse_batch_task_csv,
+)
+from repro.workloads import lda, triangle_count
+
+
+# ----------------------------- networkx -------------------------------- #
+
+
+def test_networkx_roundtrip_exact():
+    job = triangle_count()
+    back = from_networkx(to_networkx(job))
+    assert back.job_id == job.job_id
+    assert sorted(back.edges) == sorted(job.edges)
+    for sid in job.stage_ids:
+        a, b = job.stage(sid), back.stage(sid)
+        assert b.input_bytes == a.input_bytes
+        assert b.output_bytes == a.output_bytes
+        assert b.process_rate == a.process_rate
+        assert b.num_tasks == a.num_tasks
+        assert b.task_cv == a.task_cv
+
+
+def test_networkx_graph_usable():
+    graph = to_networkx(lda())
+    assert nx.is_directed_acyclic_graph(graph)
+    assert graph.graph["job_id"] == "lda"
+    # networkx agrees with our parallel-stage definition via reachability.
+    tc = nx.transitive_closure_dag(graph)
+    parallel = {
+        n for n in graph.nodes
+        if any(
+            m != n and not tc.has_edge(n, m) and not tc.has_edge(m, n)
+            for m in graph.nodes
+        )
+    }
+    assert parallel == set(parallel_stage_set(lda()))
+
+
+def test_from_networkx_defaults_and_overrides():
+    g = nx.DiGraph()
+    g.add_edge("a", "b")
+    job = from_networkx(g, job_id="structural")
+    assert job.job_id == "structural"
+    assert job.stage("a").input_bytes > 0  # defaults applied
+    assert job.parents("b") == {"a"}
+
+
+def test_from_networkx_rejects_cycles():
+    g = nx.DiGraph([("a", "b"), ("b", "a")])
+    with pytest.raises(ValueError, match="cycle"):
+        from_networkx(g)
+
+
+# ---------------------------- trace export ----------------------------- #
+
+
+def test_export_parse_roundtrip_structure():
+    trace = generate_trace(TraceGeneratorConfig(num_jobs=40), rng=6)
+    buf = io.StringIO()
+    rows = export_batch_task_csv(trace, buf)
+    assert rows == sum(j.num_stages for j in trace)
+
+    buf.seek(0)
+    parsed = {j.job_id: j for j in parse_batch_task_csv(buf)}
+    assert len(parsed) == len(trace)
+    for original in trace:
+        back = parsed[original.job_id]
+        assert back.num_stages == original.num_stages
+        # Edge structure survives the name-encoding round trip.
+        assert len(back.edges) == len(original.edges)
+        assert back.duration == pytest.approx(original.duration, abs=1.5)
+
+
+def test_export_to_file(tmp_path):
+    trace = generate_trace(TraceGeneratorConfig(num_jobs=5), rng=0)
+    path = tmp_path / "batch_task.csv"
+    rows = export_batch_task_csv(trace, path)
+    assert rows > 0
+    parsed = parse_batch_task_csv(path)
+    assert len(parsed) == 5

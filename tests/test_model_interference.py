@@ -1,0 +1,73 @@
+"""Schedule evaluation under interference + path-time extraction."""
+
+import pytest
+
+from repro.dag import execution_paths, parallel_stage_set
+from repro.model import (
+    ScheduleEvaluation,
+    evaluate_schedule,
+    parallel_stage_makespan,
+    path_completion_times,
+    predicted_path_time,
+)
+from repro.simulator import FixedDelayPolicy, simulate_job
+
+
+def test_matches_direct_simulation(fork_join_job, small_cluster):
+    delays = {"B": 5.0}
+    ev = evaluate_schedule(fork_join_job, small_cluster, delays)
+    direct = simulate_job(fork_join_job, small_cluster, FixedDelayPolicy(delays))
+    for sid in fork_join_job.stage_ids:
+        assert ev.stage_finish[sid] == pytest.approx(
+            direct.stage("forkjoin", sid).finish_time, rel=1e-9
+        )
+        assert ev.stage_times[sid] == pytest.approx(
+            direct.stage("forkjoin", sid).duration, rel=1e-9
+        )
+    assert ev.job_completion_time == pytest.approx(
+        direct.job_completion_time("forkjoin"), rel=1e-9
+    )
+
+
+def test_parallel_makespan_excludes_sequential(diamond_job, small_cluster):
+    ev = evaluate_schedule(diamond_job, small_cluster, {})
+    # members = {S2, S3}; S4 finishes later but is sequential.
+    assert ev.parallel_makespan == pytest.approx(
+        max(ev.stage_finish["S2"], ev.stage_finish["S3"])
+    )
+    assert ev.parallel_makespan < ev.stage_finish["S4"]
+
+
+def test_members_override(diamond_job, small_cluster):
+    ev = evaluate_schedule(
+        diamond_job, small_cluster, {}, members=frozenset({"S1"})
+    )
+    assert ev.parallel_makespan == pytest.approx(ev.stage_finish["S1"])
+
+
+def test_stage_time_accessor(fork_join_job, small_cluster):
+    ev = evaluate_schedule(fork_join_job, small_cluster, {})
+    assert ev.stage_time("A") == ev.stage_times["A"]
+
+
+def test_empty_members_zero_makespan(chain_job, small_cluster):
+    ev = evaluate_schedule(chain_job, small_cluster, {})
+    assert ev.parallel_makespan == 0.0  # no parallel stages
+
+
+def test_predicted_path_time_eq3():
+    from repro.dag.paths import ExecutionPath
+
+    path = ExecutionPath(("A", "B"), 0.0)
+    t = predicted_path_time(path, {"A": 2.0}, {"A": 10.0, "B": 20.0})
+    assert t == pytest.approx(2.0 + 10.0 + 20.0)
+
+
+def test_path_completion_and_makespan(fork_join_job, small_cluster):
+    ev = evaluate_schedule(fork_join_job, small_cluster, {})
+    members = parallel_stage_set(fork_join_job)
+    paths = execution_paths(fork_join_job)
+    times = path_completion_times(paths, ev.stage_finish)
+    assert len(times) == len(paths)
+    assert parallel_stage_makespan(paths, ev.stage_finish) == pytest.approx(max(times))
+    assert parallel_stage_makespan([], {}) == 0.0

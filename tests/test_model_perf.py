@@ -1,0 +1,107 @@
+"""Closed-form Eq. (1)/(2) must match the simulator for isolated stages."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import uniform_cluster
+from repro.dag import Job, JobBuilder
+from repro.model import (
+    standalone_read_time,
+    standalone_stage_time,
+    standalone_stage_times,
+    standalone_task_time,
+)
+from repro.simulator import simulate_job
+from repro.util.units import MB
+
+from testutil import make_stage
+
+
+def single(input_mb, output_mb, rate_mb):
+    return (
+        JobBuilder("solo")
+        .stage("S", input_mb=input_mb, output_mb=output_mb, process_rate_mb=rate_mb)
+        .build()
+    )
+
+
+@pytest.mark.parametrize("workers,storage", [(1, 1), (2, 1), (4, 2), (8, 3)])
+def test_matches_simulator_root_stage(workers, storage):
+    cluster = uniform_cluster(workers, storage_nodes=storage)
+    job = single(512, 128, 15)
+    predicted = standalone_stage_time(job, "S", cluster)
+    simulated = simulate_job(job, cluster).stage("solo", "S").duration
+    assert predicted == pytest.approx(simulated, rel=1e-9)
+
+
+def test_matches_simulator_no_storage():
+    cluster = uniform_cluster(3, storage_nodes=0)
+    job = single(512, 128, 15)
+    predicted = standalone_stage_time(job, "S", cluster)
+    simulated = simulate_job(job, cluster).stage("solo", "S").duration
+    assert predicted == pytest.approx(simulated, rel=1e-9)
+
+
+def test_matches_simulator_shuffle_stage(small_cluster):
+    """For a chain, each stage runs alone, so per-stage durations match
+    the closed form including the shuffle (worker-to-worker) case."""
+    job = (
+        JobBuilder("chain2")
+        .stage("A", input_mb=256, output_mb=256, process_rate_mb=20)
+        .stage("B", input_mb=256, output_mb=64, process_rate_mb=20, parents=["A"])
+        .build()
+    )
+    res = simulate_job(job, small_cluster)
+    times = standalone_stage_times(job, small_cluster)
+    for sid in ("A", "B"):
+        assert times[sid] == pytest.approx(res.stage("chain2", sid).duration, rel=1e-9)
+
+
+@given(
+    st.floats(min_value=1.0, max_value=4096.0),
+    st.floats(min_value=0.0, max_value=2048.0),
+    st.floats(min_value=0.5, max_value=100.0),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_model_equals_simulator(input_mb, output_mb, rate_mb, workers):
+    cluster = uniform_cluster(workers, storage_nodes=2)
+    job = single(input_mb, output_mb, rate_mb)
+    predicted = standalone_stage_time(job, "S", cluster)
+    simulated = simulate_job(job, cluster).stage("solo", "S").duration
+    assert predicted == pytest.approx(simulated, rel=1e-6, abs=1e-9)
+
+
+def test_read_time_zero_for_empty_input():
+    cluster = uniform_cluster(2, storage_nodes=1)
+    stage = make_stage("S", input_mb=0)
+    assert standalone_read_time(stage, cluster, cluster.storage_ids) == 0.0
+
+
+def test_task_time_terms_additive(small_cluster):
+    """Eq. (1): task time = read + compute + write, each checkable."""
+    job = single(512, 256, 20)
+    stage = job.stage("S")
+    t = standalone_task_time(stage, small_cluster, small_cluster.storage_ids, "w0")
+    read = standalone_read_time(stage, small_cluster, small_cluster.storage_ids)
+    compute = (512 / 4) * MB / (2 * 20 * MB)
+    write = (256 / 4) * MB / small_cluster.node("w0").disk_bandwidth
+    assert t == pytest.approx(read + compute + write, rel=1e-9)
+
+
+def test_stage_time_is_max_over_workers():
+    """Eq. (2): with one slow worker, it determines the stage time."""
+    from repro.cluster import ClusterSpec, NodeSpec
+    from repro.util.units import mbps_to_bytes_per_sec
+
+    nodes = [
+        NodeSpec("fast", 4, mbps_to_bytes_per_sec(1000), 150 * MB),
+        NodeSpec("slow", 1, mbps_to_bytes_per_sec(1000), 150 * MB),
+        NodeSpec("store", 0, mbps_to_bytes_per_sec(2000), 150 * MB, is_storage=True),
+    ]
+    cluster = ClusterSpec(nodes)
+    job = single(512, 128, 10)
+    slow = standalone_task_time(job.stage("S"), cluster, ["store"], "slow")
+    fast = standalone_task_time(job.stage("S"), cluster, ["store"], "fast")
+    assert slow > fast
+    assert standalone_stage_time(job, "S", cluster) == pytest.approx(slow)

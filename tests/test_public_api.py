@@ -1,0 +1,46 @@
+"""The public import surface: __all__ resolves everywhere."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.dag",
+    "repro.cluster",
+    "repro.simulator",
+    "repro.model",
+    "repro.core",
+    "repro.schedulers",
+    "repro.workloads",
+    "repro.trace",
+    "repro.profiling",
+    "repro.analysis",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_resolves(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 40, name
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_no_duplicate_exports():
+    import repro
+
+    assert len(repro.__all__) == len(set(repro.__all__))

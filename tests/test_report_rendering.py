@@ -1,0 +1,61 @@
+"""Text rendering: gantts, event log records, cosmetic reprs."""
+
+import pytest
+
+from repro.analysis import GanttRow, render_gantt, stage_gantt
+from repro.simulator import EventKind, SimEvent, simulate_job
+
+
+def rows():
+    return [
+        GanttRow("S1", ready=0.0, submit=0.0, read_done=10.0, finish=30.0),
+        GanttRow("S2", ready=0.0, submit=15.0, read_done=25.0, finish=50.0),
+    ]
+
+
+def test_render_gantt_contains_blocks_and_times():
+    out = render_gantt(rows(), title="demo")
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "▒" in lines[1] and "█" in lines[1]
+    assert "[   0.0 →   30.0]" in lines[1]
+    assert "(+15s delay)" in lines[2]
+
+
+def test_render_gantt_width_scaling():
+    narrow = render_gantt(rows(), width=20)
+    wide = render_gantt(rows(), width=100)
+    assert max(len(l) for l in wide.splitlines()) > max(
+        len(l) for l in narrow.splitlines()
+    )
+
+
+def test_render_gantt_empty():
+    assert render_gantt([], title="t") == "t"
+
+
+def test_render_gantt_from_simulation(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    out = render_gantt(stage_gantt(res, "diamond"))
+    assert out.count("|") == 4  # one bar per stage
+
+
+def test_sim_event_str():
+    e = SimEvent(12.5, EventKind.STAGE_SUBMITTED, "job", "S1", {"k": 1})
+    s = str(e)
+    assert "12.5" in s and "stage_submitted" in s and "job/S1" in s
+    bare = str(SimEvent(0.0, EventKind.JOB_COMPLETED, "job"))
+    assert "{"  not in bare  # empty info not rendered
+
+
+def test_stage_repr_mentions_sizes():
+    from testutil import make_stage
+
+    s = str(make_stage("S9", input_mb=100, output_mb=50, rate_mb=2.5))
+    assert "S9" in s and "100MB" in s
+
+
+def test_job_and_cluster_repr(diamond_job, small_cluster):
+    assert "diamond" in repr(diamond_job)
+    assert "stages=4" in repr(diamond_job)
+    assert "workers=4" in repr(small_cluster)

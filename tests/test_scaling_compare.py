@@ -1,0 +1,81 @@
+"""Dataset scaling sweeps and result comparison helpers."""
+
+import pytest
+
+from repro.analysis import compare_results
+from repro.dag import JobBuilder
+from repro.simulator import FixedDelayPolicy, simulate_job
+from repro.workloads import scaling_sweep
+
+
+def small_workload(scale: float = 1.0):
+    g = 256 * scale
+    return (
+        JobBuilder("sw")
+        .stage("A", input_mb=2 * g, output_mb=g, process_rate_mb=8)
+        .stage("B", input_mb=2 * g, output_mb=4 * g, process_rate_mb=8)
+        .stage("C", input_mb=4 * g, output_mb=g, process_rate_mb=16, parents=["B"])
+        .stage("D", input_mb=2 * g, output_mb=g / 4, process_rate_mb=16, parents=["A", "C"])
+        .build()
+    )
+
+
+# ------------------------------ scaling -------------------------------- #
+
+
+def test_sweep_monotone_jct(small_cluster):
+    points = scaling_sweep(small_workload, small_cluster, scales=(0.5, 1.0, 2.0))
+    stocks = [p.stock_jct for p in points]
+    assert stocks == sorted(stocks)  # bigger data, longer job
+    assert [p.scale for p in points] == [0.5, 1.0, 2.0]
+
+
+def test_sweep_gain_positive(small_cluster):
+    points = scaling_sweep(small_workload, small_cluster, scales=(1.0,))
+    assert points[0].gain > 0
+    assert points[0].delaystage_jct < points[0].stock_jct
+
+
+def test_sweep_rejects_empty(small_cluster):
+    with pytest.raises(ValueError):
+        scaling_sweep(small_workload, small_cluster, scales=())
+
+
+# ------------------------------ compare -------------------------------- #
+
+
+def test_compare_results_deltas(small_cluster):
+    job = small_workload()
+    a = simulate_job(job, small_cluster)
+    b = simulate_job(job, small_cluster, FixedDelayPolicy({"A": 12.0}))
+    cmp = compare_results(a, b)
+    assert cmp.job_id == "sw"
+    delta_a = next(d for d in cmp.stages if d.stage_id == "A")
+    assert delta_a.submit == pytest.approx(12.0, abs=1e-6)
+    # The delayed stage ranks among the biggest submission movers
+    # (downstream stages can cascade even further).
+    assert "A" in {d.stage_id for d in cmp.most_shifted(2)}
+    assert cmp.jct_delta == pytest.approx(cmp.jct_b - cmp.jct_a)
+
+
+def test_compare_identical_runs(small_cluster):
+    job = small_workload()
+    a = simulate_job(job, small_cluster)
+    b = simulate_job(job, small_cluster)
+    cmp = compare_results(a, b)
+    assert cmp.improvement == pytest.approx(0.0, abs=1e-12)
+    assert all(d.finish == pytest.approx(0.0, abs=1e-9) for d in cmp.stages)
+
+
+def test_compare_requires_common_job(small_cluster):
+    a = simulate_job(small_workload(), small_cluster)
+    other = (
+        JobBuilder("different")
+        .stage("X", input_mb=64, output_mb=16, process_rate_mb=10)
+        .build()
+    )
+    b = simulate_job(other, small_cluster)
+    with pytest.raises(ValueError):
+        compare_results(a, b)
+    with pytest.raises(KeyError):
+        compare_results(a, b, job_id="sw")

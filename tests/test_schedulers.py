@@ -1,0 +1,106 @@
+"""Scheduler strategies and the comparison runner."""
+
+import pytest
+
+from repro.dag import JobBuilder
+from repro.schedulers import (
+    AggShuffleScheduler,
+    DelayStageScheduler,
+    FuxiScheduler,
+    StockSparkScheduler,
+    compare_schedulers,
+    run_with_scheduler,
+)
+from repro.core import DelayStageParams, PathOrder
+
+
+def contended_job():
+    return (
+        JobBuilder("cj")
+        .stage("S1", input_mb=1024, output_mb=512, process_rate_mb=8, num_tasks=32, task_cv=0.5)
+        .stage("S2", input_mb=1024, output_mb=2048, process_rate_mb=8, num_tasks=32, task_cv=0.5)
+        .stage("S3", input_mb=2048, output_mb=512, process_rate_mb=16, num_tasks=32, task_cv=0.5, parents=["S2"])
+        .stage("S4", input_mb=1024, output_mb=128, process_rate_mb=16, num_tasks=32, task_cv=0.5, parents=["S1", "S3"])
+        .build()
+    )
+
+
+def test_spark_immediate_submission(small_cluster):
+    run = run_with_scheduler(contended_job(), small_cluster, StockSparkScheduler())
+    for (jid, sid), rec in run.result.stage_records.items():
+        assert rec.delay == pytest.approx(0.0)
+
+
+def test_fuxi_immediate_submission(small_cluster):
+    run = run_with_scheduler(contended_job(), small_cluster, FuxiScheduler())
+    for rec in run.result.stage_records.values():
+        assert rec.delay == pytest.approx(0.0)
+
+
+def test_aggshuffle_pipelines(small_cluster):
+    run = run_with_scheduler(contended_job(), small_cluster, AggShuffleScheduler())
+    spark = run_with_scheduler(contended_job(), small_cluster, StockSparkScheduler())
+    # S3's shuffle read from S2 shortens under pipelining.
+    assert (
+        run.result.stage("cj", "S3").read_time
+        < spark.result.stage("cj", "S3").read_time
+    )
+
+
+def test_delaystage_oracle_beats_spark(small_cluster):
+    job = contended_job()
+    runs = compare_schedulers(
+        job,
+        small_cluster,
+        [StockSparkScheduler(track_metrics=False),
+         DelayStageScheduler(profiled=False, track_metrics=False)],
+    )
+    assert runs["delaystage"].jct < runs["spark"].jct
+    assert "schedule" in runs["delaystage"].info
+
+
+def test_delaystage_profiled_pipeline_runs(small_cluster):
+    job = contended_job()
+    run = run_with_scheduler(
+        job,
+        small_cluster,
+        DelayStageScheduler(profiled=True, rng=0, track_metrics=False),
+    )
+    assert run.info["profile"] is not None
+    assert run.jct > 0
+
+
+def test_delaystage_variant_names():
+    assert DelayStageScheduler(order=PathOrder.DESCENDING).name == "delaystage"
+    assert DelayStageScheduler(order=PathOrder.RANDOM).name == "delaystage-random"
+    assert DelayStageScheduler(order="ascending").name == "delaystage-ascending"
+
+
+def test_compare_rejects_duplicate_names(small_cluster):
+    with pytest.raises(ValueError, match="duplicate"):
+        compare_schedulers(
+            contended_job(), small_cluster, [StockSparkScheduler(), StockSparkScheduler()]
+        )
+
+
+def test_contention_penalty_plumbed_through(small_cluster):
+    job = contended_job()
+    plain = run_with_scheduler(
+        job, small_cluster, FuxiScheduler(track_metrics=False)
+    ).jct
+    penalized = run_with_scheduler(
+        job, small_cluster, FuxiScheduler(track_metrics=False, contention_penalty=0.5)
+    ).jct
+    assert penalized > plain
+
+
+def test_delaystage_penalty_sets_planning_config():
+    sched = DelayStageScheduler(contention_penalty=0.4)
+    assert sched.params.sim_config is not None
+    assert sched.params.sim_config.contention_penalty == 0.4
+
+
+def test_scheduler_run_jct_property(small_cluster):
+    run = run_with_scheduler(contended_job(), small_cluster, StockSparkScheduler())
+    assert run.jct == pytest.approx(run.result.job_completion_time("cj"))
+    assert run.scheduler_name == "spark"

@@ -1,0 +1,120 @@
+"""AggShuffle pipelined-shuffle semantics in the simulator."""
+
+import pytest
+
+from repro.dag import JobBuilder
+from repro.simulator import EventKind, SimulationConfig, simulate_job
+
+
+def two_stage_job(task_cv=0.6, num_tasks=64, child_input=256.0, parent_out=256.0):
+    """Parent -> child with controllable heterogeneity and volumes."""
+    return (
+        JobBuilder("pipe")
+        .stage("P", input_mb=512, output_mb=parent_out, process_rate_mb=10,
+               num_tasks=num_tasks, task_cv=task_cv)
+        .stage("C", input_mb=child_input, output_mb=64, process_rate_mb=10,
+               num_tasks=num_tasks, task_cv=task_cv, parents=["P"])
+        .build()
+    )
+
+
+def cfg(**kw):
+    return SimulationConfig(pipelined_shuffle=True, track_metrics=False, **kw)
+
+
+def test_pipelining_shortens_child_read(small_cluster):
+    job = two_stage_job(task_cv=0.6, num_tasks=64)
+    stock = simulate_job(job, small_cluster)
+    agg = simulate_job(job, small_cluster, config=cfg())
+    assert agg.stage("pipe", "C").read_time < stock.stage("pipe", "C").read_time
+    assert agg.job_completion_time("pipe") < stock.job_completion_time("pipe")
+
+
+def test_prefetch_events_logged(small_cluster):
+    job = two_stage_job()
+    res = simulate_job(job, small_cluster, config=cfg())
+    prefetches = [e for e in res.events if e.kind == EventKind.PREFETCH_STARTED]
+    assert prefetches
+    assert all(e.stage_id == "C" for e in prefetches)
+    assert all(e.info["from_stage"] == "P" for e in prefetches)
+
+
+def test_homogeneous_single_wave_no_pipelining(small_cluster):
+    """One wave of homogeneous tasks produces output only at stage end
+    (the paper's LDA case): AggShuffle gains nothing."""
+    # 8 tasks over 4 workers with 2 executors each = exactly one wave.
+    job = two_stage_job(task_cv=0.0, num_tasks=8)
+    stock = simulate_job(job, small_cluster)
+    agg = simulate_job(job, small_cluster, config=cfg())
+    assert agg.stage("pipe", "C").read_time == pytest.approx(
+        stock.stage("pipe", "C").read_time, rel=1e-6
+    )
+
+
+def test_cpu_penalty_for_expanding_shuffle(small_cluster):
+    """Child shuffle-input > parent output (ratio > 1) pays extra CPU
+    under AggShuffle (the paper's LDA stage, ratio 1.3)."""
+    expanding = two_stage_job(task_cv=0.0, num_tasks=8, child_input=333.0, parent_out=256.0)
+    stock = simulate_job(expanding, small_cluster)
+    agg = simulate_job(expanding, small_cluster, config=cfg())
+    assert agg.stage("pipe", "C").compute_time > stock.stage("pipe", "C").compute_time
+
+
+def test_no_penalty_when_ratio_at_most_one(small_cluster):
+    job = two_stage_job(task_cv=0.0, num_tasks=8, child_input=256.0, parent_out=256.0)
+    stock = simulate_job(job, small_cluster)
+    agg = simulate_job(job, small_cluster, config=cfg())
+    assert agg.stage("pipe", "C").compute_time == pytest.approx(
+        stock.stage("pipe", "C").compute_time, rel=1e-6
+    )
+
+
+def test_penalty_disabled_without_pipelining(small_cluster):
+    job = two_stage_job(child_input=333.0, parent_out=256.0)
+    a = simulate_job(job, small_cluster)
+    b = simulate_job(job, small_cluster, config=SimulationConfig(track_metrics=False))
+    assert a.stage("pipe", "C").compute_time == pytest.approx(
+        b.stage("pipe", "C").compute_time, rel=1e-6
+    )
+
+
+def test_pipelined_volume_conserved(small_cluster):
+    """The child reads exactly its input whether pipelined or not: the
+    prefetched bytes are credited, not duplicated."""
+    job = two_stage_job(task_cv=0.8, num_tasks=64)
+    agg = simulate_job(job, small_cluster, config=SimulationConfig(pipelined_shuffle=True))
+    m = agg.metrics
+    total_in = 0.0
+    for node in small_cluster.node_ids:
+        s = m.node_series(node)
+        total_in += float(((s.t1 - s.t0) * s.net_in).sum())
+    workers = len(small_cluster.worker_ids)
+    expected = (
+        job.stage("P").input_bytes  # root read, storage disjoint
+        + job.stage("C").input_bytes * (workers - 1) / workers
+    )
+    assert total_in == pytest.approx(expected, rel=1e-6)
+
+
+def test_more_heterogeneity_more_gain(small_cluster):
+    """AggShuffle's benefit grows with task-duration variance
+    (Sec. 5.2's central observation)."""
+    low = two_stage_job(task_cv=0.1, num_tasks=8)
+    high = two_stage_job(task_cv=0.9, num_tasks=8)
+    gain_low = (
+        simulate_job(low, small_cluster).job_completion_time("pipe")
+        - simulate_job(low, small_cluster, config=cfg()).job_completion_time("pipe")
+    )
+    gain_high = (
+        simulate_job(high, small_cluster).job_completion_time("pipe")
+        - simulate_job(high, small_cluster, config=cfg()).job_completion_time("pipe")
+    )
+    assert gain_high > gain_low - 1e-9
+
+
+def test_multi_wave_pipelines_even_homogeneous(small_cluster):
+    """Many waves trickle output wave by wave even with cv = 0."""
+    job = two_stage_job(task_cv=0.0, num_tasks=64)  # 16/worker vs 2 slots
+    stock = simulate_job(job, small_cluster)
+    agg = simulate_job(job, small_cluster, config=cfg())
+    assert agg.stage("pipe", "C").read_time < stock.stage("pipe", "C").read_time

@@ -1,0 +1,118 @@
+"""Failure injection: dynamic node degradation during a run."""
+
+import pytest
+
+from repro.dag import JobBuilder
+from repro.simulator import Simulation, SimulationConfig
+
+
+def job():
+    return (
+        JobBuilder("d")
+        .stage("A", input_mb=1024, output_mb=512, process_rate_mb=10)
+        .stage("B", input_mb=512, output_mb=64, process_rate_mb=10, parents=["A"])
+        .build()
+    )
+
+
+def run(cluster, injections=(), config=None):
+    sim = Simulation(cluster, config or SimulationConfig(track_metrics=False))
+    for inj in injections:
+        sim.inject_degradation(**inj)
+    sim.add_job(job())
+    return sim.run()
+
+
+def test_degradation_slows_job(small_cluster):
+    healthy = run(small_cluster).job_completion_time("d")
+    degraded = run(
+        small_cluster,
+        [dict(node_id="w0", time=5.0, nic_factor=0.2, executor_factor=0.5)],
+    ).job_completion_time("d")
+    assert degraded > healthy
+
+
+def test_degradation_after_job_end_is_harmless(small_cluster):
+    healthy = run(small_cluster).job_completion_time("d")
+    late = run(
+        small_cluster,
+        [dict(node_id="w0", time=healthy + 100, nic_factor=0.01)],
+    ).job_completion_time("d")
+    assert late == pytest.approx(healthy, rel=1e-9)
+
+
+def test_degradations_compound(small_cluster):
+    once = run(
+        small_cluster, [dict(node_id="w0", time=1.0, nic_factor=0.5)]
+    ).job_completion_time("d")
+    twice = run(
+        small_cluster,
+        [
+            dict(node_id="w0", time=1.0, nic_factor=0.5),
+            dict(node_id="w0", time=2.0, nic_factor=0.5),
+        ],
+    ).job_completion_time("d")
+    assert twice > once
+
+
+def test_disk_degradation(small_cluster):
+    healthy = run(small_cluster).job_completion_time("d")
+    slow_disk = run(
+        small_cluster, [dict(node_id="w1", time=0.0, disk_factor=0.05)]
+    ).job_completion_time("d")
+    assert slow_disk > healthy
+
+
+def test_validation(small_cluster):
+    sim = Simulation(small_cluster, SimulationConfig(track_metrics=False))
+    with pytest.raises(KeyError):
+        sim.inject_degradation("nope", 1.0)
+    with pytest.raises(ValueError, match="> 0"):
+        sim.inject_degradation("w0", 1.0, nic_factor=0.0)
+    with pytest.raises(ValueError, match=">= 0"):
+        sim.inject_degradation("w0", -1.0)
+
+
+def test_injection_after_run_rejected(small_cluster):
+    sim = Simulation(small_cluster, SimulationConfig(track_metrics=False))
+    sim.add_job(job())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        sim.inject_degradation("w0", 1.0, nic_factor=0.5)
+
+
+def test_executor_degradation_requires_fluid_mode(small_cluster):
+    sim = Simulation(
+        small_cluster, SimulationConfig(track_metrics=False, task_granular=True)
+    )
+    with pytest.raises(ValueError, match="fluid"):
+        sim.inject_degradation("w0", 1.0, executor_factor=0.5)
+    # NIC degradation is fine in task mode.
+    sim.inject_degradation("w0", 1.0, nic_factor=0.5)
+
+
+def test_delay_schedule_robust_to_straggler(small_cluster):
+    """A schedule planned on the healthy cluster still helps when one
+    node degrades mid-run."""
+    from repro.core import delay_stage_schedule
+    from repro.simulator import FixedDelayPolicy
+
+    contended = (
+        JobBuilder("r")
+        .stage("S1", input_mb=1024, output_mb=512, process_rate_mb=8)
+        .stage("S2", input_mb=1024, output_mb=2048, process_rate_mb=8)
+        .stage("S3", input_mb=2048, output_mb=512, process_rate_mb=16, parents=["S2"])
+        .stage("S4", input_mb=1024, output_mb=128, process_rate_mb=16, parents=["S1", "S3"])
+        .build()
+    )
+    schedule = delay_stage_schedule(contended, small_cluster)
+
+    def run_with(policy):
+        sim = Simulation(small_cluster, SimulationConfig(track_metrics=False))
+        sim.inject_degradation("w0", 20.0, nic_factor=0.4)
+        sim.add_job(contended, policy)
+        return sim.run().job_completion_time("r")
+
+    stock = run_with(None)
+    delayed = run_with(FixedDelayPolicy(schedule.delays))
+    assert delayed < stock * 1.02  # at worst break-even under failure

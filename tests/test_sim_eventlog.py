@@ -1,0 +1,56 @@
+"""Event-log serialization (the simulated Spark eventlog)."""
+
+import io
+
+import pytest
+
+from repro.simulator import (
+    EventKind,
+    read_eventlog,
+    simulate_job,
+    stage_timings_from_eventlog,
+    write_eventlog,
+)
+
+
+def test_roundtrip(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    buf = io.StringIO()
+    n = write_eventlog(res.events, buf)
+    assert n == len(res.events)
+
+    buf.seek(0)
+    back = read_eventlog(buf)
+    assert back == res.events
+
+
+def test_file_roundtrip(diamond_job, small_cluster, tmp_path):
+    res = simulate_job(diamond_job, small_cluster)
+    path = tmp_path / "eventlog.jsonl"
+    write_eventlog(res.events, path)
+    assert read_eventlog(path) == res.events
+
+
+def test_blank_lines_skipped():
+    assert read_eventlog(io.StringIO("\n\n")) == []
+
+
+def test_malformed_line_reported():
+    with pytest.raises(ValueError, match="line 2"):
+        read_eventlog(io.StringIO('{"Event": "job_submitted", "Timestamp": 0, "Job ID": "j"}\nnot json\n'))
+
+
+def test_unknown_event_kind_rejected():
+    bad = '{"Event": "warp_drive", "Timestamp": 0, "Job ID": "j"}\n'
+    with pytest.raises(ValueError):
+        read_eventlog(io.StringIO(bad))
+
+
+def test_stage_timings_extraction(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    timings = stage_timings_from_eventlog(res.events)
+    rec = res.stage("diamond", "S1")
+    t = timings[("diamond", "S1")]
+    assert t[EventKind.STAGE_SUBMITTED.value] == pytest.approx(rec.submit_time)
+    assert t[EventKind.STAGE_COMPLETED.value] == pytest.approx(rec.finish_time)
+    assert t[EventKind.STAGE_READ_DONE.value] == pytest.approx(rec.read_done_time)

@@ -1,0 +1,125 @@
+"""Metrics collection: exact integration, sampling, occupancy."""
+
+import numpy as np
+import pytest
+
+from repro.dag import JobBuilder
+from repro.simulator import SimulationConfig, simulate_job
+from repro.util.units import MB
+
+
+def job():
+    return (
+        JobBuilder("m")
+        .stage("A", input_mb=256, output_mb=128, process_rate_mb=10)
+        .stage("B", input_mb=256, output_mb=64, process_rate_mb=10, parents=["A"])
+        .build()
+    )
+
+
+def test_metrics_disabled(small_cluster):
+    res = simulate_job(job(), small_cluster, config=SimulationConfig(track_metrics=False))
+    assert res.metrics is None
+
+
+def test_segments_cover_run(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    s = res.metrics.node_series("w0")
+    assert s.t0[0] == pytest.approx(0.0)
+    assert s.t1[-1] == pytest.approx(res.makespan)
+    assert np.all(s.t1 >= s.t0)
+    # Contiguous.
+    assert np.allclose(s.t0[1:], s.t1[:-1])
+
+
+def test_cpu_busy_bounded_by_executors(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    for node in small_cluster.worker_ids:
+        s = res.metrics.node_series(node)
+        assert np.all(s.cpu_busy <= s.executors + 1e-9)
+        assert np.all(s.cpu_busy >= 0)
+
+
+def test_network_bounded_by_nic(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    for node in small_cluster.node_ids:
+        s = res.metrics.node_series(node)
+        assert np.all(s.net_in <= s.nic_bandwidth + 1e-6)
+        assert np.all(s.net_out <= s.nic_bandwidth + 1e-6)
+
+
+def test_average_matches_manual_integration(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    s = res.metrics.node_series("w0")
+    manual = float((s.net_in * (s.t1 - s.t0)).sum()) / res.makespan
+    assert s.average("net_in", 0.0, res.makespan) == pytest.approx(manual, rel=1e-9)
+
+
+def test_average_window_clipping(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    s = res.metrics.node_series("w0")
+    full = s.average("cpu_utilization")
+    half = s.average("cpu_utilization", 0.0, res.makespan / 2)
+    assert 0.0 <= half <= 1.0
+    assert 0.0 <= full <= 1.0
+
+
+def test_std_zero_for_constant(small_cluster):
+    """A metric that is identically zero has zero std."""
+    res = simulate_job(job(), small_cluster)
+    s = res.metrics.node_series("hdfs0")  # storage node never computes
+    assert s.std("cpu_busy") == pytest.approx(0.0, abs=1e-12)
+
+
+def test_sample_matches_segments(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    s = res.metrics.node_series("w0")
+    mid = (s.t0[0] + s.t1[0]) / 2
+    assert s.sample([mid], "net_in")[0] == pytest.approx(s.net_in[0])
+    # Past the end -> 0.
+    assert s.sample([res.makespan + 100], "net_in")[0] == 0.0
+
+
+def test_unknown_metric_rejected(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    with pytest.raises(ValueError, match="unknown metric"):
+        res.metrics.node_series("w0").average("bogus")
+
+
+def test_cluster_average(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    avg = res.metrics.cluster_average("cpu_utilization")
+    assert 0.0 < avg <= 1.0
+
+
+def test_occupancy_requires_flag(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    with pytest.raises(RuntimeError):
+        res.metrics.stage_occupancy_series(("m", "A"))
+
+
+def test_occupancy_series(small_cluster):
+    res = simulate_job(
+        job(), small_cluster, config=SimulationConfig(track_occupancy=True)
+    )
+    t0, t1, occ = res.metrics.stage_occupancy_series(("m", "A"))
+    assert occ.max() > 0
+    # Occupancy never exceeds the cluster's executors.
+    assert occ.max() <= small_cluster.total_executors + 1e-9
+    # Stage A occupies nothing after it finished.
+    fin = res.stage("m", "A").finish_time
+    after = occ[t0 >= fin]
+    assert np.all(after == 0)
+
+
+def test_readers_occupy_idle_executors(small_cluster):
+    """While a stage shuffle-reads alone, it holds the idle slots
+    (Fig. 13's behaviour)."""
+    res = simulate_job(
+        job(), small_cluster, config=SimulationConfig(track_occupancy=True)
+    )
+    rec = res.stage("m", "A")
+    t0, t1, occ = res.metrics.stage_occupancy_series(("m", "A"), node_id="w0")
+    during_read = occ[(t0 >= rec.submit_time) & (t1 <= rec.read_done_time)]
+    executors = small_cluster.node("w0").executors
+    assert np.all(during_read == pytest.approx(executors))

@@ -1,0 +1,99 @@
+"""Property-based tests on simulation invariants over random DAGs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import uniform_cluster
+from repro.simulator import FixedDelayPolicy, SimulationConfig, simulate_job
+from repro.workloads import random_job
+
+
+CLUSTER = uniform_cluster(3, executors_per_worker=2, nic_mbps=480,
+                          disk_mb_per_sec=120, storage_nodes=1)
+
+
+@st.composite
+def jobs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    par = draw(st.floats(min_value=0.0, max_value=1.0))
+    return random_job(
+        n, parallelism=par, rng=seed, median_input_mb=512, median_rate_mb=8
+    )
+
+
+@given(jobs())
+@settings(max_examples=25, deadline=None)
+def test_phase_ordering_invariant(job):
+    """Every stage: ready <= submit <= read_done <= compute_done <= finish."""
+    res = simulate_job(job, CLUSTER, config=SimulationConfig(track_metrics=False))
+    for rec in res.stage_records.values():
+        assert rec.ready_time <= rec.submit_time + 1e-9
+        assert rec.submit_time <= rec.read_done_time + 1e-9
+        assert rec.read_done_time <= rec.compute_done_time + 1e-9
+        assert rec.compute_done_time <= rec.finish_time + 1e-9
+        assert not math.isnan(rec.finish_time)
+
+
+@given(jobs())
+@settings(max_examples=25, deadline=None)
+def test_precedence_invariant(job):
+    """No stage submits before all of its parents completed."""
+    res = simulate_job(job, CLUSTER, config=SimulationConfig(track_metrics=False))
+    for sid in job.stage_ids:
+        rec = res.stage(job.job_id, sid)
+        for parent in job.parents(sid):
+            assert rec.submit_time >= res.stage(job.job_id, parent).finish_time - 1e-9
+
+
+@given(jobs())
+@settings(max_examples=20, deadline=None)
+def test_determinism(job):
+    """Two identical runs produce identical timings."""
+    a = simulate_job(job, CLUSTER, config=SimulationConfig(track_metrics=False))
+    b = simulate_job(job, CLUSTER, config=SimulationConfig(track_metrics=False))
+    for key, rec in a.stage_records.items():
+        other = b.stage_records[key]
+        assert rec.finish_time == other.finish_time
+        assert rec.submit_time == other.submit_time
+
+
+@given(jobs(), st.floats(min_value=0.0, max_value=50.0))
+@settings(max_examples=20, deadline=None)
+def test_delaying_a_root_never_finishes_job_before_its_own_span(job, delay):
+    """JCT >= root delay + something; delays are actually applied."""
+    roots = job.roots
+    policy = FixedDelayPolicy({roots[0]: delay})
+    res = simulate_job(job, CLUSTER, policy, SimulationConfig(track_metrics=False))
+    rec = res.stage(job.job_id, roots[0])
+    assert rec.submit_time == pytest.approx(delay, abs=1e-6)
+
+
+@given(jobs())
+@settings(max_examples=15, deadline=None)
+def test_compute_work_conserved(job):
+    """Integrated executor-seconds equal each stage's compute demand."""
+    res = simulate_job(job, CLUSTER)
+    m = res.metrics
+    total_busy = 0.0
+    for node in CLUSTER.worker_ids:
+        s = m.node_series(node)
+        total_busy += float(((s.t1 - s.t0) * s.cpu_busy).sum())
+    expected = sum(
+        stage.input_bytes / stage.process_rate for stage in job
+    )
+    assert total_busy == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+@given(jobs())
+@settings(max_examples=15, deadline=None)
+def test_contention_penalty_never_speeds_up(job):
+    ideal = simulate_job(
+        job, CLUSTER, config=SimulationConfig(track_metrics=False)
+    ).job_completion_time(job.job_id)
+    penalized = simulate_job(
+        job, CLUSTER, config=SimulationConfig(track_metrics=False, contention_penalty=0.4)
+    ).job_completion_time(job.job_id)
+    assert penalized >= ideal - 1e-9

@@ -1,0 +1,124 @@
+"""Task-granular execution mode (discrete tasks, waves, stragglers)."""
+
+import pytest
+
+from repro.dag import JobBuilder
+from repro.cluster import uniform_cluster
+from repro.simulator import SimulationConfig, simulate_job
+
+
+def job(task_cv=0.5, num_tasks=32):
+    return (
+        JobBuilder("tg")
+        .stage("A", input_mb=1024, output_mb=512, process_rate_mb=10,
+               num_tasks=num_tasks, task_cv=task_cv)
+        .stage("B", input_mb=512, output_mb=128, process_rate_mb=10,
+               num_tasks=num_tasks, task_cv=task_cv, parents=["A"])
+        .build()
+    )
+
+
+def cfg(**kw):
+    return SimulationConfig(task_granular=True, track_metrics=False, **kw)
+
+
+def test_runs_and_completes(small_cluster):
+    res = simulate_job(job(), small_cluster, config=cfg())
+    assert res.job_completion_time("tg") > 0
+    for rec in res.stage_records.values():
+        assert rec.read_done_time <= rec.compute_done_time <= rec.finish_time
+
+
+def test_deterministic(small_cluster):
+    a = simulate_job(job(), small_cluster, config=cfg())
+    b = simulate_job(job(), small_cluster, config=cfg())
+    assert a.job_completion_time("tg") == b.job_completion_time("tg")
+
+
+def test_matches_fluid_for_uniform_single_wave(small_cluster):
+    """One wave of homogeneous tasks is exactly the fluid result: every
+    executor processes volume/(executors) at rate R."""
+    # 8 tasks over 4 workers = 2 per worker = exactly the 2 slots.
+    j = job(task_cv=0.0, num_tasks=8)
+    fluid = simulate_job(j, small_cluster, config=SimulationConfig(track_metrics=False))
+    task = simulate_job(j, small_cluster, config=cfg())
+    assert task.stage("tg", "A").compute_time == pytest.approx(
+        fluid.stage("tg", "A").compute_time, rel=1e-9
+    )
+
+
+def test_wave_quantization_slows_uneven_counts(small_cluster):
+    """3 homogeneous tasks on 2 slots take 2 waves: the second wave
+    runs one task while a slot idles, unlike the fluid model."""
+    j = job(task_cv=0.0, num_tasks=12)  # 3 per worker on 2 slots
+    fluid = simulate_job(j, small_cluster, config=SimulationConfig(track_metrics=False))
+    task = simulate_job(j, small_cluster, config=cfg())
+    assert task.stage("tg", "A").compute_time > fluid.stage("tg", "A").compute_time
+
+
+def test_stragglers_lengthen_stage(small_cluster):
+    """Higher task-size dispersion -> longer stage (last straggler)."""
+    uniform = simulate_job(job(task_cv=0.0), small_cluster, config=cfg())
+    skewed = simulate_job(job(task_cv=1.0), small_cluster, config=cfg())
+    assert (
+        skewed.stage("tg", "A").compute_time
+        > uniform.stage("tg", "A").compute_time
+    )
+
+
+def test_slots_never_oversubscribed(small_cluster):
+    """Executor occupancy never exceeds the slot count."""
+    res = simulate_job(
+        job(), small_cluster,
+        config=SimulationConfig(task_granular=True, track_metrics=True),
+    )
+    for w in small_cluster.worker_ids:
+        series = res.metrics.node_series(w)
+        assert series.cpu_busy.max() <= series.executors + 1e-9
+
+
+def test_fair_dispatch_between_stages(small_cluster):
+    """Two parallel stages submitting together share slots fairly: both
+    finish close together rather than one starving."""
+    j = (
+        JobBuilder("fair")
+        .stage("A", input_mb=512, output_mb=64, process_rate_mb=10, num_tasks=32)
+        .stage("B", input_mb=512, output_mb=64, process_rate_mb=10, num_tasks=32)
+        .build()
+    )
+    res = simulate_job(j, small_cluster, config=cfg())
+    fa = res.stage("fair", "A").finish_time
+    fb = res.stage("fair", "B").finish_time
+    assert abs(fa - fb) < 0.25 * max(fa, fb)
+
+
+def test_compute_work_conserved_task_mode(small_cluster):
+    j = job(task_cv=0.7)
+    res = simulate_job(
+        j, small_cluster,
+        config=SimulationConfig(task_granular=True, track_metrics=True),
+    )
+    total_busy = 0.0
+    for node in small_cluster.worker_ids:
+        s = res.metrics.node_series(node)
+        total_busy += float(((s.t1 - s.t0) * s.cpu_busy).sum())
+    expected = sum(stage.input_bytes / stage.process_rate for stage in j)
+    assert total_busy == pytest.approx(expected, rel=1e-6)
+
+
+def test_delays_still_apply(small_cluster):
+    from repro.simulator import FixedDelayPolicy
+
+    res = simulate_job(job(), small_cluster, FixedDelayPolicy({"A": 9.0}), cfg())
+    assert res.stage("tg", "A").submit_time == pytest.approx(9.0)
+
+
+def test_aggshuffle_composes_with_task_mode(small_cluster):
+    j = job(task_cv=0.6, num_tasks=64)
+    stock = simulate_job(j, small_cluster, config=cfg())
+    agg = simulate_job(
+        j, small_cluster,
+        config=SimulationConfig(task_granular=True, pipelined_shuffle=True,
+                                track_metrics=False),
+    )
+    assert agg.stage("tg", "B").read_time <= stock.stage("tg", "B").read_time + 1e-9

@@ -1,0 +1,143 @@
+"""Statistical twin: the published Alibaba-trace marginals must hold.
+
+These are the load-bearing tests of the substitution argument in
+DESIGN.md — each asserts one statistic the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    TraceGeneratorConfig,
+    generate_machine_usage,
+    generate_trace,
+    parallel_makespan_fraction,
+    stage_count_summary,
+    stage_runtime_range,
+)
+from repro.trace.analysis import machine_low_utilization_fraction
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceGeneratorConfig(num_jobs=1500), rng=42)
+
+
+@pytest.fixture(scope="module")
+def summary(trace):
+    return stage_count_summary(trace)
+
+
+def test_fraction_jobs_with_parallel_stages(summary):
+    """Paper Sec. 2.1: 68.6 % of jobs have parallel stages."""
+    assert summary.fraction_jobs_with_parallel == pytest.approx(0.686, abs=0.05)
+
+
+def test_parallel_stage_fraction(summary):
+    """Paper Sec. 2.1: parallel stages are ~79.1 % of all stages."""
+    assert summary.parallel_stage_fraction == pytest.approx(0.791, abs=0.06)
+
+
+def test_ninety_percent_under_15_parallel(summary):
+    """Paper Sec. 4.1: ~90 % of jobs have < 15 parallel stages."""
+    p90 = np.percentile(summary.parallel_per_job, 90)
+    assert p90 < 15
+
+
+def test_stage_counts_span(summary):
+    """Paper Sec. 5.3: stage counts reach into the 4-186 range."""
+    assert summary.stages_per_job.max() > 50
+    assert summary.stages_per_job.max() <= 186
+    assert summary.stages_per_job.min() >= 1
+
+
+def test_stage_runtimes_mostly_10_to_3000(trace):
+    p01, p99, durations = stage_runtime_range(trace)
+    # Parallel-branch stages are clipped to [10, 3000]; sequential
+    # head/tail stages are scaled shorter, sibling jitter is +-10%.
+    assert durations.min() >= 3.0
+    assert durations.max() <= 3300.0
+    assert p99 > 500.0  # heavy tail present
+
+
+def test_parallel_makespan_dominates(trace):
+    """Paper Fig. 3: makespan of parallel stages > 60 % of JCT for over
+    80 % of (parallel) jobs; average ~82.3 %."""
+    fr = np.array([f for f in (parallel_makespan_fraction(j) for j in trace) if f > 0])
+    assert np.mean(fr > 0.6) > 0.80
+    assert fr.mean() == pytest.approx(0.823, abs=0.07)
+
+
+def test_jobs_deterministic_by_seed():
+    a = generate_trace(TraceGeneratorConfig(num_jobs=50), rng=9)
+    b = generate_trace(TraceGeneratorConfig(num_jobs=50), rng=9)
+    assert [j.num_stages for j in a] == [j.num_stages for j in b]
+    assert a[0].stages[0].input_mb == b[0].stages[0].input_mb
+
+
+def test_arrivals_within_span(trace):
+    span = TraceGeneratorConfig().span_seconds
+    assert all(0 <= j.submit_time <= span for j in trace)
+    submits = [j.submit_time for j in trace]
+    assert submits == sorted(submits)
+
+
+def test_volumes_attached_for_replay(trace):
+    for job in trace[:20]:
+        for s in job.stages:
+            assert s.input_mb >= 1.0
+            assert s.output_mb >= 1.0
+            assert s.process_rate_mb > 0
+
+
+def test_edges_reference_known_stages(trace):
+    for job in trace[:100]:
+        ids = {s.stage_id for s in job.stages}
+        for a, b in job.edges:
+            assert a in ids and b in ids
+
+
+# --------------------------- machine usage ---------------------------- #
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return generate_machine_usage(num_machines=80, span_seconds=2 * 86400, rng=7)
+
+
+def test_cluster_cpu_band(usage):
+    """Paper Fig. 4(a): cluster-average CPU roughly 20-50 %."""
+    _t, cpu, _net = usage
+    avg = cpu.mean(axis=0)
+    assert 15.0 < avg.mean() < 50.0
+    assert avg.min() > 10.0
+    assert avg.max() < 65.0
+
+
+def test_cluster_net_band(usage):
+    """Paper Fig. 4(a): cluster-average network roughly 30-45 %."""
+    _t, _cpu, net = usage
+    avg = net.mean(axis=0)
+    assert 25.0 < avg.mean() < 50.0
+
+
+def test_single_machine_fluctuates(usage):
+    """Paper Fig. 4(b): an individual machine swings between idle and
+    high utilization."""
+    _t, cpu, _net = usage
+    assert cpu[0].max() > 45.0
+    assert cpu[0].min() < 10.0
+
+
+def test_low_utilization_fraction(usage):
+    """Paper Sec. 2.1: a worker spends ~39 % of time below 10 % CPU."""
+    _t, cpu, _net = usage
+    fracs = [machine_low_utilization_fraction(cpu[i]) for i in range(cpu.shape[0])]
+    assert np.mean(fracs) == pytest.approx(0.39, abs=0.12)
+
+
+def test_usage_shapes(usage):
+    t, cpu, net = usage
+    assert cpu.shape == net.shape == (80, len(t))
+    assert np.all((cpu >= 0) & (cpu <= 100))
+    assert np.all((net >= 0) & (net <= 100))

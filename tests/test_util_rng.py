@@ -1,0 +1,43 @@
+"""RNG plumbing: determinism and input normalization."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import resolve_rng, spawn_rngs
+
+
+def test_resolve_from_seed_is_deterministic():
+    a = resolve_rng(42).random(5)
+    b = resolve_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_resolve_passes_generator_through():
+    gen = np.random.default_rng(1)
+    assert resolve_rng(gen) is gen
+
+
+def test_resolve_none_gives_generator():
+    assert isinstance(resolve_rng(None), np.random.Generator)
+
+
+def test_resolve_rejects_strings():
+    with pytest.raises(TypeError):
+        resolve_rng("seed")
+
+
+def test_resolve_accepts_numpy_integer():
+    a = resolve_rng(np.int64(7)).random()
+    b = resolve_rng(7).random()
+    assert a == b
+
+
+def test_spawn_rngs_are_independent_and_deterministic():
+    first = [g.random() for g in spawn_rngs(3, 4)]
+    second = [g.random() for g in spawn_rngs(3, 4)]
+    assert first == second
+    assert len(set(first)) == 4  # streams differ from each other
+
+
+def test_spawn_count():
+    assert len(spawn_rngs(0, 7)) == 7

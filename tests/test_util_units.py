@@ -1,0 +1,41 @@
+"""Unit conversions: every factor in one place, every factor tested."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    bytes_to_mb,
+    gbps_to_bytes_per_sec,
+    mb_per_sec,
+    mbps_to_bytes_per_sec,
+)
+
+
+def test_binary_prefixes():
+    assert KB == 1024
+    assert MB == 1024**2
+    assert GB == 1024**3
+
+
+def test_mbps_uses_decimal_megabits():
+    # 8 Mbps == 1 decimal megabyte/s == 1e6 bytes/s
+    assert mbps_to_bytes_per_sec(8) == pytest.approx(1e6)
+
+
+def test_gbps_is_thousand_mbps():
+    assert gbps_to_bytes_per_sec(1) == pytest.approx(mbps_to_bytes_per_sec(1000))
+
+
+def test_bytes_to_mb_roundtrip():
+    assert bytes_to_mb(5 * MB) == pytest.approx(5.0)
+
+
+def test_mb_per_sec_roundtrip():
+    assert mb_per_sec(3 * MB) == pytest.approx(3.0)
+
+
+def test_typical_nic_rate():
+    # 450 Mbps (the EC2 default) is about 56.25 decimal MB/s.
+    assert mbps_to_bytes_per_sec(450) == pytest.approx(56.25e6)

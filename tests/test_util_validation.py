@@ -1,0 +1,52 @@
+"""Argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+@pytest.mark.parametrize("value", [1, 0.5, 1e9])
+def test_check_positive_accepts(value):
+    assert check_positive(value, "x") == value
+
+
+@pytest.mark.parametrize("value", [0, -1, -1e-9])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive(value, "x")
+
+
+def test_check_non_negative_accepts_zero():
+    assert check_non_negative(0, "x") == 0
+
+
+def test_check_non_negative_rejects_negative():
+    with pytest.raises(ValueError):
+        check_non_negative(-0.1, "x")
+
+
+def test_check_in_range_bounds_inclusive():
+    assert check_in_range(0, "x", 0, 1) == 0
+    assert check_in_range(1, "x", 0, 1) == 1
+
+
+def test_check_in_range_rejects_outside():
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        check_in_range(1.5, "x", 0, 1)
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf, "abc", None])
+def test_check_finite_rejects(bad):
+    with pytest.raises(ValueError):
+        check_finite(bad, "x")
+
+
+def test_check_finite_returns_float():
+    assert check_finite(3, "x") == 3.0

@@ -1,0 +1,137 @@
+"""Workload library: structure matches the paper, scaling behaves."""
+
+import pytest
+
+from repro.dag import execution_paths, parallel_stage_set, sequential_stage_set
+from repro.workloads import (
+    WORKLOADS,
+    als,
+    connected_components,
+    cosine_similarity,
+    lda,
+    random_job,
+    triangle_count,
+    workload_by_name,
+)
+
+
+def test_stage_counts_match_paper():
+    """Sec. 5.1: ConnectedComponents 5, TriangleCount 11,
+    CosineSimilarity 5, LDA 5; Fig. 1: ALS 6."""
+    assert als().num_stages == 6
+    assert connected_components().num_stages == 5
+    assert cosine_similarity().num_stages == 5
+    assert lda().num_stages == 5
+    assert triangle_count().num_stages == 11
+
+
+def test_als_paths_match_fig1():
+    job = als()
+    paths = execution_paths(job)
+    stage_sets = {p.stages for p in paths}
+    assert ("S1", "S4") in stage_sets
+    assert ("S2", "S4") in stage_sets
+    assert ("S3",) in stage_sets
+
+
+def test_connected_components_structure():
+    """{S2, S3} is the longest path; S1 parallel; S4, S5 sequential."""
+    job = connected_components()
+    assert parallel_stage_set(job) == {"S1", "S2", "S3"}
+    assert sequential_stage_set(job) == {"S4", "S5"}
+    paths = execution_paths(job)
+    assert paths[0].stages == ("S2", "S3")
+
+
+def test_cosine_similarity_structure():
+    """Paths {S1}, {S2}, {S3,S4}; S5 sequential (Fig. 11)."""
+    job = cosine_similarity()
+    assert parallel_stage_set(job) == {"S1", "S2", "S3", "S4"}
+    paths = execution_paths(job)
+    assert paths[0].stages == ("S3", "S4")  # the long path
+
+
+def test_lda_structure():
+    """Paths {S1}, {S2,S3}, {S4}; S5 blocked by all (Fig. 11)."""
+    job = lda()
+    assert parallel_stage_set(job) == {"S1", "S2", "S3", "S4"}
+    assert sequential_stage_set(job) == {"S5"}
+    stage_sets = {p.stages for p in execution_paths(job)}
+    assert ("S2", "S3") in stage_sets
+    assert ("S1",) in stage_sets
+    assert ("S4",) in stage_sets
+
+
+def test_lda_aggshuffle_pathology_parameters():
+    """LDA's stages are near-homogeneous and S3 expands its input 1.3x
+    over S2's output (the paper's AggShuffle-hostile properties)."""
+    job = lda()
+    assert all(s.task_cv <= 0.05 for s in job)
+    ratio = job.stage("S3").input_bytes / job.stage("S2").output_bytes
+    assert ratio == pytest.approx(1.3)
+
+
+def test_triangle_count_structure():
+    job = triangle_count()
+    members = parallel_stage_set(job)
+    assert members == {f"S{i}" for i in range(1, 10)}  # S1..S9
+    assert sequential_stage_set(job) == {"S10", "S11"}
+    paths = execution_paths(job)
+    assert paths[0].stages == ("S2", "S4", "S5", "S9")
+
+
+def test_scaling_volumes_linear():
+    a = cosine_similarity(1.0)
+    b = cosine_similarity(2.0)
+    for sid in a.stage_ids:
+        assert b.stage(sid).input_bytes == pytest.approx(2 * a.stage(sid).input_bytes)
+        assert b.stage(sid).process_rate == a.stage(sid).process_rate
+
+
+def test_scale_validation():
+    for ctor in (als, connected_components, cosine_similarity, lda, triangle_count):
+        with pytest.raises(ValueError):
+            ctor(0)
+
+
+def test_workload_by_name():
+    assert workload_by_name("ALS").job_id == "als"
+    assert workload_by_name("LDA").job_id == "lda"
+    with pytest.raises(KeyError, match="unknown workload"):
+        workload_by_name("WordCount")
+    assert set(WORKLOADS) == {
+        "ConnectedComponents",
+        "CosineSimilarity",
+        "LDA",
+        "TriangleCount",
+    }
+
+
+# ------------------------- synthetic generator ------------------------- #
+
+
+def test_random_job_size_and_determinism():
+    a = random_job(12, rng=7)
+    b = random_job(12, rng=7)
+    assert a.num_stages == 12
+    assert a.edges == b.edges
+    assert [s.input_bytes for s in a] == [s.input_bytes for s in b]
+
+
+def test_random_job_zero_parallelism_is_chainlike():
+    job = random_job(10, parallelism=0.0, rng=0)
+    assert parallel_stage_set(job) == frozenset()
+
+
+def test_random_job_high_parallelism_has_parallel_stages():
+    job = random_job(10, parallelism=1.0, rng=0)
+    assert len(parallel_stage_set(job)) > 0
+
+
+def test_random_job_validation():
+    with pytest.raises(ValueError):
+        random_job(0)
+    with pytest.raises(ValueError):
+        random_job(3, parallelism=1.5)
+    with pytest.raises(ValueError):
+        random_job(3, median_input_mb=0)

@@ -1,0 +1,57 @@
+"""Bonus workloads: PageRank (chain) and StarJoin (wide parallel)."""
+
+import pytest
+
+from repro.dag import parallel_stage_set
+from repro.workloads import EXTRA_WORKLOADS, pagerank, star_join
+
+
+def test_pagerank_is_a_chain():
+    job = pagerank()
+    assert parallel_stage_set(job) == frozenset()
+    assert job.num_stages == 2 + 2 * 4  # load + 4*(contrib, update) + rank
+
+
+def test_pagerank_iterations_parameter():
+    assert pagerank(iterations=2).num_stages == 6
+    with pytest.raises(ValueError):
+        pagerank(iterations=0)
+
+
+def test_star_join_parallel_width():
+    job = star_join(num_dimensions=4)
+    members = parallel_stage_set(job)
+    # fact + every scan + every build run in parallel; probe is sequential.
+    assert len(members) == 9
+    assert "probe" not in members
+    assert job.parents("probe") == {"fact", "build0", "build1", "build2", "build3"}
+
+
+def test_star_join_dimensions_parameter():
+    assert star_join(num_dimensions=2).num_stages == 6
+    with pytest.raises(ValueError):
+        star_join(num_dimensions=1)
+
+
+def test_extra_workloads_registry():
+    assert set(EXTRA_WORKLOADS) == {"PageRank", "StarJoin"}
+    for ctor in EXTRA_WORKLOADS.values():
+        job = ctor(scale=0.5)
+        assert job.num_stages > 0
+
+
+def test_scaling():
+    a = star_join(scale=1.0)
+    b = star_join(scale=2.0)
+    assert b.stage("fact").input_bytes == pytest.approx(2 * a.stage("fact").input_bytes)
+    with pytest.raises(ValueError):
+        pagerank(scale=0)
+
+
+def test_delaystage_noop_on_pagerank(small_cluster):
+    """A pure chain gives DelayStage nothing to do (the structural
+    limit the paper's ConnectedComponents discussion points toward)."""
+    from repro.core import delay_stage_schedule
+
+    schedule = delay_stage_schedule(pagerank(scale=0.1), small_cluster)
+    assert schedule.delays == {}

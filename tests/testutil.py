@@ -1,0 +1,31 @@
+"""Helper constructors shared across test modules."""
+
+from __future__ import annotations
+
+from repro.dag import Job, Stage
+from repro.util.units import MB
+
+
+def make_stage(sid: str = "S", input_mb: float = 100, output_mb: float = 50,
+               rate_mb: float = 10, **kw) -> Stage:
+    """Terse stage constructor for unit tests."""
+    return Stage(
+        stage_id=sid,
+        input_bytes=input_mb * MB,
+        output_bytes=output_mb * MB,
+        process_rate=rate_mb * MB,
+        **kw,
+    )
+
+
+def make_job(job_id: str, edges, n: "int | None" = None) -> Job:
+    """Job from an edge list with uniform default stages."""
+    ids = []
+    for a, b in edges:
+        for s in (a, b):
+            if s not in ids:
+                ids.append(s)
+    if n is not None:
+        for i in range(len(ids), n):
+            ids.append(f"X{i}")
+    return Job(job_id, [make_stage(s) for s in ids], edges)
