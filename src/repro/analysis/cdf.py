@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
+#: Anything ``np.asarray`` accepts as a 1-D float sample.
+ArrayLike = "Sequence[float] | np.ndarray"
 
-def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+
+def empirical_cdf(values: ArrayLike) -> tuple[np.ndarray, np.ndarray]:
     """Sorted values and cumulative probabilities in percent.
 
     Returns ``(x, p)`` with ``p[i]`` the fraction (0–100 %) of samples
@@ -18,7 +23,7 @@ def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
     return x, p
 
 
-def cdf_at(values, threshold: float) -> float:
+def cdf_at(values: ArrayLike, threshold: float) -> float:
     """Fraction of samples <= threshold, in [0, 1]."""
     v = np.asarray(values, dtype=float)
     if v.size == 0:
@@ -26,7 +31,7 @@ def cdf_at(values, threshold: float) -> float:
     return float(np.mean(v <= threshold))
 
 
-def percentile(values, q: float) -> float:
+def percentile(values: ArrayLike, q: float) -> float:
     """q-th percentile (0-100) of the samples."""
     v = np.asarray(values, dtype=float)
     if v.size == 0:

@@ -12,6 +12,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.timeline import GanttRow
+
 
 def render_table(
     headers: Sequence[str],
@@ -65,7 +67,7 @@ def render_cdf(
 
 
 def render_gantt(
-    rows,
+    rows: "Sequence[GanttRow]",
     title: str = "",
     width: int = 72,
 ) -> str:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows without writing any code:
+Six subcommands cover the common workflows without writing any code:
 
 * ``compare``   — run a workload under the scheduling strategies and
   print the Fig. 10-style JCT table.
@@ -11,19 +11,22 @@ Five subcommands cover the common workflows without writing any code:
   statistics and Fig. 2/3 CDF summaries.
 * ``replay``    — replay trace jobs under Fuxi vs DelayStage and print
   the Fig. 14-style comparison.
+* ``verify``    — static validation of workload DAGs, DelayStage
+  schedules, delay tables, and cluster specs (exit 1 on ERROR).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.analysis import render_cdf, render_gantt, render_table, stage_gantt
 from repro.cluster import alibaba_sim_cluster, ec2_m4large_cluster, uniform_cluster
 from repro.core import DelayStageParams, delay_stage_schedule
-from repro.core.properties import write_metrics_properties
+from repro.core.properties import read_metrics_properties, write_metrics_properties
 from repro.schedulers import (
     AggShuffleScheduler,
     DelayStageScheduler,
@@ -40,11 +43,18 @@ from repro.trace import (
     to_job,
 )
 from repro.workloads import workload_by_name
+from repro.workloads.library import EXTRA_WORKLOADS, WORKLOADS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.spec import ClusterSpec
+    from repro.dag import Job
 
 WORKLOAD_CHOICES = ["ALS", "ConnectedComponents", "CosineSimilarity", "LDA", "TriangleCount"]
+#: ``repro verify`` also covers the bonus non-paper workloads.
+VERIFY_CHOICES = ["ALS", *WORKLOADS, *EXTRA_WORKLOADS]
 
 
-def _cluster_for(args) -> "object":
+def _cluster_for(args: argparse.Namespace) -> ClusterSpec:
     if args.workload == "ALS":
         # The motivation setup: three nodes, data co-hosted.
         return uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
@@ -52,7 +62,7 @@ def _cluster_for(args) -> "object":
     return ec2_m4large_cluster(args.workers)
 
 
-def cmd_compare(args) -> int:
+def cmd_compare(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
     runs = compare_schedulers(
@@ -77,7 +87,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_schedule(args) -> int:
+def cmd_schedule(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
     schedule = delay_stage_schedule(
@@ -100,7 +110,7 @@ def cmd_schedule(args) -> int:
     return 0
 
 
-def cmd_timeline(args) -> int:
+def cmd_timeline(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
     scheduler = {
@@ -120,7 +130,7 @@ def cmd_timeline(args) -> int:
     return 0
 
 
-def cmd_bounds(args) -> int:
+def cmd_bounds(args: argparse.Namespace) -> int:
     from repro.core import delay_stage_schedule, makespan_bounds, optimality_gap
     from repro.core.delaystage import DelayStageParams
 
@@ -147,7 +157,7 @@ def cmd_bounds(args) -> int:
     return 0
 
 
-def cmd_trace_stats(args) -> int:
+def cmd_trace_stats(args: argparse.Namespace) -> int:
     trace = generate_trace(TraceGeneratorConfig(num_jobs=args.jobs), rng=args.seed)
     summary = stage_count_summary(trace)
     print(f"jobs: {len(trace)}")
@@ -162,7 +172,7 @@ def cmd_trace_stats(args) -> int:
     return 0
 
 
-def cmd_replay(args) -> int:
+def cmd_replay(args: argparse.Namespace) -> int:
     cluster = alibaba_sim_cluster(
         num_machines=3, storage_nodes=1, nic_mbps_range=(600, 2000), rng=0
     )
@@ -192,6 +202,85 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def _verify_workload(name: str, scale: float) -> "Job":
+    if name in EXTRA_WORKLOADS:
+        return EXTRA_WORKLOADS[name](scale)
+    return workload_by_name(name, scale)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.verify import (
+        Finding,
+        Report,
+        Severity,
+        validate_cluster,
+        validate_delay_table,
+        validate_job,
+        validate_schedule,
+    )
+
+    names = args.workloads or VERIFY_CHOICES
+    delay_tables: dict[str, dict[str, float]] = {}
+    if args.delays:
+        try:
+            delay_tables = read_metrics_properties(args.delays)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read delay table {args.delays!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+    matched_jobs: set[str] = set()
+
+    reports: list[tuple[str, Report]] = []
+    for name in names:
+        ns = argparse.Namespace(workload=name, workers=args.workers)
+        cluster = _cluster_for(ns)
+        job = _verify_workload(name, args.scale)
+        report = Report()
+        report.extend(validate_cluster(cluster))
+        report.extend(validate_job(job))
+        if args.schedule:
+            schedule = delay_stage_schedule(
+                job, cluster, DelayStageParams(max_slots=args.max_slots)
+            )
+            report.extend(validate_schedule(schedule, job))
+        if job.job_id in delay_tables:
+            matched_jobs.add(job.job_id)
+            report.extend(validate_delay_table(job, delay_tables[job.job_id]))
+        reports.append((name, report))
+
+    for job_id in sorted(set(delay_tables) - matched_jobs):
+        orphan = Report()
+        orphan.add(Finding(
+            rule="V000", severity=Severity.ERROR, subject=f"delays:{job_id}",
+            message=f"delay table names job {job_id!r}, which matches no "
+                    "verified workload",
+        ))
+        reports.append((f"delays:{job_id}", orphan))
+
+    any_errors = any(not rep.ok for _, rep in reports)
+    if args.as_json:
+        payload = {
+            "ok": not any_errors,
+            "targets": {
+                name: _json.loads(rep.to_json(indent=None))
+                for name, rep in reports
+            },
+        }
+        print(_json.dumps(payload, indent=2))
+    else:
+        for name, rep in reports:
+            status = "OK" if rep.ok else "FAIL"
+            print(f"{name}: {status} ({len(rep)} finding(s))")
+            for finding in rep:
+                print(f"  {finding}")
+        total = sum(len(rep) for _, rep in reports)
+        print(f"\nverified {len(reports)} target(s), {total} finding(s), "
+              f"{'ERRORS PRESENT' if any_errors else 'no errors'}")
+    return 1 if any_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_workload_args(p):
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workload", choices=WORKLOAD_CHOICES, default="CosineSimilarity")
         p.add_argument("--workers", type=int, default=30, help="EC2 worker count")
         p.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
@@ -240,6 +329,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=3)
     p.add_argument("--penalty", type=float, default=0.5)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "verify", help="validate workload DAGs, schedules, and clusters"
+    )
+    p.add_argument("--workload", action="append", choices=VERIFY_CHOICES,
+                   dest="workloads", metavar="NAME",
+                   help="workload to verify (repeatable; default: all)")
+    p.add_argument("--workers", type=int, default=30, help="EC2 worker count")
+    p.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
+    p.add_argument("--schedule", action="store_true",
+                   help="also run Algorithm 1 and validate its schedule")
+    p.add_argument("--max-slots", type=int, default=48, dest="max_slots")
+    p.add_argument("--delays",
+                   help="metrics.properties file to validate against the DAGs")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit a machine-readable report")
+    p.set_defaults(func=cmd_verify)
 
     return parser
 

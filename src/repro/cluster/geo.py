@@ -18,9 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.cluster.spec import ClusterSpec, NodeSpec
 from repro.util.units import mbps_to_bytes_per_sec, MB
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -44,7 +49,7 @@ class GeoCluster:
     pair_capacities: dict
     datacenters: tuple[tuple[str, ...], ...]
 
-    def apply_to(self, topology) -> None:
+    def apply_to(self, topology: "Topology") -> None:
         """Install the WAN caps on a :class:`~repro.cluster.topology.Topology`."""
         for (src, dst), cap in self.pair_capacities.items():
             topology.set_pair_capacity(src, dst, cap)

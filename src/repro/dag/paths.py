@@ -18,7 +18,7 @@ in at least one path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.dag.graph import parallel_stage_set, topological_order
 from repro.dag.job import Job
@@ -43,7 +43,7 @@ class ExecutionPath:
     def __len__(self) -> int:
         return len(self.stages)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self.stages)
 
     def __contains__(self, stage_id: object) -> bool:

@@ -19,6 +19,8 @@ import itertools
 import math
 from typing import Callable, Iterable
 
+from repro.verify import sanitizer as _sanitizer
+
 
 class WorkItem:
     """A unit of fluid work with a remaining volume and a current rate.
@@ -153,7 +155,10 @@ class FluidEngine:
                     f"and no timers pending at t={self.now:.3f}"
                 )
             if until is not None and t_next > until:
-                self._advance_to(until)
+                # ``until`` in the past is an explicit no-op, not a
+                # backwards clock move.
+                if until > self.now:
+                    self._advance_to(until)
                 return self.now
 
             self._advance_to(t_next)
@@ -185,11 +190,15 @@ class FluidEngine:
         for item in self._items:
             if item.rate < 0 or math.isnan(item.rate):
                 raise ValueError(f"allocator produced invalid rate {item.rate!r}")
+        if _sanitizer.ENABLED:
+            _sanitizer.check_rates_valid(self._items)
         self._dirty = False
 
     def _advance_to(self, t: float) -> None:
         dt = t - self.now
         if dt < 0:
+            if _sanitizer.ENABLED:
+                _sanitizer.check_clock_monotone(self.now, t)
             return
         if self._observe is not None and dt > 0:
             self._observe(self.now, t, self._items)

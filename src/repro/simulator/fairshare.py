@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cluster.topology import Topology
 from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
+from repro.verify import sanitizer as _sanitizer
 
 
 def maxmin_network_rates(flows: Sequence[NetworkFlow], topology: Topology) -> np.ndarray:
@@ -41,7 +42,10 @@ def maxmin_network_rates(flows: Sequence[NetworkFlow], topology: Topology) -> np
     if n_flows == 0:
         return np.zeros(0)
     if n_flows <= 32 and not topology._pair_caps and topology.core_capacity is None:
-        return _maxmin_small(flows, topology)
+        rates = _maxmin_small(flows, topology)
+        if _sanitizer.ENABLED:
+            _sanitizer.check_network_allocation(flows, topology, rates)
+        return rates
 
     src = np.fromiter((topology.index[f.src] for f in flows), dtype=np.int64, count=n_flows)
     dst = np.fromiter((topology.index[f.dst] for f in flows), dtype=np.int64, count=n_flows)
@@ -113,6 +117,8 @@ def maxmin_network_rates(flows: Sequence[NetworkFlow], topology: Topology) -> np
     else:  # pragma: no cover - loop bound is generous
         raise RuntimeError("water-filling failed to converge")
 
+    if _sanitizer.ENABLED:
+        _sanitizer.check_network_allocation(flows, topology, rates)
     return rates
 
 
@@ -190,6 +196,8 @@ def compute_shares(
             for d in stage_items:
                 d.executor_share = share
                 d.rate = share * d.process_rate
+    if _sanitizer.ENABLED:
+        _sanitizer.check_compute_allocation(demands, executors_per_node)
 
 
 def disk_shares(writes: Sequence[DiskWrite], disk_bw_per_node: dict[str, float]) -> None:
@@ -204,3 +212,5 @@ def disk_shares(writes: Sequence[DiskWrite], disk_bw_per_node: dict[str, float])
         rate = bw / len(items)
         for w in items:
             w.rate = rate
+    if _sanitizer.ENABLED:
+        _sanitizer.check_disk_allocation(writes, disk_bw_per_node)

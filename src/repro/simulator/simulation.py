@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping, Protocol
+from typing import Callable, Mapping, Protocol
 
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.topology import Topology
@@ -37,6 +37,7 @@ from repro.simulator.events import EventKind, SimEvent
 from repro.simulator.fairshare import compute_shares, disk_shares, maxmin_network_rates
 from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
 from repro.simulator.metrics import MetricsCollector
+from repro.verify import sanitizer as _sanitizer
 
 
 class SubmissionPolicy(Protocol):
@@ -315,7 +316,8 @@ class Simulation:
                         ("executor_factor", executor_factor)):
             if f <= 0:
                 raise ValueError(f"{name} must be > 0, got {f}")
-        if executor_factor != 1.0 and self.config.task_granular:
+        degrades_executors = not math.isclose(executor_factor, 1.0)
+        if degrades_executors and self.config.task_granular:
             raise ValueError(
                 "executor degradation requires the fluid compute model"
             )
@@ -334,7 +336,7 @@ class Simulation:
         self.topology.egress_capacity[idx] *= nic_factor
         self.topology.ingress_capacity[idx] *= nic_factor
         self._disk_bw[node_id] *= disk_factor
-        if executor_factor != 1.0:
+        if not math.isclose(executor_factor, 1.0):
             self._executors[node_id] = self._executors[node_id] * executor_factor
         self.engine.mark_dirty()
 
@@ -376,19 +378,22 @@ class Simulation:
                 self._runs[(job_id, sid)] = _StageRun(job, sid, self.workers)
             self.engine.schedule(submit_time, self._make_job_start(job_id))
         self.engine.run()
-        return SimulationResult(
+        result = SimulationResult(
             cluster=self.cluster,
             stage_records={k: r.record for k, r in self._runs.items()},
             job_records=self._job_records,
             metrics=self.metrics,
             events=self.events,
         )
+        if _sanitizer.ENABLED:
+            _sanitizer.check_result(result)
+        return result
 
     # ------------------------------------------------------------------ #
     # lifecycle transitions
     # ------------------------------------------------------------------ #
 
-    def _make_job_start(self, job_id: str):
+    def _make_job_start(self, job_id: str) -> Callable[[], None]:
         def start() -> None:
             job, _policy, _t = self._jobs[job_id]
             self._log(EventKind.JOB_SUBMITTED, job_id)
@@ -460,7 +465,7 @@ class Simulation:
             if run.pending_reads[w] == 0:
                 self._part_read_done(run, w)
 
-    def _make_flow_done(self, run: _StageRun, worker: str):
+    def _make_flow_done(self, run: _StageRun, worker: str) -> Callable[[float], None]:
         def done(_t: float) -> None:
             run.pending_reads[worker] -= 1
             if run.submitted and run.pending_reads[worker] == 0:
@@ -704,7 +709,9 @@ class Simulation:
                     info={"from_stage": stage_id, "worker": worker},
                 )
 
-    def _make_prefetch_done(self, child_run: _StageRun, dst: str, pkey):
+    def _make_prefetch_done(
+        self, child_run: _StageRun, dst: str, pkey: "tuple[tuple[str, str], str]"
+    ) -> Callable[[float], None]:
         def done(_t: float) -> None:
             self._prefetch_outstanding[pkey] -= 1
             child_run.pending_reads[dst] -= 1
@@ -737,6 +744,16 @@ class Simulation:
             for d in demands:
                 d.executor_share = 1.0
                 d.rate = d.process_rate
+            if _sanitizer.ENABLED:
+                running: dict[str, int] = {}
+                for d in demands:
+                    running[d.node] = running.get(d.node, 0) + 1
+                for node, count in running.items():
+                    if count > self._executors[node]:
+                        raise _sanitizer.SanitizerError(
+                            f"{count} concurrent tasks on {node!r} exceed its "
+                            f"{self._executors[node]} executor slots"
+                        )
         else:
             compute_shares(demands, self._executors)
         disk_shares(writes, self._disk_bw)

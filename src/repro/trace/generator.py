@@ -67,7 +67,9 @@ class TraceGeneratorConfig:
     replay_write_mb_per_sec: float = 80.0
 
 
-def _chain_job(job_id: str, n: int, t0: float, cfg: TraceGeneratorConfig, gen) -> TraceJob:
+def _chain_job(
+    job_id: str, n: int, t0: float, cfg: TraceGeneratorConfig, gen: np.random.Generator
+) -> TraceJob:
     """A purely sequential job (no parallel stages)."""
     stages, edges = [], []
     clock = t0
@@ -83,7 +85,9 @@ def _chain_job(job_id: str, n: int, t0: float, cfg: TraceGeneratorConfig, gen) -
     return TraceJob(job_id, stages, edges, submit_time=t0)
 
 
-def _dag_job(job_id: str, n: int, t0: float, cfg: TraceGeneratorConfig, gen) -> TraceJob:
+def _dag_job(
+    job_id: str, n: int, t0: float, cfg: TraceGeneratorConfig, gen: np.random.Generator
+) -> TraceJob:
     """A job with parallel branches: optional head, B branches, tail."""
     head = 1 if (n >= 5 and gen.random() < 0.25) else 0
     tail = int(gen.integers(1, 3)) if (n - head >= 8 and gen.random() < 0.3) else 1
@@ -159,7 +163,7 @@ def _dag_job(job_id: str, n: int, t0: float, cfg: TraceGeneratorConfig, gen) -> 
     return TraceJob(job_id, stages, edges, submit_time=t0)
 
 
-def _duration(cfg: TraceGeneratorConfig, gen) -> float:
+def _duration(cfg: TraceGeneratorConfig, gen: np.random.Generator) -> float:
     return float(np.clip(gen.lognormal(cfg.duration_mu, cfg.duration_sigma), 10.0, 3000.0))
 
 
@@ -168,7 +172,7 @@ def _stage(
     start: float,
     duration: float,
     cfg: TraceGeneratorConfig,
-    gen,
+    gen: np.random.Generator,
     shares: "tuple[float, float] | None" = None,
 ) -> TraceStage:
     """Build a stage record with volumes inverting the duration.

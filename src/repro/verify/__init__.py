@@ -1,0 +1,149 @@
+"""repro.verify — static validators, sanitizer mode, and lint.
+
+Three layers of correctness tooling (see ``docs/verification.md``):
+
+1. **Static validators** — a rule registry
+   (:mod:`repro.verify.rules`) with rule sets for jobs/DAGs
+   (:mod:`repro.verify.jobs`), DelayStage schedules
+   (:mod:`repro.verify.schedules`), and cluster specs
+   (:mod:`repro.verify.clusters`), reporting machine-readable
+   :class:`~repro.verify.diagnostics.Finding` objects.
+2. **Sanitizer mode** (:mod:`repro.verify.sanitizer`) — opt-in runtime
+   invariant assertions inside the fluid simulator (capacity bounds,
+   water-filling optimality, monotone clock, event-log consistency).
+3. **Lint** (:mod:`repro.verify.lint`) — an AST lint enforcing
+   determinism and float-comparison hygiene, also exposed as
+   ``tools/lint_repro.py`` for CI.
+
+Quick use::
+
+    from repro.verify import validate_job, validate_schedule
+    validate_job(job).raise_if_errors()
+    report = validate_schedule(schedule, job)
+    if not report.ok:
+        print(report.render())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+# Only repro-independent modules may load eagerly: the simulator imports
+# ``repro.verify.sanitizer`` at module scope, so anything here that pulls
+# in repro.core / repro.model / repro.simulator would close an import
+# cycle.  The rule modules (which *do* import those packages) load
+# lazily, on first validation.
+from repro.verify import sanitizer
+from repro.verify.diagnostics import Finding, Report, Severity, ValidationError
+from repro.verify.lint import LintFinding, lint_paths, lint_source
+from repro.verify.rules import Rule, rule, run_rules
+from repro.verify.rules import all_rules as _all_rules
+from repro.verify.rules import rules_for as _rules_for
+from repro.verify.sanitizer import SanitizerError, sanitized
+
+if TYPE_CHECKING:
+    from repro.cluster.spec import ClusterSpec
+    from repro.core.schedule import DelaySchedule
+    from repro.dag.job import Job
+
+_RULES_LOADED = False
+
+
+def load_rule_modules() -> None:
+    """Import the rule modules so their ``@rule`` decorators register.
+
+    Deferred past package init because the rule modules import
+    repro.core/repro.dag, which (transitively) import the simulator,
+    which imports :mod:`repro.verify.sanitizer` — an eager import here
+    would be circular.  Idempotent and cheap after the first call.
+    """
+    global _RULES_LOADED
+    if not _RULES_LOADED:
+        from repro.verify import clusters, jobs, schedules  # noqa: F401
+
+        _RULES_LOADED = True
+
+
+def rules_for(target: str) -> "Sequence[Rule]":
+    """Registered rules for ``target`` ("job" | "schedule" | "cluster")."""
+    load_rule_modules()
+    return _rules_for(target)
+
+
+def all_rules() -> "Sequence[Rule]":
+    """Every registered rule, ordered by rule id."""
+    load_rule_modules()
+    return _all_rules()
+
+
+def validate_job(job: "Job") -> Report:
+    """Run every job/DAG rule against ``job``."""
+    load_rule_modules()
+    return run_rules("job", job, subject=f"job:{job.job_id}")
+
+
+def validate_schedule(schedule: "DelaySchedule", job: "Job") -> Report:
+    """Run every schedule rule against ``schedule`` (computed for ``job``)."""
+    load_rule_modules()
+    return run_rules("schedule", schedule, job, subject=f"schedule:{schedule.job_id}")
+
+
+def validate_cluster(cluster: "ClusterSpec") -> Report:
+    """Run every cluster rule against ``cluster``."""
+    load_rule_modules()
+    return run_rules("cluster", cluster, subject="cluster")
+
+
+def schedule_from_table(job: "Job", delays: Mapping[str, float]) -> "DelaySchedule":
+    """Wrap a bare delay table (e.g. parsed from ``metrics.properties``)
+    into a :class:`DelaySchedule` so the schedule rules can run on it.
+
+    Prediction metrics are unknown for an external table and left at
+    zero; the metric-consistency rule treats zeros as "not computed".
+    """
+    from repro.core.schedule import DelaySchedule
+    from repro.dag.paths import execution_paths
+
+    return DelaySchedule(
+        job_id=job.job_id,
+        delays=dict(delays),
+        predicted_makespan=0.0,
+        baseline_makespan=0.0,
+        paths=tuple(execution_paths(job)),
+        standalone_times={},
+    )
+
+
+def validate_delay_table(job: "Job", delays: Mapping[str, float]) -> Report:
+    """Validate a bare per-stage delay table against ``job``."""
+    return validate_schedule(schedule_from_table(job, delays), job)
+
+
+__all__ = [
+    # diagnostics
+    "Severity",
+    "Finding",
+    "Report",
+    "ValidationError",
+    # registry
+    "Rule",
+    "rule",
+    "rules_for",
+    "all_rules",
+    "run_rules",
+    "load_rule_modules",
+    # entry points
+    "validate_job",
+    "validate_schedule",
+    "validate_cluster",
+    "validate_delay_table",
+    "schedule_from_table",
+    # sanitizer
+    "sanitizer",
+    "sanitized",
+    "SanitizerError",
+    # lint
+    "LintFinding",
+    "lint_source",
+    "lint_paths",
+]

@@ -1,0 +1,118 @@
+"""Static validators for cluster specifications and topologies.
+
+The fluid model divides by NIC/disk/executor capacities; a zero,
+negative, or non-finite capacity silently produces inf/NaN rates deep
+inside the water-filling solver.  These rules reject such specs up
+front and flag configurations that are representable but almost
+certainly mis-specified.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.cluster.spec import ClusterSpec
+from repro.verify.diagnostics import Finding, Severity
+from repro.verify.rules import rule
+
+#: NIC heterogeneity beyond this ratio is flagged (the paper's most
+#: heterogeneous setup, the Alibaba twin, spans 100 Mbps - 2 Gbps = 20x).
+NIC_SPREAD_WARN = 1000.0
+
+
+def _loc(node_id: str = "") -> str:
+    return f"cluster/node:{node_id}" if node_id else "cluster"
+
+
+@rule("C001", "node capacities are positive and finite", target="cluster")
+def check_capacities(cluster: ClusterSpec) -> Iterator[Finding]:
+    for node in cluster.nodes:
+        for name, value in (
+            ("nic_bandwidth", node.nic_bandwidth),
+            ("disk_bandwidth", node.disk_bandwidth),
+        ):
+            if math.isnan(value) or math.isinf(value) or value <= 0:
+                yield Finding(
+                    "C001",
+                    Severity.ERROR,
+                    _loc(node.node_id),
+                    f"{name} must be finite and > 0, got {value!r}",
+                    {"field": name, "value": value},
+                )
+        if node.executors < 0:
+            yield Finding(
+                "C001",
+                Severity.ERROR,
+                _loc(node.node_id),
+                f"executors must be >= 0, got {node.executors}",
+                {"field": "executors", "value": node.executors},
+            )
+        if not node.is_storage and node.executors == 0:
+            yield Finding(
+                "C001",
+                Severity.ERROR,
+                _loc(node.node_id),
+                "worker node has no executors; any stage placed here stalls",
+            )
+        if node.is_storage and node.executors > 0:
+            yield Finding(
+                "C001",
+                Severity.WARNING,
+                _loc(node.node_id),
+                f"storage node declares {node.executors} executors; the "
+                "simulator never schedules compute on storage nodes",
+                {"executors": node.executors},
+            )
+
+
+@rule("C002", "cluster can execute work", target="cluster")
+def check_has_workers(cluster: ClusterSpec) -> Iterator[Finding]:
+    if cluster.num_workers == 0:
+        yield Finding(
+            "C002",
+            Severity.ERROR,
+            _loc(),
+            "cluster contains no worker nodes",
+        )
+    elif cluster.total_executors == 0:
+        yield Finding(
+            "C002",
+            Severity.ERROR,
+            _loc(),
+            "cluster has zero total executors",
+        )
+
+
+@rule("C003", "endpoint limits are sane", target="cluster")
+def check_endpoint_sanity(cluster: ClusterSpec) -> Iterator[Finding]:
+    """Extreme NIC spread usually means a unit mix-up (Mbps vs bytes/s)."""
+    nics = [n.nic_bandwidth for n in cluster.nodes
+            if math.isfinite(n.nic_bandwidth) and n.nic_bandwidth > 0]
+    if len(nics) >= 2:
+        spread = max(nics) / min(nics)
+        if spread > NIC_SPREAD_WARN:
+            yield Finding(
+                "C003",
+                Severity.WARNING,
+                _loc(),
+                f"NIC bandwidth spreads {spread:.0f}x across nodes "
+                f"(> {NIC_SPREAD_WARN:g}x); check for unit mix-ups",
+                {"spread": spread, "min": min(nics), "max": max(nics)},
+            )
+    for node in cluster.nodes:
+        if (
+            math.isfinite(node.nic_bandwidth)
+            and math.isfinite(node.disk_bandwidth)
+            and node.disk_bandwidth > 0
+            and node.nic_bandwidth / node.disk_bandwidth > NIC_SPREAD_WARN
+        ):
+            yield Finding(
+                "C003",
+                Severity.WARNING,
+                _loc(node.node_id),
+                "NIC is more than 1000x faster than the local disk; shuffle "
+                "writes will dominate every stage on this node",
+                {"nic_bandwidth": node.nic_bandwidth,
+                 "disk_bandwidth": node.disk_bandwidth},
+            )

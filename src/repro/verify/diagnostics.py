@@ -1,0 +1,181 @@
+"""Diagnostics: machine-readable findings with severity levels.
+
+Every validator rule (see :mod:`repro.verify.rules`) reports zero or
+more :class:`Finding` objects; a validation run collects them into a
+:class:`Report`.  Severities follow compiler conventions:
+
+* ``INFO`` — observation worth surfacing (e.g. a shuffle-input ratio
+  slightly above 1, which the paper shows is physically meaningful).
+* ``WARNING`` — suspicious but not provably wrong; the object may
+  still simulate correctly.
+* ``ERROR`` — the object violates an invariant the paper's model or
+  Algorithm 1 relies on; results computed from it are untrustworthy.
+
+``repro verify`` exits non-zero iff a report contains ERROR findings.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering supports threshold filtering."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a validator rule.
+
+    Attributes
+    ----------
+    rule:
+        Id of the rule that produced the finding (e.g. ``"J004"``).
+    severity:
+        :class:`Severity` level.
+    subject:
+        Dotted locator of the offending object, e.g.
+        ``"job:lda/stage:S3"`` or ``"cluster/node:w2"``.
+    message:
+        Human-readable one-line description.
+    details:
+        Machine-readable context (offending values, bounds, ...).
+    """
+
+    rule: str
+    severity: Severity
+    subject: str
+    message: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name,
+            "subject": self.subject,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def __str__(self) -> str:
+        return f"{self.severity.name:7s} {self.rule} {self.subject}: {self.message}"
+
+
+class ValidationError(ValueError):
+    """Raised by :meth:`Report.raise_if_errors` on ERROR findings."""
+
+    def __init__(self, report: "Report") -> None:
+        self.report = report
+        errors = report.errors
+        head = f"{len(errors)} ERROR finding(s)"
+        body = "\n".join(str(f) for f in errors)
+        super().__init__(f"{head}:\n{body}")
+
+
+class Report:
+    """An ordered collection of findings from one validation run."""
+
+    def __init__(self, findings: "Iterable[Finding]" = ()) -> None:
+        self._findings: list[Finding] = list(findings)
+
+    # -------------------------------------------------------------- #
+    # collection
+    # -------------------------------------------------------------- #
+
+    def add(self, finding: Finding) -> None:
+        self._findings.append(finding)
+
+    def extend(self, findings: "Iterable[Finding] | Report") -> "Report":
+        """Append findings (or another report's findings); returns self."""
+        if isinstance(findings, Report):
+            findings = findings.findings
+        self._findings.extend(findings)
+        return self
+
+    # -------------------------------------------------------------- #
+    # queries
+    # -------------------------------------------------------------- #
+
+    @property
+    def findings(self) -> list[Finding]:
+        return list(self._findings)
+
+    def at_least(self, severity: Severity) -> list[Finding]:
+        """All findings at or above ``severity``."""
+        return [f for f in self._findings if f.severity >= severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self._findings if f.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the report contains no ERROR findings."""
+        return not self.errors
+
+    @property
+    def max_severity(self) -> "Severity | None":
+        if not self._findings:
+            return None
+        return max(f.severity for f in self._findings)
+
+    def __len__(self) -> int:
+        return len(self._findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self._findings)
+
+    def __bool__(self) -> bool:
+        # A Report is truthy iff it holds findings; use ``report.ok``
+        # for pass/fail decisions.
+        return bool(self._findings)
+
+    # -------------------------------------------------------------- #
+    # output
+    # -------------------------------------------------------------- #
+
+    def raise_if_errors(self) -> "Report":
+        """Raise :class:`ValidationError` if any ERROR finding exists."""
+        if not self.ok:
+            raise ValidationError(self)
+        return self
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        """Serialize the whole report as JSON."""
+        payload = {
+            "ok": self.ok,
+            "counts": {
+                sev.name: sum(1 for f in self._findings if f.severity == sev)
+                for sev in Severity
+            },
+            "findings": [f.to_dict() for f in self._findings],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        if not self._findings:
+            return "no findings"
+        lines = [str(f) for f in self._findings]
+        counts = ", ".join(
+            f"{sum(1 for f in self._findings if f.severity == sev)} {sev.name}"
+            for sev in reversed(Severity)
+            if any(f.severity == sev for f in self._findings)
+        )
+        lines.append(f"-- {len(self._findings)} finding(s): {counts}")
+        return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Static validators for jobs and their DAGs.
+
+These rules re-check the structural invariants Algorithm 1 and the
+fluid simulator both rely on — independently of the ``Job``
+constructor, so they also catch objects corrupted after construction
+(e.g. by in-place mutation of internal tables) and jobs deserialized
+from external traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.dag.graph import ancestors, parallel_stage_set
+from repro.dag.job import Job
+from repro.dag.paths import execution_paths
+from repro.verify.diagnostics import Finding, Severity
+from repro.verify.rules import rule
+
+#: Shuffle-input may exceed the parents' intermediate data (the paper's
+#: LDA Stage 3 reads 1.3x); beyond this ratio we call it suspicious.
+SHUFFLE_RATIO_WARN = 1.5
+
+
+def _loc(job: Job, stage_id: str = "") -> str:
+    base = f"job:{job.job_id}"
+    return f"{base}/stage:{stage_id}" if stage_id else base
+
+
+@rule("J001", "job DAG is acyclic", target="job")
+def check_acyclic(job: Job) -> Iterator[Finding]:
+    """Kahn's algorithm over the public edge list (constructor-independent)."""
+    indeg = {sid: 0 for sid in job.stage_ids}
+    children: dict[str, list[str]] = {sid: [] for sid in job.stage_ids}
+    for parent, child in job.edges:
+        indeg[child] += 1
+        children[parent].append(child)
+    queue = [sid for sid, d in indeg.items() if d == 0]
+    seen = 0
+    while queue:
+        sid = queue.pop()
+        seen += 1
+        for child in children[sid]:
+            indeg[child] -= 1
+            if indeg[child] == 0:
+                queue.append(child)
+    if seen != job.num_stages:
+        cyclic = sorted(sid for sid, d in indeg.items() if d > 0)
+        yield Finding(
+            "J001",
+            Severity.ERROR,
+            _loc(job),
+            f"dependency cycle among stages {cyclic}",
+            {"stages": cyclic},
+        )
+
+
+@rule("J002", "every stage is reachable and connected", target="job")
+def check_reachability(job: Job) -> Iterator[Finding]:
+    """Roots exist, every stage descends from a root, no isolated stages."""
+    roots = job.roots
+    if not roots:
+        yield Finding(
+            "J002",
+            Severity.ERROR,
+            _loc(job),
+            "job has no root stages (every stage has parents — cycle symptom)",
+        )
+        return
+    reachable = set(roots)
+    frontier = list(roots)
+    while frontier:
+        sid = frontier.pop()
+        for child in job.children(sid):
+            if child not in reachable:
+                reachable.add(child)
+                frontier.append(child)
+    unreachable = sorted(set(job.stage_ids) - reachable)
+    for sid in unreachable:
+        yield Finding(
+            "J002",
+            Severity.ERROR,
+            _loc(job, sid),
+            "stage is unreachable from every root stage",
+        )
+    if job.num_stages > 1:
+        for sid in job.stage_ids:
+            if not job.parents(sid) and not job.children(sid):
+                yield Finding(
+                    "J002",
+                    Severity.WARNING,
+                    _loc(job, sid),
+                    "stage is isolated (no parents and no children); it never "
+                    "interacts with the rest of the job",
+                )
+
+
+@rule("J003", "stage volumes and rates are finite and in range", target="job")
+def check_stage_parameters(job: Job) -> Iterator[Finding]:
+    for stage in job:
+        sid = stage.stage_id
+        for name, value in (
+            ("input_bytes", stage.input_bytes),
+            ("output_bytes", stage.output_bytes),
+            ("task_cv", stage.task_cv),
+        ):
+            if math.isnan(value) or math.isinf(value) or value < 0:
+                yield Finding(
+                    "J003",
+                    Severity.ERROR,
+                    _loc(job, sid),
+                    f"{name} must be finite and >= 0, got {value!r}",
+                    {"field": name, "value": value},
+                )
+        rate = stage.process_rate
+        if math.isnan(rate) or math.isinf(rate) or rate <= 0:
+            yield Finding(
+                "J003",
+                Severity.ERROR,
+                _loc(job, sid),
+                f"process_rate must be finite and > 0, got {rate!r}",
+                {"field": "process_rate", "value": rate},
+            )
+        if stage.num_tasks < 1:
+            yield Finding(
+                "J003",
+                Severity.ERROR,
+                _loc(job, sid),
+                f"num_tasks must be >= 1, got {stage.num_tasks}",
+                {"field": "num_tasks", "value": stage.num_tasks},
+            )
+
+
+@rule("J004", "shuffle volume is conserved across edges", target="job")
+def check_shuffle_conservation(job: Job) -> Iterator[Finding]:
+    """A stage cannot shuffle-read much more than its parents produced.
+
+    The paper's LDA Stage 3 legitimately reads 1.3x its parents'
+    intermediate data (proactive aggregation re-reads), so a modest
+    excess is only reported as INFO; a large one is a WARNING because
+    it usually means mis-specified volumes.
+    """
+    for sid in job.stage_ids:
+        parents = job.parents(sid)
+        if not parents:
+            continue
+        stage = job.stage(sid)
+        available = sum(job.stage(p).output_bytes for p in parents)
+        if stage.input_bytes <= 0:
+            continue
+        if available <= 0:
+            yield Finding(
+                "J004",
+                Severity.WARNING,
+                _loc(job, sid),
+                f"stage reads {stage.input_bytes:.0f} B but its parents "
+                f"{sorted(parents)} produce no output",
+                {"input_bytes": stage.input_bytes, "parent_output_bytes": 0.0},
+            )
+            continue
+        ratio = stage.input_bytes / available
+        if ratio > SHUFFLE_RATIO_WARN:
+            yield Finding(
+                "J004",
+                Severity.WARNING,
+                _loc(job, sid),
+                f"shuffle input is {ratio:.2f}x the parents' total output "
+                f"(> {SHUFFLE_RATIO_WARN:g}x); volumes look inconsistent",
+                {"ratio": ratio, "input_bytes": stage.input_bytes,
+                 "parent_output_bytes": available},
+            )
+        elif ratio > 1.0 + 1e-9:
+            yield Finding(
+                "J004",
+                Severity.INFO,
+                _loc(job, sid),
+                f"shuffle input is {ratio:.2f}x the parents' total output "
+                "(physically possible, cf. the paper's LDA Stage 3 at 1.3x)",
+                {"ratio": ratio},
+            )
+
+
+@rule("J005", "execution paths cover the parallel-stage set", target="job")
+def check_path_cover(job: Job) -> Iterator[Finding]:
+    """The Fig. 7 decomposition must cover K exactly with valid chains."""
+    members = parallel_stage_set(job)
+    paths = execution_paths(job)
+    covered = {sid for p in paths for sid in p}
+    for sid in sorted(members - covered):
+        yield Finding(
+            "J005",
+            Severity.ERROR,
+            _loc(job, sid),
+            "parallel stage appears in no execution path; Algorithm 1 would "
+            "never schedule it",
+        )
+    for sid in sorted(covered - members):
+        yield Finding(
+            "J005",
+            Severity.ERROR,
+            _loc(job, sid),
+            "execution path contains a stage outside the parallel-stage set",
+        )
+    for path in paths:
+        for parent, child in zip(path.stages, path.stages[1:]):
+            if parent not in ancestors(job, child):
+                yield Finding(
+                    "J005",
+                    Severity.ERROR,
+                    _loc(job),
+                    f"execution path {list(path.stages)} lists {parent!r} before "
+                    f"{child!r} but {parent!r} is not an ancestor of {child!r}",
+                    {"path": list(path.stages)},
+                )
+        if not math.isfinite(path.execution_time) or path.execution_time < 0:
+            yield Finding(
+                "J005",
+                Severity.ERROR,
+                _loc(job),
+                f"execution path {list(path.stages)} has invalid execution time "
+                f"{path.execution_time!r}",
+                {"path": list(path.stages), "execution_time": path.execution_time},
+            )

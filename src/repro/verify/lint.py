@@ -1,0 +1,305 @@
+"""Custom AST lint for the reproduction's code-quality invariants.
+
+Four rule families, tuned to the failure modes that corrupt
+reproduction results silently:
+
+* ``L001`` **determinism** — no stdlib ``random.*``, ``time.time()``,
+  ``datetime.now()``-family calls, or legacy ``numpy.random.*``
+  module-level functions anywhere in ``src/repro`` except the blessed
+  RNG plumbing in ``util/rng.py``.  All randomness must flow through
+  seeded generators (:func:`repro.util.rng.resolve_rng`).
+* ``L002`` **mutable default arguments** — ``def f(x=[])`` shares one
+  list across calls.
+* ``L003`` **bare except** — ``except:`` swallows ``KeyboardInterrupt``
+  and hides real failures.
+* ``L004`` **float equality** — ``==``/``!=`` against float literals
+  inside ``simulator/`` and ``model/`` code, where every quantity is
+  the product of fluid-rate arithmetic and exact comparison is a bug
+  magnet (use ``math.isclose`` or an explicit tolerance).
+
+Suppress a finding by appending ``# noqa: L00x`` (or a bare
+``# noqa``) to the offending line.  Run from the command line via
+``python tools/lint_repro.py <paths>`` or ``python -m repro.verify.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: Files (matched by trailing path parts) exempt from the determinism rule.
+DETERMINISM_EXEMPT = ("util/rng.py",)
+#: Directories whose files get the float-equality rule.
+FLOAT_EQ_DIRS = frozenset({"simulator", "model"})
+#: ``datetime``/``date`` constructors that read the wall clock.
+_WALLCLOCK_ATTRS = frozenset({"now", "utcnow", "today"})
+#: ``time`` module functions that read the wall clock.
+_TIME_ATTRS = frozenset({"time", "time_ns"})
+#: Legacy module-level ``numpy.random`` functions (unseeded global state).
+_NP_RANDOM_LEGACY = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal", "lognormal",
+})
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<rules>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _suppressed(source_lines: list[str], line: int, rule: str) -> bool:
+    if not (1 <= line <= len(source_lines)):
+        return False
+    match = _NOQA_RE.search(source_lines[line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    return rule in {r.strip().upper() for r in rules.split(",")}
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass collector for all four rule families."""
+
+    def __init__(self, path: str, *, check_determinism: bool, check_float_eq: bool):
+        self.path = path
+        self.check_determinism = check_determinism
+        self.check_float_eq = check_float_eq
+        self.findings: list[LintFinding] = []
+        #: local alias -> canonical module name, e.g. {"_time": "time"}
+        self._module_aliases: dict[str, str] = {}
+        #: names imported *from* forbidden modules, e.g. from random import randint
+        self._tainted_names: dict[str, str] = {}
+
+    # ---------------------------- helpers ---------------------------- #
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    def _alias_of(self, node: ast.expr) -> "str | None":
+        """Canonical module name if ``node`` is a bare imported-module name."""
+        if isinstance(node, ast.Name):
+            return self._module_aliases.get(node.id)
+        return None
+
+    # ---------------------------- imports ---------------------------- #
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._module_aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.check_determinism and node.module == "random":
+            self._emit(node, "L001",
+                       "import from stdlib 'random'; use repro.util.rng instead")
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if node.module == "time" and alias.name in _TIME_ATTRS:
+                self._tainted_names[local] = f"time.{alias.name}"
+            if node.module == "datetime" and alias.name == "datetime":
+                self._module_aliases[local] = "datetime.datetime"
+        self.generic_visit(node)
+
+    # ------------------------- determinism --------------------------- #
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.check_determinism:
+            base = self._alias_of(node.value)
+            if base == "random":
+                self._emit(node, "L001",
+                           f"stdlib random.{node.attr} is nondeterministic; "
+                           "use repro.util.rng.resolve_rng")
+            elif base == "time" and node.attr in _TIME_ATTRS:
+                self._emit(node, "L001",
+                           f"time.{node.attr}() reads the wall clock; pass "
+                           "timestamps explicitly (perf_counter is fine for "
+                           "duration measurement)")
+            elif base in ("datetime", "datetime.datetime") and node.attr in _WALLCLOCK_ATTRS:
+                if base == "datetime.datetime" or isinstance(node.value, ast.Name):
+                    self._emit(node, "L001",
+                               f"datetime {node.attr}() reads the wall clock")
+            elif node.attr in _NP_RANDOM_LEGACY:
+                value = node.value
+                if (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "random"
+                    and self._alias_of(value.value) == "numpy"
+                ):
+                    self._emit(node, "L001",
+                               f"legacy numpy.random.{node.attr} uses unseeded "
+                               "global state; use numpy.random.default_rng via "
+                               "repro.util.rng")
+            if (
+                isinstance(node.value, ast.Attribute)
+                and node.attr in _WALLCLOCK_ATTRS
+                and node.value.attr == "datetime"
+                and self._alias_of(node.value.value) == "datetime"
+            ):
+                self._emit(node, "L001",
+                           f"datetime.datetime.{node.attr}() reads the wall clock")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            self.check_determinism
+            and isinstance(node.ctx, ast.Load)
+            and node.id in self._tainted_names
+        ):
+            self._emit(node, "L001",
+                       f"{self._tainted_names[node.id]} reads the wall clock")
+        self.generic_visit(node)
+
+    # ---------------------- mutable defaults ------------------------- #
+
+    def _check_defaults(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda"
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                self._emit(default, "L002",
+                           "mutable default argument is shared across calls; "
+                           "default to None and construct inside the function")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # ------------------------- bare except --------------------------- #
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(node, "L003",
+                       "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                       "catch Exception (or narrower) explicitly")
+        self.generic_visit(node)
+
+    # ------------------------ float equality ------------------------- #
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.check_float_eq:
+            operands = [node.left, *node.comparators]
+            has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            has_float = any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            )
+            if has_eq and has_float:
+                self._emit(node, "L004",
+                           "==/!= against a float literal in simulator/model "
+                           "code; use math.isclose or an explicit tolerance")
+        self.generic_visit(node)
+
+
+def _float_eq_applies(path: pathlib.Path) -> bool:
+    return bool(FLOAT_EQ_DIRS.intersection(path.parts))
+
+
+def _determinism_applies(path: pathlib.Path) -> bool:
+    posix = path.as_posix()
+    return not any(posix.endswith(suffix) for suffix in DETERMINISM_EXEMPT)
+
+
+def lint_source(source: str, path: "str | pathlib.Path") -> list[LintFinding]:
+    """Lint one file's source text; returns findings after noqa filtering."""
+    p = pathlib.Path(path)
+    try:
+        tree = ast.parse(source, filename=str(p))
+    except SyntaxError as exc:
+        return [LintFinding(str(p), exc.lineno or 0, exc.offset or 0, "L000",
+                            f"syntax error: {exc.msg}")]
+    visitor = _Visitor(
+        str(p),
+        check_determinism=_determinism_applies(p),
+        check_float_eq=_float_eq_applies(p),
+    )
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return [
+        f for f in visitor.findings if not _suppressed(lines, f.line, f.rule)
+    ]
+
+
+def lint_paths(paths: Iterable["str | pathlib.Path"]) -> list[LintFinding]:
+    """Lint files and directory trees; directories are walked for ``.py``."""
+    findings: list[LintFinding] = []
+    for target in paths:
+        target = pathlib.Path(target)
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for file in files:
+            findings.extend(lint_source(file.read_text(encoding="utf-8"), file))
+    return findings
+
+
+def iter_findings(paths: Iterable["str | pathlib.Path"]) -> Iterator[LintFinding]:
+    yield from lint_paths(paths)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="repro custom lint: determinism, mutable defaults, "
+                    "bare except, float equality",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        findings = lint_paths(args.paths)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+        if findings:
+            print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/lint_repro.py
+    sys.exit(main())

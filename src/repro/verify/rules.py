@@ -1,0 +1,103 @@
+"""Rule registry: named validators grouped by target kind.
+
+A *rule* is a generator function that inspects one subject (a job, a
+delay schedule with its job, or a cluster spec) and yields
+:class:`~repro.verify.diagnostics.Finding` objects.  Rules register
+themselves with the :func:`rule` decorator under a target kind; the
+``validate_*`` entry points in :mod:`repro.verify` run every registered
+rule for that kind and collect the findings into a
+:class:`~repro.verify.diagnostics.Report`.
+
+Adding a rule (see ``docs/verification.md``)::
+
+    from repro.verify.rules import rule
+    from repro.verify.diagnostics import Finding, Severity
+
+    @rule("J901", "every stage id is upper-case", target="job")
+    def _check_upper(job):
+        for sid in job.stage_ids:
+            if sid != sid.upper():
+                yield Finding("J901", Severity.WARNING,
+                              f"job:{job.job_id}/stage:{sid}",
+                              "stage id is not upper-case")
+
+Rule functions must be *pure observers*: they never mutate the subject
+and never raise on malformed-but-representable input — they report it.
+An exception escaping a rule is itself converted into an ERROR finding
+so one broken rule cannot mask the rest of the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.verify.diagnostics import Finding, Report, Severity
+
+#: A rule body: called with the subject(s), yields findings.
+RuleCheck = Callable[..., Iterable[Finding]]
+
+#: Valid registry target kinds.
+TARGETS = ("job", "schedule", "cluster")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered validator."""
+
+    rule_id: str
+    description: str
+    target: str
+    check: RuleCheck
+
+
+_REGISTRY: dict[str, dict[str, Rule]] = {t: {} for t in TARGETS}
+
+
+def rule(rule_id: str, description: str, *, target: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a validator under ``target`` (``job``/``schedule``/``cluster``)."""
+    if target not in TARGETS:
+        raise ValueError(f"unknown rule target {target!r}; choose from {TARGETS}")
+
+    def decorator(fn: RuleCheck) -> RuleCheck:
+        for existing in _REGISTRY.values():
+            if rule_id in existing:
+                raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[target][rule_id] = Rule(rule_id, description, target, fn)
+        return fn
+
+    return decorator
+
+
+def rules_for(target: str) -> list[Rule]:
+    """All rules registered for a target kind, in id order."""
+    if target not in TARGETS:
+        raise ValueError(f"unknown rule target {target!r}; choose from {TARGETS}")
+    return [_REGISTRY[target][rid] for rid in sorted(_REGISTRY[target])]
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule across all targets."""
+    return [r for t in TARGETS for r in rules_for(t)]
+
+
+def _run_one(r: Rule, args: tuple, subject: str) -> Iterator[Finding]:
+    """Run a rule defensively: its own crash becomes an ERROR finding."""
+    try:
+        yield from r.check(*args)
+    except Exception as exc:  # noqa: BLE001 - deliberate containment
+        yield Finding(
+            r.rule_id,
+            Severity.ERROR,
+            subject,
+            f"rule crashed: {type(exc).__name__}: {exc}",
+            {"exception": type(exc).__name__},
+        )
+
+
+def run_rules(target: str, *args: Any, subject: str = "") -> Report:
+    """Run every rule registered for ``target`` against ``args``."""
+    report = Report()
+    for r in rules_for(target):
+        report.extend(_run_one(r, args, subject or target))
+    return report

@@ -1,0 +1,326 @@
+"""Sanitizer mode: opt-in runtime invariant checks for the fluid engine.
+
+The Sec. 3 processor-sharing model the paper builds on makes promises
+the simulator must actually keep: max-min shares never exceed capacity
+and satisfy the water-filling optimality condition, work volumes never
+go negative, the clock is monotone, and the event log agrees with the
+reported makespan.  This module holds those checks; the simulator
+modules (:mod:`repro.simulator.engine`, ``fairshare``, ``simulation``)
+call them behind an ``if sanitizer.ENABLED`` guard, so the cost when
+off is one module-attribute read per call site.
+
+Enable via :func:`enable`, the :func:`sanitized` context manager, or
+the ``REPRO_SANITIZE=1`` environment variable.  The test suite enables
+it for every test through an autouse fixture in ``tests/conftest.py``.
+
+This module deliberately imports nothing from ``repro`` at module
+level so the innermost simulator modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import Topology
+    from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
+    from repro.simulator.simulation import SimulationResult
+
+#: Relative tolerance for capacity / share comparisons.
+REL_TOL = 1e-6
+#: Absolute floor so zero-capacity comparisons stay meaningful.
+ABS_TOL = 1e-9
+
+#: Global switch read by the simulator's call sites.
+ENABLED: bool = os.environ.get("REPRO_SANITIZE", "").lower() not in ("", "0", "false", "no")
+
+
+class SanitizerError(AssertionError):
+    """A runtime invariant of the fluid model was violated."""
+
+
+def enable(on: bool = True) -> None:
+    """Turn sanitizer mode on or off process-wide."""
+    global ENABLED
+    ENABLED = bool(on)
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+@contextmanager
+def sanitized(on: bool = True) -> Iterator[None]:
+    """Scoped enable/disable; restores the previous state on exit."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(on)
+    try:
+        yield
+    finally:
+        ENABLED = previous
+
+
+def _tol(capacity: float) -> float:
+    return ABS_TOL + REL_TOL * abs(capacity)
+
+
+# ------------------------------------------------------------------ #
+# engine invariants
+# ------------------------------------------------------------------ #
+
+def check_clock_monotone(previous: float, now: float) -> None:
+    """The simulation clock must never run backwards."""
+    if now < previous - ABS_TOL:
+        raise SanitizerError(
+            f"simulation clock moved backwards: {previous:.9f} -> {now:.9f}"
+        )
+
+
+def check_rates_valid(items: Sequence) -> None:
+    """Allocator post-condition: every rate finite and >= 0, every
+    remaining volume finite and >= 0."""
+    for item in items:
+        if math.isnan(item.rate) or math.isinf(item.rate) or item.rate < 0:
+            raise SanitizerError(
+                f"allocator produced invalid rate {item.rate!r} on "
+                f"{type(item).__name__}"
+            )
+        if math.isnan(item.remaining) or math.isinf(item.remaining) or item.remaining < 0:
+            raise SanitizerError(
+                f"work item has invalid remaining volume {item.remaining!r} on "
+                f"{type(item).__name__}"
+            )
+
+
+# ------------------------------------------------------------------ #
+# fair-share invariants
+# ------------------------------------------------------------------ #
+
+def check_network_allocation(
+    flows: "Sequence[NetworkFlow]",
+    topology: "Topology",
+    rates: Sequence[float],
+) -> None:
+    """Max-min post-conditions: feasibility + water-filling optimality.
+
+    Feasibility: no flow exceeds its cap; no NIC (or the core fabric)
+    carries more than its capacity.  Optimality: a flow below its cap
+    must be *bottlenecked* — some saturated link it uses carries no
+    flow faster than it (the classic max-min characterization); if no
+    such link exists, capacity was left on the table or fairness was
+    violated.
+    """
+    if not flows:
+        return
+    egress_used = [0.0] * topology.num_nodes
+    ingress_used = [0.0] * topology.num_nodes
+    egress_max = [0.0] * topology.num_nodes
+    ingress_max = [0.0] * topology.num_nodes
+    core_used = 0.0
+    core_max = 0.0
+    crossings = []
+    for flow, rate in zip(flows, rates):
+        r = float(rate)
+        if math.isnan(r) or r < -ABS_TOL:
+            raise SanitizerError(f"negative/NaN network rate {r!r} for flow "
+                                 f"{flow.src}->{flow.dst}")
+        si, di = topology.index[flow.src], topology.index[flow.dst]
+        cap = min(flow.rate_cap, topology.pair_capacity(si, di))
+        if r > cap + _tol(cap):
+            raise SanitizerError(
+                f"flow {flow.src}->{flow.dst} rate {r:.6g} exceeds its cap "
+                f"{cap:.6g}"
+            )
+        egress_used[si] += r
+        ingress_used[di] += r
+        egress_max[si] = max(egress_max[si], r)
+        ingress_max[di] = max(ingress_max[di], r)
+        crosses = (
+            topology.rack_of is not None
+            and topology.rack_of[si] != topology.rack_of[di]
+        )
+        crossings.append(crosses)
+        if crosses:
+            core_used += r
+            core_max = max(core_max, r)
+
+    for i in range(topology.num_nodes):
+        for used, capacity, kind in (
+            (egress_used[i], float(topology.egress_capacity[i]), "egress"),
+            (ingress_used[i], float(topology.ingress_capacity[i]), "ingress"),
+        ):
+            if used > capacity + _tol(capacity):
+                raise SanitizerError(
+                    f"{kind} at node {topology.node_ids[i]!r} oversubscribed: "
+                    f"{used:.6g} > capacity {capacity:.6g}"
+                )
+    if topology.core_capacity is not None and core_used > topology.core_capacity + _tol(
+        topology.core_capacity
+    ):
+        raise SanitizerError(
+            f"core fabric oversubscribed: {core_used:.6g} > "
+            f"{topology.core_capacity:.6g}"
+        )
+
+    for flow, rate, crosses in zip(flows, rates, crossings):
+        r = float(rate)
+        si, di = topology.index[flow.src], topology.index[flow.dst]
+        cap = min(flow.rate_cap, topology.pair_capacity(si, di))
+        if r >= cap - _tol(cap):
+            continue  # cap-limited: exempt from the bottleneck condition
+        eg_cap = float(topology.egress_capacity[si])
+        in_cap = float(topology.ingress_capacity[di])
+        bottlenecked = (
+            (egress_used[si] >= eg_cap - _tol(eg_cap)
+             and r >= egress_max[si] - _tol(egress_max[si]))
+            or (ingress_used[di] >= in_cap - _tol(in_cap)
+                and r >= ingress_max[di] - _tol(ingress_max[di]))
+            or (crosses
+                and topology.core_capacity is not None
+                and core_used >= topology.core_capacity - _tol(topology.core_capacity)
+                and r >= core_max - _tol(core_max))
+        )
+        if not bottlenecked:
+            raise SanitizerError(
+                f"water-filling optimality violated: flow {flow.src}->{flow.dst} "
+                f"at {r:.6g} is below its cap {cap:.6g} yet no saturated link "
+                "bottlenecks it (capacity left on the table or unfair share)"
+            )
+
+
+def check_compute_allocation(
+    demands: "Sequence[ComputeDemand]",
+    executors_per_node: dict[str, float],
+) -> None:
+    """Equal-split post-conditions for executor sharing.
+
+    Per node: shares sum to exactly the executor count (work
+    conservation), every share is positive, each stage receives the
+    same aggregate share, and each demand's rate equals
+    ``share * process_rate``.
+    """
+    by_node: dict[str, list] = {}
+    for d in demands:
+        by_node.setdefault(d.node, []).append(d)
+    for node, items in by_node.items():
+        executors = float(executors_per_node.get(node, 0))
+        total = 0.0
+        per_stage: dict[tuple, float] = {}
+        for d in items:
+            if d.executor_share <= 0:
+                raise SanitizerError(
+                    f"compute demand for stage {d.stage_key} on {node!r} has "
+                    f"non-positive executor share {d.executor_share!r}"
+                )
+            expected = d.executor_share * d.process_rate
+            if abs(d.rate - expected) > _tol(expected):
+                raise SanitizerError(
+                    f"compute rate {d.rate:.6g} inconsistent with share "
+                    f"{d.executor_share:.6g} * R_k {d.process_rate:.6g} on {node!r}"
+                )
+            total += d.executor_share
+            per_stage[d.stage_key] = per_stage.get(d.stage_key, 0.0) + d.executor_share
+        if abs(total - executors) > _tol(executors):
+            raise SanitizerError(
+                f"executor shares at {node!r} sum to {total:.6g}, expected "
+                f"{executors:.6g} (work conservation)"
+            )
+        shares = list(per_stage.values())
+        if shares and max(shares) - min(shares) > _tol(max(shares)):
+            raise SanitizerError(
+                f"unequal per-stage executor shares at {node!r}: {per_stage!r}"
+            )
+
+
+def check_disk_allocation(
+    writes: "Sequence[DiskWrite]",
+    disk_bw_per_node: dict[str, float],
+) -> None:
+    """Disk rates per node sum to the disk bandwidth and split equally."""
+    by_node: dict[str, list] = {}
+    for w in writes:
+        by_node.setdefault(w.node, []).append(w)
+    for node, items in by_node.items():
+        bw = float(disk_bw_per_node.get(node, 0.0))
+        total = sum(w.rate for w in items)
+        if abs(total - bw) > _tol(bw):
+            raise SanitizerError(
+                f"disk rates at {node!r} sum to {total:.6g}, expected the full "
+                f"bandwidth {bw:.6g}"
+            )
+        rates = [w.rate for w in items]
+        if max(rates) - min(rates) > _tol(max(rates)):
+            raise SanitizerError(f"unequal disk shares at {node!r}: {rates!r}")
+
+
+# ------------------------------------------------------------------ #
+# end-of-run consistency
+# ------------------------------------------------------------------ #
+
+def check_result(result: "SimulationResult") -> None:
+    """Event-log / record consistency for a finished simulation.
+
+    Per stage: ready <= submit <= read-done <= compute-done <= finish.
+    Per job: the job finish equals its last stage finish.  Event
+    timestamps are monotone and the per-stage submission/completion
+    events agree with the records.
+    """
+    from repro.simulator.events import EventKind  # lazy: avoids import cycle
+
+    for (job_id, stage_id), rec in result.stage_records.items():
+        times = [rec.ready_time, rec.submit_time, rec.read_done_time,
+                 rec.compute_done_time, rec.finish_time]
+        if any(math.isnan(t) for t in times):
+            raise SanitizerError(
+                f"stage {job_id}/{stage_id} finished with unset lifecycle "
+                f"timestamps: {times!r}"
+            )
+        labels = ["ready", "submit", "read_done", "compute_done", "finish"]
+        for (la, ta), (lb, tb) in zip(zip(labels, times), zip(labels[1:], times[1:])):
+            if tb < ta - ABS_TOL:
+                raise SanitizerError(
+                    f"stage {job_id}/{stage_id}: {lb} at {tb:.9f} precedes "
+                    f"{la} at {ta:.9f}"
+                )
+
+    for job_id, jrec in result.job_records.items():
+        finishes = [
+            rec.finish_time
+            for (jid, _sid), rec in result.stage_records.items()
+            if jid == job_id
+        ]
+        if finishes and abs(jrec.finish_time - max(finishes)) > ABS_TOL + REL_TOL * abs(
+            jrec.finish_time
+        ):
+            raise SanitizerError(
+                f"job {job_id!r} finish {jrec.finish_time:.9f} does not match "
+                f"its last stage finish {max(finishes):.9f}"
+            )
+
+    previous = -math.inf
+    for event in result.events:
+        if event.time < previous - ABS_TOL:
+            raise SanitizerError(
+                f"event log is not time-ordered: {event.kind.value} at "
+                f"{event.time:.9f} after t={previous:.9f}"
+            )
+        previous = max(previous, event.time)
+        rec = result.stage_records.get((event.job_id, event.stage_id))
+        if rec is None:
+            continue
+        expected = {
+            EventKind.STAGE_READY: rec.ready_time,
+            EventKind.STAGE_SUBMITTED: rec.submit_time,
+            EventKind.STAGE_COMPLETED: rec.finish_time,
+        }.get(event.kind)
+        if expected is not None and abs(event.time - expected) > ABS_TOL + REL_TOL * abs(
+            expected
+        ):
+            raise SanitizerError(
+                f"event {event.kind.value} for {event.job_id}/{event.stage_id} "
+                f"at {event.time:.9f} disagrees with the record ({expected:.9f})"
+            )

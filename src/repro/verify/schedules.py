@@ -1,0 +1,199 @@
+"""Static validators for DelayStage schedules.
+
+Checks that an Algorithm 1 output (or a delay table read back from
+``metrics.properties``) satisfies the paper's objective constraints
+(4)-(7):
+
+* delays lie in the scan interval ``[l_k, u_k]`` — with the
+  reproduction's ready-relative semantics ``l_k = 0`` and ``u_k`` is
+  bounded by the incumbent makespan ``T_max``;
+* intra-path precedence (5)-(7): delays apply *after* a stage becomes
+  ready (all parents finished), so precedence cannot be violated at
+  runtime — the checkable residue is that every recorded execution
+  path is a real dependency chain of the job's DAG;
+* the schedule covers exactly the parallel-stage set ``K``: scheduling
+  a sequential stage can only inflate the makespan, and a missing
+  member means Algorithm 1 never considered it.
+
+Rules take ``(schedule, job)``; pass the same job the schedule was
+computed for.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.core.schedule import DelaySchedule
+from repro.dag.graph import ancestors, parallel_stage_set
+from repro.dag.job import Job
+from repro.verify.diagnostics import Finding, Severity
+from repro.verify.rules import rule
+
+#: Relative slack applied to the ``u_k`` upper-bound check (S003).
+UPPER_BOUND_SLACK = 1.05
+
+
+def _loc(schedule: DelaySchedule, stage_id: str = "") -> str:
+    base = f"schedule:{schedule.job_id}"
+    return f"{base}/stage:{stage_id}" if stage_id else base
+
+
+@rule("S001", "delays are finite and non-negative", target="schedule")
+def check_delay_domain(schedule: DelaySchedule, job: Job) -> Iterator[Finding]:
+    for sid in sorted(schedule.delays):
+        x = schedule.delays[sid]
+        if math.isnan(x) or math.isinf(x) or x < 0:
+            yield Finding(
+                "S001",
+                Severity.ERROR,
+                _loc(schedule, sid),
+                f"delay must be finite and >= 0, got {x!r}",
+                {"delay": x},
+            )
+
+
+@rule("S002", "schedule covers exactly the parallel-stage set K", target="schedule")
+def check_covers_parallel_set(schedule: DelaySchedule, job: Job) -> Iterator[Finding]:
+    members = parallel_stage_set(job)
+    keys = set(schedule.delays)
+    for sid in sorted(keys - set(job.stage_ids)):
+        yield Finding(
+            "S002",
+            Severity.ERROR,
+            _loc(schedule, sid),
+            f"schedule delays a stage the job does not contain",
+            {"stage": sid},
+        )
+    for sid in sorted((keys & set(job.stage_ids)) - members):
+        x = schedule.delays[sid]
+        if x > 0:
+            yield Finding(
+                "S002",
+                Severity.ERROR,
+                _loc(schedule, sid),
+                f"sequential stage carries a positive delay ({x:.3f} s); "
+                "delaying a stage outside K can only inflate the makespan",
+                {"delay": x},
+            )
+        else:
+            yield Finding(
+                "S002",
+                Severity.INFO,
+                _loc(schedule, sid),
+                "schedule lists a sequential stage (harmless at zero delay)",
+            )
+    for sid in sorted(members - keys):
+        yield Finding(
+            "S002",
+            Severity.WARNING,
+            _loc(schedule, sid),
+            "parallel stage missing from the delay table (submits immediately; "
+            "Algorithm 1 output always covers K)",
+        )
+
+
+@rule("S003", "delays lie within the scan bounds [l_k, u_k]", target="schedule")
+def check_delay_bounds(schedule: DelaySchedule, job: Job) -> Iterator[Finding]:
+    """``l_k = 0`` (ready-relative semantics); ``u_k`` is the largest
+    incumbent makespan the scan could have used."""
+    candidates = [schedule.baseline_makespan, schedule.predicted_makespan]
+    candidates += [p.execution_time for p in schedule.paths]
+    upper = max((u for u in candidates if math.isfinite(u)), default=0.0)
+    if upper <= 0:
+        return
+    bound = upper * UPPER_BOUND_SLACK
+    for sid in sorted(schedule.delays):
+        x = schedule.delays[sid]
+        if math.isfinite(x) and x > bound:
+            yield Finding(
+                "S003",
+                Severity.WARNING,
+                _loc(schedule, sid),
+                f"delay {x:.1f} s exceeds the scan upper bound u_k ≈ {upper:.1f} s; "
+                "delaying past the incumbent makespan can only extend it",
+                {"delay": x, "upper_bound": upper},
+            )
+
+
+@rule("S004", "execution paths respect intra-path precedence", target="schedule")
+def check_precedence(schedule: DelaySchedule, job: Job) -> Iterator[Finding]:
+    """Eq. (5)-(7): each recorded path must be a dependency chain.
+
+    Ready-relative delays make the runtime constraints vacuous; a path
+    whose order contradicts the DAG means the schedule was computed
+    against a different (or corrupted) job.
+    """
+    known = set(job.stage_ids)
+    for path in schedule.paths:
+        unknown = [sid for sid in path if sid not in known]
+        if unknown:
+            yield Finding(
+                "S004",
+                Severity.ERROR,
+                _loc(schedule),
+                f"execution path {list(path.stages)} references stages "
+                f"{unknown} absent from job {job.job_id!r}",
+                {"path": list(path.stages), "unknown": unknown},
+            )
+            continue
+        for parent, child in zip(path.stages, path.stages[1:]):
+            if parent not in ancestors(job, child):
+                yield Finding(
+                    "S004",
+                    Severity.ERROR,
+                    _loc(schedule),
+                    f"path {list(path.stages)}: {child!r} does not depend on "
+                    f"{parent!r}; precedence (5)-(7) cannot be established",
+                    {"path": list(path.stages)},
+                )
+
+
+@rule("S005", "schedule metrics are consistent", target="schedule")
+def check_metrics(schedule: DelaySchedule, job: Job) -> Iterator[Finding]:
+    for name, value in (
+        ("predicted_makespan", schedule.predicted_makespan),
+        ("baseline_makespan", schedule.baseline_makespan),
+        ("compute_seconds", schedule.compute_seconds),
+    ):
+        if math.isnan(value) or math.isinf(value) or value < 0:
+            yield Finding(
+                "S005",
+                Severity.ERROR,
+                _loc(schedule),
+                f"{name} must be finite and >= 0, got {value!r}",
+                {"field": name, "value": value},
+            )
+    if schedule.evaluations < 0:
+        yield Finding(
+            "S005",
+            Severity.ERROR,
+            _loc(schedule),
+            f"evaluations must be >= 0, got {schedule.evaluations}",
+            {"field": "evaluations", "value": schedule.evaluations},
+        )
+    if (
+        schedule.baseline_makespan > 0
+        and math.isfinite(schedule.predicted_makespan)
+        and schedule.predicted_makespan
+        > schedule.baseline_makespan * UPPER_BOUND_SLACK
+    ):
+        yield Finding(
+            "S005",
+            Severity.WARNING,
+            _loc(schedule),
+            f"predicted makespan {schedule.predicted_makespan:.1f} s is worse than "
+            f"the zero-delay baseline {schedule.baseline_makespan:.1f} s; the "
+            "fallback-to-immediate safety net should have engaged",
+            {"predicted": schedule.predicted_makespan,
+             "baseline": schedule.baseline_makespan},
+        )
+    for sid, t in sorted(schedule.standalone_times.items()):
+        if math.isnan(t) or math.isinf(t) or t < 0:
+            yield Finding(
+                "S005",
+                Severity.ERROR,
+                _loc(schedule, sid),
+                f"standalone time must be finite and >= 0, got {t!r}",
+                {"standalone_time": t},
+            )

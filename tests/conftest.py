@@ -6,6 +6,22 @@ import pytest
 
 from repro.cluster import uniform_cluster
 from repro.dag import JobBuilder
+from repro.verify import sanitizer
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitize_suite():
+    """Run the whole suite with runtime invariant checks on.
+
+    Every fluid-engine allocation, fair-share split, and simulation
+    result is checked against the paper's invariants (see
+    ``docs/verification.md``); a violation fails the offending test
+    with a ``SanitizerError`` instead of silently corrupting results.
+    """
+    previous = sanitizer.ENABLED
+    sanitizer.ENABLED = True
+    yield
+    sanitizer.ENABLED = previous
 
 
 @pytest.fixture

@@ -1,0 +1,78 @@
+"""Tests for the ``repro verify`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.properties import write_metrics_properties
+
+
+class TestVerifyCommand:
+    def test_single_workload_ok(self, capsys):
+        assert main(["verify", "--workload", "CosineSimilarity"]) == 0
+        out = capsys.readouterr().out
+        assert "CosineSimilarity: OK" in out
+        assert "no errors" in out
+
+    def test_all_workloads_ok(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ALS", "LDA", "TriangleCount", "PageRank", "StarJoin"):
+            assert f"{name}: OK" in out
+
+    def test_schedule_validation(self, capsys):
+        assert main(["verify", "--workload", "LDA", "--schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "LDA: OK" in out
+
+    def test_json_output(self, capsys):
+        assert main(["verify", "--workload", "LDA", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["targets"]["LDA"]["counts"]["ERROR"] == 0
+
+    def test_delay_table_validated(self, tmp_path, capsys):
+        path = tmp_path / "metrics.properties"
+        write_metrics_properties(path, "lda", {"S1": 0.0, "S2": 3.5})
+        assert main(["verify", "--workload", "LDA", "--delays", str(path)]) == 0
+        assert "LDA: OK" in capsys.readouterr().out
+
+    def test_orphan_delay_table_fails(self, tmp_path, capsys):
+        path = tmp_path / "metrics.properties"
+        write_metrics_properties(path, "no_such_job", {"S1": 1.0})
+        code = main(["verify", "--workload", "LDA", "--delays", str(path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "V000" in out and "ERRORS PRESENT" in out
+
+    def test_exit_1_surfaces_in_json(self, tmp_path, capsys):
+        path = tmp_path / "metrics.properties"
+        write_metrics_properties(path, "nope", {"S1": 1.0})
+        code = main(["verify", "--workload", "LDA", "--delays", str(path), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["targets"]["delays:nope"]["findings"][0]["rule"] == "V000"
+
+    def test_missing_delay_file_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "does_not_exist.properties"
+        code = main(["verify", "--workload", "LDA", "--delays", str(path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot read delay table" in err
+        assert "Traceback" not in err
+
+    def test_malformed_delay_file_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "metrics.properties"
+        path.write_text("spark.delaystage.lda.S1=-5.0\n", encoding="utf-8")
+        code = main(["verify", "--workload", "LDA", "--delays", str(path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot read delay table" in err
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--workload", "NotAWorkload"])

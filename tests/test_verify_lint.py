@@ -1,0 +1,184 @@
+"""Tests for the custom AST lint (repro.verify.lint)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+from repro.verify.lint import lint_paths, lint_source, main
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def rules_in(source, path="src/repro/x.py"):
+    return [f.rule for f in lint_source(textwrap.dedent(source), path)]
+
+
+# ------------------------------------------------------------------ #
+# L001 determinism
+# ------------------------------------------------------------------ #
+
+class TestDeterminism:
+    def test_stdlib_random_flagged(self):
+        assert rules_in("""
+            import random
+            x = random.randint(0, 10)
+        """) == ["L001"]
+
+    def test_random_import_alias_tracked(self):
+        assert rules_in("""
+            import random as rnd
+            rnd.shuffle([1, 2])
+        """) == ["L001"]
+
+    def test_from_random_import_flagged(self):
+        assert "L001" in rules_in("""
+            from random import randint
+        """)
+
+    def test_time_time_flagged(self):
+        assert rules_in("""
+            import time
+            t = time.time()
+        """) == ["L001"]
+
+    def test_perf_counter_allowed(self):
+        assert rules_in("""
+            import time
+            t = time.perf_counter()
+        """) == []
+
+    def test_datetime_now_flagged(self):
+        assert rules_in("""
+            from datetime import datetime
+            d = datetime.now()
+        """) == ["L001"]
+
+    def test_legacy_numpy_random_flagged(self):
+        assert rules_in("""
+            import numpy as np
+            np.random.seed(0)
+        """) == ["L001"]
+
+    def test_default_rng_allowed(self):
+        assert rules_in("""
+            import numpy as np
+            gen = np.random.default_rng(0)
+        """) == []
+
+    def test_rng_module_exempt(self):
+        assert rules_in("""
+            import random
+            x = random.random()
+        """, path="src/repro/util/rng.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules_in("""
+            import time
+            t = time.time()  # noqa: L001
+        """) == []
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        assert rules_in("""
+            import time
+            t = time.time()  # noqa: L002
+        """) == ["L001"]
+
+
+# ------------------------------------------------------------------ #
+# L002-L004
+# ------------------------------------------------------------------ #
+
+class TestOtherRules:
+    def test_mutable_default_list(self):
+        assert rules_in("def f(x=[]):\n    return x\n") == ["L002"]
+
+    def test_mutable_default_dict_call(self):
+        assert rules_in("def f(*, x=dict()):\n    return x\n") == ["L002"]
+
+    def test_none_default_ok(self):
+        assert rules_in("def f(x=None):\n    return x\n") == []
+
+    def test_bare_except(self):
+        assert rules_in("""
+            try:
+                pass
+            except:
+                pass
+        """) == ["L003"]
+
+    def test_typed_except_ok(self):
+        assert rules_in("""
+            try:
+                pass
+            except ValueError:
+                pass
+        """) == []
+
+    def test_float_eq_in_simulator(self):
+        src = "if x != 1.0:\n    pass\n"
+        assert rules_in(src, path="src/repro/simulator/foo.py") == ["L004"]
+        assert rules_in(src, path="src/repro/model/foo.py") == ["L004"]
+
+    def test_float_eq_outside_scoped_dirs_ok(self):
+        assert rules_in("if x != 1.0:\n    pass\n",
+                        path="src/repro/core/foo.py") == []
+
+    def test_float_inequality_comparisons_ok(self):
+        assert rules_in("if x > 1.0:\n    pass\n",
+                        path="src/repro/simulator/foo.py") == []
+
+    def test_syntax_error_reported(self):
+        assert rules_in("def broken(:\n") == ["L000"]
+
+
+# ------------------------------------------------------------------ #
+# tree walking + CLI
+# ------------------------------------------------------------------ #
+
+class TestTree:
+    def test_src_repro_is_clean(self):
+        findings = lint_paths([SRC_ROOT])
+        assert findings == [], "\n".join(map(str, findings))
+
+    def test_directory_walk_finds_violations(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "good.py").write_text("x = 1\n")
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["L001"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "L002" in out and "1 finding(s)" in out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+
+    def test_main_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n")
+        assert main(["--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "L002"
+        assert payload[0]["line"] == 1
+
+    def test_main_missing_path_clean_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "no_such_file.py")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_tools_entry_point_runs(self, tmp_path):
+        import subprocess
+        import sys
+
+        repo = SRC_ROOT.parent.parent
+        proc = subprocess.run(
+            [sys.executable, str(repo / "tools" / "lint_repro.py"),
+             str(repo / "src" / "repro")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

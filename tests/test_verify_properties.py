@@ -1,0 +1,60 @@
+"""Property-based tests: random DAGs and their DelayStage schedules
+always satisfy the static validators."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.spec import uniform_cluster
+from repro.core.delaystage import DelayStageParams, delay_stage_schedule
+from repro.verify import validate_job, validate_schedule
+from repro.workloads.library import EXTRA_WORKLOADS, WORKLOADS, als
+from repro.workloads.synthetic import random_job
+
+CLUSTER = uniform_cluster(3, executors_per_worker=2, nic_mbps=400,
+                          disk_mb_per_sec=100, storage_nodes=1)
+
+FAST = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def jobs(draw):
+    num_stages = draw(st.integers(min_value=1, max_value=12))
+    parallelism = draw(st.floats(min_value=0.0, max_value=1.0))
+    fanin = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_job(num_stages, parallelism=parallelism,
+                      max_fanin=fanin, rng=seed)
+
+
+@FAST
+@given(jobs())
+def test_random_jobs_validate(job):
+    report = validate_job(job)
+    assert report.ok, report.render()
+
+
+@FAST
+@given(jobs(), st.sampled_from(["descending", "random", "ascending"]))
+def test_delaystage_schedules_validate(job, order):
+    schedule = delay_stage_schedule(
+        job, CLUSTER, DelayStageParams(order=order, max_slots=8)
+    )
+    report = validate_schedule(schedule, job)
+    assert report.ok, report.render()
+
+
+def test_all_library_workloads_and_schedules_error_free():
+    """Acceptance check: every library workload (paper + bonus) and the
+    DelayStage schedule computed on it yield zero ERROR findings."""
+    factories = {**WORKLOADS, **EXTRA_WORKLOADS, "ALS": als}
+    cluster = uniform_cluster(8, executors_per_worker=4)
+    for name, factory in factories.items():
+        job = factory(1.0)
+        job_report = validate_job(job)
+        assert job_report.ok, f"{name}: {job_report.render()}"
+        schedule = delay_stage_schedule(job, cluster)
+        sched_report = validate_schedule(schedule, job)
+        assert sched_report.ok, f"{name}: {sched_report.render()}"

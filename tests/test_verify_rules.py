@@ -1,0 +1,370 @@
+"""Per-rule tests for the static validators: one passing and one
+violating fixture for every rule.
+
+Valid ``Job``/``Stage``/``NodeSpec`` objects cannot be *constructed* in
+a broken state (their constructors validate), so the violating fixtures
+corrupt them after construction — exactly the failure mode the
+validators exist to catch (in-place mutation, deserialization from
+external traces).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec, NodeSpec, uniform_cluster
+from repro.core.delaystage import delay_stage_schedule
+from repro.core.schedule import DelaySchedule
+from repro.dag import JobBuilder
+from repro.dag.paths import ExecutionPath, execution_paths
+from repro.verify import (
+    Severity,
+    all_rules,
+    rule,
+    rules_for,
+    validate_cluster,
+    validate_delay_table,
+    validate_job,
+    validate_schedule,
+)
+
+
+def by_rule(report, rule_id):
+    return [f for f in report if f.rule == rule_id]
+
+
+def make_schedule(job, delays, **overrides):
+    kwargs = dict(
+        job_id=job.job_id,
+        delays=delays,
+        predicted_makespan=10.0,
+        baseline_makespan=10.0,
+        paths=tuple(execution_paths(job)),
+        standalone_times={},
+    )
+    kwargs.update(overrides)
+    return DelaySchedule(**kwargs)
+
+
+# ------------------------------------------------------------------ #
+# registry
+# ------------------------------------------------------------------ #
+
+class TestRegistry:
+    def test_all_targets_populated(self):
+        assert {r.rule_id for r in rules_for("job")} == {
+            "J001", "J002", "J003", "J004", "J005"}
+        assert {r.rule_id for r in rules_for("schedule")} == {
+            "S001", "S002", "S003", "S004", "S005"}
+        assert {r.rule_id for r in rules_for("cluster")} == {
+            "C001", "C002", "C003"}
+        assert len(all_rules()) == 13
+
+    def test_duplicate_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            rule("J001", "dup", target="job")(lambda job: iter(()))
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule target"):
+            rule("X001", "bad", target="nonsense")(lambda x: iter(()))
+
+    def test_crashing_rule_contained_as_error(self, diamond_job):
+        # Forge a cycle: every job rule that walks the DAG must either
+        # report it or have its crash converted into an ERROR finding.
+        diamond_job._children["S4"].add("S1")
+        diamond_job._parents["S1"].add("S4")
+        report = validate_job(diamond_job)
+        assert not report.ok
+        assert by_rule(report, "J001")
+
+
+# ------------------------------------------------------------------ #
+# job rules
+# ------------------------------------------------------------------ #
+
+class TestJobRules:
+    def test_valid_jobs_pass(self, diamond_job, fork_join_job, chain_job):
+        for job in (diamond_job, fork_join_job, chain_job):
+            report = validate_job(job)
+            assert report.ok, report.render()
+            assert len(report) == 0
+
+    def test_j001_cycle(self, diamond_job):
+        diamond_job._children["S4"].add("S1")
+        diamond_job._parents["S1"].add("S4")
+        findings = by_rule(validate_job(diamond_job), "J001")
+        assert findings and findings[0].severity == Severity.ERROR
+        assert "cycle" in findings[0].message
+
+    def test_j002_no_roots(self):
+        job = (JobBuilder("tworing")
+               .stage("S1", input_mb=10, output_mb=10, process_rate_mb=10)
+               .stage("S2", input_mb=10, output_mb=10, process_rate_mb=10,
+                      parents=["S1"])
+               .build())
+        job._parents["S1"].add("S2")
+        job._children["S2"].add("S1")
+        findings = by_rule(validate_job(job), "J002")
+        assert any("no root stages" in f.message for f in findings)
+        assert all(f.severity == Severity.ERROR for f in findings)
+
+    def test_j002_unreachable(self):
+        job = (JobBuilder("part")
+               .stage("A", input_mb=10, output_mb=10, process_rate_mb=10)
+               .stage("B", input_mb=10, output_mb=10, process_rate_mb=10)
+               .stage("C", input_mb=10, output_mb=10, process_rate_mb=10,
+                      parents=["B"])
+               .build())
+        # Close B<->C into a cycle detached from root A.
+        job._parents["B"].add("C")
+        job._children["C"].add("B")
+        findings = by_rule(validate_job(job), "J002")
+        unreachable = {f.subject for f in findings
+                       if "unreachable" in f.message}
+        assert unreachable == {"job:part/stage:B", "job:part/stage:C"}
+
+    def test_j002_isolated_stage_warns(self):
+        job = (JobBuilder("iso")
+               .stage("S1", input_mb=10, output_mb=10, process_rate_mb=10)
+               .stage("S2", input_mb=10, output_mb=5, process_rate_mb=10,
+                      parents=["S1"])
+               .stage("S3", input_mb=10, output_mb=5, process_rate_mb=10)
+               .build())
+        findings = by_rule(validate_job(job), "J002")
+        assert [f.severity for f in findings] == [Severity.WARNING]
+        assert "isolated" in findings[0].message
+
+    @pytest.mark.parametrize("field,value", [
+        ("input_bytes", -5.0),
+        ("input_bytes", math.nan),
+        ("output_bytes", math.inf),
+        ("process_rate", 0.0),
+        ("task_cv", -0.1),
+        ("num_tasks", 0),
+    ])
+    def test_j003_bad_stage_parameters(self, diamond_job, field, value):
+        object.__setattr__(diamond_job._stages["S2"], field, value)
+        findings = by_rule(validate_job(diamond_job), "J003")
+        assert findings and all(f.severity == Severity.ERROR for f in findings)
+        assert any(f.details.get("field") == field for f in findings)
+
+    def test_j004_excess_shuffle_warns(self):
+        job = (JobBuilder("blowup")
+               .stage("P", input_mb=100, output_mb=10, process_rate_mb=10)
+               .stage("Q", input_mb=100, output_mb=10, process_rate_mb=10,
+                      parents=["P"])
+               .build())
+        findings = by_rule(validate_job(job), "J004")
+        assert [f.severity for f in findings] == [Severity.WARNING]
+        assert findings[0].details["ratio"] == pytest.approx(10.0)
+
+    def test_j004_modest_excess_is_info(self):
+        job = (JobBuilder("lda_like")
+               .stage("P", input_mb=100, output_mb=10, process_rate_mb=10)
+               .stage("Q", input_mb=13, output_mb=5, process_rate_mb=10,
+                      parents=["P"])
+               .build())
+        findings = by_rule(validate_job(job), "J004")
+        assert [f.severity for f in findings] == [Severity.INFO]
+        assert findings[0].details["ratio"] == pytest.approx(1.3)
+
+    def test_j004_parents_produce_nothing(self):
+        job = (JobBuilder("dry")
+               .stage("P", input_mb=100, output_mb=0, process_rate_mb=10)
+               .stage("Q", input_mb=50, output_mb=5, process_rate_mb=10,
+                      parents=["P"])
+               .build())
+        findings = by_rule(validate_job(job), "J004")
+        assert [f.severity for f in findings] == [Severity.WARNING]
+        assert "produce no output" in findings[0].message
+
+    def test_j005_invalid_path_time(self, diamond_job):
+        # NaN rate poisons the standalone time of every path through S2.
+        object.__setattr__(diamond_job._stages["S2"], "process_rate", math.nan)
+        findings = by_rule(validate_job(diamond_job), "J005")
+        assert findings and all(f.severity == Severity.ERROR for f in findings)
+
+
+# ------------------------------------------------------------------ #
+# schedule rules
+# ------------------------------------------------------------------ #
+
+class TestScheduleRules:
+    def test_algorithm1_output_passes(self, diamond_job, small_cluster):
+        schedule = delay_stage_schedule(diamond_job, small_cluster)
+        report = validate_schedule(schedule, diamond_job)
+        assert report.ok, report.render()
+        assert len(report) == 0
+
+    def test_delay_table_roundtrip_passes(self, diamond_job, small_cluster):
+        schedule = delay_stage_schedule(diamond_job, small_cluster)
+        report = validate_delay_table(diamond_job, schedule.delays)
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("bad", [-1.0, math.nan, math.inf])
+    def test_s001_bad_delay(self, diamond_job, bad):
+        schedule = make_schedule(diamond_job, {"S2": bad, "S3": 0.0})
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S001")
+        assert [f.severity for f in findings] == [Severity.ERROR]
+
+    def test_s002_unknown_stage(self, diamond_job):
+        schedule = make_schedule(diamond_job, {"S2": 0.0, "S3": 0.0, "ZZ": 1.0})
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S002")
+        assert [f.severity for f in findings] == [Severity.ERROR]
+        assert findings[0].details["stage"] == "ZZ"
+
+    def test_s002_sequential_stage_delayed(self, chain_job):
+        # A pure chain has an empty parallel-stage set K.
+        schedule = make_schedule(chain_job, {"S2": 5.0})
+        findings = by_rule(validate_schedule(schedule, chain_job), "S002")
+        assert [f.severity for f in findings] == [Severity.ERROR]
+        assert "sequential stage" in findings[0].message
+
+    def test_s002_sequential_stage_at_zero_is_info(self, chain_job):
+        schedule = make_schedule(chain_job, {"S2": 0.0})
+        findings = by_rule(validate_schedule(schedule, chain_job), "S002")
+        assert [f.severity for f in findings] == [Severity.INFO]
+
+    def test_s002_missing_member_warns(self, diamond_job):
+        schedule = make_schedule(diamond_job, {"S2": 0.0})  # S3 missing
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S002")
+        assert [f.severity for f in findings] == [Severity.WARNING]
+        assert findings[0].subject.endswith("stage:S3")
+
+    def test_s003_delay_beyond_upper_bound(self, diamond_job):
+        schedule = make_schedule(
+            diamond_job, {"S2": 1e6, "S3": 0.0},
+            predicted_makespan=100.0, baseline_makespan=100.0,
+        )
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S003")
+        assert [f.severity for f in findings] == [Severity.WARNING]
+
+    def test_s004_foreign_path(self, diamond_job, fork_join_job):
+        schedule = make_schedule(
+            diamond_job, {"S2": 0.0, "S3": 0.0},
+            paths=tuple(execution_paths(fork_join_job)),
+        )
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S004")
+        assert findings and all(f.severity == Severity.ERROR for f in findings)
+        assert any("absent from job" in f.message for f in findings)
+
+    def test_s004_inverted_path(self, diamond_job):
+        bad_path = ExecutionPath(stages=("S4", "S2"), execution_time=1.0)
+        schedule = make_schedule(
+            diamond_job, {"S2": 0.0, "S3": 0.0}, paths=(bad_path,),
+        )
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S004")
+        assert [f.severity for f in findings] == [Severity.ERROR]
+        assert "does not depend on" in findings[0].message
+
+    @pytest.mark.parametrize("overrides", [
+        {"predicted_makespan": -1.0},
+        {"baseline_makespan": math.nan},
+        {"compute_seconds": math.inf},
+        {"evaluations": -1},
+        {"standalone_times": {"S2": math.nan}},
+    ])
+    def test_s005_bad_metrics(self, diamond_job, overrides):
+        schedule = make_schedule(diamond_job, {"S2": 0.0, "S3": 0.0}, **overrides)
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S005")
+        assert [f.severity for f in findings] == [Severity.ERROR]
+
+    def test_s005_regression_vs_baseline_warns(self, diamond_job):
+        schedule = make_schedule(
+            diamond_job, {"S2": 0.0, "S3": 0.0},
+            predicted_makespan=200.0, baseline_makespan=100.0,
+        )
+        findings = by_rule(validate_schedule(schedule, diamond_job), "S005")
+        assert [f.severity for f in findings] == [Severity.WARNING]
+        assert "fallback" in findings[0].message
+
+
+# ------------------------------------------------------------------ #
+# cluster rules
+# ------------------------------------------------------------------ #
+
+class TestClusterRules:
+    def test_valid_clusters_pass(self, small_cluster, tiny_cluster):
+        for cluster in (small_cluster, tiny_cluster):
+            report = validate_cluster(cluster)
+            assert report.ok, report.render()
+            assert len(report) == 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("nic_bandwidth", 0.0),
+        ("nic_bandwidth", math.nan),
+        ("disk_bandwidth", -1.0),
+        ("disk_bandwidth", math.inf),
+    ])
+    def test_c001_bad_capacity(self, small_cluster, field, value):
+        object.__setattr__(small_cluster.nodes[0], field, value)
+        findings = by_rule(validate_cluster(small_cluster), "C001")
+        assert [f.severity for f in findings] == [Severity.ERROR]
+
+    def test_c001_worker_without_executors(self, small_cluster):
+        object.__setattr__(small_cluster.nodes[0], "executors", 0)
+        findings = by_rule(validate_cluster(small_cluster), "C001")
+        assert any("no executors" in f.message for f in findings)
+
+    def test_c001_storage_with_executors_warns(self, small_cluster):
+        storage = [n for n in small_cluster.nodes if n.is_storage][0]
+        object.__setattr__(storage, "executors", 4)
+        findings = by_rule(validate_cluster(small_cluster), "C001")
+        assert [f.severity for f in findings] == [Severity.WARNING]
+
+    def test_c002_no_workers(self):
+        # The constructor refuses worker-free clusters, so demote the
+        # only worker to storage after the fact.
+        cluster = uniform_cluster(1)
+        object.__setattr__(cluster.nodes[0], "is_storage", True)
+        findings = by_rule(validate_cluster(cluster), "C002")
+        assert [f.severity for f in findings] == [Severity.ERROR]
+        assert "no worker nodes" in findings[0].message
+
+    def test_c002_zero_total_executors(self):
+        cluster = uniform_cluster(1)
+        object.__setattr__(cluster.nodes[0], "executors", 0)
+        findings = by_rule(validate_cluster(cluster), "C002")
+        assert any("zero total executors" in f.message for f in findings)
+
+    def test_c003_nic_spread_warns(self):
+        cluster = ClusterSpec([
+            NodeSpec("w0", executors=2, nic_bandwidth=1e5, disk_bandwidth=1e5),
+            NodeSpec("w1", executors=2, nic_bandwidth=1e9, disk_bandwidth=1e8),
+        ])
+        findings = by_rule(validate_cluster(cluster), "C003")
+        assert any("spreads" in f.message for f in findings)
+        assert all(f.severity == Severity.WARNING for f in findings)
+
+    def test_c003_nic_disk_imbalance_warns(self):
+        cluster = ClusterSpec([
+            NodeSpec("w0", executors=2, nic_bandwidth=2e12, disk_bandwidth=1e9),
+        ])
+        findings = by_rule(validate_cluster(cluster), "C003")
+        assert any("faster than the local disk" in f.message for f in findings)
+
+
+# ------------------------------------------------------------------ #
+# report plumbing
+# ------------------------------------------------------------------ #
+
+class TestReportOutput:
+    def test_json_round_trip(self, diamond_job):
+        import json
+
+        object.__setattr__(diamond_job._stages["S2"], "input_bytes", -1.0)
+        report = validate_job(diamond_job)
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        assert payload["counts"]["ERROR"] >= 1
+        assert payload["findings"][0]["rule"].startswith("J")
+
+    def test_raise_if_errors(self, diamond_job):
+        from repro.verify import ValidationError
+
+        validate_job(diamond_job).raise_if_errors()  # clean job: no raise
+        object.__setattr__(diamond_job._stages["S2"], "process_rate", -1.0)
+        with pytest.raises(ValidationError, match="ERROR finding"):
+            validate_job(diamond_job).raise_if_errors()

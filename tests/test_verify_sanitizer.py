@@ -1,0 +1,234 @@
+"""Sanitizer-mode tests: the runtime checks accept every correct
+allocation and reject deliberately corrupted ones."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.spec import uniform_cluster
+from repro.cluster.topology import Topology
+from repro.simulator.engine import FluidEngine, WorkItem
+from repro.simulator.fairshare import compute_shares, disk_shares, maxmin_network_rates
+from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
+from repro.verify import SanitizerError, sanitized, sanitizer
+
+
+@pytest.fixture
+def topology(tiny_cluster):
+    return Topology(tiny_cluster)
+
+
+def make_flows(topology):
+    ids = topology.node_ids
+    return [
+        NetworkFlow(ids[0], ids[1], volume=1e9, stage_key=("j", "S1")),
+        NetworkFlow(ids[2], ids[1], volume=1e9, stage_key=("j", "S2")),
+        NetworkFlow(ids[0], ids[2], volume=1e9, stage_key=("j", "S3")),
+    ]
+
+
+# ------------------------------------------------------------------ #
+# switch plumbing
+# ------------------------------------------------------------------ #
+
+class TestSwitch:
+    def test_sanitized_scopes_and_restores(self):
+        before = sanitizer.ENABLED
+        with sanitized(not before):
+            assert sanitizer.ENABLED is (not before)
+        assert sanitizer.ENABLED is before
+
+    def test_enable_toggle(self):
+        before = sanitizer.ENABLED
+        try:
+            sanitizer.enable(False)
+            assert not sanitizer.enabled()
+            sanitizer.enable(True)
+            assert sanitizer.enabled()
+        finally:
+            sanitizer.enable(before)
+
+    def test_checks_skipped_when_off(self, topology):
+        flows = make_flows(topology)
+        with sanitized(False):
+            rates = maxmin_network_rates(flows, topology)
+            # Corrupting the allocation goes unnoticed with the
+            # sanitizer off: callers opted out of the cost.
+            for f, r in zip(flows, rates):
+                f.rate = float(r) * 10
+        assert True  # no SanitizerError raised
+
+
+# ------------------------------------------------------------------ #
+# network allocation
+# ------------------------------------------------------------------ #
+
+class TestNetwork:
+    def test_maxmin_output_accepted(self, topology):
+        rates = maxmin_network_rates(make_flows(topology), topology)
+        assert len(rates) == 3  # check ran inside maxmin (sanitizer on)
+
+    def test_oversubscription_rejected(self, topology):
+        flows = make_flows(topology)
+        rates = list(map(float, maxmin_network_rates(flows, topology)))
+        rates[0] *= 1.5  # exceed a saturated NIC
+        with pytest.raises(SanitizerError, match="oversubscribed|exceeds its cap"):
+            sanitizer.check_network_allocation(flows, topology, rates)
+
+    def test_unfairness_rejected(self, topology):
+        flows = make_flows(topology)
+        rates = list(map(float, maxmin_network_rates(flows, topology)))
+        rates[0] *= 0.5  # below cap with no saturated bottleneck
+        with pytest.raises(SanitizerError, match="water-filling optimality"):
+            sanitizer.check_network_allocation(flows, topology, rates)
+
+    def test_negative_rate_rejected(self, topology):
+        flows = make_flows(topology)
+        rates = [-1.0, 0.0, 0.0]
+        with pytest.raises(SanitizerError, match="negative/NaN"):
+            sanitizer.check_network_allocation(flows, topology, rates)
+
+    def test_capped_flow_exempt_from_bottleneck(self, topology):
+        ids = topology.node_ids
+        flows = [
+            NetworkFlow(ids[0], ids[1], volume=1e9, stage_key=("j", "S1"),
+                        rate_cap=1e3),
+            NetworkFlow(ids[2], ids[1], volume=1e9, stage_key=("j", "S2")),
+        ]
+        rates = maxmin_network_rates(flows, topology)
+        assert rates[0] == pytest.approx(1e3)
+
+
+# ------------------------------------------------------------------ #
+# compute / disk allocation
+# ------------------------------------------------------------------ #
+
+class TestCompute:
+    def make_demands(self):
+        return [
+            ComputeDemand("w0", 1e8, ("j", "S1"), process_rate=2e7),
+            ComputeDemand("w0", 1e8, ("j", "S2"), process_rate=1e7),
+            ComputeDemand("w1", 1e8, ("j", "S1"), process_rate=2e7),
+        ]
+
+    def test_equal_split_accepted(self):
+        demands = self.make_demands()
+        compute_shares(demands, {"w0": 4, "w1": 2})
+        assert demands[0].executor_share == pytest.approx(2.0)
+        assert demands[2].executor_share == pytest.approx(2.0)
+
+    def test_corrupted_share_breaks_work_conservation(self):
+        demands = self.make_demands()
+        executors = {"w0": 4, "w1": 2}
+        compute_shares(demands, executors)
+        demands[0].executor_share *= 1.5
+        demands[0].rate = demands[0].executor_share * demands[0].process_rate
+        with pytest.raises(SanitizerError, match="work conservation"):
+            sanitizer.check_compute_allocation(demands, executors)
+
+    def test_rate_share_mismatch_rejected(self):
+        demands = self.make_demands()
+        executors = {"w0": 4, "w1": 2}
+        compute_shares(demands, executors)
+        demands[1].rate *= 2  # rate no longer equals share * R_k
+        with pytest.raises(SanitizerError, match="inconsistent with share"):
+            sanitizer.check_compute_allocation(demands, executors)
+
+    def test_unequal_stage_shares_rejected(self):
+        demands = self.make_demands()
+        executors = {"w0": 4, "w1": 2}
+        compute_shares(demands, executors)
+        # Shift share from one stage to the other: totals still sum to
+        # the executor count, but the split is no longer fair.
+        demands[0].executor_share += 0.5
+        demands[1].executor_share -= 0.5
+        for d in demands:
+            d.rate = d.executor_share * d.process_rate
+        with pytest.raises(SanitizerError, match="unequal per-stage"):
+            sanitizer.check_compute_allocation(demands, executors)
+
+
+class TestDisk:
+    def test_equal_split_accepted(self):
+        writes = [DiskWrite("w0", 1e8, ("j", "S1")),
+                  DiskWrite("w0", 1e8, ("j", "S2"))]
+        disk_shares(writes, {"w0": 1e8})
+        assert writes[0].rate == pytest.approx(5e7)
+
+    def test_corrupted_rate_rejected(self):
+        writes = [DiskWrite("w0", 1e8, ("j", "S1")),
+                  DiskWrite("w0", 1e8, ("j", "S2"))]
+        disk_shares(writes, {"w0": 1e8})
+        writes[0].rate *= 1.5
+        with pytest.raises(SanitizerError):
+            sanitizer.check_disk_allocation(writes, {"w0": 1e8})
+
+
+# ------------------------------------------------------------------ #
+# engine integration
+# ------------------------------------------------------------------ #
+
+class TestEngine:
+    def test_clock_monotone_check(self):
+        sanitizer.check_clock_monotone(1.0, 2.0)  # fine
+        with pytest.raises(SanitizerError, match="clock moved backwards"):
+            sanitizer.check_clock_monotone(2.0, 1.0)
+
+    def test_rates_valid_rejects_bad_remaining(self):
+        item = WorkItem(10.0)
+        item.rate = 1.0
+        item.remaining = -5.0
+        with pytest.raises(SanitizerError, match="remaining volume"):
+            sanitizer.check_rates_valid([item])
+
+    def test_corrupted_item_caught_at_reallocation(self):
+        """A timer callback corrupting a work item's remaining volume is
+        caught at the next allocation pass, not silently integrated."""
+        def allocate(items):
+            for it in items:
+                it.rate = 1.0
+
+        engine = FluidEngine(allocate)
+        item = WorkItem(100.0)
+        engine.add_item(item)
+        engine.schedule(1.0, lambda: setattr(item, "remaining", math.nan))
+        with pytest.raises(SanitizerError, match="remaining volume"):
+            engine.run()
+
+    def test_run_until_past_time_is_noop(self):
+        engine = FluidEngine(lambda items: [setattr(i, "rate", 1.0) for i in items])
+        engine.add_item(WorkItem(5.0))
+        engine.run(until=2.0)
+        assert engine.now == pytest.approx(2.0)
+        engine.run(until=1.0)  # in the past: no-op, not a clock reversal
+        assert engine.now == pytest.approx(2.0)
+
+
+# ------------------------------------------------------------------ #
+# end-to-end simulation consistency
+# ------------------------------------------------------------------ #
+
+class TestSimulationResult:
+    def test_full_run_checked(self, diamond_job, small_cluster):
+        from repro.simulator.simulation import Simulation
+
+        sim = Simulation(small_cluster)
+        sim.add_job(diamond_job)
+        result = sim.run()  # check_result runs inside (sanitizer on)
+        records = {k: r for k, r in result.stage_records.items()}
+        assert len(records) == 4
+
+    def test_corrupted_result_rejected(self, diamond_job, small_cluster):
+        from repro.simulator.simulation import Simulation
+
+        sim = Simulation(small_cluster)
+        sim.add_job(diamond_job)
+        with sanitized(False):
+            result = sim.run()
+        key = (diamond_job.job_id, "S4")
+        rec = result.stage_records[key]
+        rec.finish_time = rec.ready_time - 10.0  # finish before ready
+        with pytest.raises(SanitizerError, match="precedes"):
+            sanitizer.check_result(result)

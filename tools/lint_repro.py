@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""CI entry point for the repro custom lint.
+
+Usage::
+
+    python tools/lint_repro.py src/repro [more paths...]
+
+Bootstraps ``src/`` onto ``sys.path`` so the script works from a bare
+checkout (no install needed), then delegates to
+:func:`repro.verify.lint.main`.  Exit code 1 iff findings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.verify.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
