@@ -6,7 +6,8 @@ Covers the core public API in ~60 lines:
 * describe a cluster (``uniform_cluster``) and a job (``JobBuilder``),
 * run it under stock Spark semantics (``simulate_job``),
 * compute a delay schedule with Algorithm 1 (``delay_stage_schedule``),
-* re-run with the delays applied and inspect the improvement.
+* re-run with the delays applied and inspect the improvement,
+* emit a Perfetto-loadable trace of the delayed run and summarize it.
 
 Run:  python examples/quickstart.py
 """
@@ -14,11 +15,15 @@ Run:  python examples/quickstart.py
 from repro import (
     FixedDelayPolicy,
     JobBuilder,
+    Tracer,
+    build_manifest,
     delay_stage_schedule,
     simulate_job,
     uniform_cluster,
+    write_chrome_trace,
 )
 from repro.analysis import stage_gantt
+from repro.obs import decision_audits, delay_tables, validate_chrome_trace
 
 
 def main() -> None:
@@ -64,6 +69,27 @@ def main() -> None:
             f"submit {row.submit:6.1f} (delay {row.delay:5.1f})  "
             f"read-done {row.read_done:6.1f}  finish {row.finish:6.1f}"
         )
+
+    # 5. Observability: re-run with a tracer and export a Chrome trace
+    # (open it at https://ui.perfetto.dev).  The same tracer captures
+    # Algorithm 1's decision audit and the run's phase spans.
+    tracer = Tracer()
+    traced_schedule = delay_stage_schedule(job, cluster, tracer=tracer)
+    simulate_job(job, cluster, FixedDelayPolicy(traced_schedule.delays),
+                 tracer=tracer)
+    doc = write_chrome_trace(
+        "quickstart-trace.json", tracer,
+        build_manifest(seed=0, config={"example": "quickstart"}, jobs=[job]),
+    )
+    assert validate_chrome_trace(doc) == []
+    audits = decision_audits(doc)
+    table = delay_tables(doc)["quickstart"]
+    print(f"\ntrace written to quickstart-trace.json "
+          f"({len(doc['traceEvents'])} events)")
+    print(f"decision audit: {len(audits)} stage scan(s), "
+          f"{sum(len(a['candidates']) for a in audits)} candidates evaluated")
+    print(f"delay table recovered from trace: "
+          f"{ {s: round(x, 1) for s, x in table.items() if x > 0} }")
 
 
 if __name__ == "__main__":

@@ -74,6 +74,13 @@ from repro.workloads import (
     workload_by_name,
 )
 from repro.profiling import measure_cluster, profile_job
+from repro.obs import (
+    RunManifest,
+    Tracer,
+    build_manifest,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -126,4 +133,10 @@ __all__ = [
     # profiling
     "profile_job",
     "measure_cluster",
+    # observability
+    "Tracer",
+    "RunManifest",
+    "build_manifest",
+    "write_chrome_trace",
+    "write_spans_jsonl",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the common workflows without writing any code:
+Seven subcommands cover the common workflows without writing any code:
 
 * ``compare``   — run a workload under the scheduling strategies and
   print the Fig. 10-style JCT table.
@@ -13,11 +13,21 @@ Six subcommands cover the common workflows without writing any code:
   the Fig. 14-style comparison.
 * ``verify``    — static validation of workload DAGs, DelayStage
   schedules, delay tables, and cluster specs (exit 1 on ERROR).
+* ``inspect``   — summarize (and optionally schema-validate) a trace
+  file written with ``--emit-trace``.
+
+Output contract: every result-printing subcommand accepts ``--json``,
+in which case the machine-readable payload (always carrying the run
+manifest) is the *only* thing written to stdout; diagnostics go to
+stderr.  ``compare``, ``schedule``, and ``replay`` additionally accept
+``--emit-trace PATH`` (write a Perfetto-loadable Chrome trace of the
+run) and ``--manifest`` (print the run manifest).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import TYPE_CHECKING
 
@@ -27,6 +37,7 @@ from repro.analysis import render_cdf, render_gantt, render_table, stage_gantt
 from repro.cluster import alibaba_sim_cluster, ec2_m4large_cluster, uniform_cluster
 from repro.core import DelayStageParams, delay_stage_schedule
 from repro.core.properties import read_metrics_properties, write_metrics_properties
+from repro.obs import Tracer, build_manifest, write_chrome_trace
 from repro.schedulers import (
     AggShuffleScheduler,
     DelayStageScheduler,
@@ -48,6 +59,7 @@ from repro.workloads.library import EXTRA_WORKLOADS, WORKLOADS
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.spec import ClusterSpec
     from repro.dag import Job
+    from repro.obs import RunManifest
 
 WORKLOAD_CHOICES = ["ALS", "ConnectedComponents", "CosineSimilarity", "LDA", "TriangleCount"]
 #: ``repro verify`` also covers the bonus non-paper workloads.
@@ -62,9 +74,41 @@ def _cluster_for(args: argparse.Namespace) -> ClusterSpec:
     return ec2_m4large_cluster(args.workers)
 
 
+def _echo(message: str) -> None:
+    """Diagnostic output; stderr so ``--json`` stdout stays parseable."""
+    print(message, file=sys.stderr)
+
+
+def _finish(args: argparse.Namespace, payload: dict, text: str,
+            manifest: "RunManifest | None" = None) -> int:
+    """Print the human report, or with ``--json`` the payload."""
+    if getattr(args, "as_json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True, default=float))
+    else:
+        print(text)
+        if manifest is not None and getattr(args, "manifest", False):
+            print()
+            print(manifest.summary())
+    return 0
+
+
+def _tracer_for(args: argparse.Namespace) -> "Tracer | None":
+    return Tracer() if getattr(args, "emit_trace", None) else None
+
+
+def _write_trace(args: argparse.Namespace, tracer: "Tracer | None",
+                 manifest: "RunManifest") -> None:
+    if tracer is None:
+        return
+    doc = write_chrome_trace(args.emit_trace, tracer, manifest)
+    _echo(f"trace written to {args.emit_trace} "
+          f"({len(doc['traceEvents'])} events)")
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
+    tracer = _tracer_for(args)
     runs = compare_schedulers(
         job,
         cluster,
@@ -73,28 +117,75 @@ def cmd_compare(args: argparse.Namespace) -> int:
             AggShuffleScheduler(track_metrics=False),
             DelayStageScheduler(profiled=not args.oracle, track_metrics=False),
         ],
+        tracer=tracer,
     )
+    manifest = build_manifest(
+        seed=0,
+        config={"command": "compare", "workload": args.workload,
+                "workers": cluster.num_workers, "scale": args.scale,
+                "oracle": args.oracle},
+        jobs=[job],
+    )
+    _write_trace(args, tracer, manifest)
     spark = runs["spark"].jct
     rows = [
         [name, run.jct, f"{1 - run.jct / spark:.1%}"]
         for name, run in runs.items()
     ]
-    print(render_table(
+    payload = {
+        "command": "compare",
+        "workload": args.workload,
+        "manifest": manifest.to_dict(),
+        "runs": {
+            name: {
+                "jct_seconds": run.jct,
+                "speedup_vs_spark": 1 - run.jct / spark,
+                "counters": run.result.counters,
+            }
+            for name, run in runs.items()
+        },
+    }
+    text = render_table(
         ["strategy", "JCT (s)", "vs spark"],
         rows,
         title=f"{args.workload} on {cluster.num_workers} workers",
-    ))
-    return 0
+    )
+    return _finish(args, payload, text, manifest)
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
+    tracer = _tracer_for(args)
     schedule = delay_stage_schedule(
-        job, cluster, DelayStageParams(order=args.order, max_slots=args.max_slots)
+        job, cluster,
+        DelayStageParams(order=args.order, max_slots=args.max_slots),
+        tracer=tracer,
     )
+    manifest = build_manifest(
+        seed=0,
+        config={"command": "schedule", "workload": args.workload,
+                "workers": cluster.num_workers, "scale": args.scale,
+                "order": args.order, "max_slots": args.max_slots},
+        jobs=[job],
+    )
+    _write_trace(args, tracer, manifest)
+    if args.output:
+        write_metrics_properties(args.output, job.job_id, schedule.delays)
+        _echo(f"delay table written to {args.output}")
     rows = [[sid, f"{x:.1f}"] for sid, x in sorted(schedule.delays.items())]
-    print(render_table(
+    payload = {
+        "command": "schedule",
+        "workload": args.workload,
+        "manifest": manifest.to_dict(),
+        "job_id": job.job_id,
+        "delays": {sid: float(x) for sid, x in sorted(schedule.delays.items())},
+        "predicted_makespan_seconds": schedule.predicted_makespan,
+        "baseline_makespan_seconds": schedule.baseline_makespan,
+        "compute_seconds": schedule.compute_seconds,
+        "order": args.order,
+    }
+    text = render_table(
         ["stage", "delay (s)"],
         rows,
         title=(
@@ -103,11 +194,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             f"baseline {schedule.baseline_makespan:.1f} s, "
             f"computed in {schedule.compute_seconds * 1000:.0f} ms)"
         ),
-    ))
-    if args.output:
-        write_metrics_properties(args.output, job.job_id, schedule.delays)
-        print(f"\ndelay table written to {args.output}")
-    return 0
+    )
+    return _finish(args, payload, text, manifest)
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
@@ -120,14 +208,34 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     }[args.strategy]
     run = run_with_scheduler(job, cluster, scheduler)
     rows = stage_gantt(run.result, job.job_id)
-    print(render_gantt(
+    manifest = build_manifest(
+        seed=0,
+        config={"command": "timeline", "workload": args.workload,
+                "workers": cluster.num_workers, "scale": args.scale,
+                "strategy": args.strategy, "oracle": args.oracle},
+        jobs=[job],
+    )
+    payload = {
+        "command": "timeline",
+        "workload": args.workload,
+        "manifest": manifest.to_dict(),
+        "strategy": args.strategy,
+        "jct_seconds": run.jct,
+        "counters": run.result.counters,
+        "stages": [
+            {"stage_id": r.stage_id, "ready": r.ready, "submit": r.submit,
+             "read_done": r.read_done, "finish": r.finish}
+            for r in rows
+        ],
+    }
+    text = render_gantt(
         rows,
         title=(
             f"{args.workload} under {args.strategy} — JCT {run.jct:.1f} s "
             "(▒ shuffle read, █ processing + write)"
         ),
-    ))
-    return 0
+    )
+    return _finish(args, payload, text)
 
 
 def cmd_bounds(args: argparse.Namespace) -> int:
@@ -138,6 +246,30 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     job = workload_by_name(args.workload, args.scale)
     bounds = makespan_bounds(job, cluster)
     schedule = delay_stage_schedule(job, cluster, DelayStageParams(max_slots=args.max_slots))
+    gap = optimality_gap(schedule.predicted_makespan, bounds)
+    manifest = build_manifest(
+        seed=0,
+        config={"command": "bounds", "workload": args.workload,
+                "workers": cluster.num_workers, "scale": args.scale,
+                "max_slots": args.max_slots},
+        jobs=[job],
+    )
+    payload = {
+        "command": "bounds",
+        "workload": args.workload,
+        "manifest": manifest.to_dict(),
+        "bounds": {
+            "critical_path": bounds.critical_path,
+            "cpu_work": bounds.cpu_work,
+            "storage_egress": bounds.storage_egress,
+            "network_volume": bounds.network_volume,
+            "disk_volume": bounds.disk_volume,
+            "binding": bounds.binding,
+            "bound": bounds.bound,
+        },
+        "predicted_makespan_seconds": schedule.predicted_makespan,
+        "optimality_gap": gap,
+    }
     rows = [
         ["critical path", f"{bounds.critical_path:.1f}"],
         ["CPU work", f"{bounds.cpu_work:.1f}"],
@@ -145,31 +277,46 @@ def cmd_bounds(args: argparse.Namespace) -> int:
         ["network volume", f"{bounds.network_volume:.1f}"],
         ["disk volume", f"{bounds.disk_volume:.1f}"],
     ]
-    print(render_table(
+    text = render_table(
         ["lower bound", "seconds"],
         rows,
         title=(
             f"{args.workload}: makespan bounds (binding: {bounds.binding}); "
             f"Algorithm 1 achieves {schedule.predicted_makespan:.1f} s — "
-            f"gap {optimality_gap(schedule.predicted_makespan, bounds):.1%}"
+            f"gap {gap:.1%}"
         ),
-    ))
-    return 0
+    )
+    return _finish(args, payload, text)
 
 
 def cmd_trace_stats(args: argparse.Namespace) -> int:
     trace = generate_trace(TraceGeneratorConfig(num_jobs=args.jobs), rng=args.seed)
     summary = stage_count_summary(trace)
-    print(f"jobs: {len(trace)}")
-    print(f"jobs with parallel stages: {summary.fraction_jobs_with_parallel:.1%} (paper 68.6%)")
-    print(f"parallel share of stages:  {summary.parallel_stage_fraction:.1%} (paper 79.1%)")
     fr = np.array([f for f in map(parallel_makespan_fraction, trace) if f > 0])
-    print(f"mean parallel-makespan/JCT: {fr.mean():.1%} (paper 82.3%)\n")
-    print(render_cdf(
-        {"stages/job": summary.stages_per_job, "parallel/job": summary.parallel_per_job},
-        title="Fig. 2 — stage counts per job",
-    ))
-    return 0
+    mean_fraction = float(fr.mean()) if fr.size else 0.0
+    manifest = build_manifest(
+        seed=args.seed,
+        config={"command": "trace-stats", "jobs": args.jobs},
+    )
+    payload = {
+        "command": "trace-stats",
+        "manifest": manifest.to_dict(),
+        "jobs": len(trace),
+        "fraction_jobs_with_parallel": summary.fraction_jobs_with_parallel,
+        "parallel_stage_fraction": summary.parallel_stage_fraction,
+        "mean_parallel_makespan_fraction": mean_fraction,
+    }
+    lines = [
+        f"jobs: {len(trace)}",
+        f"jobs with parallel stages: {summary.fraction_jobs_with_parallel:.1%} (paper 68.6%)",
+        f"parallel share of stages:  {summary.parallel_stage_fraction:.1%} (paper 79.1%)",
+        f"mean parallel-makespan/JCT: {mean_fraction:.1%} (paper 82.3%)\n",
+        render_cdf(
+            {"stages/job": summary.stages_per_job, "parallel/job": summary.parallel_per_job},
+            title="Fig. 2 — stage counts per job",
+        ),
+    ]
+    return _finish(args, payload, "\n".join(lines))
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -182,23 +329,84 @@ def cmd_replay(args: argparse.Namespace) -> int:
         rng=args.seed,
     )
     jobs = [to_job(tj) for tj in trace[: args.jobs]]
+    tracer = _tracer_for(args)
     fuxi = FuxiScheduler(track_metrics=False, contention_penalty=args.penalty)
     ds = DelayStageScheduler(
         profiled=False, track_metrics=False, contention_penalty=args.penalty,
         params=DelayStageParams(max_slots=12),
     )
-    jct_f = [run_with_scheduler(j, cluster, fuxi).jct for j in jobs]
-    jct_d = [run_with_scheduler(j, cluster, ds).jct for j in jobs]
+    jct_f = [run_with_scheduler(j, cluster, fuxi, tracer).jct for j in jobs]
+    jct_d = [run_with_scheduler(j, cluster, ds, tracer).jct for j in jobs]
+    manifest = build_manifest(
+        seed=args.seed,
+        config={"command": "replay", "jobs": args.jobs,
+                "penalty": args.penalty},
+        jobs=jobs,
+    )
+    _write_trace(args, tracer, manifest)
+    improvement = float(1 - np.mean(jct_d) / np.mean(jct_f))
+    payload = {
+        "command": "replay",
+        "manifest": manifest.to_dict(),
+        "jobs": len(jobs),
+        "penalty": args.penalty,
+        "runs": {
+            "fuxi": {"mean_jct_seconds": float(np.mean(jct_f)),
+                     "median_jct_seconds": float(np.median(jct_f))},
+            "delaystage": {"mean_jct_seconds": float(np.mean(jct_d)),
+                           "median_jct_seconds": float(np.median(jct_d))},
+        },
+        "improvement_vs_fuxi": improvement,
+    }
     rows = [
         ["fuxi", float(np.mean(jct_f)), float(np.median(jct_f))],
         ["delaystage", float(np.mean(jct_d)), float(np.median(jct_d))],
     ]
-    print(render_table(
-        ["strategy", "mean JCT (s)", "median (s)"],
-        rows,
-        title=f"trace replay — {len(jobs)} jobs (contention penalty {args.penalty})",
-    ))
-    print(f"\nDelayStage vs Fuxi: {1 - np.mean(jct_d) / np.mean(jct_f):.1%} (paper 36.6%)")
+    text = (
+        render_table(
+            ["strategy", "mean JCT (s)", "median (s)"],
+            rows,
+            title=f"trace replay — {len(jobs)} jobs (contention penalty {args.penalty})",
+        )
+        + f"\n\nDelayStage vs Fuxi: {improvement:.1%} (paper 36.6%)"
+    )
+    return _finish(args, payload, text, manifest)
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        decision_audits,
+        delay_tables,
+        read_chrome_trace,
+        render_summary,
+        validate_chrome_trace,
+    )
+    from repro.obs.inspect import counters_of, manifest_of
+
+    try:
+        doc = read_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        _echo(f"error: cannot read trace {args.trace!r}: {exc}")
+        return 1
+    errors = validate_chrome_trace(doc)
+    for err in errors:
+        _echo(f"schema: {err}")
+    if args.as_json:
+        payload = {
+            "command": "inspect",
+            "trace": args.trace,
+            "valid": not errors,
+            "schema_errors": errors,
+            "manifest": manifest_of(doc),
+            "delay_tables": delay_tables(doc),
+            "decision_audits": decision_audits(doc),
+            "counters": counters_of(doc),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True, default=float))
+    else:
+        print(render_summary(doc, max_stages=args.max_stages))
+    if args.validate and errors:
+        return 1
     return 0
 
 
@@ -209,8 +417,6 @@ def _verify_workload(name: str, scale: float) -> "Job":
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    import json as _json
-
     from repro.verify import (
         Finding,
         Report,
@@ -264,11 +470,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
         payload = {
             "ok": not any_errors,
             "targets": {
-                name: _json.loads(rep.to_json(indent=None))
+                name: json.loads(rep.to_json(indent=None))
                 for name, rep in reports
             },
         }
-        print(_json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2))
     else:
         for name, rep in reports:
             status = "OK" if rep.ok else "FAIL"
@@ -293,10 +499,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=30, help="EC2 worker count")
         p.add_argument("--scale", type=float, default=1.0, help="dataset scale factor")
 
+    def add_json_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit a machine-readable payload on stdout")
+
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--emit-trace", metavar="PATH", dest="emit_trace",
+                       help="write a Perfetto-loadable Chrome trace here")
+        p.add_argument("--manifest", action="store_true",
+                       help="also print the run manifest (seeds, config hash)")
+
     p = sub.add_parser("compare", help="JCT under Spark/AggShuffle/DelayStage")
     add_workload_args(p)
     p.add_argument("--oracle", action="store_true",
                    help="plan on true parameters instead of profiling")
+    add_json_arg(p)
+    add_trace_args(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("schedule", help="compute a DelayStage delay table")
@@ -305,6 +523,8 @@ def build_parser() -> argparse.ArgumentParser:
                    default="descending")
     p.add_argument("--max-slots", type=int, default=48, dest="max_slots")
     p.add_argument("--output", help="write metrics.properties here")
+    add_json_arg(p)
+    add_trace_args(p)
     p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("timeline", help="print a stage gantt")
@@ -312,23 +532,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", choices=["spark", "aggshuffle", "delaystage"],
                    default="delaystage")
     p.add_argument("--oracle", action="store_true")
+    add_json_arg(p)
     p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser("bounds", help="makespan lower bounds + Alg. 1 gap")
     add_workload_args(p)
     p.add_argument("--max-slots", type=int, default=24, dest="max_slots")
+    add_json_arg(p)
     p.set_defaults(func=cmd_bounds)
 
     p = sub.add_parser("trace-stats", help="trace-twin statistics (Figs. 2-3)")
     p.add_argument("--jobs", type=int, default=500)
     p.add_argument("--seed", type=int, default=0)
+    add_json_arg(p)
     p.set_defaults(func=cmd_trace_stats)
 
     p = sub.add_parser("replay", help="Fig. 14-style trace replay")
     p.add_argument("--jobs", type=int, default=40)
     p.add_argument("--seed", type=int, default=3)
     p.add_argument("--penalty", type=float, default=0.5)
+    add_json_arg(p)
+    add_trace_args(p)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "inspect", help="summarize / validate a trace written with --emit-trace"
+    )
+    p.add_argument("trace", help="Chrome trace JSON file to inspect")
+    p.add_argument("--validate", action="store_true",
+                   help="exit 1 if the trace fails schema validation")
+    p.add_argument("--max-stages", type=int, default=50, dest="max_stages",
+                   help="root spans to show in the tree summary")
+    add_json_arg(p)
+    p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser(
         "verify", help="validate workload DAGs, schedules, and clusters"

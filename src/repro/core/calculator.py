@@ -25,6 +25,7 @@ from repro.core.delaystage import DelayStageParams, delay_stage_schedule
 from repro.core.properties import write_metrics_properties
 from repro.core.schedule import DelaySchedule
 from repro.dag.job import Job
+from repro.obs.tracer import Tracer
 from repro.profiling.measurement import measure_cluster
 from repro.profiling.profiler import ProfileReport, profile_job
 from repro.util.rng import resolve_rng
@@ -79,8 +80,19 @@ class DelayTimeCalculator:
         self.last_profile = report
         return report
 
-    def compute(self, job: Job, profile: "ProfileReport | None" = None) -> DelaySchedule:
-        """Profile (unless given) and run Algorithm 1 on the model job."""
+    def compute(
+        self,
+        job: Job,
+        profile: "ProfileReport | None" = None,
+        tracer: "Tracer | None" = None,
+    ) -> DelaySchedule:
+        """Profile (unless given) and run Algorithm 1 on the model job.
+
+        ``tracer`` (see :mod:`repro.obs`) receives Algorithm 1's
+        decision-audit spans; planning happens on the *model* job, so
+        the audit records the calculator's actual reasoning, estimation
+        error included.
+        """
         report = profile or self.profile(job)
         model_job = report.to_model_job()
         # Scalar (homogenized) measurement: the calculator consumes
@@ -89,7 +101,7 @@ class DelayTimeCalculator:
         measured = measure_cluster(
             self.cluster, self.measurement_noise, self._rng, homogenize=True
         )
-        return delay_stage_schedule(model_job, measured, self.params)
+        return delay_stage_schedule(model_job, measured, self.params, tracer=tracer)
 
     def compute_and_store(
         self,
@@ -97,8 +109,9 @@ class DelayTimeCalculator:
         path: "str | pathlib.Path",
         profile: "ProfileReport | None" = None,
         append: bool = False,
+        tracer: "Tracer | None" = None,
     ) -> DelaySchedule:
         """Compute the schedule and persist it as ``metrics.properties``."""
-        schedule = self.compute(job, profile)
+        schedule = self.compute(job, profile, tracer=tracer)
         write_metrics_properties(path, job.job_id, schedule.delays, append=append)
         return schedule

@@ -44,8 +44,12 @@ from repro.dag.job import Job
 from repro.dag.paths import execution_paths
 from repro.model.interference import evaluate_schedule
 from repro.model.perf import standalone_stage_times
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.simulation import SimulationConfig
 from repro.util.validation import check_positive
+
+#: Track the decision audit lands on in trace exports.
+DECISIONS_TRACK = ("scheduler", "decisions")
 
 
 @dataclass(frozen=True)
@@ -124,6 +128,7 @@ def delay_stage_schedule(
     cluster: ClusterSpec,
     params: "DelayStageParams | None" = None,
     pair_capacities: "dict[tuple[str, str], float] | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> DelaySchedule:
     """Run Algorithm 1 and return the delay schedule ``X``.
 
@@ -133,8 +138,16 @@ def delay_stage_schedule(
     ground-truth job instead gives the algorithm a perfect model.
     ``pair_capacities`` carries per-pair WAN caps for geo-distributed
     clusters (see :mod:`repro.cluster.geo`) into the model.
+
+    When a :class:`~repro.obs.tracer.Tracer` is supplied, every stage
+    scan emits a decision-audit span on the scheduler track — the scan
+    bounds ``[l_k, u_k]``, each candidate delay evaluated with its
+    predicted makespan, pruned candidate count, and the chosen delay —
+    plus a final ``schedule`` record carrying the exact delay table
+    returned, so the algorithm's reasoning can be replayed offline.
     """
     params = params or DelayStageParams()
+    tracer = tracer if tracer is not None else NULL_TRACER
     started = _time.perf_counter()
 
     members = parallel_stage_set(job)
@@ -147,6 +160,15 @@ def delay_stage_schedule(
 
     if not members:
         # Fully sequential job: nothing to delay.
+        tracer.instant(
+            "schedule",
+            _time.perf_counter() - started,
+            track=DECISIONS_TRACK,
+            cat="decision",
+            args={"job_id": job.job_id, "delays": {}, "fallback_applied": False,
+                  "predicted_makespan": 0.0, "baseline_makespan": 0.0,
+                  "evaluations": 0},
+        )
         return DelaySchedule(
             job_id=job.job_id,
             delays={},
@@ -199,6 +221,8 @@ def delay_stage_schedule(
                 candidates.append(min(x, upper))
                 x += slot
 
+            scan_t0 = _time.perf_counter() - started
+            scanned: "list[list[float]]" = []
             best_x = 0.0
             best_obj = None
             for x_hat in candidates:  # line 11
@@ -219,6 +243,8 @@ def delay_stage_schedule(
                 )
                 evaluations += 1
                 obj = max(ev.stage_finish[sid] for sid in visible)
+                if tracer.enabled:
+                    scanned.append([x_hat, obj])
                 # Lines 16-18, with deterministic smallest-delay tiebreak.
                 if best_obj is None or obj < best_obj - 1e-9:
                     best_obj = obj
@@ -229,6 +255,29 @@ def delay_stage_schedule(
                 # Line 17: the incumbent makespan bounds later scans; it
                 # may grow as more paths' stages enter the model.
                 t_max = max(best_obj, t_max)
+
+            if tracer.enabled:
+                scan_t1 = _time.perf_counter() - started
+                tracer.counters.inc("alg1.scans")
+                tracer.counters.inc("alg1.scan_evaluations", len(scanned))
+                tracer.add_span(
+                    f"scan:{stage_id}",
+                    scan_t0,
+                    max(scan_t1 - scan_t0, 0.0),
+                    track=DECISIONS_TRACK,
+                    cat="decision",
+                    args={"audit": {
+                        "job_id": job.job_id,
+                        "stage_id": stage_id,
+                        "bounds": [lower, upper],
+                        "slot": slot,
+                        "candidates": [x for x, _ in scanned],
+                        "predicted_makespans": [m for _, m in scanned],
+                        "pruned": len(candidates) - len(scanned),
+                        "chosen_delay": best_x,
+                        "best_makespan": best_obj,
+                    }},
+                )
 
     final = evaluate_schedule(job, cluster, delays, members=members, config=eval_config, pair_capacities=pair_capacities)
     evaluations += 1
@@ -261,6 +310,16 @@ def delay_stage_schedule(
                                 best_x = x
                     x += slot
                 if best_x != delays[stage_id]:
+                    if tracer.enabled:
+                        tracer.instant(
+                            f"refine:{stage_id}",
+                            _time.perf_counter() - started,
+                            track=DECISIONS_TRACK,
+                            cat="decision",
+                            args={"job_id": job.job_id, "stage_id": stage_id,
+                                  "from_delay": delays[stage_id],
+                                  "to_delay": best_x, "makespan": best_obj},
+                        )
                     delays[stage_id] = best_x
                     incumbent = best_obj
                     improved = True
@@ -272,12 +331,36 @@ def delay_stage_schedule(
         if not improved:
             break
 
-    if (
+    fallback_applied = (
         params.fallback_to_immediate
         and final.parallel_makespan > baseline.parallel_makespan + 1e-6
-    ):
+    )
+    if fallback_applied:
         delays = {sid: 0.0 for sid in delays}
         final = baseline
+        tracer.instant(
+            "fallback-to-immediate",
+            _time.perf_counter() - started,
+            track=DECISIONS_TRACK,
+            cat="decision",
+            args={"job_id": job.job_id},
+        )
+
+    tracer.counters.inc(
+        "alg1.stages_delayed", sum(1 for x in delays.values() if x > 0)
+    )
+    tracer.instant(
+        "schedule",
+        _time.perf_counter() - started,
+        track=DECISIONS_TRACK,
+        cat="decision",
+        args={"job_id": job.job_id, "delays": dict(delays),
+              "fallback_applied": fallback_applied,
+              "predicted_makespan": final.parallel_makespan,
+              "baseline_makespan": baseline.parallel_makespan,
+              "evaluations": evaluations,
+              "order": PathOrder(params.order).value},
+    )
 
     return DelaySchedule(
         job_id=job.job_id,

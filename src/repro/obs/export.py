@@ -1,0 +1,270 @@
+"""Trace exporters: Chrome trace-event JSON and JSON-lines spans.
+
+The Chrome export is loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: stage spans get one row per stage, each node of
+the cluster becomes its own process with counter tracks (busy
+executors, NIC in/out, disk rate), and Algorithm 1's decision audit
+lands on a dedicated ``scheduler`` track.  Timestamps are converted
+from seconds to the format's microseconds.
+
+Every export embeds a :class:`~repro.obs.manifest.RunManifest` and the
+tracer's counters under ``otherData``, and
+:func:`validate_chrome_trace` is the schema check CI runs against
+emitted traces (valid JSON, known schema version, manifest present,
+monotone ``ts``, pid/tid consistency with the name metadata).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.obs.manifest import RunManifest, build_manifest
+from repro.obs.tracer import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+#: Version stamp of the Chrome-trace layout written by this module.
+TRACE_SCHEMA_VERSION = 1
+
+#: Seconds -> trace-event microseconds.
+_US = 1e6
+
+
+def _track_ids(tracer: Tracer) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+    """Assign stable integer pids/tids to track labels (appearance order)."""
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    for process, thread in tracer.tracks():
+        if process not in pids:
+            pids[process] = len(pids) + 1
+        key = (process, thread)
+        if key not in tids:
+            tids[key] = sum(1 for p, _ in tids if p == process) + 1
+    return pids, tids
+
+
+def to_chrome_trace(
+    tracer: Tracer, manifest: "RunManifest | None" = None
+) -> dict:
+    """Render a tracer's records as a Chrome trace-event document.
+
+    When ``manifest`` is omitted a minimal one is built, so every
+    export carries provenance unconditionally.
+    """
+    manifest = manifest or build_manifest()
+    pids, tids = _track_ids(tracer)
+
+    meta: list[dict] = []
+    for process, pid in pids.items():
+        meta.append({"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+                     "name": "process_name", "args": {"name": process}})
+    for (process, thread), tid in tids.items():
+        meta.append({"ph": "M", "pid": pids[process], "tid": tid, "ts": 0,
+                     "name": "thread_name", "args": {"name": thread}})
+
+    events: list[dict] = []
+    for span in tracer.spans:
+        pid = pids[span.track[0]]
+        tid = tids[span.track]
+        args = {"sid": span.span_id, "psid": span.parent_id}
+        args.update(span.args)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat,
+            "ts": round(span.ts * _US),
+            "dur": round(span.dur * _US),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    for inst in tracer.instants:
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "name": inst.name,
+            "cat": inst.cat,
+            "ts": round(inst.ts * _US),
+            "pid": pids[inst.track[0]],
+            "tid": tids[inst.track],
+            "args": dict(inst.args),
+        })
+    for sample in tracer.samples:
+        events.append({
+            "ph": "C",
+            "name": sample.name,
+            "ts": round(sample.ts * _US),
+            "pid": pids[sample.track[0]],
+            "tid": tids[sample.track],
+            "args": {"value": sample.value},
+        })
+    events.sort(key=lambda e: e["ts"])
+
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "manifest": manifest.to_dict(),
+            "counters": tracer.counters.as_dict(),
+        },
+    }
+
+
+def write_chrome_trace(
+    path: "str | pathlib.Path",
+    tracer: Tracer,
+    manifest: "RunManifest | None" = None,
+) -> dict:
+    """Write the Chrome trace to ``path``; returns the document."""
+    doc = to_chrome_trace(tracer, manifest)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def read_chrome_trace(path: "str | pathlib.Path") -> dict:
+    """Load a Chrome trace-event document written by this module."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# schema validation
+# ---------------------------------------------------------------------- #
+
+def validate_chrome_trace(doc: Any, require_manifest: bool = True) -> list[str]:
+    """Schema-check a Chrome trace document; returns all violations.
+
+    An empty list means the trace is valid.  Checks: structure and
+    schema version, manifest presence (seed + config hash), numeric
+    non-negative ``ts``/``dur``, monotone non-decreasing ``ts`` across
+    non-metadata events, and that every pid/tid used by an event is
+    declared by ``process_name``/``thread_name`` metadata.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, Mapping):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+
+    other = doc.get("otherData")
+    if not isinstance(other, Mapping):
+        errors.append("missing 'otherData'")
+        other = {}
+    version = other.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        errors.append(f"unknown schema_version {version!r} "
+                      f"(expected {TRACE_SCHEMA_VERSION})")
+    if require_manifest:
+        manifest = other.get("manifest")
+        if not isinstance(manifest, Mapping):
+            errors.append("missing run manifest in 'otherData'")
+        else:
+            if "seed" not in manifest:
+                errors.append("manifest lacks a 'seed' field")
+            if not manifest.get("config_hash"):
+                errors.append("manifest lacks a 'config_hash' field")
+
+    procs: set[int] = set()
+    threads: set[tuple[int, int]] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, Mapping) or "ph" not in ev:
+            errors.append(f"event {i}: not an object with a 'ph' field")
+            continue
+        if ev["ph"] == "M":
+            if ev.get("name") == "process_name":
+                procs.add(ev.get("pid"))
+            elif ev.get("name") == "thread_name":
+                threads.add((ev.get("pid"), ev.get("tid")))
+
+    prev_ts = None
+    for i, ev in enumerate(events):
+        if not isinstance(ev, Mapping) or ev.get("ph") == "M":
+            continue
+        ph = ev.get("ph")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if prev_ts is not None and ts < prev_ts:
+            errors.append(f"event {i}: ts {ts} < previous {prev_ts} (not sorted)")
+        prev_ts = ts
+        if not ev.get("name"):
+            errors.append(f"event {i}: missing name")
+        pid = ev.get("pid")
+        if pid not in procs:
+            errors.append(f"event {i}: pid {pid!r} has no process_name metadata")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i}: bad dur {dur!r}")
+            if (pid, ev.get("tid")) not in threads:
+                errors.append(f"event {i}: tid {ev.get('tid')!r} has no "
+                              "thread_name metadata")
+        elif ph == "C":
+            value = (ev.get("args") or {}).get("value")
+            if not isinstance(value, (int, float)):
+                errors.append(f"event {i}: counter without numeric args.value")
+        elif ph not in ("i", "I"):
+            errors.append(f"event {i}: unsupported phase {ph!r}")
+    return errors
+
+
+# ---------------------------------------------------------------------- #
+# JSON-lines spans
+# ---------------------------------------------------------------------- #
+
+def write_spans_jsonl(
+    destination: "str | pathlib.Path | io.TextIOBase",
+    tracer: Tracer,
+    manifest: "RunManifest | None" = None,
+) -> int:
+    """Dump spans as JSON lines (manifest first); returns span count."""
+    if isinstance(destination, (str, pathlib.Path)):
+        with open(destination, "w", encoding="utf-8") as fh:
+            return write_spans_jsonl(fh, tracer, manifest)
+    manifest = manifest or build_manifest()
+    destination.write(json.dumps({"type": "manifest", **manifest.to_dict()}) + "\n")
+    destination.write(json.dumps(
+        {"type": "counters", **tracer.counters.as_dict()}) + "\n")
+    count = 0
+    for span in sorted(tracer.spans, key=lambda s: (s.ts, s.span_id)):
+        destination.write(json.dumps({"type": "span", **span.to_dict()}) + "\n")
+        count += 1
+    return count
+
+
+def read_spans_jsonl(
+    source: "str | pathlib.Path | io.TextIOBase",
+) -> tuple["RunManifest | None", list[Span]]:
+    """Parse a JSON-lines span dump back into (manifest, spans)."""
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_spans_jsonl(fh)
+    manifest: "RunManifest | None" = None
+    spans: list[Span] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "manifest":
+                manifest = RunManifest.from_dict(record)
+            elif kind == "span":
+                spans.append(Span.from_dict(record))
+            elif kind != "counters":
+                raise ValueError(f"unknown record type {kind!r}")
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ValueError(f"malformed span line {lineno}: {line!r}") from exc
+    return manifest, spans

@@ -1,0 +1,149 @@
+"""Run manifests: make every artifact traceable to its inputs.
+
+A :class:`RunManifest` pins down everything that determines a run's
+numbers — RNG seed, configuration (hashed canonically), package and
+Python versions, and a structural fingerprint per workload DAG — and
+is embedded in every trace export, JSON report, and event-log header
+the toolkit writes.  Given any figure, the manifest answers "which
+seed, which config, which workload, which code version produced this".
+
+Manifests are deliberately *deterministic*: they contain no wall-clock
+timestamp, so the same inputs always yield byte-identical manifests
+(and therefore byte-identical exports), which is what makes them
+diffable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform as _platform
+import sys
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dag.job import Job
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, tight separators, stable floats."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """sha256 over the canonical JSON of a configuration mapping."""
+    digest = hashlib.sha256(canonical_json(dict(config)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def workload_fingerprint(job: "Job") -> str:
+    """Structural hash of a job: stages (with volumes/rates) and edges.
+
+    Two jobs fingerprint equal iff the simulator and Algorithm 1 would
+    treat them identically.
+    """
+    stages = sorted(
+        (
+            s.stage_id,
+            float(s.input_bytes),
+            float(s.output_bytes),
+            float(s.process_rate),
+            int(s.num_tasks),
+            float(s.task_cv),
+        )
+        for s in job
+    )
+    payload = canonical_json(
+        {"job_id": job.job_id, "stages": stages, "edges": sorted(job.edges)}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record attached to exports and reports."""
+
+    version: str
+    python: str
+    platform: str
+    numpy: str
+    seed: "int | None"
+    config: dict
+    config_hash: str
+    workloads: dict[str, str]
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "version": self.version,
+            "python": self.python,
+            "platform": self.platform,
+            "numpy": self.numpy,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "config_hash": self.config_hash,
+            "workloads": dict(self.workloads),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "RunManifest":
+        return cls(
+            version=str(record.get("version", "")),
+            python=str(record.get("python", "")),
+            platform=str(record.get("platform", "")),
+            numpy=str(record.get("numpy", "")),
+            seed=record.get("seed"),
+            config=dict(record.get("config") or {}),
+            config_hash=str(record.get("config_hash", "")),
+            workloads=dict(record.get("workloads") or {}),
+            schema_version=int(record.get("schema_version", MANIFEST_SCHEMA_VERSION)),
+            extra=dict(record.get("extra") or {}),
+        )
+
+    def summary(self) -> str:
+        """One-line human rendering for report footers."""
+        parts = [f"repro {self.version}", f"python {self.python}"]
+        if self.seed is not None:
+            parts.append(f"seed {self.seed}")
+        parts.append(f"config {self.config_hash[:12]}")
+        if self.workloads:
+            parts.append("workloads " + ",".join(sorted(self.workloads)))
+        return " | ".join(parts)
+
+
+def build_manifest(
+    *,
+    seed: "int | None" = None,
+    config: "Mapping[str, Any] | None" = None,
+    jobs: "Iterable[Job] | None" = None,
+    extra: "Mapping[str, Any] | None" = None,
+) -> RunManifest:
+    """Assemble a manifest for the current interpreter and inputs.
+
+    ``config`` is any JSON-able mapping of the knobs that shaped the
+    run (CLI args, scheduler params); its canonical hash is what makes
+    two runs comparable at a glance.  ``jobs`` contributes one
+    structural fingerprint per workload DAG.
+    """
+    from repro import __version__  # deferred: avoid import cycle at load time
+
+    cfg = dict(config or {})
+    return RunManifest(
+        version=__version__,
+        python=".".join(str(v) for v in sys.version_info[:3]),
+        platform=_platform.platform(),
+        numpy=np.__version__,
+        seed=seed,
+        config=cfg,
+        config_hash=config_hash(cfg),
+        workloads={job.job_id: workload_fingerprint(job) for job in (jobs or ())},
+        extra=dict(extra or {}),
+    )

@@ -1,0 +1,276 @@
+"""Low-overhead span tracer with explicit timestamps.
+
+The simulator is event-driven and its spans overlap arbitrarily, so
+this tracer takes *explicit* ``(ts, dur)`` pairs instead of wrapping a
+wall clock: the simulation emits spans from its stage records after
+the run (zero hot-path cost), and Algorithm 1 emits decision spans
+with offsets from its own ``perf_counter`` start.  Every record lands
+on a ``track`` — a ``(process, thread)`` label pair that the Chrome
+exporter turns into Perfetto tracks (one process per simulated node,
+one scheduler-decisions track, one row per stage).
+
+``NULL_TRACER`` is the off state: same interface, no-ops throughout,
+so instrumented code pays one attribute check (or nothing at all) when
+tracing is disabled.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+the innermost simulator modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Mapping
+
+#: A span's destination: ``(process label, thread label)``.
+Track = tuple[str, str]
+
+#: Parent id meaning "root span".
+NO_PARENT = 0
+
+
+def _check_time(name: str, value: float) -> float:
+    value = float(value)
+    if math.isnan(value) or math.isinf(value) or value < 0.0:
+        raise ValueError(f"{name} must be finite and >= 0, got {value!r}")
+    return value
+
+
+class Span:
+    """One completed span: a named interval on a track.
+
+    ``ts``/``dur`` are seconds on whatever clock the emitter used (the
+    simulation clock for stage spans, planning wall-clock offsets for
+    decision spans).  ``span_id``/``parent_id`` encode the logical tree
+    exactly, independent of track placement.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "cat", "track", "ts", "dur", "args")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        ts: float,
+        dur: float,
+        track: Track,
+        cat: str = "span",
+        parent_id: int = NO_PARENT,
+        args: "dict[str, Any] | None" = None,
+    ) -> None:
+        self.span_id = int(span_id)
+        self.parent_id = int(parent_id)
+        self.name = str(name)
+        self.cat = str(cat)
+        self.track = (str(track[0]), str(track[1]))
+        self.ts = _check_time("ts", ts)
+        self.dur = _check_time("dur", dur)
+        self.args = dict(args) if args else {}
+
+    def to_dict(self) -> dict:
+        return {
+            "sid": self.span_id,
+            "psid": self.parent_id,
+            "name": self.name,
+            "cat": self.cat,
+            "track": list(self.track),
+            "ts": self.ts,
+            "dur": self.dur,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "Span":
+        track = record["track"]
+        return cls(
+            span_id=record["sid"],
+            name=record["name"],
+            ts=record["ts"],
+            dur=record["dur"],
+            track=(track[0], track[1]),
+            cat=record.get("cat", "span"),
+            parent_id=record.get("psid", NO_PARENT),
+            args=record.get("args") or {},
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.span_id}, {self.name!r}, ts={self.ts:.6f}, "
+            f"dur={self.dur:.6f}, track={self.track})"
+        )
+
+
+class Instant:
+    """A zero-duration marker (e.g. the final schedule record)."""
+
+    __slots__ = ("name", "cat", "track", "ts", "args")
+
+    def __init__(
+        self,
+        name: str,
+        ts: float,
+        track: Track,
+        cat: str = "instant",
+        args: "dict[str, Any] | None" = None,
+    ) -> None:
+        self.name = str(name)
+        self.cat = str(cat)
+        self.track = (str(track[0]), str(track[1]))
+        self.ts = _check_time("ts", ts)
+        self.args = dict(args) if args else {}
+
+
+class CounterSample:
+    """One sample of a time-varying counter (a Perfetto counter track)."""
+
+    __slots__ = ("name", "track", "ts", "value")
+
+    def __init__(self, name: str, ts: float, value: float, track: Track) -> None:
+        self.name = str(name)
+        self.track = (str(track[0]), str(track[1]))
+        self.ts = _check_time("ts", ts)
+        value = float(value)
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"counter value must be finite, got {value!r}")
+        self.value = value
+
+
+class CounterRegistry:
+    """Monotonic counters plus last-value gauges.
+
+    Serialized into run results and trace exports so aggregate run
+    telemetry (stages delayed, scan evaluations, engine events,
+    per-resource busy fractions) travels with every artifact.
+    """
+
+    __slots__ = ("_counters", "_gauges")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        if name in self._counters:
+            return self._counters[name]
+        return self._gauges.get(name, default)
+
+    def as_dict(self) -> dict:
+        return {"counters": dict(self._counters), "gauges": dict(self._gauges)}
+
+    def merge(self, other: "CounterRegistry") -> None:
+        for name, value in other._counters.items():
+            self.inc(name, value)
+        self._gauges.update(other._gauges)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges)
+
+
+class Tracer:
+    """Collects spans, instants, and counter samples for one run."""
+
+    #: Instrumented code may skip building expensive args when False.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.samples: list[CounterSample] = []
+        self.counters = CounterRegistry()
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+
+    def add_span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        *,
+        track: Track,
+        cat: str = "span",
+        parent: int = NO_PARENT,
+        args: "dict[str, Any] | None" = None,
+    ) -> int:
+        """Record a completed span; returns its id (usable as ``parent``)."""
+        span = Span(next(self._ids), name, ts, dur, track, cat, parent, args)
+        self.spans.append(span)
+        return span.span_id
+
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        *,
+        track: Track,
+        cat: str = "instant",
+        args: "dict[str, Any] | None" = None,
+    ) -> None:
+        self.instants.append(Instant(name, ts, track, cat, args))
+
+    def sample(self, name: str, ts: float, value: float, *, track: Track) -> None:
+        self.samples.append(CounterSample(name, ts, value, track))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_events(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.samples)
+
+    def tracks(self) -> list[Track]:
+        """All distinct tracks, in first-appearance order."""
+        seen: dict[Track, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.track)
+        for inst in self.instants:
+            seen.setdefault(inst.track)
+        for sample in self.samples:
+            seen.setdefault(sample.track)
+        return list(seen)
+
+
+class _NullCounters(CounterRegistry):
+    """Registry that drops everything (the off state)."""
+
+    __slots__ = ()
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+
+class NullTracer(Tracer):
+    """No-op tracer: same interface, nothing recorded, nothing allocated."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.counters = _NullCounters()
+
+    def add_span(self, name, ts, dur, *, track, cat="span", parent=NO_PARENT, args=None) -> int:
+        return NO_PARENT
+
+    def instant(self, name, ts, *, track, cat="instant", args=None) -> None:
+        pass
+
+    def sample(self, name, ts, value, *, track) -> None:
+        pass
+
+
+#: Shared off-state tracer; instrumented code defaults to this.
+NULL_TRACER = NullTracer()

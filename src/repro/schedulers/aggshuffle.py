@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.job import Job
+from repro.obs.tracer import Tracer
 from repro.schedulers.base import Prepared, Scheduler
 from repro.simulator.simulation import ImmediatePolicy, SimulationConfig
 
@@ -43,7 +44,9 @@ class AggShuffleScheduler(Scheduler):
             track_occupancy=track_occupancy,
         )
 
-    def prepare(self, job: Job, cluster: ClusterSpec) -> Prepared:
+    def prepare(
+        self, job: Job, cluster: ClusterSpec, tracer: "Tracer | None" = None
+    ) -> Prepared:
         return Prepared(policy=ImmediatePolicy(), config=self._config)
 
     def simulation_config(self) -> SimulationConfig:

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.job import Job
+from repro.obs.tracer import Tracer
 from repro.simulator.simulation import SimulationConfig, SubmissionPolicy
 
 
@@ -31,13 +32,17 @@ class Scheduler(abc.ABC):
     name: str = "scheduler"
 
     @abc.abstractmethod
-    def prepare(self, job: Job, cluster: ClusterSpec) -> Prepared:
+    def prepare(
+        self, job: Job, cluster: ClusterSpec, tracer: "Tracer | None" = None
+    ) -> Prepared:
         """Make all scheduling decisions for ``job`` on ``cluster``.
 
         Called once per job before simulation, mirroring how the
         prototype's calculator runs ahead of the job (its cost is
         *not* part of the simulated timeline; it is reported separately
-        as runtime overhead, Sec. 5.4).
+        as runtime overhead, Sec. 5.4).  ``tracer`` (see
+        :mod:`repro.obs`) receives decision-audit spans from strategies
+        that plan (DelayStage); strategies without planning ignore it.
         """
 
     def simulation_config(self) -> SimulationConfig:

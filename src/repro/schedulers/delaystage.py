@@ -11,6 +11,7 @@ from repro.core.delayer import StageDelayer
 from repro.core.delaystage import DelayStageParams, delay_stage_schedule
 from repro.core.ordering import PathOrder
 from repro.dag.job import Job
+from repro.obs.tracer import Tracer
 from repro.schedulers.base import Prepared, Scheduler
 from repro.simulator.simulation import SimulationConfig
 
@@ -73,7 +74,9 @@ class DelayStageScheduler(Scheduler):
         order_name = PathOrder(self.params.order).value
         self.name = "delaystage" if order_name == "descending" else f"delaystage-{order_name}"
 
-    def prepare(self, job: Job, cluster: ClusterSpec) -> Prepared:
+    def prepare(
+        self, job: Job, cluster: ClusterSpec, tracer: "Tracer | None" = None
+    ) -> Prepared:
         if self.profiled:
             calculator = DelayTimeCalculator(
                 cluster,
@@ -83,10 +86,10 @@ class DelayStageScheduler(Scheduler):
                 measurement_noise=self.measurement_noise,
                 rng=self.rng,
             )
-            schedule = calculator.compute(job)
+            schedule = calculator.compute(job, tracer=tracer)
             profile = calculator.last_profile
         else:
-            schedule = delay_stage_schedule(job, cluster, self.params)
+            schedule = delay_stage_schedule(job, cluster, self.params, tracer=tracer)
             profile = None
         return Prepared(
             policy=StageDelayer.from_schedule(schedule),

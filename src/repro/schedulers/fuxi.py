@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.job import Job
+from repro.obs.tracer import Tracer
 from repro.schedulers.base import Prepared, Scheduler
 from repro.simulator.simulation import ImmediatePolicy, SimulationConfig
 
@@ -30,5 +31,7 @@ class FuxiScheduler(Scheduler):
             track_metrics=track_metrics, contention_penalty=contention_penalty
         )
 
-    def prepare(self, job: Job, cluster: ClusterSpec) -> Prepared:
+    def prepare(
+        self, job: Job, cluster: ClusterSpec, tracer: "Tracer | None" = None
+    ) -> Prepared:
         return Prepared(policy=ImmediatePolicy(), config=self._config)

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.job import Job
+from repro.obs.tracer import Tracer
 from repro.schedulers.base import Scheduler
 from repro.simulator.simulation import Simulation, SimulationResult
 
@@ -25,18 +26,32 @@ class SchedulerRun:
 
 
 def run_with_scheduler(
-    job: Job, cluster: ClusterSpec, scheduler: Scheduler
+    job: Job,
+    cluster: ClusterSpec,
+    scheduler: Scheduler,
+    tracer: "Tracer | None" = None,
 ) -> SchedulerRun:
-    """Prepare and simulate one job under one scheduler."""
-    prepared = scheduler.prepare(job, cluster)
-    sim = Simulation(cluster, prepared.config)
+    """Prepare and simulate one job under one scheduler.
+
+    ``tracer`` (see :mod:`repro.obs`) collects the scheduler's
+    decision-audit spans and the simulation's stage/phase spans; the
+    run's tracks are scoped by the scheduler name so several runs can
+    share one trace file.
+    """
+    prepared = scheduler.prepare(job, cluster, tracer=tracer)
+    sim = Simulation(
+        cluster, prepared.config, tracer=tracer, trace_scope=scheduler.name
+    )
     sim.add_job(job, prepared.policy)
     result = sim.run()
     return SchedulerRun(scheduler.name, result, prepared.info)
 
 
 def compare_schedulers(
-    job: Job, cluster: ClusterSpec, schedulers: "list[Scheduler]"
+    job: Job,
+    cluster: ClusterSpec,
+    schedulers: "list[Scheduler]",
+    tracer: "Tracer | None" = None,
 ) -> dict[str, SchedulerRun]:
     """Run the same job under every scheduler.
 
@@ -46,7 +61,7 @@ def compare_schedulers(
     for scheduler in schedulers:
         if scheduler.name in runs:
             raise ValueError(f"duplicate scheduler name {scheduler.name!r}")
-        runs[scheduler.name] = run_with_scheduler(job, cluster, scheduler)
+        runs[scheduler.name] = run_with_scheduler(job, cluster, scheduler, tracer)
     return runs
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.job import Job
+from repro.obs.tracer import Tracer
 from repro.schedulers.base import Prepared, Scheduler
 from repro.simulator.simulation import ImmediatePolicy, SimulationConfig
 
@@ -24,5 +25,7 @@ class StockSparkScheduler(Scheduler):
             track_metrics=track_metrics, track_occupancy=track_occupancy
         )
 
-    def prepare(self, job: Job, cluster: ClusterSpec) -> Prepared:
+    def prepare(
+        self, job: Job, cluster: ClusterSpec, tracer: "Tracer | None" = None
+    ) -> Prepared:
         return Prepared(policy=ImmediatePolicy(), config=self._config)

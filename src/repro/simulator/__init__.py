@@ -24,7 +24,12 @@ from repro.simulator.fairshare import (
 )
 from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
 from repro.simulator.events import EventKind, SimEvent
-from repro.simulator.eventlog import read_eventlog, stage_timings_from_eventlog, write_eventlog
+from repro.simulator.eventlog import (
+    EVENTLOG_SCHEMA_VERSION,
+    read_eventlog,
+    stage_timings_from_eventlog,
+    write_eventlog,
+)
 from repro.simulator.metrics import MetricsCollector, NodeSeries
 from repro.simulator.simulation import (
     ImmediatePolicy,
@@ -49,6 +54,7 @@ __all__ = [
     "disk_shares",
     "EventKind",
     "SimEvent",
+    "EVENTLOG_SCHEMA_VERSION",
     "write_eventlog",
     "read_eventlog",
     "stage_timings_from_eventlog",

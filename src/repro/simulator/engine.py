@@ -82,6 +82,11 @@ class FluidEngine:
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._dirty = True  # active set changed; rates must be recomputed
+        #: Loop iterations executed (run telemetry; also drives the
+        #: livelock safety valve).
+        self.events_processed = 0
+        #: Peak concurrent work items (telemetry: queue depth).
+        self.max_active_items = 0
 
     # ------------------------------------------------------------------ #
     # public interface
@@ -129,11 +134,14 @@ class FluidEngine:
         events = 0
         while not self.idle:
             events += 1
+            self.events_processed += 1
             if events > self._max_events:
                 raise RuntimeError(
                     f"engine exceeded {self._max_events} events at t={self.now:.3f}; "
                     "likely a livelock (items repeatedly added with zero volume?)"
                 )
+            if len(self._items) > self.max_active_items:
+                self.max_active_items = len(self._items)
             if self._dirty:
                 self._reallocate()
 

@@ -6,6 +6,12 @@ run's events to the same newline-delimited-JSON style Spark uses, and
 parses such logs back — so external tooling (or a profiling pipeline
 reading from disk rather than from the in-memory result) can consume
 simulation output.
+
+Written logs start with a schema header line (``Event`` =
+``repro.eventlog.header`` carrying ``Schema Version``).  Readers accept
+and ignore the header — including future versions — so the format can
+evolve without breaking old parsers; the header does not count toward
+``write_eventlog``'s return value and never appears in parsed output.
 """
 
 from __future__ import annotations
@@ -17,15 +23,28 @@ from typing import Iterable
 
 from repro.simulator.events import EventKind, SimEvent
 
+#: Version stamped into the header line of written logs.
+EVENTLOG_SCHEMA_VERSION = 1
+
+_HEADER_EVENT = "repro.eventlog.header"
+
+#: Longest line excerpt quoted in malformed-line error messages.
+_EXCERPT = 80
+
 
 def write_eventlog(
     events: Iterable[SimEvent],
     destination: "str | pathlib.Path | io.TextIOBase",
 ) -> int:
-    """Write events as JSON lines; returns the number of lines."""
+    """Write events as JSON lines; returns the number of event lines.
+
+    The schema header line is written first and is *not* counted.
+    """
     if isinstance(destination, (str, pathlib.Path)):
         with open(destination, "w", encoding="utf-8") as fh:
             return write_eventlog(events, fh)
+    header = {"Event": _HEADER_EVENT, "Schema Version": EVENTLOG_SCHEMA_VERSION}
+    destination.write(json.dumps(header) + "\n")
     count = 0
     for event in events:
         record = {
@@ -47,19 +66,36 @@ def read_eventlog(
 ) -> list[SimEvent]:
     """Parse a JSON-lines event log back into :class:`SimEvent` records.
 
-    Blank lines are skipped; unknown event kinds or malformed lines
-    raise ``ValueError`` with the offending line number.
+    Blank lines and schema header lines (any version) are skipped.
+    Malformed lines and unknown event kinds raise a single
+    ``ValueError`` reporting *every* offending line — file name plus
+    line numbers — so a corrupt log is diagnosed in one pass instead of
+    one failure per rerun.
     """
     if isinstance(source, (str, pathlib.Path)):
         with open(source, "r", encoding="utf-8") as fh:
-            return read_eventlog(fh)
+            return _read_eventlog_lines(fh, str(source))
+    name = getattr(source, "name", None)
+    return _read_eventlog_lines(source, name if isinstance(name, str) else "<stream>")
+
+
+def _read_eventlog_lines(
+    source: "io.TextIOBase", source_name: str
+) -> list[SimEvent]:
     events: list[SimEvent] = []
+    malformed: list[tuple[int, str]] = []
     for lineno, raw in enumerate(source, start=1):
         line = raw.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
+        except ValueError:
+            malformed.append((lineno, line))
+            continue
+        if isinstance(record, dict) and record.get("Event") == _HEADER_EVENT:
+            continue
+        try:
             kind = EventKind(record["Event"])
             events.append(
                 SimEvent(
@@ -70,8 +106,16 @@ def read_eventlog(
                     info=dict(record.get("Info", {})),
                 )
             )
-        except (KeyError, ValueError, TypeError) as exc:
-            raise ValueError(f"malformed eventlog line {lineno}: {line!r}") from exc
+        except (KeyError, ValueError, TypeError):
+            malformed.append((lineno, line))
+    if malformed:
+        detail = "; ".join(
+            f"line {n}: {line[:_EXCERPT]!r}" for n, line in malformed
+        )
+        raise ValueError(
+            f"{len(malformed)} malformed eventlog line(s) in "
+            f"{source_name}: {detail}"
+        )
     return events
 
 

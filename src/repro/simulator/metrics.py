@@ -63,17 +63,22 @@ class NodeSeries:
         Idle gaps inside the window (time not covered by any segment)
         count as zero, matching how a monitoring agent would report.
         """
+        if len(self.t1) == 0:
+            return 0.0
         values = self._metric_values(metric)
-        values, w = self._weighted(values, t_lo, min(t_hi, float(self.t1[-1]) if len(self.t1) else t_lo))
-        span = (min(t_hi, float(self.t1[-1]) if len(self.t1) else t_lo)) - t_lo
+        hi = min(t_hi, float(self.t1[-1]))
+        values, w = self._weighted(values, t_lo, hi)
+        span = hi - t_lo
         if span <= 0:
             return 0.0
         return float(np.sum(values * w) / span)
 
     def std(self, metric: str, t_lo: float = 0.0, t_hi: float = math.inf) -> float:
         """Time-weighted standard deviation of a metric over the window."""
+        if len(self.t1) == 0:
+            return 0.0
         values = self._metric_values(metric)
-        hi = min(t_hi, float(self.t1[-1]) if len(self.t1) else t_lo)
+        hi = min(t_hi, float(self.t1[-1]))
         values, w = self._weighted(values, t_lo, hi)
         span = hi - t_lo
         if span <= 0:
@@ -108,6 +113,10 @@ class NodeSeries:
         if metric == "cpu_utilization":
             return self.cpu_busy / max(self.executors, 1)
         if metric == "net_utilization":
+            # A node with no NIC (bandwidth 0) carries no traffic; avoid
+            # the 0/0 → NaN that would otherwise poison every average.
+            if self.nic_bandwidth <= 0:
+                return np.zeros_like(self.net_in)
             return self.net_in / self.nic_bandwidth
         raise ValueError(f"unknown metric {metric!r}")
 
@@ -205,8 +214,14 @@ class MetricsCollector:
         )
 
     def cluster_average(self, metric: str, t_lo: float = 0.0, t_hi: float = math.inf) -> float:
-        """Average of a per-node metric across all *worker* nodes."""
+        """Average of a per-node metric across all *worker* nodes.
+
+        A cluster with no workers (storage-only specs used in unit
+        tests) averages to 0.0 rather than NaN.
+        """
         workers = self.cluster.worker_ids
+        if not workers:
+            return 0.0
         return float(
             np.mean([self.node_series(n).average(metric, t_lo, t_hi) for n in workers])
         )

@@ -32,6 +32,7 @@ from typing import Callable, Mapping, Protocol
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.topology import Topology
 from repro.dag.job import Job
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import FluidEngine
 from repro.simulator.events import EventKind, SimEvent
 from repro.simulator.fairshare import compute_shares, disk_shares, maxmin_network_rates
@@ -186,6 +187,11 @@ class SimulationResult:
     job_records: dict[str, JobRecord]
     metrics: "MetricsCollector | None"
     events: list[SimEvent] = field(default_factory=list)
+    #: Run telemetry: stage/job counts, engine event count and peak
+    #: queue depth, and (when metrics are tracked) per-resource busy
+    #: fractions — serialized into every result so reports can carry
+    #: aggregate telemetry without the full metric series.
+    counters: dict = field(default_factory=dict)
 
     def job_completion_time(self, job_id: str) -> float:
         return self.job_records[job_id].completion_time
@@ -248,9 +254,17 @@ class Simulation:
         cluster: ClusterSpec,
         config: "SimulationConfig | None" = None,
         pair_capacities: "dict[tuple[str, str], float] | None" = None,
+        tracer: "Tracer | None" = None,
+        trace_scope: str = "sim",
     ) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
+        #: Span tracer; spans are emitted from the stage records after
+        #: the run, so the hot path pays nothing while tracing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Process-label prefix for this run's tracks (lets several runs
+        #: — e.g. one per compared scheduler — share one trace file).
+        self.trace_scope = trace_scope
         self.topology = Topology(cluster)
         if pair_capacities:
             # Per-pair caps below NIC speed — the geo-distributed (WAN)
@@ -385,6 +399,9 @@ class Simulation:
             metrics=self.metrics,
             events=self.events,
         )
+        result.counters = self._run_counters(result)
+        if self.tracer.enabled:
+            self._emit_trace(result)
         if _sanitizer.ENABLED:
             _sanitizer.check_result(result)
         return result
@@ -828,6 +845,122 @@ class Simulation:
             f.rate *= factor("net", f.dst)
 
     # ------------------------------------------------------------------ #
+    # observability (repro.obs)
+    # ------------------------------------------------------------------ #
+
+    def _run_counters(self, result: SimulationResult) -> dict:
+        """Aggregate run telemetry serialized into the result."""
+        counters = {
+            "jobs_completed": float(len(self._job_records)),
+            "stages_completed": float(len(self._runs)),
+            "engine_events": float(self.engine.events_processed),
+            "engine_max_active_items": float(self.engine.max_active_items),
+            "makespan_seconds": float(result.makespan),
+        }
+        if self.metrics is not None:
+            makespan = result.makespan
+            cpu, net, disk = [], [], []
+            for node_id in self.workers:
+                series = self.metrics.node_series(node_id)
+                cpu.append(series.average("cpu_utilization", 0.0, makespan))
+                net.append(series.average("net_utilization", 0.0, makespan))
+                bw = series.disk_bandwidth
+                disk.append(
+                    series.average("disk", 0.0, makespan) / bw if bw > 0 else 0.0
+                )
+            if self.workers:
+                counters["busy_fraction.cpu"] = float(sum(cpu) / len(cpu))
+                counters["busy_fraction.net_in"] = float(sum(net) / len(net))
+                counters["busy_fraction.disk"] = float(sum(disk) / len(disk))
+        return counters
+
+    def _emit_trace(self, result: SimulationResult) -> None:
+        """Emit per-stage phase spans and per-node counter tracks.
+
+        Runs once, after the engine finished, entirely from the stage
+        records — tracing adds no work to the event loop itself, which
+        is what keeps it cheap enough to stay on during trace-scale
+        replays.
+        """
+        tracer = self.tracer
+        scope = self.trace_scope
+        for name, value in result.counters.items():
+            tracer.counters.set_gauge(f"{scope}.{name}", value)
+
+        job_spans: dict[str, int] = {}
+        for job_id, jrec in self._job_records.items():
+            if math.isnan(jrec.finish_time):
+                continue
+            job_spans[job_id] = tracer.add_span(
+                job_id,
+                jrec.submit_time,
+                jrec.completion_time,
+                track=(scope, f"job:{job_id}"),
+                cat="job",
+                args={"job_id": job_id},
+            )
+
+        phases = (
+            ("delay-wait", "ready_time", "submit_time"),
+            ("shuffle-read", "submit_time", "read_done_time"),
+            ("compute", "read_done_time", "compute_done_time"),
+            ("disk-write", "compute_done_time", "finish_time"),
+        )
+        for (job_id, stage_id), run in self._runs.items():
+            rec = run.record
+            if math.isnan(rec.ready_time) or math.isnan(rec.finish_time):
+                continue
+            sid = tracer.add_span(
+                stage_id,
+                rec.ready_time,
+                max(rec.finish_time - rec.ready_time, 0.0),
+                track=(scope, f"{job_id}/{stage_id}"),
+                cat="stage",
+                parent=job_spans.get(job_id, 0),
+                args={
+                    "job_id": job_id,
+                    "stage_id": stage_id,
+                    "input_bytes": run.stage.input_bytes,
+                    "output_bytes": run.stage.output_bytes,
+                    "workers": len(self.workers),
+                },
+            )
+            for phase, t_from, t_to in phases:
+                t0 = getattr(rec, t_from)
+                t1 = getattr(rec, t_to)
+                if math.isnan(t0) or math.isnan(t1):
+                    continue
+                dur = max(t1 - t0, 0.0)
+                tracer.add_span(
+                    phase,
+                    t0,
+                    dur,
+                    track=(scope, f"{job_id}/{stage_id}"),
+                    cat="phase",
+                    parent=sid,
+                    args={"seconds": dur},
+                )
+
+        if self.metrics is not None:
+            self._emit_node_counters(tracer, scope)
+
+    def _emit_node_counters(self, tracer: Tracer, scope: str) -> None:
+        """One counter track per node per resource (change-compressed)."""
+        for node_id in self.cluster.node_ids:
+            series = self.metrics.node_series(node_id)
+            track = (f"{scope}/node:{node_id}", "counters")
+            for metric in ("cpu_busy", "net_in", "net_out", "disk"):
+                values = getattr(series, metric)
+                previous = None
+                for t0, value in zip(series.t0, values):
+                    v = float(value)
+                    if previous is None or abs(v - previous) > 1e-12:
+                        tracer.sample(metric, float(t0), v, track=track)
+                        previous = v
+                if len(series.t1) and previous is not None:
+                    tracer.sample(metric, float(series.t1[-1]), 0.0, track=track)
+
+    # ------------------------------------------------------------------ #
 
     def _log(self, kind: EventKind, job_id: str, stage_id: str = "", info: "dict | None" = None) -> None:
         self.events.append(
@@ -840,8 +973,9 @@ def simulate_job(
     cluster: ClusterSpec,
     policy: "SubmissionPolicy | None" = None,
     config: "SimulationConfig | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: run a single job to completion."""
-    sim = Simulation(cluster, config)
+    sim = Simulation(cluster, config, tracer=tracer)
     sim.add_job(job, policy)
     return sim.run()

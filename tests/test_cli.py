@@ -1,8 +1,16 @@
 """CLI subcommands (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+def _json_out(capsys):
+    """Parse stdout as JSON — the --json contract says nothing else
+    may be printed there (diagnostics go to stderr)."""
+    return json.loads(capsys.readouterr().out)
 
 
 def test_parser_requires_command():
@@ -64,3 +72,133 @@ def test_bounds(capsys):
     assert main(["bounds", "--workload", "ALS", "--max-slots", "6"]) == 0
     out = capsys.readouterr().out
     assert "makespan bounds" in out and "critical path" in out and "gap" in out
+
+
+# --------------------------------------------------------------------- #
+# --json: machine-readable payloads with manifests
+# --------------------------------------------------------------------- #
+
+def test_compare_json(capsys):
+    assert main(["compare", "--workload", "ALS", "--oracle", "--json"]) == 0
+    payload = _json_out(capsys)
+    assert payload["command"] == "compare"
+    assert set(payload["runs"]) == {"spark", "aggshuffle", "delaystage"}
+    assert payload["runs"]["spark"]["speedup_vs_spark"] == 0.0
+    assert payload["runs"]["delaystage"]["counters"]["stages_completed"] == 6
+    manifest = payload["manifest"]
+    assert manifest["seed"] == 0 and manifest["config_hash"]
+    assert "als" in manifest["workloads"]
+
+
+def test_schedule_json(capsys):
+    assert main(["schedule", "--workload", "ALS", "--max-slots", "8",
+                 "--json"]) == 0
+    payload = _json_out(capsys)
+    assert payload["job_id"] == "als"
+    assert payload["delays"]
+    assert payload["manifest"]["config_hash"]
+    assert payload["predicted_makespan_seconds"] <= payload[
+        "baseline_makespan_seconds"] + 1e-6
+
+
+def test_timeline_json(capsys):
+    assert main(["timeline", "--workload", "ALS", "--strategy", "spark",
+                 "--json"]) == 0
+    payload = _json_out(capsys)
+    assert len(payload["stages"]) == 6
+    assert all(s["submit"] <= s["read_done"] <= s["finish"]
+               for s in payload["stages"])
+    assert payload["manifest"]["seed"] == 0
+
+
+def test_bounds_json(capsys):
+    assert main(["bounds", "--workload", "ALS", "--max-slots", "6",
+                 "--json"]) == 0
+    payload = _json_out(capsys)
+    assert payload["bounds"]["binding"] in payload["bounds"]
+    assert payload["optimality_gap"] >= 0.0
+
+
+def test_trace_stats_json(capsys):
+    assert main(["trace-stats", "--jobs", "60", "--seed", "1", "--json"]) == 0
+    payload = _json_out(capsys)
+    assert payload["jobs"] == 60
+    assert 0.0 < payload["parallel_stage_fraction"] < 1.0
+    assert payload["manifest"]["seed"] == 1
+
+
+def test_replay_json(capsys):
+    assert main(["replay", "--jobs", "3", "--seed", "2", "--json"]) == 0
+    payload = _json_out(capsys)
+    assert set(payload["runs"]) == {"fuxi", "delaystage"}
+    assert payload["manifest"]["seed"] == 2
+    assert len(payload["manifest"]["workloads"]) == 3
+
+
+def test_schedule_output_diagnostic_on_stderr(tmp_path, capsys):
+    out_file = tmp_path / "metrics.properties"
+    assert main(["schedule", "--workload", "ALS", "--max-slots", "8",
+                 "--json", "--output", str(out_file)]) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout is pure JSON
+    assert "delay table written" in captured.err
+    assert out_file.exists()
+
+
+# --------------------------------------------------------------------- #
+# --emit-trace / --manifest / inspect
+# --------------------------------------------------------------------- #
+
+def test_compare_emit_trace_and_inspect(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--emit-trace", str(trace)]) == 0
+    captured = capsys.readouterr()
+    assert "trace written" in captured.err
+    assert trace.exists()
+
+    assert main(["inspect", str(trace), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "span tree" in out
+    assert "decision audit" in out
+    assert "shuffle-read" in out and "delay-wait" in out
+    assert "delay table for als" in out
+
+
+def test_inspect_reconstructs_schedule_table(tmp_path, capsys):
+    """Acceptance: the delay table recovered from a trace equals the
+    table ``repro schedule`` computes for the same workload."""
+    trace = tmp_path / "sched.json"
+    assert main(["schedule", "--workload", "ALS", "--json",
+                 "--emit-trace", str(trace)]) == 0
+    scheduled = _json_out(capsys)
+
+    assert main(["inspect", str(trace), "--json", "--validate"]) == 0
+    inspected = _json_out(capsys)
+    assert inspected["valid"]
+    assert inspected["delay_tables"]["als"] == pytest.approx(
+        scheduled["delays"])
+    assert inspected["manifest"]["config_hash"] == scheduled[
+        "manifest"]["config_hash"]
+    assert inspected["decision_audits"]
+
+
+def test_compare_manifest_flag(capsys):
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--manifest"]) == 0
+    out = capsys.readouterr().out
+    assert "repro " in out and "seed 0" in out and "config " in out
+
+
+def test_inspect_missing_file(capsys):
+    assert main(["inspect", "/nonexistent/trace.json"]) == 1
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_inspect_validate_rejects_bad_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [], "otherData": {}}))
+    assert main(["inspect", str(bad), "--validate"]) == 1
+    assert "schema:" in capsys.readouterr().err
+    # Without --validate the same trace is summarized best-effort.
+    assert main(["inspect", str(bad)]) == 0

@@ -1,0 +1,161 @@
+"""Decision audit and simulator span instrumentation.
+
+The acceptance contract: a trace records *why* Algorithm 1 picked each
+delay (bounds, every candidate evaluated, predicted makespans, chosen
+delay), the reconstructed delay tables equal the
+:class:`~repro.core.schedule.DelaySchedule` the caller got, and the
+simulator emits one span per stage with the paper's Eq. (1) phase
+children.
+"""
+
+import pytest
+
+from repro.core import delay_stage_schedule
+from repro.obs import (
+    Tracer,
+    build_manifest,
+    decision_audits,
+    delay_tables,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.schedulers import (
+    DelayStageScheduler,
+    StockSparkScheduler,
+    compare_schedulers,
+)
+from repro.simulator import simulate_job
+
+
+def _schedule_instants(doc):
+    return [
+        ev for ev in doc["traceEvents"]
+        if ev.get("ph") in ("i", "I") and ev.get("name") == "schedule"
+    ]
+
+
+def test_audit_reconstructs_delay_table(diamond_job, small_cluster):
+    tracer = Tracer()
+    schedule = delay_stage_schedule(diamond_job, small_cluster, tracer=tracer)
+    doc = to_chrome_trace(tracer, build_manifest(seed=0, jobs=[diamond_job]))
+    assert validate_chrome_trace(doc) == []
+    tables = delay_tables(doc)
+    assert set(tables) == {"diamond"}
+    assert tables["diamond"] == pytest.approx(schedule.delays)
+
+
+@pytest.mark.parametrize("fixture", ["diamond_job", "fork_join_job"])
+def test_audited_chosen_delay_matches_algorithm(fixture, request, small_cluster):
+    """Paper-shape DAGs: each scan's chosen delay is the table entry."""
+    job = request.getfixturevalue(fixture)
+    tracer = Tracer()
+    schedule = delay_stage_schedule(job, small_cluster, tracer=tracer)
+    doc = to_chrome_trace(tracer)
+    audits = decision_audits(doc)
+    assert audits, "parallel stages must produce decision audits"
+    (final,) = _schedule_instants(doc)
+    assert final["args"]["delays"] == pytest.approx(schedule.delays)
+    assert final["args"]["predicted_makespan"] == pytest.approx(
+        schedule.predicted_makespan)
+    if not final["args"]["fallback_applied"]:
+        for audit in audits:
+            assert schedule.delays[audit["stage_id"]] == pytest.approx(
+                audit["chosen_delay"])
+
+
+def test_audit_scan_internals(fork_join_job, small_cluster):
+    tracer = Tracer()
+    delay_stage_schedule(fork_join_job, small_cluster, tracer=tracer)
+    for audit in decision_audits(to_chrome_trace(tracer)):
+        lo, hi = audit["bounds"]
+        assert lo <= audit["chosen_delay"] <= hi
+        assert len(audit["candidates"]) == len(audit["predicted_makespans"])
+        assert audit["candidates"], "at least one candidate is evaluated"
+        assert audit["pruned"] >= 0
+        assert audit["chosen_delay"] in audit["candidates"]
+        assert audit["best_makespan"] == pytest.approx(
+            min(audit["predicted_makespans"]))
+    assert tracer.counters.get("alg1.scans") == len(
+        decision_audits(to_chrome_trace(tracer)))
+
+
+def test_sequential_job_audits_empty_table(chain_job, small_cluster):
+    tracer = Tracer()
+    schedule = delay_stage_schedule(chain_job, small_cluster, tracer=tracer)
+    assert all(x == 0.0 for x in schedule.delays.values())
+    doc = to_chrome_trace(tracer)
+    assert decision_audits(doc) == []
+    assert delay_tables(doc) == {"chain": {}}
+
+
+def test_simulation_emits_phase_spans(diamond_job, small_cluster):
+    tracer = Tracer()
+    res = simulate_job(diamond_job, small_cluster, tracer=tracer)
+
+    job_spans = [s for s in tracer.spans if s.cat == "job"]
+    assert len(job_spans) == 1
+    assert job_spans[0].dur == pytest.approx(res.makespan)
+
+    stage_spans = {s.name: s for s in tracer.spans if s.cat == "stage"}
+    assert set(stage_spans) == {"S1", "S2", "S3", "S4"}
+    for sid, span in stage_spans.items():
+        rec = res.stage("diamond", sid)
+        assert span.parent_id == job_spans[0].span_id
+        assert span.ts == pytest.approx(rec.ready_time)
+        children = {c.name: c for c in tracer.spans
+                    if c.parent_id == span.span_id}
+        assert set(children) == {"delay-wait", "shuffle-read", "compute",
+                                 "disk-write"}
+        assert children["shuffle-read"].ts == pytest.approx(rec.submit_time)
+        assert children["shuffle-read"].dur == pytest.approx(
+            rec.read_done_time - rec.submit_time)
+        assert children["compute"].dur == pytest.approx(
+            rec.compute_done_time - rec.read_done_time)
+        assert children["disk-write"].dur == pytest.approx(
+            rec.finish_time - rec.compute_done_time)
+        assert children["delay-wait"].dur == pytest.approx(
+            rec.submit_time - rec.ready_time)
+
+
+def test_simulation_emits_node_counter_tracks(diamond_job, small_cluster):
+    tracer = Tracer()
+    simulate_job(diamond_job, small_cluster, tracer=tracer)
+    sample_procs = {s.track[0] for s in tracer.samples}
+    for node_id in small_cluster.worker_ids:
+        assert f"sim/node:{node_id}" in sample_procs
+    assert {s.name for s in tracer.samples} >= {"cpu_busy", "net_in"}
+
+
+def test_result_counters_always_present(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    assert res.counters["jobs_completed"] == 1
+    assert res.counters["stages_completed"] == 4
+    assert res.counters["engine_events"] > 0
+    assert res.counters["makespan_seconds"] == pytest.approx(res.makespan)
+    assert 0.0 < res.counters["busy_fraction.cpu"] <= 1.0
+
+
+def test_compare_shares_one_trace(diamond_job, small_cluster):
+    tracer = Tracer()
+    runs = compare_schedulers(
+        diamond_job,
+        small_cluster,
+        [StockSparkScheduler(track_metrics=False),
+         DelayStageScheduler(profiled=False, track_metrics=False)],
+        tracer=tracer,
+    )
+    doc = to_chrome_trace(tracer, build_manifest(seed=0, jobs=[diamond_job]))
+    assert validate_chrome_trace(doc) == []
+    # Each strategy's run lands on its own scope; the decision audit is
+    # DelayStage's alone, and its table equals the prepared schedule.
+    procs = {s.track[0] for s in tracer.spans}
+    assert {"spark", "delaystage", "scheduler"} <= procs
+    expected = runs["delaystage"].info["schedule"].delays
+    assert delay_tables(doc)["diamond"] == pytest.approx(expected)
+
+
+def test_untraced_runs_record_nothing(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    assert res.counters  # counters are free and always on
+    schedule = delay_stage_schedule(diamond_job, small_cluster)
+    assert schedule.delays  # tracing off changes no behaviour

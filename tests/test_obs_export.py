@@ -1,0 +1,189 @@
+"""Trace exporters: Chrome trace-event schema and JSON-lines spans.
+
+Includes the hypothesis round-trip / schema properties the CI job
+relies on: any tracer content exports to a document that passes
+:func:`validate_chrome_trace` (valid structure, monotone ``ts``,
+pid/tid consistent with the name metadata) and spans survive the
+JSON-lines round trip exactly.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    Span,
+    Tracer,
+    build_manifest,
+    read_spans_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+T = ("sim", "job:j")
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12,
+)
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)
+tracks = st.tuples(names, names)
+
+
+@st.composite
+def spans(draw):
+    return Span(
+        span_id=draw(st.integers(min_value=1, max_value=10**6)),
+        name=draw(names),
+        ts=draw(times),
+        dur=draw(times),
+        track=draw(tracks),
+        cat=draw(names),
+        parent_id=draw(st.integers(min_value=0, max_value=10**6)),
+        args=draw(st.dictionaries(names, st.integers() | names, max_size=3)),
+    )
+
+
+@st.composite
+def tracers(draw):
+    tr = Tracer()
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        tr.add_span(draw(names), draw(times), draw(times),
+                    track=draw(tracks), cat=draw(names))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        tr.instant(draw(names), draw(times), track=draw(tracks))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        tr.sample(draw(names), draw(times),
+                  draw(st.floats(-1e9, 1e9, allow_nan=False)),
+                  track=draw(tracks))
+    return tr
+
+
+@given(spans())
+@settings(max_examples=50, deadline=None)
+def test_span_json_roundtrip(span):
+    wire = json.loads(json.dumps(span.to_dict()))
+    assert Span.from_dict(wire) == span
+
+
+@given(tracers())
+@settings(max_examples=40, deadline=None)
+def test_chrome_export_always_validates(tracer):
+    doc = to_chrome_trace(tracer, build_manifest(seed=0))
+    # Survives JSON serialization unchanged in validity.
+    doc = json.loads(json.dumps(doc))
+    assert validate_chrome_trace(doc) == []
+
+
+@given(tracers())
+@settings(max_examples=40, deadline=None)
+def test_chrome_export_monotone_and_consistent(tracer):
+    doc = to_chrome_trace(tracer)
+    procs = {e["pid"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    threads = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
+               if e["ph"] == "M" and e["name"] == "thread_name"}
+    prev = None
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "M":
+            continue
+        assert ev["ts"] >= 0
+        if prev is not None:
+            assert ev["ts"] >= prev
+        prev = ev["ts"]
+        assert ev["pid"] in procs
+        if ev["ph"] == "X":
+            assert (ev["pid"], ev["tid"]) in threads
+
+
+def test_write_and_read_chrome_trace(tmp_path):
+    tr = Tracer()
+    root = tr.add_span("job", 0.0, 10.0, track=T, cat="job")
+    tr.add_span("compute", 2.0, 3.0, track=T, cat="phase", parent=root,
+                args={"stage_id": "S1"})
+    tr.counters.inc("stages", 1)
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(path, tr, build_manifest(seed=1))
+    assert validate_chrome_trace(doc) == []
+    loaded = json.loads(path.read_text())
+    assert loaded == doc
+    assert loaded["otherData"]["manifest"]["seed"] == 1
+    assert loaded["otherData"]["counters"]["counters"]["stages"] == 1
+
+
+def test_validation_catches_corruption():
+    tr = Tracer()
+    tr.add_span("s", 0.0, 1.0, track=T)
+    doc = to_chrome_trace(tr)
+
+    bad = json.loads(json.dumps(doc))
+    del bad["otherData"]["manifest"]
+    assert any("manifest" in e for e in validate_chrome_trace(bad))
+
+    bad = json.loads(json.dumps(doc))
+    bad["otherData"]["schema_version"] = 99
+    assert any("schema_version" in e for e in validate_chrome_trace(bad))
+
+    bad = json.loads(json.dumps(doc))
+    bad["traceEvents"].append({"ph": "Z", "name": "x", "ts": 0, "pid": 1})
+    assert any("unsupported phase" in e for e in validate_chrome_trace(bad))
+
+    bad = json.loads(json.dumps(doc))
+    bad["traceEvents"].append(
+        {"ph": "X", "name": "x", "ts": -5, "dur": 1, "pid": 1, "tid": 1})
+    assert any("bad ts" in e for e in validate_chrome_trace(bad))
+
+    assert validate_chrome_trace([]) == ["document is not a JSON object"]
+    assert validate_chrome_trace({}) == ["missing or non-list 'traceEvents'"]
+
+
+def test_validation_catches_unsorted_and_undeclared():
+    doc = {
+        "traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 0, "ts": 0, "name": "process_name",
+             "args": {"name": "p"}},
+            {"ph": "i", "s": "t", "name": "late", "ts": 10, "pid": 1, "args": {}},
+            {"ph": "i", "s": "t", "name": "early", "ts": 5, "pid": 2, "args": {}},
+        ],
+        "otherData": {"schema_version": 1,
+                      "manifest": {"seed": 0, "config_hash": "x"}},
+    }
+    errors = validate_chrome_trace(doc)
+    assert any("not sorted" in e for e in errors)
+    assert any("no process_name" in e for e in errors)
+
+
+def test_spans_jsonl_roundtrip():
+    tr = Tracer()
+    a = tr.add_span("outer", 0.0, 5.0, track=T)
+    tr.add_span("inner", 1.0, 2.0, track=T, parent=a, args={"k": "v"})
+    tr.counters.set_gauge("g", 1.5)
+    buf = io.StringIO()
+    n = write_spans_jsonl(buf, tr, build_manifest(seed=4, config={"c": 1}))
+    assert n == 2
+    buf.seek(0)
+    manifest, spans_back = read_spans_jsonl(buf)
+    assert manifest is not None and manifest.seed == 4
+    assert spans_back == sorted(tr.spans, key=lambda s: (s.ts, s.span_id))
+
+
+def test_spans_jsonl_file_roundtrip(tmp_path):
+    tr = Tracer()
+    tr.add_span("s", 0.0, 1.0, track=T)
+    path = tmp_path / "spans.jsonl"
+    assert write_spans_jsonl(path, tr) == 1
+    manifest, spans_back = read_spans_jsonl(path)
+    assert manifest is not None  # auto-built even when not passed
+    assert len(spans_back) == 1
+
+
+def test_spans_jsonl_malformed_line_reported():
+    with pytest.raises(ValueError, match="line 2"):
+        read_spans_jsonl(io.StringIO('{"type": "counters"}\n{oops\n'))
+    with pytest.raises(ValueError, match="line 1"):
+        read_spans_jsonl(io.StringIO('{"type": "mystery"}\n'))

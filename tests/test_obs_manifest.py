@@ -1,0 +1,64 @@
+"""Run manifests: determinism, hashing, fingerprints."""
+
+from repro.dag import JobBuilder
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+    canonical_json,
+    config_hash,
+    workload_fingerprint,
+)
+
+
+def job(mb=256):
+    return (
+        JobBuilder("m")
+        .stage("A", input_mb=mb, output_mb=128, process_rate_mb=10)
+        .stage("B", input_mb=256, output_mb=64, process_rate_mb=10, parents=["A"])
+        .build()
+    )
+
+
+def test_config_hash_key_order_independent():
+    assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+
+def test_config_hash_sensitive_to_values():
+    assert config_hash({"a": 1}) != config_hash({"a": 2})
+    assert config_hash({}) != config_hash({"a": 1})
+
+
+def test_canonical_json_deterministic():
+    assert canonical_json({"b": [1, 2], "a": None}) == '{"a":null,"b":[1,2]}'
+
+
+def test_workload_fingerprint_stable_and_sensitive():
+    assert workload_fingerprint(job()) == workload_fingerprint(job())
+    assert workload_fingerprint(job()) != workload_fingerprint(job(mb=257))
+
+
+def test_build_manifest_deterministic():
+    a = build_manifest(seed=3, config={"x": 1}, jobs=[job()])
+    b = build_manifest(seed=3, config={"x": 1}, jobs=[job()])
+    assert a.to_dict() == b.to_dict()
+
+
+def test_manifest_roundtrip():
+    m = build_manifest(seed=5, config={"w": "ALS"}, jobs=[job()],
+                       extra={"note": "t"})
+    back = RunManifest.from_dict(m.to_dict())
+    assert back == m
+    assert back.schema_version == MANIFEST_SCHEMA_VERSION
+
+
+def test_manifest_fields():
+    m = build_manifest(seed=7, config={"k": 1}, jobs=[job()])
+    d = m.to_dict()
+    assert d["seed"] == 7
+    assert d["config_hash"] == config_hash({"k": 1})
+    assert d["workloads"] == {"m": workload_fingerprint(job())}
+    assert d["version"]
+    assert d["python"]
+    assert "seed 7" in m.summary()
+    assert d["config_hash"][:12] in m.summary()

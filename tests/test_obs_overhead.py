@@ -1,0 +1,75 @@
+"""Tracing overhead guard: the replay path stays within 10%.
+
+Span emission happens once per run from the stage records (never
+inside the event loop), so tracing-on should cost almost nothing over
+tracing-off.  This test makes that a contract: best-of-N timing of a
+trace-replay-shaped workload with tracing on must stay within 10% of
+tracing off (plus a small absolute slack to absorb timer noise on
+loaded CI machines).
+"""
+
+import time
+
+from repro.core import DelayStageParams
+from repro.obs import Tracer
+from repro.schedulers import DelayStageScheduler, FuxiScheduler, run_with_scheduler
+from repro.trace import TraceGeneratorConfig, generate_trace, to_job
+
+REPEATS = 5
+
+
+def _replay_once(jobs, cluster, schedulers, tracer):
+    for job in jobs:
+        for scheduler in schedulers:
+            run_with_scheduler(job, cluster, scheduler, tracer)
+
+
+def _best_time(jobs, cluster, schedulers, make_tracer):
+    best = float("inf")
+    for _ in range(REPEATS):
+        tracer = make_tracer()
+        t0 = time.perf_counter()
+        _replay_once(jobs, cluster, schedulers, tracer)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_tracing_overhead_under_ten_percent(tiny_cluster):
+    trace = generate_trace(
+        TraceGeneratorConfig(num_jobs=8, replay_workers=2, max_stages=20),
+        rng=0,
+    )
+    jobs = [to_job(tj) for tj in trace[:4]]
+    schedulers = [
+        FuxiScheduler(track_metrics=False),
+        DelayStageScheduler(profiled=False, track_metrics=False,
+                            params=DelayStageParams(max_slots=8)),
+    ]
+
+    # Warm-up removes import/JIT-cache effects from the measurement.
+    _replay_once(jobs, tiny_cluster, schedulers, None)
+
+    t_off = _best_time(jobs, tiny_cluster, schedulers, lambda: None)
+    t_on = _best_time(jobs, tiny_cluster, schedulers, Tracer)
+
+    # The 25 ms absolute slack covers scheduler jitter when t_off is
+    # tiny; the 1.10 factor is the contract for realistic run lengths.
+    assert t_on <= t_off * 1.10 + 0.025, (
+        f"tracing overhead too high: on={t_on:.4f}s off={t_off:.4f}s "
+        f"({t_on / t_off - 1:.1%})"
+    )
+
+
+def test_traced_replay_records_all_runs(tiny_cluster):
+    trace = generate_trace(
+        TraceGeneratorConfig(num_jobs=4, replay_workers=2, max_stages=12),
+        rng=1,
+    )
+    jobs = [to_job(tj) for tj in trace[:2]]
+    tracer = Tracer()
+    scheduler = DelayStageScheduler(profiled=False, track_metrics=False,
+                                    params=DelayStageParams(max_slots=8))
+    for job in jobs:
+        run_with_scheduler(job, tiny_cluster, scheduler, tracer)
+    job_spans = [s for s in tracer.spans if s.cat == "job"]
+    assert {s.name for s in job_spans} == {j.job_id for j in jobs}

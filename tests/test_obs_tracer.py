@@ -1,0 +1,101 @@
+"""Span tracer: records, validation, counters, and the null object."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    CounterRegistry,
+    CounterSample,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+T = ("proc", "thread")
+
+
+def test_span_ids_increment_and_parent_link():
+    tr = Tracer()
+    root = tr.add_span("root", 0.0, 10.0, track=T)
+    child = tr.add_span("child", 1.0, 2.0, track=T, parent=root)
+    assert root == 1 and child == 2
+    assert tr.spans[1].parent_id == root
+    assert tr.num_events == 2
+
+
+def test_span_rejects_bad_times():
+    with pytest.raises(ValueError):
+        Span(1, "s", ts=-1.0, dur=0.0, track=T)
+    with pytest.raises(ValueError):
+        Span(1, "s", ts=0.0, dur=float("nan"), track=T)
+    with pytest.raises(ValueError):
+        Span(1, "s", ts=float("inf"), dur=0.0, track=T)
+
+
+def test_span_dict_roundtrip():
+    span = Span(7, "compute", ts=1.5, dur=2.25, track=T, cat="phase",
+                parent_id=3, args={"stage_id": "S1"})
+    assert Span.from_dict(span.to_dict()) == span
+
+
+def test_instant_and_sample_recorded():
+    tr = Tracer()
+    tr.instant("schedule", 0.0, track=T, args={"job_id": "j"})
+    tr.sample("cpu", 1.0, 3.5, track=T)
+    assert tr.instants[0].args == {"job_id": "j"}
+    assert tr.samples[0].value == 3.5
+    assert tr.num_events == 2
+
+
+def test_counter_sample_rejects_non_finite_value():
+    with pytest.raises(ValueError):
+        CounterSample("cpu", 0.0, float("nan"), T)
+
+
+def test_counter_registry():
+    reg = CounterRegistry()
+    reg.inc("scans")
+    reg.inc("scans", 2.0)
+    reg.set_gauge("makespan", 12.5)
+    assert reg.get("scans") == 3.0
+    assert reg.get("makespan") == 12.5
+    assert reg.get("missing", -1.0) == -1.0
+    assert len(reg) == 2
+    assert reg.as_dict() == {"counters": {"scans": 3.0},
+                             "gauges": {"makespan": 12.5}}
+
+
+def test_counter_registry_merge():
+    a, b = CounterRegistry(), CounterRegistry()
+    a.inc("x", 1.0)
+    b.inc("x", 2.0)
+    b.set_gauge("g", 9.0)
+    a.merge(b)
+    assert a.get("x") == 3.0
+    assert a.get("g") == 9.0
+
+
+def test_tracks_first_appearance_order():
+    tr = Tracer()
+    tr.add_span("a", 0.0, 1.0, track=("p2", "t"))
+    tr.instant("b", 0.0, track=("p1", "t"))
+    tr.sample("c", 0.0, 1.0, track=("p2", "t"))
+    assert tr.tracks() == [("p2", "t"), ("p1", "t")]
+
+
+def test_null_tracer_is_inert():
+    tr = NullTracer()
+    assert not tr.enabled
+    assert tr.add_span("s", 0.0, 1.0, track=T) == 0
+    tr.instant("i", 0.0, track=T)
+    tr.sample("c", 0.0, 1.0, track=T)
+    tr.counters.inc("x")
+    tr.counters.set_gauge("g", 1.0)
+    assert tr.num_events == 0
+    assert len(tr.counters) == 0
+
+
+def test_null_tracer_singleton_shared():
+    assert isinstance(NULL_TRACER, NullTracer)
+    NULL_TRACER.add_span("s", 0.0, 1.0, track=T)
+    assert NULL_TRACER.num_events == 0

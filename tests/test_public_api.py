@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.trace",
     "repro.profiling",
     "repro.analysis",
+    "repro.obs",
     "repro.util",
 ]
 

@@ -1,10 +1,12 @@
 """Event-log serialization (the simulated Spark eventlog)."""
 
 import io
+import json
 
 import pytest
 
 from repro.simulator import (
+    EVENTLOG_SCHEMA_VERSION,
     EventKind,
     read_eventlog,
     simulate_job,
@@ -44,6 +46,49 @@ def test_unknown_event_kind_rejected():
     bad = '{"Event": "warp_drive", "Timestamp": 0, "Job ID": "j"}\n'
     with pytest.raises(ValueError):
         read_eventlog(io.StringIO(bad))
+
+
+def test_schema_header_written_first(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    buf = io.StringIO()
+    n = write_eventlog(res.events, buf)
+    lines = buf.getvalue().splitlines()
+    header = json.loads(lines[0])
+    assert header["Event"] == "repro.eventlog.header"
+    assert header["Schema Version"] == EVENTLOG_SCHEMA_VERSION
+    # The header is not counted and not parsed back as an event.
+    assert len(lines) == n + 1
+
+
+def test_future_schema_header_ignored():
+    log = (
+        '{"Event": "repro.eventlog.header", "Schema Version": 999}\n'
+        '{"Event": "job_submitted", "Timestamp": 0, "Job ID": "j"}\n'
+    )
+    events = read_eventlog(io.StringIO(log))
+    assert len(events) == 1
+    assert events[0].job_id == "j"
+
+
+def test_all_malformed_lines_reported():
+    log = (
+        '{"Event": "job_submitted", "Timestamp": 0, "Job ID": "j"}\n'
+        "not json\n"
+        '{"Event": "job_submitted", "Timestamp": 0, "Job ID": "j"}\n'
+        '{"Event": "warp_drive", "Timestamp": 0, "Job ID": "j"}\n'
+    )
+    with pytest.raises(ValueError) as exc_info:
+        read_eventlog(io.StringIO(log))
+    message = str(exc_info.value)
+    assert "2 malformed" in message
+    assert "line 2" in message and "line 4" in message
+
+
+def test_malformed_file_error_names_the_file(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text("garbage\n")
+    with pytest.raises(ValueError, match="broken.jsonl"):
+        read_eventlog(path)
 
 
 def test_stage_timings_extraction(diamond_job, small_cluster):

@@ -112,6 +112,64 @@ def test_occupancy_series(small_cluster):
     assert np.all(after == 0)
 
 
+def _series(nic=1e6, n_segments=0):
+    """Hand-built NodeSeries for edge-case probing."""
+    from repro.simulator import NodeSeries
+
+    t = np.arange(n_segments, dtype=float)
+    return NodeSeries(
+        node_id="x", executors=2, nic_bandwidth=nic, disk_bandwidth=1e6,
+        t0=t, t1=t + 1.0, net_in=np.full(n_segments, 10.0),
+        net_out=np.zeros(n_segments), cpu_busy=np.ones(n_segments),
+        disk=np.zeros(n_segments),
+    )
+
+
+def test_empty_series_statistics_are_zero():
+    """No observed segments -> 0.0, never 0/0 -> NaN."""
+    s = _series(n_segments=0)
+    for metric in ("net_in", "cpu_utilization", "net_utilization"):
+        assert s.average(metric) == 0.0
+        assert s.std(metric) == 0.0
+    assert s.average("net_in", 5.0, 10.0) == 0.0
+
+
+def test_empty_clip_window_is_zero():
+    s = _series(n_segments=3)
+    assert s.average("net_in", 2.0, 2.0) == 0.0
+    assert s.std("net_in", 2.0, 2.0) == 0.0
+    # Window entirely past the data: span clips to <= 0.
+    assert s.average("net_in", 99.0, 100.0) == 0.0
+    assert s.std("net_in", 99.0, 100.0) == 0.0
+
+
+def test_zero_nic_bandwidth_utilization_is_zero():
+    s = _series(nic=0.0, n_segments=2)
+    assert s.average("net_utilization") == 0.0
+    assert s.std("net_utilization") == 0.0
+    assert not np.isnan(s.average("net_utilization"))
+
+
+def test_cluster_average_with_no_observations(small_cluster):
+    from repro.simulator import MetricsCollector
+
+    collector = MetricsCollector(small_cluster)
+    assert collector.cluster_average("cpu_utilization") == 0.0
+
+
+def test_zero_duration_segments_are_harmless():
+    from repro.simulator import NodeSeries
+
+    s = NodeSeries(
+        node_id="x", executors=2, nic_bandwidth=1e6, disk_bandwidth=1e6,
+        t0=np.array([0.0, 1.0]), t1=np.array([0.0, 1.0]),
+        net_in=np.array([10.0, 10.0]), net_out=np.zeros(2),
+        cpu_busy=np.ones(2), disk=np.zeros(2),
+    )
+    assert s.average("net_in") == 0.0
+    assert s.std("net_in") == 0.0
+
+
 def test_readers_occupy_idle_executors(small_cluster):
     """While a stage shuffle-reads alone, it holds the idle slots
     (Fig. 13's behaviour)."""
