@@ -1,0 +1,25 @@
+"""Reproducible performance benchmarks (``repro bench``).
+
+See :mod:`repro.bench.harness` for the benchmark definitions and the
+measurement methodology.
+"""
+
+from repro.bench.harness import (
+    BENCHMARKS,
+    BenchResult,
+    bench_alg1,
+    bench_realloc,
+    bench_replay,
+    run_benchmarks,
+    write_results,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchResult",
+    "bench_alg1",
+    "bench_realloc",
+    "bench_replay",
+    "run_benchmarks",
+    "write_results",
+]

@@ -44,6 +44,7 @@ from repro.schedulers import (
     FuxiScheduler,
     StockSparkScheduler,
     compare_schedulers,
+    replay_batch,
     run_with_scheduler,
 )
 from repro.trace import (
@@ -330,13 +331,17 @@ def cmd_replay(args: argparse.Namespace) -> int:
     )
     jobs = [to_job(tj) for tj in trace[: args.jobs]]
     tracer = _tracer_for(args)
-    fuxi = FuxiScheduler(track_metrics=False, contention_penalty=args.penalty)
+    incremental = not getattr(args, "no_incremental", False)
+    memo = not getattr(args, "no_memo", False)
+    fuxi = FuxiScheduler(track_metrics=False, contention_penalty=args.penalty,
+                         incremental=incremental)
     ds = DelayStageScheduler(
         profiled=False, track_metrics=False, contention_penalty=args.penalty,
-        params=DelayStageParams(max_slots=12),
+        params=DelayStageParams(max_slots=12, memoize=memo, bound_prune=memo),
+        incremental=incremental,
     )
-    jct_f = [run_with_scheduler(j, cluster, fuxi, tracer).jct for j in jobs]
-    jct_d = [run_with_scheduler(j, cluster, ds, tracer).jct for j in jobs]
+    jct_f = replay_batch(jobs, cluster, fuxi, processes=args.parallel, tracer=tracer)
+    jct_d = replay_batch(jobs, cluster, ds, processes=args.parallel, tracer=tracer)
     manifest = build_manifest(
         seed=args.seed,
         config={"command": "replay", "jobs": args.jobs,
@@ -408,6 +413,27 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     if args.validate and errors:
         return 1
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_benchmarks, write_results
+
+    results = run_benchmarks(args.benchmarks, quick=args.quick)
+    paths = write_results(results, args.out) if args.out else []
+    payload = {
+        "command": "bench",
+        "quick": args.quick,
+        "results": [r.to_dict() for r in results],
+        "written": paths,
+    }
+    lines = [r.summary() for r in results]
+    for path in paths:
+        lines.append(f"wrote {path}")
+    ok = all(r.equivalent for r in results)
+    if not ok:
+        lines.append("FAIL: optimized and escape-hatch results differ")
+    _finish(args, payload, "\n".join(lines))
+    return 0 if ok else 1
 
 
 def _verify_workload(name: str, scale: float) -> "Job":
@@ -551,6 +577,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=40)
     p.add_argument("--seed", type=int, default=3)
     p.add_argument("--penalty", type=float, default=0.5)
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="replay worker processes (results identical "
+                        "for any N; --emit-trace forces serial)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="bisection switch: full fair-share re-solve on "
+                        "every event (results identical, slower)")
+    p.add_argument("--no-memo", action="store_true",
+                   help="bisection switch: disable Algorithm 1 "
+                        "memoization and bound pruning (results "
+                        "identical, slower)")
     add_json_arg(p)
     add_trace_args(p)
     p.set_defaults(func=cmd_replay)
@@ -565,6 +601,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="root spans to show in the tree summary")
     add_json_arg(p)
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "bench", help="performance benchmarks with equivalence checks"
+    )
+    p.add_argument("--bench", action="append", dest="benchmarks",
+                   metavar="NAME", choices=["realloc", "alg1", "replay"],
+                   help="benchmark to run (repeatable; default: all)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller inputs / fewer repeats (CI mode)")
+    p.add_argument("--out", default="benchmarks/perf", metavar="DIR",
+                   help="directory for BENCH_<name>.json "
+                        "(empty string: don't write)")
+    add_json_arg(p)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "verify", help="validate workload DAGs, schedules, and clusters"

@@ -20,9 +20,10 @@ schedule is ``predicted_makespan / bound - 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from repro.cluster.spec import ClusterSpec
-from repro.dag.graph import parallel_stage_set
+from repro.dag.graph import parallel_stage_set, topological_order
 from repro.dag.job import Job
 from repro.dag.paths import execution_paths
 from repro.model.perf import standalone_stage_times
@@ -108,6 +109,53 @@ def makespan_bounds(job: Job, cluster: ClusterSpec) -> MakespanBounds:
         network_volume=network_bound,
         disk_volume=disk_bound,
     )
+
+
+def ready_lower_bounds(
+    job: Job,
+    standalone_times: "Mapping[str, float]",
+    *,
+    members: "Iterable[str] | None" = None,
+    visible: "Iterable[str] | None" = None,
+    delays: "Mapping[str, float] | None" = None,
+) -> dict[str, float]:
+    """Admissible lower bound on each stage's ready time.
+
+    In the fluid model a stage's duration is at least its standalone
+    time ``t_hat`` — interference and contention penalties only slow
+    stages down — so the earliest a stage can become ready is the
+    longest chain of (ancestor delay + ancestor standalone time) above
+    it.  Algorithm 1's scan uses this as an admissible heuristic: a
+    candidate delay ``x`` for stage ``k`` cannot beat an incumbent
+    makespan below ``ready_lb[k] + x + t_hat[k]``, so such candidates
+    are pruned without paying for a fluid evaluation.
+
+    ``visible``/``members`` mirror the scan's greedy visibility: members
+    of the parallel set outside ``visible`` are the scan's zero-volume
+    phantoms and contribute zero duration (and no delay) to the bound,
+    keeping it admissible for the *phantom* model the scan actually
+    evaluates.  ``delays`` are the already-fixed submission delays.
+    """
+    delays = delays or {}
+    member_set = frozenset(members) if members is not None else frozenset()
+    visible_set = frozenset(visible) if visible is not None else None
+    lb: dict[str, float] = {}
+    for sid in topological_order(job):
+        ready = 0.0
+        for parent in job.parents(sid):
+            if (
+                visible_set is not None
+                and parent in member_set
+                and parent not in visible_set
+            ):
+                duration = 0.0  # phantom: no resources, no delay
+            else:
+                duration = standalone_times[parent]
+            finish = lb[parent] + delays.get(parent, 0.0) + duration
+            if finish > ready:
+                ready = finish
+        lb[sid] = ready
+    return lb
 
 
 def optimality_gap(predicted_makespan: float, bounds: MakespanBounds) -> float:

@@ -33,16 +33,18 @@ linear-in-stages runtime of Fig. 15 at Python speed.
 
 from __future__ import annotations
 
+import math as _math
 import time as _time
 from dataclasses import dataclass, replace as _dc_replace
 
 from repro.cluster.spec import ClusterSpec
+from repro.core.bounds import ready_lower_bounds
 from repro.core.ordering import PathOrder, order_paths
 from repro.core.schedule import DelaySchedule
 from repro.dag.graph import parallel_stage_set
 from repro.dag.job import Job
 from repro.dag.paths import execution_paths
-from repro.model.interference import evaluate_schedule
+from repro.model.interference import EvaluationCache, evaluate_schedule, probe_schedule
 from repro.model.perf import standalone_stage_times
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.simulation import SimulationConfig
@@ -94,6 +96,20 @@ class DelayStageParams:
     #: the complete schedule visible, keeping strict improvements;
     #: roughly doubles planning cost per pass.
     refine_passes: int = 0
+    #: Memoize candidate-schedule fluid evaluations within this planning
+    #: run, keyed on (phantom set, delay table) — see
+    #: :class:`repro.model.interference.EvaluationCache`.  Exact (a hit
+    #: returns the identical evaluation); disable (``--no-memo``) only
+    #: for bisection.
+    memoize: bool = True
+    #: Prune scan candidates whose admissible finish-time lower bound
+    #: (``ready_lb + x + t_hat``, :func:`repro.core.bounds.ready_lower_bounds`)
+    #: already reaches the incumbent makespan.  Never changes the chosen
+    #: delays — a pruned candidate provably cannot win the smallest-delay
+    #: tiebreak.  Automatically off when the evaluation config pipelines
+    #: shuffles or caps fan-in, where stage durations can beat the
+    #: standalone time and the bound would not be admissible.
+    bound_prune: bool = True
 
     def __post_init__(self) -> None:
         check_positive(self.slot, "slot")
@@ -153,10 +169,13 @@ def delay_stage_schedule(
     members = parallel_stage_set(job)
     if params.sim_config is not None:
         eval_config = _dc_replace(
-            params.sim_config, track_metrics=False, track_occupancy=False
+            params.sim_config,
+            track_metrics=False,
+            track_occupancy=False,
+            track_events=False,
         )
     else:
-        eval_config = SimulationConfig(track_metrics=False)
+        eval_config = SimulationConfig(track_metrics=False, track_events=False)
 
     if not members:
         # Fully sequential job: nothing to delay.
@@ -189,8 +208,58 @@ def delay_stage_schedule(
     )
     paths = order_paths(paths, params.order, params.rng)
 
-    baseline = evaluate_schedule(job, cluster, {}, members=members, config=eval_config, pair_capacities=pair_capacities)
-    evaluations = 1
+    evaluations = 0
+    cache = EvaluationCache() if params.memoize else None
+
+    def _evaluate(model: Job, hidden: "frozenset[str]", trial: dict) -> object:
+        """Fluid evaluation memoized on (phantom set, delay table)."""
+        nonlocal evaluations
+        if cache is not None:
+            key = EvaluationCache.key(hidden, trial)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        ev = evaluate_schedule(
+            model, cluster, trial, members=members, config=eval_config,
+            pair_capacities=pair_capacities,
+        )
+        evaluations += 1
+        if cache is not None:
+            cache.put(key, ev)
+        return ev
+
+    def _probe(
+        model: Job,
+        hidden: "frozenset[str]",
+        trial: dict,
+        horizon: float,
+        watch: "set[str]",
+    ) -> "dict[str, float]":
+        """Truncated evaluation: exact finish times up to ``horizon`` or
+        until all of ``watch`` finished; missing stages finish later."""
+        nonlocal evaluations
+        if cache is not None:
+            hit = cache.get(EvaluationCache.key(hidden, trial))
+            if hit is not None:
+                return hit.stage_finish
+        evaluations += 1
+        return probe_schedule(
+            model, cluster, trial, horizon=horizon, watch=watch,
+            config=eval_config, pair_capacities=pair_capacities,
+        )
+
+    # The admissible prune assumes stage durations never beat their
+    # standalone times; pipelined shuffle (prefetch overlaps the read
+    # with the parent's compute) and fan-in capping break that, so the
+    # bound is only trusted for the plain fluid model.
+    use_bound = (
+        params.bound_prune
+        and not eval_config.pipelined_shuffle
+        and eval_config.fanin is None
+    )
+    pruned_by_bound_total = 0
+
+    baseline = _evaluate(job, frozenset(), {})
 
     # Line 3: T_max from standalone path times; it also upper-bounds the
     # candidate scans before any simulation-backed value exists.
@@ -207,8 +276,17 @@ def delay_stage_schedule(
             # The model for this scan: scheduled stages + this candidate
             # are real; parallel stages of unprocessed paths are phantoms.
             visible = set(delays) | {stage_id}
-            hidden = set(members) - visible
-            model = _phantom_job(job, hidden)
+            hidden = frozenset(members) - visible
+            model = _phantom_job(job, set(hidden))
+
+            # Admissible earliest-ready bound for the prune below; 0 when
+            # the bound is not trusted, degenerating to the plain prune.
+            if use_bound:
+                ready_lb = ready_lower_bounds(
+                    job, t_hat, members=members, visible=visible, delays=delays
+                )[stage_id]
+            else:
+                ready_lb = 0.0
 
             # Line 10: bounds of the scan.  With ready-relative delays
             # the lower bound is 0; delaying past the incumbent T_max
@@ -223,32 +301,60 @@ def delay_stage_schedule(
 
             scan_t0 = _time.perf_counter() - started
             scanned: "list[list[float]]" = []
+            rejected: "list[float]" = []
             best_x = 0.0
             best_obj = None
-            for x_hat in candidates:  # line 11
-                # Prune: a stage finishes no earlier than its delay plus
-                # its standalone time (interference only slows it down),
-                # so once that lower bound reaches the incumbent the
-                # remaining (larger) candidates cannot win.
-                if best_obj is not None and x_hat + t_hat[stage_id] >= best_obj:
+            pruned_by_bound = 0
+            horizon_rejected = 0
+            for idx, x_hat in enumerate(candidates):  # line 11
+                # Prune: the stage becomes ready no earlier than
+                # ``ready_lb`` and finishes no earlier than its delay
+                # plus its standalone time (interference only slows it
+                # down), so once that admissible lower bound reaches the
+                # incumbent the remaining (larger) candidates cannot win.
+                if (
+                    best_obj is not None
+                    and ready_lb + x_hat + t_hat[stage_id] >= best_obj
+                ):
+                    # Of the remaining candidates, count those only the
+                    # ready-time bound (not the plain delay + standalone
+                    # check) rules out, so the audit stays truthful about
+                    # what the new prune is responsible for.
+                    pruned_by_bound = sum(
+                        1
+                        for x in candidates[idx:]
+                        if x + t_hat[stage_id] < best_obj
+                    )
                     break
                 trial = dict(delays)
                 trial[stage_id] = x_hat
                 # Lines 12-15: re-evaluate stage/path times under the
                 # candidate schedule (shares, interference, completion
-                # updates all happen inside the fluid evaluation).
-                ev = evaluate_schedule(
-                    model, cluster, trial, members=members, config=eval_config,
-                    pair_capacities=pair_capacities,
-                )
-                evaluations += 1
-                obj = max(ev.stage_finish[sid] for sid in visible)
+                # updates all happen inside the fluid evaluation).  With
+                # an incumbent, the evaluation is truncated at the
+                # incumbent makespan: the trajectory up to the horizon is
+                # exact, so a candidate whose watched stages have not all
+                # finished by then provably cannot win and the model tail
+                # is never simulated.
+                if params.bound_prune:
+                    horizon = best_obj if best_obj is not None else _math.inf
+                    finish = _probe(model, hidden, trial, horizon, visible)
+                    obj = max(finish.get(sid, _math.inf) for sid in visible)
+                    if _math.isinf(obj):
+                        horizon_rejected += 1
+                        if tracer.enabled:
+                            rejected.append(x_hat)
+                        continue
+                else:
+                    ev = _evaluate(model, hidden, trial)
+                    obj = max(ev.stage_finish[sid] for sid in visible)
                 if tracer.enabled:
                     scanned.append([x_hat, obj])
                 # Lines 16-18, with deterministic smallest-delay tiebreak.
                 if best_obj is None or obj < best_obj - 1e-9:
                     best_obj = obj
                     best_x = x_hat
+            pruned_by_bound_total += pruned_by_bound
 
             delays[stage_id] = best_x
             if best_obj is not None:
@@ -260,6 +366,10 @@ def delay_stage_schedule(
                 scan_t1 = _time.perf_counter() - started
                 tracer.counters.inc("alg1.scans")
                 tracer.counters.inc("alg1.scan_evaluations", len(scanned))
+                if pruned_by_bound:
+                    tracer.counters.inc("alg1.pruned_by_bound", pruned_by_bound)
+                if horizon_rejected:
+                    tracer.counters.inc("alg1.horizon_rejected", horizon_rejected)
                 tracer.add_span(
                     f"scan:{stage_id}",
                     scan_t0,
@@ -273,14 +383,16 @@ def delay_stage_schedule(
                         "slot": slot,
                         "candidates": [x for x, _ in scanned],
                         "predicted_makespans": [m for _, m in scanned],
-                        "pruned": len(candidates) - len(scanned),
+                        "pruned": len(candidates) - len(scanned) - len(rejected),
+                        "pruned_by_bound": pruned_by_bound,
+                        "rejected_candidates": rejected,
+                        "ready_lower_bound": ready_lb,
                         "chosen_delay": best_x,
                         "best_makespan": best_obj,
                     }},
                 )
 
-    final = evaluate_schedule(job, cluster, delays, members=members, config=eval_config, pair_capacities=pair_capacities)
-    evaluations += 1
+    final = _evaluate(job, frozenset(), delays)
 
     # Optional coordinate-descent refinement (beyond the paper's
     # pseudocode): re-scan each stage's delay against the *complete*
@@ -291,20 +403,21 @@ def delay_stage_schedule(
         incumbent = final.parallel_makespan
         for path in paths:
             for stage_id in path:
+                refine_lb = (
+                    ready_lower_bounds(job, t_hat, delays=delays)[stage_id]
+                    if use_bound
+                    else 0.0
+                )
                 best_x = delays[stage_id]
                 best_obj = incumbent
                 slot = max(params.slot, max(incumbent, params.slot) / params.max_slots)
                 x = 0.0
                 while x < incumbent + 1e-9:
                     if abs(x - delays[stage_id]) > 1e-9:
-                        if x + t_hat[stage_id] < best_obj:
+                        if refine_lb + x + t_hat[stage_id] < best_obj:
                             trial = dict(delays)
                             trial[stage_id] = x
-                            ev = evaluate_schedule(
-                                job, cluster, trial, members=members,
-                                config=eval_config, pair_capacities=pair_capacities,
-                            )
-                            evaluations += 1
+                            ev = _evaluate(job, frozenset(), trial)
                             if ev.parallel_makespan < best_obj - 1e-9:
                                 best_obj = ev.parallel_makespan
                                 best_x = x
@@ -349,6 +462,8 @@ def delay_stage_schedule(
     tracer.counters.inc(
         "alg1.stages_delayed", sum(1 for x in delays.values() if x > 0)
     )
+    if tracer.enabled and cache is not None and cache.hits:
+        tracer.counters.inc("alg1.cache_hits", cache.hits)
     tracer.instant(
         "schedule",
         _time.perf_counter() - started,
@@ -359,6 +474,8 @@ def delay_stage_schedule(
               "predicted_makespan": final.parallel_makespan,
               "baseline_makespan": baseline.parallel_makespan,
               "evaluations": evaluations,
+              "cache_hits": cache.hits if cache is not None else 0,
+              "pruned_by_bound": pruned_by_bound_total,
               "order": PathOrder(params.order).value},
     )
 

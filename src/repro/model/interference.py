@@ -17,8 +17,9 @@ the resulting 1.6 %–9.1 % error).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.graph import parallel_stage_set
@@ -43,6 +44,51 @@ class ScheduleEvaluation:
 
     def stage_time(self, stage_id: str) -> float:
         return self.stage_times[stage_id]
+
+
+class EvaluationCache:
+    """Memo for candidate-schedule fluid evaluations.
+
+    Algorithm 1 re-evaluates the same (phantom set, delay table) pair
+    more than once — most prominently the final full-schedule
+    evaluation, which the last stage's scan already computed as its
+    winning candidate, and every trial of the refinement passes that
+    re-visits the incumbent's neighborhood.  The evaluation is a pure
+    function of the phantom set and the delay table (job, cluster, and
+    config are fixed for one planning run), so a dict keyed on
+    :meth:`key` is exact — a hit returns the *identical*
+    :class:`ScheduleEvaluation` object, not an approximation.
+
+    One cache per planning run; do not share across jobs or configs.
+    """
+
+    __slots__ = ("_store", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        hidden: "Iterable[str]", delays: "Mapping[str, float]"
+    ) -> tuple:
+        """Cache key: the phantom (hidden) stage set plus the delay
+        table in canonical (sorted) order — the schedule-prefix hash."""
+        return (frozenset(hidden), tuple(sorted(delays.items())))
+
+    def get(self, key: tuple) -> "ScheduleEvaluation | None":
+        ev = self._store.get(key)
+        if ev is not None:
+            self.hits += 1
+        return ev
+
+    def put(self, key: tuple, ev: ScheduleEvaluation) -> None:
+        self.misses += 1
+        self._store[key] = ev
+
+    def __len__(self) -> int:
+        return len(self._store)
 
 
 def evaluate_schedule(
@@ -77,7 +123,7 @@ def evaluate_schedule(
         the model's topology exactly as the executor applies them.
     """
     delays = dict(delays or {})
-    cfg = config or SimulationConfig(track_metrics=False)
+    cfg = config or SimulationConfig(track_metrics=False, track_events=False)
     sim = Simulation(cluster, cfg, pair_capacities=pair_capacities)
     sim.add_job(job, FixedDelayPolicy(delays))
     result: SimulationResult = sim.run()
@@ -98,3 +144,38 @@ def evaluate_schedule(
         job_completion_time=result.job_completion_time(job.job_id),
         parallel_makespan=parallel_makespan,
     )
+
+
+def probe_schedule(
+    job: Job,
+    cluster: ClusterSpec,
+    delays: "Mapping[str, float]",
+    *,
+    horizon: float = math.inf,
+    watch: "Iterable[str] | None" = None,
+    config: "SimulationConfig | None" = None,
+    pair_capacities: "dict[tuple[str, str], float] | None" = None,
+) -> dict[str, float]:
+    """Truncated candidate evaluation: finish times up to a stop point.
+
+    Runs the same fluid model as :func:`evaluate_schedule` but stops the
+    clock at ``horizon`` or as soon as every stage in ``watch`` has
+    finished, returning finish times only for stages that completed by
+    then — exact values, since the trajectory up to the stop point is
+    identical to the full run's prefix.  A stage missing from the
+    returned map finishes *strictly after* the horizon.
+
+    Algorithm 1 uses this with ``watch = the visible stages`` and
+    ``horizon = incumbent makespan``: if any watched stage is missing,
+    the candidate provably cannot beat the incumbent; either way the
+    (often long) model tail is never simulated.
+    """
+    cfg = config or SimulationConfig(track_metrics=False, track_events=False)
+    sim = Simulation(cluster, cfg, pair_capacities=pair_capacities)
+    sim.add_job(job, FixedDelayPolicy(dict(delays)))
+    records = sim.run_truncated(horizon, watch=set(watch) if watch else None)
+    return {
+        sid: rec.finish_time
+        for (_jid, sid), rec in records.items()
+        if not math.isnan(rec.finish_time)
+    }

@@ -24,6 +24,7 @@ from repro.schedulers.delaystage import DelayStageScheduler
 from repro.schedulers.fuxi import FuxiScheduler
 from repro.schedulers.runner import (
     compare_schedulers,
+    replay_batch,
     run_jobs_with_scheduler,
     run_with_scheduler,
 )
@@ -37,5 +38,6 @@ __all__ = [
     "FuxiScheduler",
     "run_with_scheduler",
     "compare_schedulers",
+    "replay_batch",
     "run_jobs_with_scheduler",
 ]

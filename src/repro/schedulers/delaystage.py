@@ -50,6 +50,7 @@ class DelayStageScheduler(Scheduler):
         track_metrics: bool = True,
         track_occupancy: bool = False,
         contention_penalty: float = 0.0,
+        incremental: bool = True,
     ) -> None:
         self.params = params or DelayStageParams(order=order)
         if contention_penalty > 0.0 and self.params.sim_config is None:
@@ -61,6 +62,14 @@ class DelayStageScheduler(Scheduler):
                     track_metrics=False, contention_penalty=contention_penalty
                 ),
             )
+        if not incremental:
+            # Bisection switch: force the planning evaluations onto the
+            # full-allocator path too, so --no-incremental exercises an
+            # end-to-end unoptimized pipeline.
+            base = self.params.sim_config or SimulationConfig(track_metrics=False)
+            self.params = replace(
+                self.params, sim_config=replace(base, incremental=False)
+            )
         self.profiled = profiled
         self.sample_fraction = sample_fraction
         self.profiling_noise = profiling_noise
@@ -70,6 +79,7 @@ class DelayStageScheduler(Scheduler):
             track_metrics=track_metrics,
             track_occupancy=track_occupancy,
             contention_penalty=contention_penalty,
+            incremental=incremental,
         )
         order_name = PathOrder(self.params.order).value
         self.name = "delaystage" if order_name == "descending" else f"delaystage-{order_name}"

@@ -26,9 +26,16 @@ class FuxiScheduler(Scheduler):
 
     name = "fuxi"
 
-    def __init__(self, track_metrics: bool = True, contention_penalty: float = 0.0) -> None:
+    def __init__(
+        self,
+        track_metrics: bool = True,
+        contention_penalty: float = 0.0,
+        incremental: bool = True,
+    ) -> None:
         self._config = SimulationConfig(
-            track_metrics=track_metrics, contention_penalty=contention_penalty
+            track_metrics=track_metrics,
+            contention_penalty=contention_penalty,
+            incremental=incremental,
         )
 
     def prepare(

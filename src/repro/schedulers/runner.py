@@ -65,6 +65,30 @@ def compare_schedulers(
     return runs
 
 
+def replay_batch(
+    jobs: "list[Job]",
+    cluster: ClusterSpec,
+    scheduler: Scheduler,
+    *,
+    processes: "int | None" = 1,
+    tracer: "Tracer | None" = None,
+) -> list[float]:
+    """JCTs for independent jobs, optionally sharded across processes.
+
+    Each job runs in its own simulation (the Fig. 14 replay setting —
+    jobs do not share the cluster).  ``processes > 1`` fans the batch
+    out via :func:`repro.simulator.parallel.replay_jcts`; results are
+    identical to the serial loop regardless of the process count.  A
+    ``tracer`` forces the serial path, since spans accumulate in this
+    process.
+    """
+    if tracer is None and (processes is None or processes > 1):
+        from repro.simulator.parallel import replay_jcts
+
+        return replay_jcts(jobs, cluster, scheduler, processes=processes)
+    return [run_with_scheduler(j, cluster, scheduler, tracer).jct for j in jobs]
+
+
 def run_jobs_with_scheduler(
     jobs: "list[Job]",
     cluster: ClusterSpec,

@@ -29,14 +29,17 @@ class WorkItem:
     ``remaining``, ``rate``, and ``on_complete``.
     """
 
-    __slots__ = ("remaining", "rate", "on_complete")
+    __slots__ = ("remaining", "rate", "on_complete", "_pos")
 
     def __init__(self, volume: float, on_complete: "Callable[[float], None] | None" = None):
-        if volume < 0 or math.isnan(volume) or math.isinf(volume):
+        # Single chained comparison: False for negatives, NaN, and +inf.
+        if not 0.0 <= volume < math.inf:
             raise ValueError(f"volume must be finite and >= 0, got {volume!r}")
         self.remaining = float(volume)
         self.rate = 0.0
         self.on_complete = on_complete
+        #: Index into the engine's active list (maintained by swap-remove).
+        self._pos = -1
 
     @property
     def done(self) -> bool:
@@ -63,6 +66,15 @@ class FluidEngine:
     max_events:
         Safety valve against livelock bugs; the engine raises after this
         many loop iterations.
+    allocate_incremental:
+        Optional callback ``(items, added, removed)`` used instead of
+        ``allocate`` when only item additions/completions occurred since
+        the previous allocation.  ``added``/``removed`` list exactly the
+        work items that entered/left the active set, letting the
+        allocator re-solve only the affected resource groups while
+        untouched items keep their previous rates.  :meth:`mark_dirty`
+        (external mutation of capacities or rate caps) always falls back
+        to the full ``allocate``.
     """
 
     #: Relative tolerance used to snap near-complete items to done.
@@ -73,8 +85,10 @@ class FluidEngine:
         allocate: Callable[[list[WorkItem]], None],
         observe: "Callable[[float, float, list[WorkItem]], None] | None" = None,
         max_events: int = 5_000_000,
+        allocate_incremental: "Callable[[list[WorkItem], list[WorkItem], list[WorkItem]], None] | None" = None,
     ) -> None:
         self._allocate = allocate
+        self._allocate_incremental = allocate_incremental
         self._observe = observe
         self._max_events = max_events
         self.now = 0.0
@@ -82,11 +96,18 @@ class FluidEngine:
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._dirty = True  # active set changed; rates must be recomputed
+        self._full_dirty = True  # external mutation; incremental unsafe
+        self._stop_requested = False
+        self._added: list[WorkItem] = []
+        self._removed: list[WorkItem] = []
         #: Loop iterations executed (run telemetry; also drives the
         #: livelock safety valve).
         self.events_processed = 0
         #: Peak concurrent work items (telemetry: queue depth).
         self.max_active_items = 0
+        #: Allocation telemetry: full re-solves vs scoped incremental ones.
+        self.full_allocations = 0
+        self.incremental_allocations = 0
 
     # ------------------------------------------------------------------ #
     # public interface
@@ -94,13 +115,16 @@ class FluidEngine:
 
     def add_item(self, item: WorkItem) -> None:
         """Register a new active work item (takes effect immediately)."""
-        if item.done:
+        if item.remaining <= 0.0:
             # Zero-volume work completes instantly without entering the
             # active set (e.g. a fully-local shuffle read).
             if item.on_complete is not None:
                 item.on_complete(self.now)
             return
+        item._pos = len(self._items)
         self._items.append(item)
+        if self._allocate_incremental is not None:
+            self._added.append(item)
         self._dirty = True
 
     def add_items(self, items: Iterable[WorkItem]) -> None:
@@ -113,10 +137,24 @@ class FluidEngine:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
         heapq.heappush(self._timers, (max(time, self.now), next(self._seq), callback))
 
+    def request_stop(self) -> None:
+        """Stop :meth:`run` before its next loop iteration.
+
+        Called from completion callbacks once the caller has seen
+        everything it needs (e.g. a truncated model evaluation watching
+        a subset of stages).  All completions of the current instant are
+        still delivered first, so the executed trajectory remains an
+        exact prefix of the untruncated run.
+        """
+        self._stop_requested = True
+
     def mark_dirty(self) -> None:
         """Force a rate reallocation before the next advance (call after
         externally mutating item properties such as rate caps)."""
         self._dirty = True
+        # External mutations are invisible to the change lists, so the
+        # next reallocation must be a full one.
+        self._full_dirty = True
 
     @property
     def active_items(self) -> list[WorkItem]:
@@ -132,7 +170,15 @@ class FluidEngine:
         Returns the final simulation time.
         """
         events = 0
-        while not self.idle:
+        # Localize loop-invariant objects: ``_items`` and ``_timers`` are
+        # mutated in place (swap-remove / heappush) but never rebound, so
+        # the local aliases stay valid across iterations.
+        items = self._items
+        timers = self._timers
+        eps = self.EPS
+        inf = math.inf
+        heappop = heapq.heappop
+        while (items or timers) and not self._stop_requested:
             events += 1
             self.events_processed += 1
             if events > self._max_events:
@@ -140,26 +186,27 @@ class FluidEngine:
                     f"engine exceeded {self._max_events} events at t={self.now:.3f}; "
                     "likely a livelock (items repeatedly added with zero volume?)"
                 )
-            if len(self._items) > self.max_active_items:
-                self.max_active_items = len(self._items)
+            if len(items) > self.max_active_items:
+                self.max_active_items = len(items)
             if self._dirty:
                 self._reallocate()
 
             # Next completion among items with positive rate.
-            dt_complete = math.inf
-            for item in self._items:
-                if item.rate > 0.0:
-                    dt = item.remaining / item.rate
+            dt_complete = inf
+            for item in items:
+                rate = item.rate
+                if rate > 0.0:
+                    dt = item.remaining / rate
                     if dt < dt_complete:
                         dt_complete = dt
             t_complete = self.now + dt_complete
 
-            t_timer = self._timers[0][0] if self._timers else math.inf
-            t_next = min(t_complete, t_timer)
+            t_timer = timers[0][0] if timers else inf
+            t_next = t_complete if t_complete <= t_timer else t_timer
 
-            if math.isinf(t_next):
+            if t_next == inf:
                 raise EngineStalledError(
-                    f"{len(self._items)} active items but all rates are zero "
+                    f"{len(items)} active items but all rates are zero "
                     f"and no timers pending at t={self.now:.3f}"
                 )
             if until is not None and t_next > until:
@@ -172,16 +219,36 @@ class FluidEngine:
             self._advance_to(t_next)
 
             # Fire due timers (they may add items / schedule more timers).
-            while self._timers and self._timers[0][0] <= self.now + 1e-12:
-                _, _, callback = heapq.heappop(self._timers)
+            # A timer firing does not by itself invalidate rates: every
+            # state change a callback makes goes through add_item() /
+            # mark_dirty() / item completion, each of which sets the
+            # dirty flag, so a pure bookkeeping timer costs no re-solve.
+            fired = False
+            t_due = self.now + 1e-12
+            while timers and timers[0][0] <= t_due:
+                _, _, callback = heappop(timers)
                 callback()
-                self._dirty = True
+                fired = True
+            if fired and _sanitizer.ENABLED:
+                # Timer callbacks that corrupt item state used to be
+                # caught by the (now elided) unconditional re-solve;
+                # keep catching them without paying for one.
+                _sanitizer.check_rates_valid(items)
 
-            # Collect completions.
-            completed = [it for it in self._items if it.remaining <= self.EPS * max(1.0, it.rate)]
+            # Collect completions (swap-remove keeps this O(completed)
+            # instead of rebuilding the whole active list every event).
+            # Threshold is EPS * max(1.0, rate), spelled branchy to avoid
+            # a builtin call per item on the hottest loop in the tree.
+            completed = [
+                it
+                for it in items
+                if it.remaining <= (eps * it.rate if it.rate > 1.0 else eps)
+            ]
             if completed:
-                done_set = set(map(id, completed))
-                self._items = [it for it in self._items if id(it) not in done_set]
+                for item in completed:
+                    self._remove_item(item)
+                if self._allocate_incremental is not None:
+                    self._removed.extend(completed)
                 self._dirty = True
                 for item in completed:
                     item.remaining = 0.0
@@ -193,10 +260,29 @@ class FluidEngine:
     # internals
     # ------------------------------------------------------------------ #
 
+    def _remove_item(self, item: WorkItem) -> None:
+        """Swap-remove ``item`` from the active list in O(1)."""
+        pos = item._pos
+        last = self._items.pop()
+        if last is not item:
+            self._items[pos] = last
+            last._pos = pos
+        item._pos = -1
+
     def _reallocate(self) -> None:
-        self._allocate(self._items)
+        if self._allocate_incremental is not None and not self._full_dirty:
+            self._allocate_incremental(self._items, self._added, self._removed)
+            self.incremental_allocations += 1
+        else:
+            self._allocate(self._items)
+            self.full_allocations += 1
+        self._added.clear()
+        self._removed.clear()
+        self._full_dirty = False
         for item in self._items:
-            if item.rate < 0 or math.isnan(item.rate):
+            # Single comparison: NaN >= 0 is False, so this catches both
+            # negative and NaN rates.
+            if not item.rate >= 0.0:
                 raise ValueError(f"allocator produced invalid rate {item.rate!r}")
         if _sanitizer.ENABLED:
             _sanitizer.check_rates_valid(self._items)
@@ -212,6 +298,8 @@ class FluidEngine:
             self._observe(self.now, t, self._items)
         if dt > 0:
             for item in self._items:
-                if item.rate > 0.0:
-                    item.remaining = max(0.0, item.remaining - item.rate * dt)
+                rate = item.rate
+                if rate > 0.0:
+                    rem = item.remaining - rate * dt
+                    item.remaining = rem if rem > 0.0 else 0.0
         self.now = t

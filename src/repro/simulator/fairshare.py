@@ -42,10 +42,7 @@ def maxmin_network_rates(flows: Sequence[NetworkFlow], topology: Topology) -> np
     if n_flows == 0:
         return np.zeros(0)
     if n_flows <= 32 and not topology._pair_caps and topology.core_capacity is None:
-        rates = _maxmin_small(flows, topology)
-        if _sanitizer.ENABLED:
-            _sanitizer.check_network_allocation(flows, topology, rates)
-        return rates
+        return np.array(_maxmin_rates_small(flows, topology))
 
     src = np.fromiter((topology.index[f.src] for f in flows), dtype=np.int64, count=n_flows)
     dst = np.fromiter((topology.index[f.dst] for f in flows), dtype=np.int64, count=n_flows)
@@ -122,48 +119,117 @@ def maxmin_network_rates(flows: Sequence[NetworkFlow], topology: Topology) -> np
     return rates
 
 
-def _maxmin_small(flows: Sequence[NetworkFlow], topology: Topology) -> np.ndarray:
+def maxmin_rates_seq(
+    flows: Sequence[NetworkFlow], topology: Topology
+) -> "Sequence[float]":
+    """Internal hot-path variant of :func:`maxmin_network_rates`.
+
+    Identical dispatch and arithmetic, but the small pure-Python path
+    returns its plain list instead of wrapping it in an ndarray —
+    callers that immediately scatter rates back onto flow objects skip
+    one array construction and a numpy-scalar boxing per flow.
+    """
+    n_flows = len(flows)
+    if n_flows == 0:
+        return ()
+    if n_flows <= 32 and not topology._pair_caps and topology.core_capacity is None:
+        return _maxmin_rates_small(flows, topology)
+    return maxmin_network_rates(flows, topology)
+
+
+def _maxmin_rates_small(
+    flows: Sequence[NetworkFlow], topology: Topology
+) -> "list[float]":
+    """Small-path water-filling with the sanitizer check applied.
+
+    Returns a plain Python list so hot callers (the allocators) skip the
+    per-element numpy boxing; :func:`maxmin_network_rates` wraps it in
+    an array for the public API.
+    """
+    rates = _maxmin_small(flows, topology)
+    if _sanitizer.ENABLED:
+        _sanitizer.check_network_allocation(flows, topology, rates)
+    return rates
+
+
+def _maxmin_small(flows: Sequence[NetworkFlow], topology: Topology) -> "list[float]":
     """Pure-Python water-filling for small flow counts.
 
     numpy's per-call overhead dominates below a few dozen flows — the
     common case for per-job trace-replay slices — so this dict-based
     variant implements the identical algorithm without array setup.
+    Frozen flows are processed in ascending index order, the same order
+    ``np.flatnonzero`` gives the vectorized path, so both paths apply
+    capacity subtractions in the identical sequence and agree
+    bit-for-bit (the incremental allocator relies on this when it
+    re-solves a small component of a larger flow set).
     """
-    egress = dict(zip(topology.node_ids, topology.egress_capacity.tolist()))
-    ingress = dict(zip(topology.node_ids, topology.ingress_capacity.tolist()))
-    rates = [0.0] * len(flows)
-    active = set(range(len(flows)))
-    for _ in range(2 * topology.num_nodes + len(flows) + 1):
+    n = len(flows)
+    n_nodes = topology.num_nodes
+    index = topology.index
+    # Integer node indices and flat capacity lists instead of string-keyed
+    # dicts; every arithmetic operation below is performed in the same
+    # order on the same values as the original dict-based form, so rates
+    # are unchanged bit-for-bit.
+    egress = topology.egress_capacity.tolist()
+    ingress = topology.ingress_capacity.tolist()
+    srcs = [index[f.src] for f in flows]
+    dsts = [index[f.dst] for f in flows]
+    caps = [f.rate_cap for f in flows]
+    rates = [0.0] * n
+    active = list(range(n))
+    for _ in range(2 * n_nodes + n + 1):
         if not active:
-            return np.array(rates)
-        n_eg: dict[str, int] = {}
-        n_ing: dict[str, int] = {}
+            return rates
+        n_eg = [0] * n_nodes
+        n_ing = [0] * n_nodes
         for i in active:
-            f = flows[i]
-            n_eg[f.src] = n_eg.get(f.src, 0) + 1
-            n_ing[f.dst] = n_ing.get(f.dst, 0) + 1
-        level = {
-            i: min(egress[flows[i].src] / n_eg[flows[i].src],
-                   ingress[flows[i].dst] / n_ing[flows[i].dst])
-            for i in active
-        }
-        bottleneck = min(level.values())
-        capped = [i for i in active if flows[i].rate_cap <= bottleneck + 1e-12]
+            n_eg[srcs[i]] += 1
+            n_ing[dsts[i]] += 1
+        level = {}
+        bottleneck = math.inf
+        for i in active:
+            s = srcs[i]
+            d = dsts[i]
+            le = egress[s] / n_eg[s]
+            li = ingress[d] / n_ing[d]
+            lv = le if le <= li else li  # == min(le, li)
+            level[i] = lv
+            if lv < bottleneck:
+                bottleneck = lv
+        threshold = bottleneck + 1e-12
+        capped = [i for i in active if caps[i] <= threshold]
         if capped:
             for i in capped:
-                r = flows[i].rate_cap
+                r = caps[i]
                 rates[i] = r
-                egress[flows[i].src] = max(egress[flows[i].src] - r, 0.0)
-                ingress[flows[i].dst] = max(ingress[flows[i].dst] - r, 0.0)
-                active.discard(i)
+                s = srcs[i]
+                d = dsts[i]
+                t = egress[s] - r
+                egress[s] = t if t > 0.0 else 0.0
+                t = ingress[d] - r
+                ingress[d] = t if t > 0.0 else 0.0
+            frozen_set = set(capped)
         else:
-            frozen = [i for i in active if level[i] <= bottleneck + 1e-12]
+            frozen = [i for i in active if level[i] <= threshold]
             for i in frozen:
                 rates[i] = bottleneck
-                egress[flows[i].src] = max(egress[flows[i].src] - bottleneck, 0.0)
-                ingress[flows[i].dst] = max(ingress[flows[i].dst] - bottleneck, 0.0)
-                active.discard(i)
+                s = srcs[i]
+                d = dsts[i]
+                t = egress[s] - bottleneck
+                egress[s] = t if t > 0.0 else 0.0
+                t = ingress[d] - bottleneck
+                ingress[d] = t if t > 0.0 else 0.0
+            frozen_set = set(frozen)
+        active = [i for i in active if i not in frozen_set]
     raise RuntimeError("water-filling failed to converge")  # pragma: no cover
+
+
+#: Demand/write counts above which the numpy batch path beats the
+#: per-group Python loops.  Both paths compute the identical per-element
+#: expression (``(executors / n_stages) / n_group_items * R_k``), so the
+#: results agree bit-for-bit and the threshold is purely a speed knob.
+BATCH_THRESHOLD = 64
 
 
 def compute_shares(
@@ -177,6 +243,26 @@ def compute_shares(
     demand's rate is its share times the stage's per-executor
     processing rate ``R_k``.
     """
+    if len(demands) > BATCH_THRESHOLD:
+        _compute_shares_batch(demands, executors_per_node)
+        if _sanitizer.ENABLED:
+            _sanitizer.check_compute_allocation(demands, executors_per_node)
+        return
+    if len(demands) == 1:
+        # One demand: its stage owns the node, share = executors / 1 / 1
+        # — the identical arithmetic the general path performs.
+        d = demands[0]
+        executors = executors_per_node.get(d.node, 0)
+        if executors <= 0:
+            raise ValueError(
+                f"compute demand scheduled on node {d.node!r} with no executors"
+            )
+        share = executors / 1 / 1
+        d.executor_share = share
+        d.rate = share * d.process_rate
+        if _sanitizer.ENABLED:
+            _sanitizer.check_compute_allocation(demands, executors_per_node)
+        return
     by_node: dict[str, list[ComputeDemand]] = defaultdict(list)
     for d in demands:
         by_node[d.node].append(d)
@@ -200,8 +286,72 @@ def compute_shares(
         _sanitizer.check_compute_allocation(demands, executors_per_node)
 
 
+def _compute_shares_batch(
+    demands: Sequence[ComputeDemand],
+    executors_per_node: dict[str, int],
+) -> None:
+    """Vectorized executor-share assignment for large demand batches.
+
+    Factorizes demands into (node, stage-at-node) groups and evaluates
+    the equal-sharing expression in one numpy pass — element-for-element
+    the same arithmetic as the per-group loop in
+    :func:`compute_shares`, so results are bit-identical.
+    """
+    n = len(demands)
+    node_ids: dict[str, int] = {}
+    group_ids: dict[tuple[str, tuple[str, str]], int] = {}
+    node_idx = np.empty(n, dtype=np.int64)
+    group_idx = np.empty(n, dtype=np.int64)
+    group_node: list[int] = []
+    for i, d in enumerate(demands):
+        ni = node_ids.setdefault(d.node, len(node_ids))
+        gkey = (d.node, d.stage_key)
+        gi = group_ids.get(gkey)
+        if gi is None:
+            gi = group_ids[gkey] = len(group_ids)
+            group_node.append(ni)
+        node_idx[i] = ni
+        group_idx[i] = gi
+    executors = np.fromiter(
+        (executors_per_node.get(nid, 0) for nid in node_ids), dtype=float,
+        count=len(node_ids),
+    )
+    if (executors <= 0).any():
+        for nid in node_ids:
+            if executors_per_node.get(nid, 0) <= 0:
+                raise ValueError(
+                    f"compute demand scheduled on node {nid!r} with no executors"
+                )
+    stages_per_node = np.bincount(np.asarray(group_node), minlength=len(node_ids))
+    items_per_group = np.bincount(group_idx, minlength=len(group_ids))
+    per_stage = executors / stages_per_node
+    shares = per_stage[node_idx] / items_per_group[group_idx]
+    rates = shares * np.fromiter((d.process_rate for d in demands), dtype=float, count=n)
+    for i, d in enumerate(demands):
+        d.executor_share = float(shares[i])
+        d.rate = float(rates[i])
+
+
 def disk_shares(writes: Sequence[DiskWrite], disk_bw_per_node: dict[str, float]) -> None:
     """Assign disk write rates in place: equal split per node."""
+    if len(writes) > BATCH_THRESHOLD:
+        _disk_shares_batch(writes, disk_bw_per_node)
+        if _sanitizer.ENABLED:
+            _sanitizer.check_disk_allocation(writes, disk_bw_per_node)
+        return
+    if len(writes) == 1:
+        # Single writer owns the node's disk: rate = bw / 1, the same
+        # division the general path performs.
+        w = writes[0]
+        bw = disk_bw_per_node.get(w.node)
+        if bw is None or bw <= 0:
+            raise ValueError(
+                f"disk write scheduled on node {w.node!r} with no disk bandwidth"
+            )
+        w.rate = bw / 1
+        if _sanitizer.ENABLED:
+            _sanitizer.check_disk_allocation(writes, disk_bw_per_node)
+        return
     by_node: dict[str, list[DiskWrite]] = defaultdict(list)
     for w in writes:
         by_node[w.node].append(w)
@@ -214,3 +364,60 @@ def disk_shares(writes: Sequence[DiskWrite], disk_bw_per_node: dict[str, float])
             w.rate = rate
     if _sanitizer.ENABLED:
         _sanitizer.check_disk_allocation(writes, disk_bw_per_node)
+
+
+def _disk_shares_batch(writes: Sequence[DiskWrite], disk_bw_per_node: dict[str, float]) -> None:
+    """Vectorized equal-split disk rates (bit-identical to the loop)."""
+    n = len(writes)
+    node_ids: dict[str, int] = {}
+    node_idx = np.empty(n, dtype=np.int64)
+    for i, w in enumerate(writes):
+        node_idx[i] = node_ids.setdefault(w.node, len(node_ids))
+    bw = np.fromiter(
+        (disk_bw_per_node.get(nid) or 0.0 for nid in node_ids), dtype=float,
+        count=len(node_ids),
+    )
+    if (bw <= 0).any():
+        for nid in node_ids:
+            if not disk_bw_per_node.get(nid):
+                raise ValueError(
+                    f"disk write scheduled on node {nid!r} with no disk bandwidth"
+                )
+    counts = np.bincount(node_idx, minlength=len(node_ids))
+    rates = (bw / counts)[node_idx]
+    for i, w in enumerate(writes):
+        w.rate = float(rates[i])
+
+
+def flow_components(flows: Sequence[NetworkFlow]) -> list[list[int]]:
+    """Partition flow indices into endpoint-connected components.
+
+    Two flows interact in water-filling only if they (transitively)
+    share a NIC, so max-min rates can be solved per connected component
+    of the endpoint graph.  Components are returned in order of first
+    appearance, with indices ascending inside each — the order the
+    global solve would visit them.  (The shared core fabric couples all
+    cross-rack flows; callers must fall back to a global solve when the
+    topology has a finite ``core_capacity``.)
+    """
+    parent: dict[str, str] = {}
+
+    def find(x: str) -> str:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    for f in flows:
+        for node in (f.src, f.dst):
+            parent.setdefault(node, node)
+        ra, rb = find(f.src), find(f.dst)
+        if ra != rb:
+            parent[rb] = ra
+
+    groups: dict[str, list[int]] = {}
+    for i, f in enumerate(flows):
+        groups.setdefault(find(f.src), []).append(i)
+    return list(groups.values())

@@ -65,6 +65,10 @@ class NetworkFlow(WorkItem):
         self.pipelined = pipelined
         self.producer_key = producer_key
 
+    def alloc_groups(self) -> tuple[tuple[str, str], ...]:
+        """Resource groups this flow's rate depends on (both NICs)."""
+        return (("net", self.src), ("net", self.dst))
+
 
 class ComputeDemand(WorkItem):
     """CPU processing of a stage partition on one worker.
@@ -91,6 +95,10 @@ class ComputeDemand(WorkItem):
         self.process_rate = process_rate
         self.executor_share = 0.0  # filled by the allocator, read by metrics
 
+    def alloc_groups(self) -> tuple[tuple[str, str], ...]:
+        """Resource groups this demand's rate depends on (node executors)."""
+        return (("cpu", self.node),)
+
 
 class DiskWrite(WorkItem):
     """Shuffle write of a stage partition to one worker's local disk."""
@@ -107,3 +115,7 @@ class DiskWrite(WorkItem):
         super().__init__(volume, on_complete)
         self.node = node
         self.stage_key = stage_key
+
+    def alloc_groups(self) -> tuple[tuple[str, str], ...]:
+        """Resource groups this write's rate depends on (node disk)."""
+        return (("disk", self.node),)

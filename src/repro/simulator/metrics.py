@@ -144,6 +144,11 @@ class MetricsCollector:
         self._net_out: list[np.ndarray] = []
         self._cpu: list[np.ndarray] = []
         self._disk: list[np.ndarray] = []
+        # Stacked (segments x nodes) matrices, rebuilt lazily when new
+        # segments arrive; lets node_series slice a column instead of
+        # gathering element-by-element per node.
+        self._stacked: "tuple | None" = None
+        self._stacked_len = -1
         # occupancy: (t0, t1, {(stage_key, node_id): executors_occupied})
         self.occupancy: list[tuple[float, float, dict]] = []
 
@@ -151,6 +156,12 @@ class MetricsCollector:
 
     def observe(self, t0: float, t1: float, items: "list[WorkItem]") -> None:
         """Record one constant-rate interval (engine callback)."""
+        if t1 - t0 <= 0:
+            # Zero-width segments (duplicate timestamps from coinciding
+            # events) carry no integral mass and would only add
+            # duplicate step-function breakpoints; the engine never
+            # emits them, but external callers might.
+            return
         n = len(self._node_ids)
         net_in = np.zeros(n)
         net_out = np.zeros(n)
@@ -195,22 +206,50 @@ class MetricsCollector:
 
     # ------------------------------------------------------------------ #
 
+    def _stack(self) -> tuple:
+        """(Re)build the stacked segment matrices in one pass.
+
+        Returns ``(t0, t1, net_in, net_out, cpu, disk)`` where the time
+        axes are 1-D and the rest are (segments x nodes).  Cached until
+        the next ``observe`` extends the series.
+        """
+        m = len(self._t0)
+        if self._stacked is None or self._stacked_len != m:
+            n = len(self._node_ids)
+            if m:
+                stacked = (
+                    np.array(self._t0),
+                    np.array(self._t1),
+                    np.vstack(self._net_in),
+                    np.vstack(self._net_out),
+                    np.vstack(self._cpu),
+                    np.vstack(self._disk),
+                )
+            else:
+                empty = np.zeros((0, n))
+                t_empty = np.zeros(0)
+                stacked = (t_empty, t_empty, empty, empty, empty, empty)
+            self._stacked = stacked
+            self._stacked_len = m
+        return self._stacked
+
     def node_series(self, node_id: str) -> NodeSeries:
-        """Materialize the step series for one node."""
+        """Materialize the step series for one node (a column slice of
+        the cached stacked matrices — no per-segment Python loop)."""
         i = self._index[node_id]
         spec = self.cluster.node(node_id)
-        m = len(self._t0)
+        t0, t1, net_in, net_out, cpu, disk = self._stack()
         return NodeSeries(
             node_id=node_id,
             executors=spec.executors,
             nic_bandwidth=spec.nic_bandwidth,
             disk_bandwidth=spec.disk_bandwidth,
-            t0=np.array(self._t0),
-            t1=np.array(self._t1),
-            net_in=np.array([self._net_in[j][i] for j in range(m)]),
-            net_out=np.array([self._net_out[j][i] for j in range(m)]),
-            cpu_busy=np.array([self._cpu[j][i] for j in range(m)]),
-            disk=np.array([self._disk[j][i] for j in range(m)]),
+            t0=t0,
+            t1=t1,
+            net_in=net_in[:, i],
+            net_out=net_out[:, i],
+            cpu_busy=cpu[:, i],
+            disk=disk[:, i],
         )
 
     def cluster_average(self, metric: str, t_lo: float = 0.0, t_hi: float = math.inf) -> float:

@@ -1,0 +1,125 @@
+"""Parallel trace replay with deterministic sharding and merging.
+
+Fig. 14-scale replays run hundreds of independent (job, scheduler)
+simulations; each is deterministic and shares nothing with the others,
+so the batch is embarrassingly parallel.  This module shards a job
+batch across worker processes while keeping the *results* — and their
+order — bit-identical to the serial loop:
+
+* **Deterministic sharding** — jobs are dealt round-robin into shards
+  as ``(original_index, job)`` pairs, a pure function of the batch
+  order and the shard count.
+* **Deterministic per-shard seeds** — every shard gets a seed spawned
+  from one base seed via :class:`numpy.random.SeedSequence`, so any
+  stochastic component a scheduler might add draws from a stream that
+  depends only on ``(base_seed, shard_index)``, never on scheduling of
+  the worker processes.  (The current schedulers are deterministic, so
+  today the seeds are belt-and-braces; results match the serial path
+  regardless.)
+* **Order-independent merging** — workers return ``(index, jct)``
+  pairs and the parent scatters them back by index, so neither the
+  process count nor completion order can reorder or change the output.
+
+``processes <= 1`` falls back to the in-process serial loop, which is
+also the path used when a :class:`~repro.obs.tracer.Tracer` is
+attached (tracers accumulate spans in the parent and are not sent
+across process boundaries).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.spec import ClusterSpec
+    from repro.dag.job import Job
+    from repro.schedulers.base import Scheduler
+
+
+def shard_seeds(base_seed: int, num_shards: int) -> list[int]:
+    """Spawn one deterministic RNG seed per shard from ``base_seed``."""
+    if num_shards <= 0:
+        return []
+    state = np.random.SeedSequence(base_seed).generate_state(num_shards)
+    return [int(s) for s in state]
+
+
+def split_shards(
+    items: Sequence, num_shards: int
+) -> "list[list[tuple[int, object]]]":
+    """Deal ``items`` round-robin into ``num_shards`` index-tagged shards.
+
+    Shard ``k`` receives items ``k, k + n, k + 2n, ...`` as
+    ``(original_index, item)`` pairs.  Empty shards are dropped, so the
+    result has ``min(num_shards, len(items))`` entries.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    shards: list[list[tuple[int, object]]] = [[] for _ in range(num_shards)]
+    for i, item in enumerate(items):
+        shards[i % num_shards].append((i, item))
+    return [s for s in shards if s]
+
+
+def _replay_shard(payload: tuple) -> "list[tuple[int, float]]":
+    """Worker entry point: simulate one shard, return (index, JCT) pairs.
+
+    Top-level (picklable) on purpose; imports lazily so worker startup
+    does not re-trigger parent-side import work.
+    """
+    shard, cluster, scheduler, seed = payload
+    from repro.schedulers.runner import run_with_scheduler
+
+    # Seed a per-shard stream for any stochastic scheduler component;
+    # deterministic schedulers never consult it.
+    np.random.default_rng(seed)
+    return [
+        (idx, run_with_scheduler(job, cluster, scheduler).jct)
+        for idx, job in shard
+    ]
+
+
+def default_processes() -> int:
+    """Worker count when the caller does not specify one."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def replay_jcts(
+    jobs: "Sequence[Job]",
+    cluster: "ClusterSpec",
+    scheduler: "Scheduler",
+    *,
+    processes: "int | None" = None,
+    base_seed: int = 0,
+) -> list[float]:
+    """Job completion times for ``jobs`` under ``scheduler``.
+
+    With ``processes > 1`` the batch is sharded across a
+    ``ProcessPoolExecutor``; the returned list is identical (values and
+    order) to the serial loop for any process count, by construction —
+    a property ``tests/test_perf_equivalence.py`` checks.
+    """
+    if processes is None:
+        processes = default_processes()
+    processes = min(processes, len(jobs))
+    if processes <= 1:
+        from repro.schedulers.runner import run_with_scheduler
+
+        return [run_with_scheduler(j, cluster, scheduler).jct for j in jobs]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    shards = split_shards(jobs, processes)
+    seeds = shard_seeds(base_seed, len(shards))
+    merged: list[float] = [float("nan")] * len(jobs)
+    payloads = [
+        (shard, cluster, scheduler, seed) for shard, seed in zip(shards, seeds)
+    ]
+    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        for pairs in pool.map(_replay_shard, payloads):
+            for idx, jct in pairs:
+                merged[idx] = jct
+    return merged

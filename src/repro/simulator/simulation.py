@@ -35,8 +35,9 @@ from repro.dag.job import Job
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import FluidEngine
 from repro.simulator.events import EventKind, SimEvent
-from repro.simulator.fairshare import compute_shares, disk_shares, maxmin_network_rates
+from repro.simulator.fairshare import compute_shares, disk_shares, maxmin_rates_seq
 from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
+from repro.simulator.incremental import ScopedAllocator
 from repro.simulator.metrics import MetricsCollector
 from repro.verify import sanitizer as _sanitizer
 
@@ -112,6 +113,22 @@ class SimulationConfig:
     track_metrics: bool = True
     track_occupancy: bool = False
     contention_penalty: float = 0.0
+    #: Scoped fair-share reallocation: when a work item starts or
+    #: finishes, re-solve only the resource groups (node executors, node
+    #: disk, NIC-connected flow components) it touches instead of the
+    #: whole cluster.  Rates are bit-identical to the full re-solve (the
+    #: scoped path calls the same solvers on the same subsets); disable
+    #: (``--no-incremental``) only to bisect a suspected allocator bug.
+    #: Ignored — the full allocator always runs — when
+    #: ``pipelined_shuffle`` is on, because prefetch rate caps couple
+    #: network rates to producer compute rates across resource groups.
+    incremental: bool = True
+    #: Record the per-stage lifecycle event log
+    #: (``SimulationResult.events``).  Model evaluations inside
+    #: Algorithm 1 run thousands of short simulations whose event logs
+    #: nothing ever reads; they disable this.  Stage records, metrics,
+    #: and completion times are unaffected.
+    track_events: bool = True
     #: Discrete-task execution: instead of the fluid equal-share compute
     #: model, each worker runs at most ``executors`` concurrent tasks;
     #: stages' tasks are dispatched fairly (fewest-running-first) and
@@ -229,6 +246,7 @@ class _StageRun:
         "parts_compute_done",
         "parts_write_done",
         "compute_active",
+        "compute_volume",
     )
 
     def __init__(self, job: Job, stage_id: str, workers: list[str]) -> None:
@@ -244,6 +262,9 @@ class _StageRun:
         self.parts_compute_done: set[str] = set()
         self.parts_write_done: set[str] = set()
         self.compute_active: set[str] = set()  # workers currently computing
+        #: Per-part compute volume, identical for every worker; filled
+        #: lazily by the first ``_part_read_done`` (-1.0 = not computed).
+        self.compute_volume = -1.0
 
 
 class Simulation:
@@ -280,9 +301,15 @@ class Simulation:
             if self.config.track_metrics
             else None
         )
+        self._scoped = (
+            ScopedAllocator(self)
+            if self.config.incremental and not self.config.pipelined_shuffle
+            else None
+        )
         self.engine = FluidEngine(
             allocate=self._allocate,
             observe=self.metrics.observe if self.metrics else None,
+            allocate_incremental=self._scoped.allocate if self._scoped else None,
         )
         self.events: list[SimEvent] = []
         self._jobs: dict[str, tuple[Job, SubmissionPolicy, float]] = {}
@@ -299,6 +326,9 @@ class Simulation:
         self._task_queues: dict[str, dict[tuple, list]] = {w: {} for w in self.workers}
         self._running: dict[tuple, int] = {}
         self._pending_tasks: dict[tuple, int] = {}
+        # Stage ids still unfinished in a truncated (watched) run; None
+        # outside run_truncated().
+        self._watch_remaining: "set[str] | None" = None
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -373,8 +403,9 @@ class Simulation:
             raise ValueError("submit_time must be >= 0")
         self._jobs[job.job_id] = (job, policy or ImmediatePolicy(), submit_time)
 
-    def run(self) -> SimulationResult:
-        """Execute all registered jobs to completion."""
+    def _start(self) -> None:
+        """Register injections and job-start timers (shared preamble of
+        :meth:`run` and :meth:`run_truncated`)."""
         if self._started:
             raise RuntimeError("run() may only be called once per Simulation")
         self._started = True
@@ -391,6 +422,10 @@ class Simulation:
             for sid in job.stage_ids:
                 self._runs[(job_id, sid)] = _StageRun(job, sid, self.workers)
             self.engine.schedule(submit_time, self._make_job_start(job_id))
+
+    def run(self) -> SimulationResult:
+        """Execute all registered jobs to completion."""
+        self._start()
         self.engine.run()
         result = SimulationResult(
             cluster=self.cluster,
@@ -405,6 +440,34 @@ class Simulation:
         if _sanitizer.ENABLED:
             _sanitizer.check_result(result)
         return result
+
+    def run_truncated(
+        self, horizon: float, watch: "set[str] | None" = None
+    ) -> "dict[tuple[str, str], StageRecord]":
+        """Execute only until ``horizon`` — or until every stage id in
+        ``watch`` has finished — and return the raw stage records.
+
+        The trajectory up to the stopping point is exactly the prefix of
+        what :meth:`run` would produce — the engine merely stops
+        advancing — so every stage that finished by then carries its
+        exact finish time; unfinished stages keep ``NaN`` fields,
+        meaning "finishes strictly after the horizon".  This is the fast
+        path of Algorithm 1's scan: a candidate whose watched stages
+        have not all finished by the incumbent makespan cannot win, and
+        once they *have* all finished the (often long) model tail has no
+        bearing on the objective — either way the tail is never
+        simulated.  ``horizon`` may be ``inf`` to stop on ``watch``
+        alone.  No :class:`SimulationResult` is assembled and no
+        result-level sanitizer checks run, since the record set is
+        intentionally incomplete.
+        """
+        if horizon < 0 or math.isnan(horizon):
+            raise ValueError(f"horizon must be >= 0, got {horizon!r}")
+        self._watch_remaining = set(watch) if watch is not None else None
+        self._start()
+        self.engine.run(until=None if math.isinf(horizon) else horizon)
+        self._watch_remaining = None
+        return {k: r.record for k, r in self._runs.items()}
 
     # ------------------------------------------------------------------ #
     # lifecycle transitions
@@ -464,19 +527,25 @@ class Simulation:
             )
             remote_volume = per_worker * remote_fraction
             remote_volume -= run.prefetch_assigned[w]
-            remote_volume = max(remote_volume, 0.0)
+            if remote_volume < 0.0:
+                remote_volume = 0.0
             remote_sources = self._select_sources([s for s in sources if s != w], wi)
             if remote_volume > 0 and remote_sources:
                 per_source = remote_volume / len(remote_sources)
+                # One shared completion closure per worker; every flow's
+                # volume is > 0 here, so none completes inside add_item
+                # and the count can be bumped up front.
+                run.pending_reads[w] += len(remote_sources)
+                flow_done = self._make_flow_done(run, w)
+                add_item = self.engine.add_item
                 for src in remote_sources:
-                    run.pending_reads[w] += 1
-                    self.engine.add_item(
+                    add_item(
                         NetworkFlow(
                             src=src,
                             dst=w,
                             volume=per_source,
                             stage_key=run.key,
-                            on_complete=self._make_flow_done(run, w),
+                            on_complete=flow_done,
                         )
                     )
             if run.pending_reads[w] == 0:
@@ -516,7 +585,9 @@ class Simulation:
         if len(run.parts_read_done) == len(self.workers):
             run.record.read_done_time = self.engine.now
             self._log(EventKind.STAGE_READ_DONE, run.key[0], run.key[1])
-        volume = self._compute_volume(run)
+        volume = run.compute_volume
+        if volume < 0.0:
+            volume = run.compute_volume = self._compute_volume(run)
         run.compute_active.add(worker)
         if self.config.pipelined_shuffle:
             self._start_prefetch(run, worker)
@@ -614,7 +685,10 @@ class Simulation:
     def _part_compute_done(self, run: _StageRun, worker: str) -> None:
         run.compute_active.discard(worker)
         run.parts_compute_done.add(worker)
-        self.engine.mark_dirty()  # prefetch caps keyed on this part lapse
+        if self.config.pipelined_shuffle:
+            # Prefetch caps keyed on this part lapse; without pipelining
+            # the demand's completion already dirtied the engine.
+            self.engine.mark_dirty()
         if len(run.parts_compute_done) == len(self.workers):
             run.record.compute_done_time = self.engine.now
             self._log(EventKind.STAGE_COMPUTE_DONE, run.key[0], run.key[1])
@@ -641,6 +715,12 @@ class Simulation:
         run.record.finish_time = now
         job_id, stage_id = run.key
         self._log(EventKind.STAGE_COMPLETED, job_id, stage_id)
+        if self._watch_remaining is not None:
+            self._watch_remaining.discard(stage_id)
+            if not self._watch_remaining:
+                # Every watched stage has its exact finish time; the rest
+                # of the trajectory cannot change them (truncated runs).
+                self.engine.request_stop()
 
         job, _policy, _t = self._jobs[job_id]
         for child in job.children(stage_id):
@@ -745,15 +825,18 @@ class Simulation:
         demands: list[ComputeDemand] = []
         writes: list[DiskWrite] = []
         flows: list[NetworkFlow] = []
+        # ``type() is``: the three work-item kinds are leaf classes and
+        # the exact check is cheaper than isinstance on this hot path.
         for item in items:
-            if isinstance(item, NetworkFlow):
+            kind = type(item)
+            if kind is NetworkFlow:
                 flows.append(item)
-            elif isinstance(item, ComputeDemand):
+            elif kind is ComputeDemand:
                 demands.append(item)
-            elif isinstance(item, DiskWrite):
+            elif kind is DiskWrite:
                 writes.append(item)
             else:  # pragma: no cover - no other kinds exist
-                raise TypeError(f"unknown work item {type(item).__name__}")
+                raise TypeError(f"unknown work item {kind.__name__}")
 
         if self.config.task_granular:
             # Executor slots already serialize tasks; each running task
@@ -800,7 +883,7 @@ class Simulation:
                 )
                 count = max(self._prefetch_outstanding.get((f.producer_key, f.src), 1), 1)
                 f.rate_cap = rate * ratio / count
-            rates = maxmin_network_rates(flows, self.topology)
+            rates = maxmin_rates_seq(flows, self.topology)
             for f, r in zip(flows, rates):
                 f.rate = float(r)
 
@@ -963,6 +1046,8 @@ class Simulation:
     # ------------------------------------------------------------------ #
 
     def _log(self, kind: EventKind, job_id: str, stage_id: str = "", info: "dict | None" = None) -> None:
+        if not self.config.track_events:
+            return
         self.events.append(
             SimEvent(self.engine.now, kind, job_id, stage_id, info or {})
         )
