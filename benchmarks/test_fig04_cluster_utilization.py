@@ -10,8 +10,8 @@ import numpy as np
 import pytest
 
 from repro.analysis import render_series
+from repro.obs import band_fractions, fraction_below
 from repro.trace import generate_machine_usage
-from repro.trace.analysis import machine_low_utilization_fraction
 
 
 def make_usage():
@@ -38,8 +38,10 @@ def test_fig04_cluster_and_machine_utilization(benchmark, artifact):
         max_points=16,
     )
 
+    # The report layer's band histogram: its lowest band is exactly the
+    # "below 10 %" bucket (bit-identical to np.mean(m < 10.0)).
     m = cpu[0]
-    low = machine_low_utilization_fraction(m)
+    low = band_fractions(m).low_fraction
     text_b = render_series(
         days,
         {"CPU %": m, "network %": net[0]},
@@ -55,5 +57,5 @@ def test_fig04_cluster_and_machine_utilization(benchmark, artifact):
     assert 15.0 < cluster_cpu.mean() < 50.0
     assert 25.0 < cluster_net.mean() < 50.0
     assert m.min() < 10.0 and m.max() > 45.0
-    lows = [machine_low_utilization_fraction(cpu[i]) for i in range(cpu.shape[0])]
+    lows = [fraction_below(cpu[i], 10.0) for i in range(cpu.shape[0])]
     assert np.mean(lows) == pytest.approx(0.391, abs=0.12)

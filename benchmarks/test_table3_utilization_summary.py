@@ -8,7 +8,8 @@ smaller standard deviations (steadier resource usage).
 
 import pytest
 
-from repro.analysis import render_table, utilization_summary
+from repro.analysis import render_table
+from repro.obs import interleaving_report
 
 
 def test_table3_utilization_summary(benchmark, workload_runs, artifact):
@@ -16,8 +17,11 @@ def test_table3_utilization_summary(benchmark, workload_runs, artifact):
         rows = []
         stats = {}
         for name, runs in workload_runs.items():
-            spark = utilization_summary(runs["spark"].result)
-            ds = utilization_summary(runs["delaystage"].result)
+            # Read the Table 3 numbers off the interleaving report; its
+            # embedded summary IS utilization_summary(result) (no-drift
+            # contract, tests/test_obs_metrics.py).
+            spark = interleaving_report(runs["spark"].result).utilization
+            ds = interleaving_report(runs["delaystage"].result).utilization
             stats[name] = (spark, ds)
             rows.append([
                 name,

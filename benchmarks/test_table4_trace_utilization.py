@@ -12,6 +12,7 @@ import pytest
 from repro import DelayStageScheduler, FuxiScheduler, alibaba_sim_cluster
 from repro.analysis import render_table
 from repro.core import DelayStageParams, PathOrder
+from repro.obs import interleaving_report
 from repro.schedulers import run_with_scheduler
 from repro.trace import TraceGeneratorConfig, generate_trace, to_job
 
@@ -47,9 +48,11 @@ def replay_with_metrics():
         cpu, net = [], []
         for job in jobs:
             run = run_with_scheduler(job, cluster, sched)
-            m = run.result.metrics
-            cpu.append(m.cluster_average("cpu_utilization", 0, run.jct) * 100)
-            net.append(m.cluster_average("net_utilization", 0, run.jct) * 100)
+            # Table 4's numbers come straight off the interleaving
+            # report (cluster_average over the makespan, in percent).
+            rep = interleaving_report(run.result)
+            cpu.append(rep.cluster_cpu_pct)
+            net.append(rep.cluster_net_pct)
         utilization[name] = (float(np.mean(cpu)), float(np.mean(net)))
     return utilization
 

@@ -65,12 +65,22 @@ def utilization_series(
     metric_net: str = "net_in",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Sampled (time, cpu_percent, net_bytes_per_sec) series for one
-    worker — the Fig. 5/12/17 time series."""
+    worker — the Fig. 5/12/17 time series.
+
+    Sampling goes through
+    :meth:`~repro.simulator.metrics.MetricsCollector.sample_nodes`, the
+    single-pass path over the collector's shared segment grid (one
+    ``searchsorted`` for both metrics instead of a per-node, per-metric
+    re-resample); values are bit-identical to the previous
+    ``NodeSeries.sample`` implementation.
+    """
     if result.metrics is None:
         raise ValueError("run had metrics tracking disabled")
     node = node_id or result.cluster.worker_ids[0]
-    series = result.metrics.node_series(node)
     t = np.arange(0.0, result.makespan + step, step)
-    cpu = series.sample(t, "cpu_utilization") * 100.0
-    net = series.sample(t, metric_net)
+    sampled = result.metrics.sample_nodes(
+        t, ["cpu_utilization", metric_net], nodes=[node]
+    )
+    cpu = sampled["cpu_utilization"][0] * 100.0
+    net = sampled[metric_net][0]
     return t, cpu, net

@@ -13,13 +13,29 @@ from repro.bench.harness import (
     run_benchmarks,
     write_results,
 )
+from repro.bench.watch import (
+    DEFAULT_WALL_THRESHOLD,
+    WatchFinding,
+    comparable_configs,
+    compare_to_baselines,
+    has_failures,
+    load_baselines,
+    render_findings,
+)
 
 __all__ = [
     "BENCHMARKS",
     "BenchResult",
+    "DEFAULT_WALL_THRESHOLD",
+    "WatchFinding",
     "bench_alg1",
     "bench_realloc",
     "bench_replay",
+    "comparable_configs",
+    "compare_to_baselines",
+    "has_failures",
+    "load_baselines",
+    "render_findings",
     "run_benchmarks",
     "write_results",
 ]

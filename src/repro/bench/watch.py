@@ -1,0 +1,195 @@
+"""Perf-regression watchdog: diff fresh bench results against baselines.
+
+``repro bench --compare <dir>`` runs the harness, then compares each
+fresh :class:`~repro.bench.harness.BenchResult` against the committed
+``BENCH_<name>.json`` under ``benchmarks/perf/`` (or any directory of
+such files) and turns the differences into findings:
+
+* **fail** — the fresh run is not bit-equivalent to its escape-hatch
+  baseline, or its wall time regressed beyond the noise threshold
+  relative to a *comparable* committed baseline;
+* **info** — context that never gates: a large improvement, a missing
+  baseline, or a wall comparison skipped because the runs are not
+  comparable (e.g. CI's ``--quick`` inputs vs the committed full-size
+  baselines — different job counts measure different work, so only the
+  equivalence bit is meaningful across them).
+
+Wall clocks are noisy, which is why the default threshold is a generous
+1.5x and why equivalence — which is exact — is always the primary gate.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.harness import BenchResult
+
+#: Fresh wall time may exceed a comparable baseline's by this factor
+#: before the watchdog fails; container clocks routinely jitter tens of
+#: percent, so the default only catches genuine (~2x) regressions.
+DEFAULT_WALL_THRESHOLD = 1.5
+
+#: Config keys that vary run-to-run without changing what is measured
+#: (telemetry and methodology knobs, not workload shape).
+_VOLATILE_CONFIG_KEYS = (
+    "engine_events",
+    "repeats",
+    "evaluations",
+    "baseline_evaluations",
+    "pre_pr_reference",
+)
+
+
+@dataclass(frozen=True)
+class WatchFinding:
+    """One watchdog observation about a benchmark."""
+
+    name: str
+    severity: str  # "fail" | "warn" | "info"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.name}: {self.message}"
+
+
+def _stable_config(config: "Mapping | None") -> dict:
+    return {
+        k: v
+        for k, v in dict(config or {}).items()
+        if k not in _VOLATILE_CONFIG_KEYS
+    }
+
+
+def comparable_configs(fresh: "Mapping | None", base: "Mapping | None") -> bool:
+    """True when two runs measured the same work (wall times compare)."""
+    return _stable_config(fresh) == _stable_config(base)
+
+
+def load_baselines(directory: str) -> "dict[str, dict]":
+    """Read every ``BENCH_*.json`` under ``directory``, keyed by name.
+
+    Malformed files are skipped with an entry under the reserved key
+    left out — the caller sees them as missing baselines.
+    """
+    baselines: "dict[str, dict]" = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(doc, dict) and isinstance(doc.get("name"), str):
+            baselines[doc["name"]] = doc
+    return baselines
+
+
+def compare_to_baselines(
+    fresh: "Sequence[BenchResult]",
+    baselines: "Mapping[str, Mapping] | str",
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+) -> "list[WatchFinding]":
+    """Diff fresh results against baselines (a mapping or a directory)."""
+    if isinstance(baselines, str):
+        baselines = load_baselines(baselines)
+    if wall_threshold <= 1.0:
+        raise ValueError(
+            f"wall_threshold must exceed 1.0, got {wall_threshold}"
+        )
+    findings: "list[WatchFinding]" = []
+    for result in fresh:
+        if not result.equivalent:
+            findings.append(
+                WatchFinding(
+                    result.name,
+                    "fail",
+                    "optimized path and escape-hatch baseline disagree "
+                    "(equivalence break)",
+                )
+            )
+        base = baselines.get(result.name)
+        if base is None:
+            findings.append(
+                WatchFinding(
+                    result.name, "info", "no committed baseline to compare"
+                )
+            )
+            continue
+        if not bool(base.get("equivalent", True)):
+            findings.append(
+                WatchFinding(
+                    result.name,
+                    "info",
+                    "committed baseline itself recorded an equivalence "
+                    "break; wall comparison skipped",
+                )
+            )
+            continue
+        if not comparable_configs(result.config, base.get("config")):
+            findings.append(
+                WatchFinding(
+                    result.name,
+                    "info",
+                    "baseline measured different inputs "
+                    f"({_stable_config(base.get('config'))} vs "
+                    f"{_stable_config(result.config)}); wall comparison "
+                    "skipped, equivalence checked",
+                )
+            )
+            continue
+        base_wall = float(base.get("wall_s", 0.0))
+        if base_wall <= 0 or result.wall_s <= 0:
+            findings.append(
+                WatchFinding(
+                    result.name, "info", "non-positive wall time; skipped"
+                )
+            )
+            continue
+        ratio = result.wall_s / base_wall
+        if ratio > wall_threshold:
+            findings.append(
+                WatchFinding(
+                    result.name,
+                    "fail",
+                    f"wall time regressed {ratio:.2f}x vs baseline "
+                    f"({result.wall_s:.3f}s vs {base_wall:.3f}s, "
+                    f"threshold {wall_threshold:.2f}x)",
+                )
+            )
+        elif ratio < 1.0 / wall_threshold:
+            findings.append(
+                WatchFinding(
+                    result.name,
+                    "info",
+                    f"wall time improved {1.0 / ratio:.2f}x vs baseline "
+                    f"({result.wall_s:.3f}s vs {base_wall:.3f}s) — "
+                    "consider refreshing the committed baseline",
+                )
+            )
+        else:
+            findings.append(
+                WatchFinding(
+                    result.name,
+                    "info",
+                    f"wall time within noise ({ratio:.2f}x of baseline)",
+                )
+            )
+    return findings
+
+
+def has_failures(findings: "Sequence[WatchFinding]") -> bool:
+    return any(f.severity == "fail" for f in findings)
+
+
+def render_findings(findings: "Sequence[WatchFinding]") -> str:
+    if not findings:
+        return "watchdog: nothing to compare"
+    lines = ["watchdog findings:"]
+    lines.extend(f"  {f}" for f in findings)
+    verdict = "FAIL" if has_failures(findings) else "ok"
+    lines.append(f"watchdog verdict: {verdict}")
+    return "\n".join(lines)

@@ -1,9 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the common workflows without writing any code:
+The subcommands cover the common workflows without writing any code:
 
 * ``compare``   — run a workload under the scheduling strategies and
   print the Fig. 10-style JCT table.
+* ``report``    — run Fuxi/Spark/DelayStage with metrics tracking and
+  print the interleaving-analytics comparison (overlap ratio,
+  complementarity, delay-wait shares, utilization bands; optional
+  OpenMetrics / CSV exports).
 * ``schedule``  — run Algorithm 1 for a workload and print (optionally
   persist) the delay table.
 * ``timeline``  — print the stage gantt of a workload under a strategy.
@@ -15,13 +19,16 @@ Seven subcommands cover the common workflows without writing any code:
   schedules, delay tables, and cluster specs (exit 1 on ERROR).
 * ``inspect``   — summarize (and optionally schema-validate) a trace
   file written with ``--emit-trace``.
+* ``bench``     — performance benchmarks with equivalence checks;
+  ``--compare DIR`` additionally diffs against committed baselines.
 
 Output contract: every result-printing subcommand accepts ``--json``,
 in which case the machine-readable payload (always carrying the run
 manifest) is the *only* thing written to stdout; diagnostics go to
 stderr.  ``compare``, ``schedule``, and ``replay`` additionally accept
 ``--emit-trace PATH`` (write a Perfetto-loadable Chrome trace of the
-run) and ``--manifest`` (print the run manifest).
+run) and ``--manifest`` (print the run manifest); ``compare`` and
+``replay`` accept ``--progress`` (live stderr heartbeat).
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.analysis import render_cdf, render_gantt, render_table, stage_gantt
 from repro.cluster import alibaba_sim_cluster, ec2_m4large_cluster, uniform_cluster
 from repro.core import DelayStageParams, delay_stage_schedule
 from repro.core.properties import read_metrics_properties, write_metrics_properties
-from repro.obs import Tracer, build_manifest, write_chrome_trace
+from repro.obs import ProgressReporter, Tracer, build_manifest, write_chrome_trace
 from repro.schedulers import (
     AggShuffleScheduler,
     DelayStageScheduler,
@@ -97,6 +104,19 @@ def _tracer_for(args: argparse.Namespace) -> "Tracer | None":
     return Tracer() if getattr(args, "emit_trace", None) else None
 
 
+def _progress_for(args: argparse.Namespace, label: str,
+                  total_jobs: int) -> "ProgressReporter | None":
+    """A heartbeat reporter when ``--progress`` was given, else None.
+
+    Without the flag nothing is constructed and nothing is written —
+    the zero-output-when-off guarantee ``tests/test_obs_progress.py``
+    checks.
+    """
+    if not getattr(args, "progress", False):
+        return None
+    return ProgressReporter(label=label, total_jobs=total_jobs)
+
+
 def _write_trace(args: argparse.Namespace, tracer: "Tracer | None",
                  manifest: "RunManifest") -> None:
     if tracer is None:
@@ -110,16 +130,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
     tracer = _tracer_for(args)
+    progress = _progress_for(args, f"compare {args.workload}", total_jobs=3)
+    # Metrics tracking is only needed when the trace is exported — it is
+    # what populates the per-node counter tracks (``inspect --counters``)
+    # — and it never changes the simulated dynamics.
+    track = tracer is not None
     runs = compare_schedulers(
         job,
         cluster,
         [
-            StockSparkScheduler(track_metrics=False),
-            AggShuffleScheduler(track_metrics=False),
-            DelayStageScheduler(profiled=not args.oracle, track_metrics=False),
+            StockSparkScheduler(track_metrics=track),
+            AggShuffleScheduler(track_metrics=track),
+            DelayStageScheduler(profiled=not args.oracle, track_metrics=track),
         ],
         tracer=tracer,
+        progress=progress,
     )
+    if progress is not None:
+        progress.close()
     manifest = build_manifest(
         seed=0,
         config={"command": "compare", "workload": args.workload,
@@ -150,6 +178,59 @@ def cmd_compare(args: argparse.Namespace) -> int:
         ["strategy", "JCT (s)", "vs spark"],
         rows,
         title=f"{args.workload} on {cluster.num_workers} workers",
+    )
+    return _finish(args, payload, text, manifest)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Interleaving-analytics comparison report (``repro report``)."""
+    from repro.obs import (
+        interleaving_report,
+        render_markdown_report,
+        reports_to_csv,
+        reports_to_openmetrics,
+    )
+
+    cluster = _cluster_for(args)
+    job = workload_by_name(args.workload, args.scale)
+    runs = compare_schedulers(
+        job,
+        cluster,
+        [
+            FuxiScheduler(track_metrics=True),
+            StockSparkScheduler(track_metrics=True),
+            DelayStageScheduler(profiled=not args.oracle, track_metrics=True),
+        ],
+    )
+    reports = {
+        name: interleaving_report(run.result, job, label=name)
+        for name, run in runs.items()
+    }
+    manifest = build_manifest(
+        seed=0,
+        config={"command": "report", "workload": args.workload,
+                "workers": cluster.num_workers, "scale": args.scale,
+                "oracle": args.oracle},
+        jobs=[job],
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(reports_to_csv(reports))
+        _echo(f"CSV report written to {args.csv}")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(reports_to_openmetrics(reports))
+        _echo(f"OpenMetrics report written to {args.prometheus}")
+    payload = {
+        "command": "report",
+        "workload": args.workload,
+        "manifest": manifest.to_dict(),
+        "reports": {name: rep.to_dict() for name, rep in reports.items()},
+    }
+    text = render_markdown_report(
+        reports,
+        title=(f"Interleaving report — {args.workload} on "
+               f"{cluster.num_workers} workers"),
     )
     return _finish(args, payload, text, manifest)
 
@@ -340,8 +421,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
         params=DelayStageParams(max_slots=12, memoize=memo, bound_prune=memo),
         incremental=incremental,
     )
-    jct_f = replay_batch(jobs, cluster, fuxi, processes=args.parallel, tracer=tracer)
-    jct_d = replay_batch(jobs, cluster, ds, processes=args.parallel, tracer=tracer)
+    progress = _progress_for(args, "replay", total_jobs=2 * len(jobs))
+    jct_f = replay_batch(jobs, cluster, fuxi, processes=args.parallel,
+                         tracer=tracer, progress=progress)
+    jct_d = replay_batch(jobs, cluster, ds, processes=args.parallel,
+                         tracer=tracer, progress=progress)
+    if progress is not None:
+        progress.close()
     manifest = build_manifest(
         seed=args.seed,
         config={"command": "replay", "jobs": args.jobs,
@@ -380,9 +466,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 def cmd_inspect(args: argparse.Namespace) -> int:
     from repro.obs import (
+        counter_track_summary,
         decision_audits,
         delay_tables,
         read_chrome_trace,
+        render_counter_summary,
         render_summary,
         validate_chrome_trace,
     )
@@ -407,7 +495,11 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             "decision_audits": decision_audits(doc),
             "counters": counters_of(doc),
         }
+        if args.counters:
+            payload["counter_summary"] = counter_track_summary(doc)
         print(json.dumps(payload, indent=2, sort_keys=True, default=float))
+    elif args.counters:
+        print(render_counter_summary(doc))
     else:
         print(render_summary(doc, max_stages=args.max_stages))
     if args.validate and errors:
@@ -430,7 +522,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for path in paths:
         lines.append(f"wrote {path}")
     ok = all(r.equivalent for r in results)
-    if not ok:
+    if args.compare:
+        from repro.bench import (
+            compare_to_baselines,
+            has_failures,
+            render_findings,
+        )
+
+        findings = compare_to_baselines(
+            results, args.compare, wall_threshold=args.threshold
+        )
+        payload["watchdog"] = {
+            "baseline_dir": args.compare,
+            "threshold": args.threshold,
+            "findings": [
+                {"name": f.name, "severity": f.severity, "message": f.message}
+                for f in findings
+            ],
+        }
+        lines.append(render_findings(findings))
+        ok = ok and not has_failures(findings)
+    if not all(r.equivalent for r in results):
         lines.append("FAIL: optimized and escape-hatch results differ")
     _finish(args, payload, "\n".join(lines))
     return 0 if ok else 1
@@ -535,13 +647,34 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--manifest", action="store_true",
                        help="also print the run manifest (seeds, config hash)")
 
+    def add_progress_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--progress", action="store_true",
+                       help="stream a live heartbeat (jobs done, events/s, "
+                            "running makespan, ETA) to stderr")
+
     p = sub.add_parser("compare", help="JCT under Spark/AggShuffle/DelayStage")
     add_workload_args(p)
     p.add_argument("--oracle", action="store_true",
                    help="plan on true parameters instead of profiling")
     add_json_arg(p)
     add_trace_args(p)
+    add_progress_arg(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "report",
+        help="interleaving analytics under Fuxi/Spark/DelayStage "
+             "(overlap, complementarity, delay-wait, utilization bands)",
+    )
+    add_workload_args(p)
+    p.add_argument("--oracle", action="store_true",
+                   help="plan on true parameters instead of profiling")
+    p.add_argument("--csv", metavar="PATH",
+                   help="also write the report as CSV here")
+    p.add_argument("--prometheus", metavar="PATH",
+                   help="also write Prometheus/OpenMetrics text here")
+    add_json_arg(p)
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("schedule", help="compute a DelayStage delay table")
     add_workload_args(p)
@@ -589,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical, slower)")
     add_json_arg(p)
     add_trace_args(p)
+    add_progress_arg(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
@@ -599,6 +733,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 if the trace fails schema validation")
     p.add_argument("--max-stages", type=int, default=50, dest="max_stages",
                    help="root spans to show in the tree summary")
+    p.add_argument("--counters", action="store_true",
+                   help="per-track min/mean/max/last summary of the "
+                        "counter samples")
     add_json_arg(p)
     p.set_defaults(func=cmd_inspect)
 
@@ -613,6 +750,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="benchmarks/perf", metavar="DIR",
                    help="directory for BENCH_<name>.json "
                         "(empty string: don't write)")
+    p.add_argument("--compare", metavar="DIR",
+                   help="watchdog: diff fresh results against the "
+                        "BENCH_*.json baselines in DIR; exit 1 on a "
+                        "wall-time regression past the threshold or an "
+                        "equivalence break")
+    p.add_argument("--threshold", type=float, default=1.5,
+                   help="watchdog wall-time regression factor "
+                        "(default: 1.5x; only applied to baselines "
+                        "with comparable inputs)")
     add_json_arg(p)
     p.set_defaults(func=cmd_bench)
 

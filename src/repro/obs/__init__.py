@@ -16,6 +16,12 @@ after a run:
   schema validator CI runs against emitted traces.
 * :mod:`repro.obs.inspect` — offline span-tree / decision-audit
   summaries (the ``repro inspect`` subcommand).
+* :mod:`repro.obs.metrics` — aggregate interleaving analytics (stage
+  overlap, CPU/network complementarity, delay-wait shares, utilization
+  bands) with markdown / OpenMetrics / CSV exporters (``repro
+  report``).
+* :mod:`repro.obs.progress` — the throttled stderr heartbeat behind
+  the ``--progress`` flag.
 
 The simulator emits one span per stage with ``delay-wait`` /
 ``shuffle-read`` / ``compute`` / ``disk-write`` phase children;
@@ -52,11 +58,26 @@ from repro.obs.export import (
     write_spans_jsonl,
 )
 from repro.obs.inspect import (
+    counter_track_summary,
     decision_audits,
     delay_tables,
+    render_counter_summary,
     render_summary,
     span_nodes,
 )
+from repro.obs.metrics import (
+    DEFAULT_BAND_EDGES,
+    InterleavingReport,
+    PathDelayShare,
+    UtilizationBands,
+    band_fractions,
+    fraction_below,
+    interleaving_report,
+    render_markdown_report,
+    reports_to_csv,
+    reports_to_openmetrics,
+)
+from repro.obs.progress import ProgressReporter
 
 __all__ = [
     "Tracer",
@@ -83,4 +104,17 @@ __all__ = [
     "decision_audits",
     "delay_tables",
     "render_summary",
+    "counter_track_summary",
+    "render_counter_summary",
+    "DEFAULT_BAND_EDGES",
+    "UtilizationBands",
+    "PathDelayShare",
+    "InterleavingReport",
+    "band_fractions",
+    "fraction_below",
+    "interleaving_report",
+    "render_markdown_report",
+    "reports_to_csv",
+    "reports_to_openmetrics",
+    "ProgressReporter",
 ]

@@ -117,6 +117,89 @@ def counters_of(doc: Mapping[str, Any]) -> dict:
     return {"counters": {}, "gauges": {}}
 
 
+def counter_track_summary(doc: Mapping[str, Any]) -> "list[dict]":
+    """Per-track statistics for the counter samples in a trace.
+
+    Groups the ``ph: "C"`` events by (track label, counter name), where
+    the track label is resolved through the ``process_name`` /
+    ``thread_name`` metadata events (pid → process, (pid, tid) →
+    thread), and summarizes each group's values as min/mean/max/last
+    (last = value of the latest-``ts`` sample; ties keep file order).
+    Returns a list of dicts sorted by (track, counter) — the payload
+    behind ``repro inspect --counters``.
+    """
+    processes: dict = {}
+    threads: dict = {}
+    for ev in doc.get("traceEvents", ()):
+        if not isinstance(ev, Mapping) or ev.get("ph") != "M":
+            continue
+        args = ev.get("args") or {}
+        label = args.get("name")
+        if not isinstance(label, str):
+            continue
+        if ev.get("name") == "process_name":
+            processes[ev.get("pid")] = label
+        elif ev.get("name") == "thread_name":
+            threads[(ev.get("pid"), ev.get("tid"))] = label
+
+    groups: "dict[tuple[str, str], list[tuple[float, float]]]" = {}
+    for ev in doc.get("traceEvents", ()):
+        if not isinstance(ev, Mapping) or ev.get("ph") != "C":
+            continue
+        args = ev.get("args") or {}
+        value = args.get("value")
+        if not isinstance(value, (int, float)):
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        proc = processes.get(pid)
+        thread = threads.get((pid, tid))
+        if proc and thread:
+            track = f"{proc}/{thread}"
+        else:
+            track = proc or thread or f"pid {pid}"
+        name = str(ev.get("name", ""))
+        ts = float(ev.get("ts", 0)) / 1e6
+        groups.setdefault((track, name), []).append((ts, float(value)))
+
+    summary = []
+    for (track, name), samples in sorted(groups.items()):
+        values = [v for _, v in samples]
+        last = max(enumerate(samples), key=lambda iv: (iv[1][0], iv[0]))[1][1]
+        summary.append(
+            {
+                "track": track,
+                "counter": name,
+                "samples": len(values),
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "max": max(values),
+                "last": last,
+                "t_first": samples[0][0],
+                "t_last": max(ts for ts, _ in samples),
+            }
+        )
+    return summary
+
+
+def render_counter_summary(doc: Mapping[str, Any]) -> str:
+    """Text table of :func:`counter_track_summary`."""
+    rows = counter_track_summary(doc)
+    if not rows:
+        return "no counter tracks in trace"
+    lines = [
+        f"counter tracks ({len(rows)} series):",
+        f"  {'track':28s} {'counter':16s} {'n':>5s} "
+        f"{'min':>12s} {'mean':>12s} {'max':>12s} {'last':>12s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r['track']:28s} {r['counter']:16s} {r['samples']:>5d} "
+            f"{r['min']:>12.6g} {r['mean']:>12.6g} {r['max']:>12.6g} "
+            f"{r['last']:>12.6g}"
+        )
+    return "\n".join(lines)
+
+
 def _render_node(node: SpanNode, indent: int, lines: list[str]) -> None:
     pad = "  " * indent
     lines.append(

@@ -1,0 +1,536 @@
+"""Aggregate interleaving analytics over a finished run.
+
+The paper's headline claim is resource *interleaving*: DelayStage fills
+the CPU/network troughs that stock Spark leaves idle (Figs. 4 and 12,
+Tables 3 and 4).  This module turns a :class:`SimulationResult` into
+the machine-readable quantities behind those figures:
+
+* **stage-overlap ratio** — of the time at least one stage is
+  executing, the fraction during which two or more execute
+  concurrently (the "parallel stages actually overlap" measure);
+* **CPU/network complementarity** — the worker-averaged fraction of
+  the run during which a node's CPU *and* NIC are simultaneously busy,
+  i.e. one stage's network phase genuinely overlaps another's compute
+  phase rather than the resources alternating;
+* **delay-wait share** — how much of the makespan the schedule spent
+  in deliberate submission delays, overall and per execution path
+  (Fig. 7's decomposition);
+* **utilization bands** — the time-weighted histogram of per-worker
+  CPU/network utilization (Fig. 4's "below 10 % for 39.1 % of the
+  time" is the lowest band), plus the cluster averages of Table 4 and
+  the worker mean/std summary of Table 3.
+
+Everything is exposed as frozen dataclasses with ``to_dict`` methods,
+plus Prometheus/OpenMetrics-text and CSV exporters and a markdown
+comparison renderer — the machinery behind ``repro report``.
+
+Import discipline: this module is imported from ``repro.obs.__init__``,
+which the simulator itself triggers, so at module level it may only
+depend on the standard library and numpy; simulator/analysis/dag
+imports happen lazily inside the builder functions.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.stats import UtilizationSummary
+    from repro.dag.job import Job
+    from repro.simulator.metrics import MetricsCollector
+    from repro.simulator.simulation import SimulationResult
+
+#: Default utilization-band edges, in percent.  The lowest band
+#: ``[0, 10)`` is exactly the paper's Fig. 4(b) "below 10 %" bucket.
+DEFAULT_BAND_EDGES: "tuple[float, ...]" = (0.0, 10.0, 25.0, 50.0, 75.0, 100.0)
+
+#: A resource counts as "busy" for the complementarity index when its
+#: utilization fraction exceeds this (5 % — filters numeric dribble
+#: without hiding genuine low-rate activity).
+DEFAULT_BUSY_THRESHOLD = 0.05
+
+
+# --------------------------------------------------------------------- #
+# utilization bands
+
+
+@dataclass(frozen=True)
+class UtilizationBands:
+    """Time(or sample)-weighted histogram of a utilization series.
+
+    ``fractions[i]`` is the weight fraction spent in
+    ``[edges[i], edges[i+1])``; values below ``edges[0]`` count toward
+    the first band and values at or above ``edges[-1]`` toward the
+    last, so the fractions always sum to 1 for non-empty input.
+    """
+
+    edges: "tuple[float, ...]"
+    fractions: "tuple[float, ...]"
+
+    @property
+    def low_fraction(self) -> float:
+        """Weight below ``edges[1]`` — Fig. 4(b)'s "< 10 %" number."""
+        return self.fractions[0]
+
+    def labels(self) -> "list[str]":
+        return [
+            f"{lo:g}-{hi:g}" for lo, hi in zip(self.edges, self.edges[1:])
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": [float(e) for e in self.edges],
+            "labels": self.labels(),
+            "fractions": [float(f) for f in self.fractions],
+        }
+
+
+def band_fractions(
+    values: "Sequence[float] | np.ndarray",
+    edges: "Sequence[float]" = DEFAULT_BAND_EDGES,
+    weights: "Sequence[float] | np.ndarray | None" = None,
+) -> UtilizationBands:
+    """Histogram ``values`` into right-open bands.
+
+    Bands are ``[edges[i], edges[i+1])``; out-of-range values clip into
+    the first/last band.  With ``weights`` (e.g. segment durations) the
+    fractions are weight shares; without, they are sample shares — in
+    which case the first band's fraction is **bit-identical** to
+    ``np.mean(values < edges[1])``, the formula the Fig. 4 analysis
+    uses (both are an integer count divided by the sample count).
+    """
+    edge_t = tuple(float(e) for e in edges)
+    if len(edge_t) < 2:
+        raise ValueError("edges must define at least one band")
+    for lo, hi in zip(edge_t, edge_t[1:]):
+        if not lo < hi:
+            raise ValueError(f"edges must be strictly increasing, got {edge_t}")
+    n_bands = len(edge_t) - 1
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        return UtilizationBands(edge_t, (0.0,) * n_bands)
+    idx = np.searchsorted(edge_t, v, side="right") - 1
+    idx = np.clip(idx, 0, n_bands - 1)
+    if weights is None:
+        counts = np.bincount(idx, minlength=n_bands)
+        fractions = counts / v.size
+    else:
+        w = np.asarray(weights, dtype=float).ravel()
+        if w.shape != v.shape:
+            raise ValueError(
+                f"weights shape {w.shape} does not match values {v.shape}"
+            )
+        total = float(np.sum(w))
+        if total <= 0:
+            return UtilizationBands(edge_t, (0.0,) * n_bands)
+        fractions = np.bincount(idx, weights=w, minlength=n_bands) / total
+    return UtilizationBands(edge_t, tuple(float(f) for f in fractions))
+
+
+def fraction_below(
+    values: "Sequence[float] | np.ndarray", threshold: float
+) -> float:
+    """Sample fraction strictly below ``threshold``.
+
+    Identical to ``np.mean(values < threshold)`` (empty input → 0.0);
+    :func:`repro.trace.analysis.machine_low_utilization_fraction`
+    delegates here so the trace analysis and the report layer cannot
+    drift apart.
+    """
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        return 0.0
+    return band_fractions(v, edges=(0.0, threshold, math.inf)).fractions[0]
+
+
+# --------------------------------------------------------------------- #
+# per-run report
+
+
+@dataclass(frozen=True)
+class PathDelayShare:
+    """Deliberate delay-wait accumulated along one execution path."""
+
+    stages: "tuple[str, ...]"
+    delay_seconds: float
+    share: float
+
+    def to_dict(self) -> dict:
+        return {
+            "stages": list(self.stages),
+            "delay_seconds": float(self.delay_seconds),
+            "share": float(self.share),
+        }
+
+
+@dataclass(frozen=True)
+class InterleavingReport:
+    """One run's interleaving analytics (see the module docstring)."""
+
+    label: str
+    jct_seconds: float
+    makespan_seconds: float
+    stage_overlap_ratio: float
+    cpu_net_complementarity: float
+    delay_wait_seconds: float
+    delay_wait_share: float
+    path_delay_shares: "tuple[PathDelayShare, ...]"
+    cpu_bands: UtilizationBands
+    net_bands: UtilizationBands
+    cluster_cpu_pct: float
+    cluster_net_pct: float
+    utilization: "UtilizationSummary"
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "jct_seconds": float(self.jct_seconds),
+            "makespan_seconds": float(self.makespan_seconds),
+            "stage_overlap_ratio": float(self.stage_overlap_ratio),
+            "cpu_net_complementarity": float(self.cpu_net_complementarity),
+            "delay_wait_seconds": float(self.delay_wait_seconds),
+            "delay_wait_share": float(self.delay_wait_share),
+            "path_delay_shares": [p.to_dict() for p in self.path_delay_shares],
+            "cpu_bands": self.cpu_bands.to_dict(),
+            "net_bands": self.net_bands.to_dict(),
+            "cluster_cpu_pct": float(self.cluster_cpu_pct),
+            "cluster_net_pct": float(self.cluster_net_pct),
+            "utilization": {
+                "net_mb_mean": float(self.utilization.net_mb_mean),
+                "net_mb_std": float(self.utilization.net_mb_std),
+                "cpu_pct_mean": float(self.utilization.cpu_pct_mean),
+                "cpu_pct_std": float(self.utilization.cpu_pct_std),
+            },
+        }
+
+
+def _stage_overlap_ratio(result: "SimulationResult") -> float:
+    """Time with >= 2 stages executing over time with >= 1 executing."""
+    deltas: "list[tuple[float, int]]" = []
+    for rec in result.stage_records.values():
+        t0, t1 = rec.submit_time, rec.finish_time
+        if math.isfinite(t0) and math.isfinite(t1) and t1 > t0:
+            deltas.append((t0, 1))
+            deltas.append((t1, -1))
+    if not deltas:
+        return 0.0
+    # Sort ends before starts at equal timestamps: a stage finishing
+    # the instant another submits is a hand-off, not an overlap.
+    deltas.sort(key=lambda e: (e[0], e[1]))
+    busy1 = busy2 = 0.0
+    depth = 0
+    prev = deltas[0][0]
+    for t, d in deltas:
+        if t > prev:
+            span = t - prev
+            if depth >= 1:
+                busy1 += span
+            if depth >= 2:
+                busy2 += span
+            prev = t
+        depth += d
+    if busy1 <= 0:
+        return 0.0
+    return busy2 / busy1
+
+
+def _complementarity(
+    metrics: "MetricsCollector", makespan: float, threshold: float
+) -> float:
+    """Worker-averaged fraction of the run with CPU *and* NIC busy."""
+    workers = metrics.cluster.worker_ids
+    if not workers or makespan <= 0:
+        return 0.0
+    fractions = []
+    for node_id in workers:
+        series = metrics.node_series(node_id)
+        cpu = series.values("cpu_utilization")
+        net = series.values("net_utilization")
+        lo = np.maximum(series.t0, 0.0)
+        hi = np.minimum(series.t1, makespan)
+        w = np.maximum(hi - lo, 0.0)
+        both = (cpu > threshold) & (net > threshold)
+        fractions.append(float(np.sum(w[both]) / makespan))
+    return float(np.mean(fractions))
+
+
+def _cluster_bands(
+    metrics: "MetricsCollector",
+    makespan: float,
+    metric: str,
+    edges: "Sequence[float]",
+) -> UtilizationBands:
+    """Time-weighted utilization bands pooled over all workers.
+
+    Utilization is in percent; window time not covered by any observed
+    segment counts as 0 % (a monitoring agent would report idle), so
+    the weights always sum to ``workers * makespan``.
+    """
+    workers = metrics.cluster.worker_ids
+    if not workers or makespan <= 0:
+        return band_fractions(np.zeros(0), edges)
+    values: "list[np.ndarray]" = []
+    weights: "list[np.ndarray]" = []
+    for node_id in workers:
+        series = metrics.node_series(node_id)
+        lo = np.maximum(series.t0, 0.0)
+        hi = np.minimum(series.t1, makespan)
+        w = np.maximum(hi - lo, 0.0)
+        values.append(series.values(metric) * 100.0)
+        weights.append(w)
+        uncovered = makespan - float(np.sum(w))
+        if uncovered > 0:
+            values.append(np.zeros(1))
+            weights.append(np.full(1, uncovered))
+    return band_fractions(
+        np.concatenate(values), edges, weights=np.concatenate(weights)
+    )
+
+
+def _path_delay_shares(
+    result: "SimulationResult", job: "Job", makespan: float, max_paths: int
+) -> "tuple[PathDelayShare, ...]":
+    from repro.dag.paths import execution_paths
+
+    shares = []
+    for path in execution_paths(job)[:max_paths]:
+        delay = 0.0
+        for sid in path.stages:
+            rec = result.stage_records.get((job.job_id, sid))
+            if rec is None:
+                continue
+            d = rec.submit_time - rec.ready_time
+            if math.isfinite(d) and d > 0:
+                delay += d
+        shares.append(
+            PathDelayShare(
+                stages=tuple(path.stages),
+                delay_seconds=delay,
+                share=delay / makespan if makespan > 0 else 0.0,
+            )
+        )
+    return tuple(shares)
+
+
+def interleaving_report(
+    result: "SimulationResult",
+    job: "Job | None" = None,
+    *,
+    label: str = "run",
+    band_edges: "Sequence[float]" = DEFAULT_BAND_EDGES,
+    busy_threshold: float = DEFAULT_BUSY_THRESHOLD,
+    max_paths: int = 16,
+) -> InterleavingReport:
+    """Compute the interleaving analytics for one finished run.
+
+    Requires metrics tracking (``track_metrics=True``).  Pass the
+    ``job`` to additionally decompose the delay-wait per execution
+    path (Fig. 7); without it ``path_delay_shares`` is empty.  The
+    Table 3 summary embedded as ``utilization`` and the Table 4
+    cluster averages reuse the exact computations of
+    :func:`repro.analysis.stats.utilization_summary` and
+    :meth:`~repro.simulator.metrics.MetricsCollector.cluster_average`,
+    so report values and benchmark assertions cannot drift.
+    """
+    from repro.analysis.stats import utilization_summary
+
+    metrics = result.metrics
+    if metrics is None:
+        raise ValueError(
+            "run had metrics tracking disabled; rerun with track_metrics=True"
+        )
+    makespan = float(result.makespan)
+    if len(result.job_records) == 1:
+        (jrec,) = result.job_records.values()
+        jct = float(jrec.completion_time)
+    else:
+        jct = makespan
+
+    delay_total = 0.0
+    for rec in result.stage_records.values():
+        d = rec.submit_time - rec.ready_time
+        if math.isfinite(d) and d > 0:
+            delay_total += d
+
+    return InterleavingReport(
+        label=label,
+        jct_seconds=jct,
+        makespan_seconds=makespan,
+        stage_overlap_ratio=_stage_overlap_ratio(result),
+        cpu_net_complementarity=_complementarity(
+            metrics, makespan, busy_threshold
+        ),
+        delay_wait_seconds=delay_total,
+        delay_wait_share=delay_total / makespan if makespan > 0 else 0.0,
+        path_delay_shares=(
+            _path_delay_shares(result, job, makespan, max_paths)
+            if job is not None
+            else ()
+        ),
+        cpu_bands=_cluster_bands(metrics, makespan, "cpu_utilization", band_edges),
+        net_bands=_cluster_bands(metrics, makespan, "net_utilization", band_edges),
+        cluster_cpu_pct=metrics.cluster_average("cpu_utilization", 0.0, makespan) * 100.0,
+        cluster_net_pct=metrics.cluster_average("net_utilization", 0.0, makespan) * 100.0,
+        utilization=utilization_summary(result),
+    )
+
+
+# --------------------------------------------------------------------- #
+# comparison rendering and exporters
+
+
+def render_markdown_report(
+    reports: "Mapping[str, InterleavingReport]",
+    title: str = "Interleaving report",
+) -> str:
+    """Markdown comparison table across runs (``repro report`` output)."""
+    if not reports:
+        raise ValueError("reports must be non-empty")
+    order = list(reports)
+    first = reports[order[0]]
+    low_edge = first.cpu_bands.edges[1]
+
+    rows: "list[tuple[str, list[str]]]" = [
+        ("JCT (s)", [f"{reports[k].jct_seconds:.1f}" for k in order]),
+        ("stage overlap ratio",
+         [f"{reports[k].stage_overlap_ratio:.3f}" for k in order]),
+        ("CPU/net complementarity",
+         [f"{reports[k].cpu_net_complementarity:.3f}" for k in order]),
+        ("delay-wait (s)",
+         [f"{reports[k].delay_wait_seconds:.1f}" for k in order]),
+        ("delay-wait share",
+         [f"{reports[k].delay_wait_share:.1%}" for k in order]),
+        ("cluster CPU %",
+         [f"{reports[k].cluster_cpu_pct:.1f}" for k in order]),
+        ("cluster net %",
+         [f"{reports[k].cluster_net_pct:.1f}" for k in order]),
+        ("worker net MB/s mean (std)",
+         [f"{reports[k].utilization.net_mb_mean:.1f} "
+          f"({reports[k].utilization.net_mb_std:.1f})" for k in order]),
+        ("worker CPU % mean (std)",
+         [f"{reports[k].utilization.cpu_pct_mean:.1f} "
+          f"({reports[k].utilization.cpu_pct_std:.1f})" for k in order]),
+        (f"CPU time below {low_edge:g} %",
+         [f"{reports[k].cpu_bands.low_fraction:.1%}" for k in order]),
+        (f"net time below {low_edge:g} %",
+         [f"{reports[k].net_bands.low_fraction:.1%}" for k in order]),
+    ]
+
+    lines = [f"# {title}", ""]
+    lines.append("| metric | " + " | ".join(order) + " |")
+    lines.append("|---|" + "---|" * len(order))
+    for name, cells in rows:
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+
+    for resource, attr in (("CPU", "cpu_bands"), ("network", "net_bands")):
+        lines.append("")
+        lines.append(f"## {resource} utilization bands (time share)")
+        lines.append("")
+        labels = getattr(first, attr).labels()
+        lines.append("| band (%) | " + " | ".join(order) + " |")
+        lines.append("|---|" + "---|" * len(order))
+        for i, band in enumerate(labels):
+            cells = [
+                f"{getattr(reports[k], attr).fractions[i]:.1%}" for k in order
+            ]
+            lines.append(f"| {band} | " + " | ".join(cells) + " |")
+
+    delayed = [
+        k for k in order
+        if any(p.delay_seconds > 0 for p in reports[k].path_delay_shares)
+    ]
+    if delayed:
+        lines.append("")
+        lines.append("## Delay-wait per execution path")
+        lines.append("")
+        lines.append("| run | path | delay (s) | share of makespan |")
+        lines.append("|---|---|---|---|")
+        for k in delayed:
+            for p in reports[k].path_delay_shares:
+                lines.append(
+                    f"| {k} | {' -> '.join(p.stages)} "
+                    f"| {p.delay_seconds:.1f} | {p.share:.1%} |"
+                )
+    return "\n".join(lines)
+
+
+def _openmetrics_labels(labels: "Mapping[str, str]") -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def reports_to_openmetrics(reports: "Mapping[str, InterleavingReport]") -> str:
+    """Prometheus/OpenMetrics text exposition of the report metrics."""
+    scalar_metrics: "list[tuple[str, str, str]]" = [
+        ("repro_jct_seconds", "Job completion time", "jct_seconds"),
+        ("repro_makespan_seconds", "Run makespan", "makespan_seconds"),
+        ("repro_stage_overlap_ratio",
+         "Fraction of stage-busy time with two or more stages executing",
+         "stage_overlap_ratio"),
+        ("repro_cpu_net_complementarity",
+         "Worker-averaged time fraction with CPU and network busy together",
+         "cpu_net_complementarity"),
+        ("repro_delay_wait_seconds",
+         "Total deliberate submission delay", "delay_wait_seconds"),
+        ("repro_delay_wait_share",
+         "Delay-wait as a fraction of the makespan", "delay_wait_share"),
+        ("repro_cluster_cpu_percent",
+         "Cluster-average CPU utilization (percent)", "cluster_cpu_pct"),
+        ("repro_cluster_net_percent",
+         "Cluster-average network utilization (percent)", "cluster_net_pct"),
+    ]
+    lines: "list[str]" = []
+    for name, help_text, attr in scalar_metrics:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for run, report in reports.items():
+            value = float(getattr(report, attr))
+            lines.append(f"{name}{_openmetrics_labels({'run': run})} {value!r}")
+    name = "repro_utilization_band_fraction"
+    lines.append(f"# HELP {name} Time share per utilization band (percent edges)")
+    lines.append(f"# TYPE {name} gauge")
+    for run, report in reports.items():
+        for resource, bands in (("cpu", report.cpu_bands),
+                                ("net", report.net_bands)):
+            for band, frac in zip(bands.labels(), bands.fractions):
+                labels = {"run": run, "resource": resource, "band": band}
+                lines.append(f"{name}{_openmetrics_labels(labels)} {float(frac)!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def reports_to_csv(reports: "Mapping[str, InterleavingReport]") -> str:
+    """One CSV row per run; band columns from the first report's edges."""
+    if not reports:
+        raise ValueError("reports must be non-empty")
+    first = next(iter(reports.values()))
+    band_labels = first.cpu_bands.labels()
+    header = [
+        "run", "jct_seconds", "makespan_seconds", "stage_overlap_ratio",
+        "cpu_net_complementarity", "delay_wait_seconds", "delay_wait_share",
+        "cluster_cpu_pct", "cluster_net_pct",
+        "net_mb_mean", "net_mb_std", "cpu_pct_mean", "cpu_pct_std",
+    ]
+    header += [f"cpu_band_{b}" for b in band_labels]
+    header += [f"net_band_{b}" for b in band_labels]
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(header)
+    for run, r in reports.items():
+        row: "list[object]" = [
+            run, r.jct_seconds, r.makespan_seconds, r.stage_overlap_ratio,
+            r.cpu_net_complementarity, r.delay_wait_seconds,
+            r.delay_wait_share, r.cluster_cpu_pct, r.cluster_net_pct,
+            r.utilization.net_mb_mean, r.utilization.net_mb_std,
+            r.utilization.cpu_pct_mean, r.utilization.cpu_pct_std,
+        ]
+        row += list(r.cpu_bands.fractions)
+        row += list(r.net_bands.fractions)
+        writer.writerow(row)
+    return buf.getvalue()

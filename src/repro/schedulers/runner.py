@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.job import Job
+from repro.obs.progress import ProgressReporter, engine_hook
 from repro.obs.tracer import Tracer
 from repro.schedulers.base import Scheduler
 from repro.simulator.simulation import Simulation, SimulationResult
@@ -30,20 +31,31 @@ def run_with_scheduler(
     cluster: ClusterSpec,
     scheduler: Scheduler,
     tracer: "Tracer | None" = None,
+    progress: "ProgressReporter | None" = None,
 ) -> SchedulerRun:
     """Prepare and simulate one job under one scheduler.
 
     ``tracer`` (see :mod:`repro.obs`) collects the scheduler's
     decision-audit spans and the simulation's stage/phase spans; the
     run's tracks are scoped by the scheduler name so several runs can
-    share one trace file.
+    share one trace file.  ``progress`` streams a stderr heartbeat from
+    the engine loop; it only reads telemetry, never the schedule.
     """
     prepared = scheduler.prepare(job, cluster, tracer=tracer)
     sim = Simulation(
-        cluster, prepared.config, tracer=tracer, trace_scope=scheduler.name
+        cluster,
+        prepared.config,
+        tracer=tracer,
+        trace_scope=scheduler.name,
+        progress=engine_hook(progress),
     )
     sim.add_job(job, prepared.policy)
     result = sim.run()
+    if progress is not None:
+        # Fold the finished engine's final telemetry in (short runs may
+        # never reach the periodic in-loop tick), then count the job.
+        progress.engine_tick(sim.engine)
+        progress.job_done()
     return SchedulerRun(scheduler.name, result, prepared.info)
 
 
@@ -52,6 +64,7 @@ def compare_schedulers(
     cluster: ClusterSpec,
     schedulers: "list[Scheduler]",
     tracer: "Tracer | None" = None,
+    progress: "ProgressReporter | None" = None,
 ) -> dict[str, SchedulerRun]:
     """Run the same job under every scheduler.
 
@@ -61,7 +74,9 @@ def compare_schedulers(
     for scheduler in schedulers:
         if scheduler.name in runs:
             raise ValueError(f"duplicate scheduler name {scheduler.name!r}")
-        runs[scheduler.name] = run_with_scheduler(job, cluster, scheduler, tracer)
+        runs[scheduler.name] = run_with_scheduler(
+            job, cluster, scheduler, tracer, progress=progress
+        )
     return runs
 
 
@@ -72,6 +87,7 @@ def replay_batch(
     *,
     processes: "int | None" = 1,
     tracer: "Tracer | None" = None,
+    progress: "ProgressReporter | None" = None,
 ) -> list[float]:
     """JCTs for independent jobs, optionally sharded across processes.
 
@@ -80,13 +96,23 @@ def replay_batch(
     out via :func:`repro.simulator.parallel.replay_jcts`; results are
     identical to the serial loop regardless of the process count.  A
     ``tracer`` forces the serial path, since spans accumulate in this
-    process.
+    process.  ``progress`` streams a heartbeat — per-engine ticks on
+    the serial path, per-shard completions on the parallel one.
     """
     if tracer is None and (processes is None or processes > 1):
         from repro.simulator.parallel import replay_jcts
 
-        return replay_jcts(jobs, cluster, scheduler, processes=processes)
-    return [run_with_scheduler(j, cluster, scheduler, tracer).jct for j in jobs]
+        return replay_jcts(
+            jobs,
+            cluster,
+            scheduler,
+            processes=processes,
+            on_shard_done=progress.shard_done if progress is not None else None,
+        )
+    return [
+        run_with_scheduler(j, cluster, scheduler, tracer, progress=progress).jct
+        for j in jobs
+    ]
 
 
 def run_jobs_with_scheduler(

@@ -75,6 +75,13 @@ class FluidEngine:
         untouched items keep their previous rates.  :meth:`mark_dirty`
         (external mutation of capacities or rate caps) always falls back
         to the full ``allocate``.
+    progress:
+        Optional callback invoked with the engine every
+        ``progress_every`` loop iterations (live-monitoring heartbeat).
+        It must only *read* engine state; when ``None`` (the default)
+        the loop pays a single ``is not None`` check per event.
+    progress_every:
+        Event interval between ``progress`` callbacks.
     """
 
     #: Relative tolerance used to snap near-complete items to done.
@@ -86,11 +93,15 @@ class FluidEngine:
         observe: "Callable[[float, float, list[WorkItem]], None] | None" = None,
         max_events: int = 5_000_000,
         allocate_incremental: "Callable[[list[WorkItem], list[WorkItem], list[WorkItem]], None] | None" = None,
+        progress: "Callable[[FluidEngine], None] | None" = None,
+        progress_every: int = 20_000,
     ) -> None:
         self._allocate = allocate
         self._allocate_incremental = allocate_incremental
         self._observe = observe
         self._max_events = max_events
+        self._progress = progress
+        self._progress_every = max(int(progress_every), 1)
         self.now = 0.0
         self._items: list[WorkItem] = []
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
@@ -178,9 +189,13 @@ class FluidEngine:
         eps = self.EPS
         inf = math.inf
         heappop = heapq.heappop
+        progress = self._progress
+        progress_every = self._progress_every
         while (items or timers) and not self._stop_requested:
             events += 1
             self.events_processed += 1
+            if progress is not None and events % progress_every == 0:
+                progress(self)
             if events > self._max_events:
                 raise RuntimeError(
                     f"engine exceeded {self._max_events} events at t={self.now:.3f}; "

@@ -101,6 +101,10 @@ class NodeSeries:
         out[valid] = values[idx[valid]]
         return out
 
+    def values(self, metric: str) -> np.ndarray:
+        """Per-segment values of a metric (same axis as ``t0``/``t1``)."""
+        return self._metric_values(metric)
+
     def _metric_values(self, metric: str) -> np.ndarray:
         if metric == "net_in":
             return self.net_in
@@ -251,6 +255,54 @@ class MetricsCollector:
             cpu_busy=cpu[:, i],
             disk=disk[:, i],
         )
+
+    def sample_nodes(
+        self,
+        times: Sequence[float],
+        metrics: "Sequence[str]",
+        nodes: "Sequence[str] | None" = None,
+    ) -> "dict[str, np.ndarray]":
+        """Sample several metrics for several nodes in one pass.
+
+        Returns ``{metric: (len(nodes), len(times)) array}``.  All nodes
+        share one segment grid, so a single ``searchsorted`` over the
+        stacked matrices replaces the per-node re-resampling that
+        :meth:`node_series` + :meth:`NodeSeries.sample` would perform —
+        this is what :func:`repro.analysis.timeline.utilization_series`
+        runs on.  Values are bit-identical to the per-node path: each
+        column slice goes through the same normalization arithmetic as
+        :meth:`NodeSeries.values`.
+        """
+        if nodes is None:
+            nodes = self._node_ids
+        times_arr = np.asarray(times, dtype=float)
+        t0, t1, net_in, net_out, cpu, disk = self._stack()
+        out = {m: np.zeros((len(nodes), len(times_arr))) for m in metrics}
+        if len(t0) == 0:
+            return out
+        idx = np.searchsorted(t0, times_arr, side="right") - 1
+        valid = (idx >= 0) & (times_arr < t1[np.clip(idx, 0, len(t1) - 1)])
+        sel = idx[valid]
+        base = {"net_in": net_in, "net_out": net_out, "cpu_busy": cpu, "disk": disk}
+        for m in metrics:
+            dest = out[m]
+            for r, node_id in enumerate(nodes):
+                c = self._index[node_id]
+                if m in base:
+                    col = base[m][:, c]
+                elif m == "cpu_utilization":
+                    spec = self.cluster.node(node_id)
+                    col = cpu[:, c] / max(spec.executors, 1)
+                elif m == "net_utilization":
+                    nic = self.cluster.node(node_id).nic_bandwidth
+                    if nic <= 0:
+                        col = np.zeros(len(t0))
+                    else:
+                        col = net_in[:, c] / nic
+                else:
+                    raise ValueError(f"unknown metric {m!r}")
+                dest[r, valid] = col[sel]
+        return out
 
     def cluster_average(self, metric: str, t_lo: float = 0.0, t_hi: float = math.inf) -> float:
         """Average of a per-node metric across all *worker* nodes.

@@ -29,7 +29,7 @@ across process boundaries).
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -94,6 +94,7 @@ def replay_jcts(
     *,
     processes: "int | None" = None,
     base_seed: int = 0,
+    on_shard_done: "Optional[Callable[[int], None]]" = None,
 ) -> list[float]:
     """Job completion times for ``jobs`` under ``scheduler``.
 
@@ -101,6 +102,11 @@ def replay_jcts(
     ``ProcessPoolExecutor``; the returned list is identical (values and
     order) to the serial loop for any process count, by construction —
     a property ``tests/test_perf_equivalence.py`` checks.
+
+    ``on_shard_done`` (live monitoring) is called in the parent with the
+    number of jobs in each shard as that shard finishes.  Shards are
+    consumed in *completion* order, but the merge scatters results back
+    by original index, so the callback cannot affect the output.
     """
     if processes is None:
         processes = default_processes()
@@ -108,9 +114,14 @@ def replay_jcts(
     if processes <= 1:
         from repro.schedulers.runner import run_with_scheduler
 
-        return [run_with_scheduler(j, cluster, scheduler).jct for j in jobs]
+        jcts = []
+        for j in jobs:
+            jcts.append(run_with_scheduler(j, cluster, scheduler).jct)
+            if on_shard_done is not None:
+                on_shard_done(1)
+        return jcts
 
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import ProcessPoolExecutor, as_completed
 
     shards = split_shards(jobs, processes)
     seeds = shard_seeds(base_seed, len(shards))
@@ -119,7 +130,11 @@ def replay_jcts(
         (shard, cluster, scheduler, seed) for shard, seed in zip(shards, seeds)
     ]
     with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-        for pairs in pool.map(_replay_shard, payloads):
+        futures = [pool.submit(_replay_shard, payload) for payload in payloads]
+        for future in as_completed(futures):
+            pairs = future.result()
             for idx, jct in pairs:
                 merged[idx] = jct
+            if on_shard_done is not None:
+                on_shard_done(len(pairs))
     return merged

@@ -277,6 +277,7 @@ class Simulation:
         pair_capacities: "dict[tuple[str, str], float] | None" = None,
         tracer: "Tracer | None" = None,
         trace_scope: str = "sim",
+        progress: "Callable[[FluidEngine], None] | None" = None,
     ) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
@@ -310,6 +311,7 @@ class Simulation:
             allocate=self._allocate,
             observe=self.metrics.observe if self.metrics else None,
             allocate_incremental=self._scoped.allocate if self._scoped else None,
+            progress=progress,
         )
         self.events: list[SimEvent] = []
         self._jobs: dict[str, tuple[Job, SubmissionPolicy, float]] = {}

@@ -87,7 +87,12 @@ def stage_runtime_range(jobs: "list[TraceJob]") -> tuple[float, float, np.ndarra
 
 def machine_low_utilization_fraction(series: np.ndarray, threshold: float = 10.0) -> float:
     """Fraction of samples below ``threshold`` percent (Sec. 2.1's
-    "below 10 % for ~39.1 % of the time" for one worker)."""
-    if series.size == 0:
-        return 0.0
-    return float(np.mean(series < threshold))
+    "below 10 % for ~39.1 % of the time" for one worker).
+
+    Delegates to :func:`repro.obs.metrics.fraction_below` (the lowest
+    utilization band of the report layer), which is bit-identical to
+    ``np.mean(series < threshold)`` — one formula, two entry points.
+    """
+    from repro.obs.metrics import fraction_below
+
+    return fraction_below(series, threshold)

@@ -1,0 +1,191 @@
+"""Regression watchdog: fixture-driven verdicts and the CLI gate.
+
+The acceptance contract: ``repro bench --compare`` must exit non-zero
+for an injected 2x slowdown and for an equivalence mismatch, and exit
+zero against healthy baselines (including CI's quick-vs-full config
+mismatch, where only the equivalence bit is comparable).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchResult
+from repro.bench.watch import (
+    WatchFinding,
+    comparable_configs,
+    compare_to_baselines,
+    has_failures,
+    load_baselines,
+    render_findings,
+)
+from repro.cli import main
+
+
+def _result(name="replay", wall_s=1.0, equivalent=True, config=None):
+    return BenchResult(
+        name=name,
+        wall_s=wall_s,
+        baseline_wall_s=wall_s * 2,
+        jobs_per_s=10.0,
+        events_per_s=1e5,
+        equivalent=equivalent,
+        manifest_hash="deadbeef",
+        config=dict(config if config is not None else {"jobs": 100, "seed": 7}),
+    )
+
+
+def _baseline(name="replay", wall_s=1.0, equivalent=True, config=None):
+    return _result(name, wall_s, equivalent, config).to_dict()
+
+
+# --------------------------------------------------------------------- #
+# verdict matrix
+
+
+def test_identical_run_is_ok():
+    findings = compare_to_baselines([_result()], {"replay": _baseline()})
+    assert not has_failures(findings)
+    assert [f.severity for f in findings] == ["info"]
+    assert "within noise" in findings[0].message
+
+
+def test_injected_2x_slowdown_fails():
+    findings = compare_to_baselines(
+        [_result(wall_s=2.0)], {"replay": _baseline(wall_s=1.0)}
+    )
+    assert has_failures(findings)
+    (finding,) = findings
+    assert finding.severity == "fail"
+    assert "regressed 2.00x" in finding.message
+
+
+def test_equivalence_break_fails_even_without_baseline():
+    findings = compare_to_baselines([_result(equivalent=False)], {})
+    assert has_failures(findings)
+    assert findings[0].message.startswith("optimized path")
+    assert findings[1].severity == "info"  # missing baseline never gates
+
+
+def test_large_improvement_is_info_not_fail():
+    findings = compare_to_baselines(
+        [_result(wall_s=0.25)], {"replay": _baseline(wall_s=1.0)}
+    )
+    assert not has_failures(findings)
+    assert "consider refreshing" in findings[0].message
+
+
+def test_quick_vs_full_config_mismatch_skips_wall():
+    """CI's --quick run against full-size baselines: info, never fail."""
+    fresh = _result(wall_s=50.0, config={"jobs": 8, "quick": True, "seed": 7})
+    base = _baseline(wall_s=1.0, config={"jobs": 1000, "quick": False, "seed": 7})
+    findings = compare_to_baselines([fresh], {"replay": base})
+    assert not has_failures(findings)
+    assert "wall comparison skipped, equivalence checked" in findings[0].message
+
+
+def test_volatile_config_keys_do_not_block_comparison():
+    fresh = _result(config={"jobs": 100, "engine_events": 123, "repeats": 3})
+    base = _baseline(config={"jobs": 100, "engine_events": 456, "repeats": 5})
+    assert comparable_configs(fresh.config, base["config"])
+    findings = compare_to_baselines([fresh], {"replay": base})
+    assert "within noise" in findings[0].message
+
+
+def test_non_equivalent_baseline_skips_wall():
+    findings = compare_to_baselines(
+        [_result(wall_s=10.0)], {"replay": _baseline(equivalent=False)}
+    )
+    assert not has_failures(findings)
+    assert "baseline itself" in findings[0].message
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError, match="exceed 1.0"):
+        compare_to_baselines([_result()], {}, wall_threshold=0.9)
+
+
+def test_render_findings_verdict():
+    ok = render_findings([WatchFinding("replay", "info", "fine")])
+    assert ok.endswith("watchdog verdict: ok")
+    bad = render_findings([WatchFinding("replay", "fail", "slow")])
+    assert bad.endswith("watchdog verdict: FAIL")
+    assert "[fail] replay: slow" in bad
+    assert render_findings([]) == "watchdog: nothing to compare"
+
+
+# --------------------------------------------------------------------- #
+# baseline loading
+
+
+def test_load_baselines_skips_malformed(tmp_path):
+    good = tmp_path / "BENCH_replay.json"
+    good.write_text(json.dumps(_baseline()), encoding="utf-8")
+    (tmp_path / "BENCH_broken.json").write_text("{not json", encoding="utf-8")
+    (tmp_path / "BENCH_nameless.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "unrelated.json").write_text("{}", encoding="utf-8")
+    baselines = load_baselines(str(tmp_path))
+    assert list(baselines) == ["replay"]
+    # And the string form of compare_to_baselines loads the directory.
+    findings = compare_to_baselines([_result()], str(tmp_path))
+    assert "within noise" in findings[0].message
+
+
+# --------------------------------------------------------------------- #
+# CLI gate (monkeypatched harness keeps this fast and deterministic)
+
+
+def _patch_bench(monkeypatch, results):
+    # cmd_bench lazily does `from repro.bench import run_benchmarks`, so
+    # patching the package attribute substitutes the harness.
+    import repro.bench
+
+    monkeypatch.setattr(
+        repro.bench, "run_benchmarks", lambda *a, **kw: list(results)
+    )
+
+
+def test_cli_compare_ok(tmp_path, monkeypatch, capsys):
+    (tmp_path / "BENCH_replay.json").write_text(
+        json.dumps(_baseline()), encoding="utf-8"
+    )
+    _patch_bench(monkeypatch, [_result()])
+    rc = main(["bench", "--quick", "--out", "", "--compare", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "watchdog verdict: ok" in out
+
+
+def test_cli_compare_fails_on_slowdown(tmp_path, monkeypatch, capsys):
+    (tmp_path / "BENCH_replay.json").write_text(
+        json.dumps(_baseline(wall_s=0.5)), encoding="utf-8"
+    )
+    _patch_bench(monkeypatch, [_result(wall_s=1.1)])
+    rc = main(["bench", "--quick", "--out", "", "--compare", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "watchdog verdict: FAIL" in out
+
+
+def test_cli_compare_fails_on_equivalence_break(tmp_path, monkeypatch, capsys):
+    (tmp_path / "BENCH_replay.json").write_text(
+        json.dumps(_baseline()), encoding="utf-8"
+    )
+    _patch_bench(monkeypatch, [_result(equivalent=False)])
+    rc = main(["bench", "--quick", "--out", "", "--compare", str(tmp_path)])
+    assert rc == 1
+
+
+def test_cli_compare_json_payload(tmp_path, monkeypatch, capsys):
+    (tmp_path / "BENCH_replay.json").write_text(
+        json.dumps(_baseline()), encoding="utf-8"
+    )
+    _patch_bench(monkeypatch, [_result()])
+    rc = main(["bench", "--quick", "--out", "", "--compare", str(tmp_path),
+               "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    watchdog = payload["watchdog"]
+    assert watchdog["baseline_dir"] == str(tmp_path)
+    assert watchdog["threshold"] == pytest.approx(1.5)
+    assert watchdog["findings"][0]["severity"] == "info"

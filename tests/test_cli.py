@@ -202,3 +202,99 @@ def test_inspect_validate_rejects_bad_trace(tmp_path, capsys):
     assert "schema:" in capsys.readouterr().err
     # Without --validate the same trace is summarized best-effort.
     assert main(["inspect", str(bad)]) == 0
+
+
+# --------------------------------------------------------------------- #
+# report / --progress / inspect --counters
+# --------------------------------------------------------------------- #
+
+def test_report_text(capsys):
+    assert main(["report", "--workload", "ALS", "--oracle"]) == 0
+    out = capsys.readouterr().out
+    assert "# Interleaving report" in out
+    assert "stage overlap ratio" in out
+    assert "CPU/net complementarity" in out
+    assert "utilization bands" in out
+    assert "Delay-wait per execution path" in out
+
+
+def test_report_json(capsys):
+    """Acceptance: the machine payload carries every headline metric."""
+    assert main(["report", "--workload", "ALS", "--oracle", "--json"]) == 0
+    payload = _json_out(capsys)
+    assert payload["command"] == "report"
+    assert set(payload["reports"]) == {"fuxi", "spark", "delaystage"}
+    ds = payload["reports"]["delaystage"]
+    for key in ("stage_overlap_ratio", "cpu_net_complementarity",
+                "delay_wait_seconds", "delay_wait_share", "cpu_bands",
+                "net_bands", "cluster_cpu_pct", "cluster_net_pct",
+                "path_delay_shares", "utilization"):
+        assert key in ds, key
+    assert ds["delay_wait_seconds"] > 0.0
+    assert payload["reports"]["spark"]["delay_wait_seconds"] == 0.0
+    assert ds["cpu_bands"]["labels"][0] == "0-10"
+    assert payload["manifest"]["seed"] == 0
+
+
+def test_report_writes_exports(tmp_path, capsys):
+    csv_path = tmp_path / "report.csv"
+    prom_path = tmp_path / "report.prom"
+    assert main(["report", "--workload", "ALS", "--oracle",
+                 "--csv", str(csv_path), "--prometheus", str(prom_path)]) == 0
+    captured = capsys.readouterr()
+    assert "CSV report written" in captured.err
+    assert "OpenMetrics report written" in captured.err
+    assert csv_path.read_text().startswith("run,jct_seconds")
+    prom = prom_path.read_text()
+    assert prom.endswith("# EOF\n")
+    assert "repro_stage_overlap_ratio" in prom
+
+
+def test_compare_progress_heartbeat(capsys):
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--progress"]) == 0
+    captured = capsys.readouterr()
+    assert "[progress] compare ALS:" in captured.err
+    assert "3/3 jobs" in captured.err
+    assert "done in" in captured.err
+
+
+def test_replay_no_progress_means_silent_stderr(capsys):
+    assert main(["replay", "--jobs", "3", "--seed", "2"]) == 0
+    assert capsys.readouterr().err == ""
+
+
+def test_replay_progress_parallel_bit_identical(capsys):
+    """--progress on the sharded path changes stderr, never the JCTs."""
+    assert main(["replay", "--jobs", "4", "--seed", "2", "--json"]) == 0
+    quiet = _json_out(capsys)
+    assert main(["replay", "--jobs", "4", "--seed", "2", "--parallel", "2",
+                 "--progress", "--json"]) == 0
+    captured = capsys.readouterr()
+    noisy = json.loads(captured.out)
+    assert "[progress] replay:" in captured.err
+    assert noisy["runs"] == quiet["runs"]
+
+
+def test_inspect_counters_text(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--emit-trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(trace), "--counters"]) == 0
+    out = capsys.readouterr().out
+    assert "counter tracks" in out
+    assert "node:" in out and "cpu_busy" in out
+
+
+def test_inspect_counters_json(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--emit-trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(trace), "--counters", "--json"]) == 0
+    payload = _json_out(capsys)
+    rows = payload["counter_summary"]
+    assert rows and {"track", "counter", "min", "mean", "max",
+                     "last"} <= set(rows[0])
+    assert {r["counter"] for r in rows} >= {"cpu_busy", "net_in"}

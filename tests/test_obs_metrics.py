@@ -1,0 +1,271 @@
+"""Interleaving analytics (repro.obs.metrics): bands, overlap,
+complementarity, delay-wait shares, exporters — and the no-drift
+contracts tying the report to the Table 3 / Table 4 / Fig. 4 math."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import utilization_summary
+from repro.obs.metrics import (
+    DEFAULT_BAND_EDGES,
+    band_fractions,
+    fraction_below,
+    interleaving_report,
+    render_markdown_report,
+    reports_to_csv,
+    reports_to_openmetrics,
+)
+from repro.schedulers import (
+    DelayStageScheduler,
+    StockSparkScheduler,
+    compare_schedulers,
+)
+from repro.simulator import SimulationConfig, simulate_job
+from repro.trace.analysis import machine_low_utilization_fraction
+
+
+# --------------------------------------------------------------------- #
+# band_fractions
+
+
+def test_band_fractions_sum_to_one():
+    rng = np.random.default_rng(1)
+    v = rng.uniform(-20, 150, 500)
+    b = band_fractions(v)
+    assert sum(b.fractions) == pytest.approx(1.0, abs=1e-12)
+    assert len(b.fractions) == len(DEFAULT_BAND_EDGES) - 1
+    assert b.labels()[0] == "0-10"
+
+
+def test_band_low_fraction_bit_identical_to_mean():
+    """The Fig. 4 formula: fractions[0] == np.mean(v < edges[1]), exactly."""
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        v = rng.uniform(-5, 120, 333)
+        assert band_fractions(v).low_fraction == float(np.mean(v < 10.0))
+        assert fraction_below(v, 25.0) == float(np.mean(v < 25.0))
+
+
+def test_band_boundary_values():
+    # Values exactly on an edge belong to the right-open band above it;
+    # out-of-range values clip into the first/last band.
+    b = band_fractions([0.0, 10.0, 100.0, -3.0, 250.0], edges=(0.0, 10.0, 100.0))
+    # 0.0 and -3.0 -> band [0,10); 10.0, 100.0, 250.0 -> band [10,100].
+    assert b.fractions == (pytest.approx(0.4), pytest.approx(0.6))
+
+
+def test_band_fractions_empty_and_weighted():
+    assert band_fractions([]).fractions == (0.0,) * 5
+    b = band_fractions([5.0, 50.0], weights=[1.0, 3.0])
+    assert b.fractions[0] == pytest.approx(0.25)
+    assert b.fractions[3] == pytest.approx(0.75)
+    # Zero total weight -> all-zero fractions, never NaN.
+    assert band_fractions([5.0], weights=[0.0]).fractions == (0.0,) * 5
+
+
+def test_band_fractions_validates_edges_and_weights():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        band_fractions([1.0], edges=(0.0, 0.0, 10.0))
+    with pytest.raises(ValueError, match="at least one band"):
+        band_fractions([1.0], edges=(0.0,))
+    with pytest.raises(ValueError, match="weights shape"):
+        band_fractions([1.0, 2.0], weights=[1.0])
+
+
+def test_machine_low_utilization_delegates_bit_identically():
+    """trace.analysis and the report layer share one formula."""
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        v = rng.uniform(0, 100, 1440)
+        assert machine_low_utilization_fraction(v) == float(np.mean(v < 10.0))
+    assert machine_low_utilization_fraction(np.zeros(0)) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# interleaving_report on real runs
+
+
+@pytest.fixture(scope="module")
+def als_runs():
+    from repro.cluster import uniform_cluster
+    from repro.workloads import workload_by_name
+
+    cluster = uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
+                              disk_mb_per_sec=150, storage_nodes=0)
+    job = workload_by_name("ALS", 1.0)
+    runs = compare_schedulers(
+        job,
+        cluster,
+        [
+            StockSparkScheduler(track_metrics=True),
+            DelayStageScheduler(profiled=False, track_metrics=True),
+        ],
+    )
+    return job, runs
+
+
+def test_report_requires_metrics(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster,
+                       config=SimulationConfig(track_metrics=False))
+    with pytest.raises(ValueError, match="track_metrics"):
+        interleaving_report(res)
+
+
+def test_report_basic_invariants(als_runs):
+    job, runs = als_runs
+    for name, run in runs.items():
+        rep = interleaving_report(run.result, job, label=name)
+        assert rep.label == name
+        assert rep.jct_seconds == pytest.approx(run.jct)
+        assert 0.0 <= rep.stage_overlap_ratio <= 1.0
+        assert 0.0 <= rep.cpu_net_complementarity <= 1.0
+        assert rep.delay_wait_seconds >= 0.0
+        assert sum(rep.cpu_bands.fractions) == pytest.approx(1.0, abs=1e-9)
+        assert sum(rep.net_bands.fractions) == pytest.approx(1.0, abs=1e-9)
+        d = rep.to_dict()
+        assert d["cpu_bands"]["labels"][0] == "0-10"
+        assert d["utilization"]["cpu_pct_mean"] > 0
+
+
+def test_report_shows_the_interleaving_story(als_runs):
+    """DelayStage must beat Spark on exactly the quantities the paper
+    claims: higher complementarity, higher cluster utilization, and a
+    nonzero delay-wait budget that Spark by construction lacks."""
+    job, runs = als_runs
+    spark = interleaving_report(runs["spark"].result, job, label="spark")
+    ds = interleaving_report(runs["delaystage"].result, job, label="delaystage")
+    assert spark.delay_wait_seconds == 0.0
+    assert ds.delay_wait_seconds > 0.0
+    assert ds.cpu_net_complementarity > spark.cpu_net_complementarity
+    assert ds.cluster_cpu_pct > spark.cluster_cpu_pct
+    assert ds.cluster_net_pct > spark.cluster_net_pct
+    # Less time stuck in the lowest CPU band (Fig. 4 / Fig. 12 story).
+    assert ds.cpu_bands.low_fraction < spark.cpu_bands.low_fraction
+
+
+def test_report_path_delay_shares(als_runs):
+    job, runs = als_runs
+    ds = interleaving_report(runs["delaystage"].result, job)
+    assert ds.path_delay_shares  # job given -> paths computed
+    total_path_delay = sum(p.delay_seconds for p in ds.path_delay_shares)
+    assert total_path_delay > 0
+    for p in ds.path_delay_shares:
+        assert 0.0 <= p.share <= 1.0
+        assert p.stages
+    # Without the job, no path decomposition.
+    assert interleaving_report(runs["delaystage"].result).path_delay_shares == ()
+
+
+def test_report_table3_no_drift(als_runs):
+    """The embedded utilization summary IS utilization_summary(result)."""
+    job, runs = als_runs
+    for run in runs.values():
+        rep = interleaving_report(run.result, job)
+        assert rep.utilization == utilization_summary(run.result)
+
+
+def test_report_table4_no_drift(als_runs):
+    """cluster_cpu_pct/net_pct equal the Table 4 cluster_average math."""
+    job, runs = als_runs
+    for run in runs.values():
+        rep = interleaving_report(run.result, job)
+        m = run.result.metrics
+        span = run.result.makespan
+        assert rep.cluster_cpu_pct == m.cluster_average(
+            "cpu_utilization", 0.0, span) * 100.0
+        assert rep.cluster_net_pct == m.cluster_average(
+            "net_utilization", 0.0, span) * 100.0
+
+
+def test_overlap_ratio_serial_chain_is_zero(chain_job, small_cluster):
+    """A pure chain never has two stages in flight."""
+    res = simulate_job(chain_job, small_cluster)
+    rep = interleaving_report(res, chain_job)
+    assert rep.stage_overlap_ratio == pytest.approx(0.0, abs=1e-12)
+
+
+def test_overlap_ratio_parallel_stages_positive(diamond_job, small_cluster):
+    res = simulate_job(diamond_job, small_cluster)
+    rep = interleaving_report(res, diamond_job)
+    assert rep.stage_overlap_ratio > 0.0
+
+
+# --------------------------------------------------------------------- #
+# exporters
+
+
+def _two_reports(als_runs):
+    job, runs = als_runs
+    return {
+        name: interleaving_report(run.result, job, label=name)
+        for name, run in runs.items()
+    }
+
+
+def test_markdown_report(als_runs):
+    md = render_markdown_report(_two_reports(als_runs), title="T")
+    assert md.startswith("# T")
+    assert "| metric | spark | delaystage |" in md
+    assert "stage overlap ratio" in md
+    assert "## Delay-wait per execution path" in md
+    with pytest.raises(ValueError):
+        render_markdown_report({})
+
+
+def test_openmetrics_export(als_runs):
+    om = reports_to_openmetrics(_two_reports(als_runs))
+    assert om.endswith("# EOF\n")
+    for name in ("repro_stage_overlap_ratio", "repro_cpu_net_complementarity",
+                 "repro_delay_wait_share", "repro_utilization_band_fraction"):
+        assert f"# TYPE {name} gauge" in om
+    assert 'run="delaystage"' in om
+    assert 'resource="net"' in om and 'band="0-10"' in om
+    # Every sample line parses as "name{labels} float".
+    for line in om.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        value = line.rsplit(" ", 1)[1]
+        assert math.isfinite(float(value))
+
+
+def test_csv_export(als_runs):
+    csv_text = reports_to_csv(_two_reports(als_runs))
+    lines = csv_text.strip().splitlines()
+    assert len(lines) == 3  # header + 2 runs
+    header = lines[0].split(",")
+    assert header[0] == "run"
+    assert "cpu_band_0-10" in header and "net_band_75-100" in header
+    assert len(lines[1].split(",")) == len(header)
+    with pytest.raises(ValueError):
+        reports_to_csv({})
+
+
+# --------------------------------------------------------------------- #
+# satellite: timeline rewrite equivalence
+
+
+def test_utilization_series_bit_identical_to_per_node_sampling(als_runs):
+    """The single-pass sample_nodes path must reproduce the old
+    NodeSeries.sample loop exactly, for every worker and both metrics."""
+    from repro.analysis.timeline import utilization_series
+
+    job, runs = als_runs
+    for run in runs.values():
+        res = run.result
+        for node in res.cluster.worker_ids:
+            t, cpu, net = utilization_series(res, node_id=node, step=0.7)
+            series = res.metrics.node_series(node)
+            assert np.array_equal(cpu, series.sample(t, "cpu_utilization") * 100.0)
+            assert np.array_equal(net, series.sample(t, "net_in"))
+
+
+def test_utilization_series_metric_net_out(als_runs):
+    from repro.analysis.timeline import utilization_series
+
+    job, runs = als_runs
+    res = runs["spark"].result
+    t, cpu, net = utilization_series(res, metric_net="net_out")
+    series = res.metrics.node_series(res.cluster.worker_ids[0])
+    assert np.array_equal(net, series.sample(t, "net_out"))

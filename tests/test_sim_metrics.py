@@ -170,6 +170,103 @@ def test_zero_duration_segments_are_harmless():
     assert s.std("net_in") == 0.0
 
 
+def test_sample_empty_series_is_zero():
+    s = _series(n_segments=0)
+    out = s.sample([0.0, 1.0, 5.0], "net_in")
+    assert out.shape == (3,)
+    assert np.all(out == 0.0)
+
+
+def test_sample_outside_window_is_zero():
+    s = _series(n_segments=3)  # segments cover [0, 3)
+    out = s.sample([-1.0, -0.001, 3.0, 42.0], "net_in")
+    assert np.all(out == 0.0)
+    # Boundary semantics: segments are right-open, so t1 of the last
+    # segment samples to 0 while any interior point samples its segment.
+    assert s.sample([2.999], "net_in")[0] == pytest.approx(10.0)
+
+
+def test_sample_zero_width_segments_are_skipped():
+    from repro.simulator import NodeSeries
+
+    # Middle segment [1, 1) is degenerate; samples at t=1 must fall
+    # through to the covering segment's value, not the degenerate one.
+    s = NodeSeries(
+        node_id="x", executors=2, nic_bandwidth=1e6, disk_bandwidth=1e6,
+        t0=np.array([0.0, 1.0, 1.0]), t1=np.array([1.0, 1.0, 2.0]),
+        net_in=np.array([10.0, 99.0, 20.0]), net_out=np.zeros(3),
+        cpu_busy=np.ones(3), disk=np.zeros(3),
+    )
+    assert s.sample([1.0], "net_in")[0] == pytest.approx(20.0)
+    assert s.sample([0.5], "net_in")[0] == pytest.approx(10.0)
+    assert s.sample([2.0], "net_in")[0] == 0.0
+
+
+def test_observe_ignores_zero_width_interval(small_cluster):
+    from repro.simulator import MetricsCollector
+
+    collector = MetricsCollector(small_cluster)
+    collector.observe(1.0, 1.0, [])
+    collector.observe(2.0, 1.0, [])  # inverted: also no integral mass
+    assert len(collector.node_series("w0").t0) == 0
+
+
+def test_sample_nodes_bit_identical_to_per_node_loop(small_cluster):
+    """The one-pass fan-out equals NodeSeries.sample exactly."""
+    res = simulate_job(job(), small_cluster)
+    m = res.metrics
+    t = np.linspace(-1.0, res.makespan + 1.0, 257)
+    metrics = ["net_in", "net_out", "cpu_busy", "disk",
+               "cpu_utilization", "net_utilization"]
+    sampled = m.sample_nodes(t, metrics)
+    for name in metrics:
+        assert sampled[name].shape == (len(small_cluster.node_ids), len(t))
+        for r, node in enumerate(small_cluster.node_ids):
+            expected = m.node_series(node).sample(t, name)
+            assert np.array_equal(sampled[name][r], expected), (name, node)
+
+
+def test_sample_nodes_subset_and_unknown_metric(small_cluster):
+    res = simulate_job(job(), small_cluster)
+    m = res.metrics
+    sampled = m.sample_nodes([0.0, 1.0], ["cpu_busy"], nodes=["w1"])
+    assert sampled["cpu_busy"].shape == (1, 2)
+    with pytest.raises(ValueError, match="unknown metric"):
+        m.sample_nodes([0.0], ["bogus"])
+
+
+def test_sample_nodes_empty_collector(small_cluster):
+    from repro.simulator import MetricsCollector
+
+    collector = MetricsCollector(small_cluster)
+    sampled = collector.sample_nodes([0.0, 5.0], ["net_utilization"])
+    assert np.all(sampled["net_utilization"] == 0.0)
+
+
+def test_occupancy_series_unknown_stage_is_zero(small_cluster):
+    """A stage key that never ran yields the full grid at zero."""
+    res = simulate_job(
+        job(), small_cluster, config=SimulationConfig(track_occupancy=True)
+    )
+    t0, t1, occ = res.metrics.stage_occupancy_series(("m", "nope"))
+    assert len(t0) == len(t1) == len(occ)
+    assert len(occ) > 0
+    assert np.all(occ == 0)
+
+
+def test_occupancy_node_filter_partitions_total(small_cluster):
+    """Per-node occupancy sums back to the cluster-wide series."""
+    res = simulate_job(
+        job(), small_cluster, config=SimulationConfig(track_occupancy=True)
+    )
+    _, _, total = res.metrics.stage_occupancy_series(("m", "A"))
+    parts = np.zeros_like(total)
+    for node in small_cluster.node_ids:
+        _, _, occ = res.metrics.stage_occupancy_series(("m", "A"), node_id=node)
+        parts = parts + occ
+    assert np.allclose(parts, total)
+
+
 def test_readers_occupy_idle_executors(small_cluster):
     """While a stage shuffle-reads alone, it holds the idle slots
     (Fig. 13's behaviour)."""
