@@ -29,6 +29,12 @@ stderr.  ``compare``, ``schedule``, and ``replay`` additionally accept
 ``--emit-trace PATH`` (write a Perfetto-loadable Chrome trace of the
 run) and ``--manifest`` (print the run manifest); ``compare`` and
 ``replay`` accept ``--progress`` (live stderr heartbeat).
+
+``compare``, ``report``, and ``replay`` accept ``--faults PATH`` (a
+declarative fault plan, see ``docs/faults.md``) or ``--chaos-seed N``
+(a seeded random plan) to run the simulation under injected faults;
+``report`` then adds an availability section contrasting healthy and
+degraded runs.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ from repro.workloads.library import EXTRA_WORKLOADS, WORKLOADS
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.spec import ClusterSpec
     from repro.dag import Job
+    from repro.faults import FaultPlan
     from repro.obs import RunManifest
 
 WORKLOAD_CHOICES = ["ALS", "ConnectedComponents", "CosineSimilarity", "LDA", "TriangleCount"]
@@ -85,6 +92,38 @@ def _cluster_for(args: argparse.Namespace) -> ClusterSpec:
 def _echo(message: str) -> None:
     """Diagnostic output; stderr so ``--json`` stdout stays parseable."""
     print(message, file=sys.stderr)
+
+
+def _fault_plan_for(args: argparse.Namespace, cluster: "ClusterSpec",
+                    jobs: "list[Job] | None" = None) -> "FaultPlan | None":
+    """The fault plan from ``--faults`` / ``--chaos-seed``, or None.
+
+    ``--faults PATH`` loads a declarative plan and validates it against
+    the cluster the command is about to simulate; ``--chaos-seed N``
+    generates a seeded random plan against that cluster (``jobs`` feeds
+    the lost-shuffle-partition event pool).  The two flags are mutually
+    exclusive at the parser level.
+    """
+    path = getattr(args, "faults", None)
+    seed = getattr(args, "chaos_seed", None)
+    if path is None and seed is None:
+        return None
+    from repro.faults import FaultPlan, generate_plan
+
+    if path is not None:
+        plan = FaultPlan.load(path)
+        plan.validate_against(cluster)
+        _echo(f"fault plan: {len(plan.events)} event(s) from {path}")
+    else:
+        plan = generate_plan(cluster, seed, jobs=jobs)
+        _echo(f"fault plan: {len(plan.events)} event(s) from chaos seed {seed}")
+    return plan
+
+
+def _fault_manifest_config(args: argparse.Namespace) -> dict:
+    """Manifest entries recording how the fault plan was obtained."""
+    return {"faults": getattr(args, "faults", None),
+            "chaos_seed": getattr(args, "chaos_seed", None)}
 
 
 def _finish(args: argparse.Namespace, payload: dict, text: str,
@@ -129,30 +168,42 @@ def _write_trace(args: argparse.Namespace, tracer: "Tracer | None",
 def cmd_compare(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
+    plan = _fault_plan_for(args, cluster, jobs=[job])
     tracer = _tracer_for(args)
-    progress = _progress_for(args, f"compare {args.workload}", total_jobs=3)
     # Metrics tracking is only needed when the trace is exported — it is
     # what populates the per-node counter tracks (``inspect --counters``)
     # — and it never changes the simulated dynamics.
     track = tracer is not None
-    runs = compare_schedulers(
-        job,
-        cluster,
-        [
+    if plan is not None:
+        # AggShuffle's pipelined shuffle is incompatible with fault
+        # injection, so Fuxi stands in as the immediate-submission
+        # baseline; a replanning DelayStage variant joins so recovery
+        # with and without Algorithm 1 re-solving can be compared.
+        schedulers = [
+            StockSparkScheduler(track_metrics=track, fault_plan=plan),
+            FuxiScheduler(track_metrics=track, fault_plan=plan),
+            DelayStageScheduler(profiled=not args.oracle, track_metrics=track,
+                                fault_plan=plan),
+            DelayStageScheduler(profiled=not args.oracle, track_metrics=track,
+                                fault_plan=plan, replan=True),
+        ]
+    else:
+        schedulers = [
             StockSparkScheduler(track_metrics=track),
             AggShuffleScheduler(track_metrics=track),
             DelayStageScheduler(profiled=not args.oracle, track_metrics=track),
-        ],
-        tracer=tracer,
-        progress=progress,
-    )
+        ]
+    progress = _progress_for(args, f"compare {args.workload}",
+                             total_jobs=len(schedulers))
+    runs = compare_schedulers(job, cluster, schedulers,
+                              tracer=tracer, progress=progress)
     if progress is not None:
         progress.close()
     manifest = build_manifest(
         seed=0,
         config={"command": "compare", "workload": args.workload,
                 "workers": cluster.num_workers, "scale": args.scale,
-                "oracle": args.oracle},
+                "oracle": args.oracle, **_fault_manifest_config(args)},
         jobs=[job],
     )
     _write_trace(args, tracer, manifest)
@@ -174,11 +225,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
             for name, run in runs.items()
         },
     }
-    text = render_table(
-        ["strategy", "JCT (s)", "vs spark"],
-        rows,
-        title=f"{args.workload} on {cluster.num_workers} workers",
-    )
+    if plan is not None:
+        payload["fault_plan"] = plan.to_dict()
+        for name, run in runs.items():
+            stats = run.result.faults
+            payload["runs"][name]["faults"] = (
+                stats.to_dict() if stats is not None else None
+            )
+    title = f"{args.workload} on {cluster.num_workers} workers"
+    if plan is not None:
+        title += f" ({len(plan.events)} fault(s) injected)"
+    text = render_table(["strategy", "JCT (s)", "vs spark"], rows, title=title)
     return _finish(args, payload, text, manifest)
 
 
@@ -193,6 +250,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
+    plan = _fault_plan_for(args, cluster, jobs=[job])
     runs = compare_schedulers(
         job,
         cluster,
@@ -206,11 +264,31 @@ def cmd_report(args: argparse.Namespace) -> int:
         name: interleaving_report(run.result, job, label=name)
         for name, run in runs.items()
     }
+    availability = None
+    if plan is not None and not plan.is_empty:
+        # The interleaving analytics above stay healthy-run; availability
+        # contrasts them with the same schedulers under the fault plan.
+        from repro.faults import availability_report
+
+        faulty = compare_schedulers(
+            job,
+            cluster,
+            [
+                FuxiScheduler(track_metrics=True, fault_plan=plan),
+                StockSparkScheduler(track_metrics=True, fault_plan=plan),
+                DelayStageScheduler(profiled=not args.oracle,
+                                    track_metrics=True, fault_plan=plan),
+            ],
+        )
+        availability = availability_report(
+            {name: run.result for name, run in runs.items()},
+            {name: run.result for name, run in faulty.items()},
+        )
     manifest = build_manifest(
         seed=0,
         config={"command": "report", "workload": args.workload,
                 "workers": cluster.num_workers, "scale": args.scale,
-                "oracle": args.oracle},
+                "oracle": args.oracle, **_fault_manifest_config(args)},
         jobs=[job],
     )
     if args.csv:
@@ -232,6 +310,12 @@ def cmd_report(args: argparse.Namespace) -> int:
         title=(f"Interleaving report — {args.workload} on "
                f"{cluster.num_workers} workers"),
     )
+    if availability is not None:
+        from repro.faults import render_availability
+
+        payload["availability"] = [row.to_dict() for row in availability]
+        payload["fault_plan"] = plan.to_dict()
+        text += "\n\n" + render_availability(availability)
     return _finish(args, payload, text, manifest)
 
 
@@ -411,27 +495,59 @@ def cmd_replay(args: argparse.Namespace) -> int:
         rng=args.seed,
     )
     jobs = [to_job(tj) for tj in trace[: args.jobs]]
+    plan = _fault_plan_for(args, cluster, jobs=jobs)
     tracer = _tracer_for(args)
+    if plan is not None and tracer is not None:
+        _echo("error: --emit-trace is not supported together with "
+              "--faults/--chaos-seed on replay (use compare for a "
+              "fault-annotated trace)")
+        return 2
     incremental = not getattr(args, "no_incremental", False)
     memo = not getattr(args, "no_memo", False)
     fuxi = FuxiScheduler(track_metrics=False, contention_penalty=args.penalty,
-                         incremental=incremental)
+                         incremental=incremental, fault_plan=plan)
     ds = DelayStageScheduler(
         profiled=False, track_metrics=False, contention_penalty=args.penalty,
         params=DelayStageParams(max_slots=12, memoize=memo, bound_prune=memo),
-        incremental=incremental,
+        incremental=incremental, fault_plan=plan,
+        replan=plan is not None,
     )
     progress = _progress_for(args, "replay", total_jobs=2 * len(jobs))
-    jct_f = replay_batch(jobs, cluster, fuxi, processes=args.parallel,
-                         tracer=tracer, progress=progress)
-    jct_d = replay_batch(jobs, cluster, ds, processes=args.parallel,
-                         tracer=tracer, progress=progress)
+    fault_summary = None
+    if plan is not None:
+        from repro.simulator.parallel import replay_outcomes
+
+        done = progress.shard_done if progress is not None else None
+        out_f = replay_outcomes(jobs, cluster, fuxi, processes=args.parallel,
+                                on_shard_done=done)
+        out_d = replay_outcomes(jobs, cluster, ds, processes=args.parallel,
+                                on_shard_done=done)
+        # Compare survivor populations on the jobs both strategies
+        # completed; a failed job's "JCT" is its time-to-failure, which
+        # would poison the mean.
+        both_ok = [i for i in range(len(jobs))
+                   if not out_f[i][1] and not out_d[i][1]]
+        jct_f = [out_f[i][0] for i in both_ok]
+        jct_d = [out_d[i][0] for i in both_ok]
+        fault_summary = {
+            "plan_events": len(plan.events),
+            "jobs_compared": len(both_ok),
+            "fuxi": {"jobs_failed": sum(1 for _, failed, _ in out_f if failed),
+                     "retries": sum(r for _, _, r in out_f)},
+            "delaystage": {"jobs_failed": sum(1 for _, failed, _ in out_d if failed),
+                           "retries": sum(r for _, _, r in out_d)},
+        }
+    else:
+        jct_f = replay_batch(jobs, cluster, fuxi, processes=args.parallel,
+                             tracer=tracer, progress=progress)
+        jct_d = replay_batch(jobs, cluster, ds, processes=args.parallel,
+                             tracer=tracer, progress=progress)
     if progress is not None:
         progress.close()
     manifest = build_manifest(
         seed=args.seed,
         config={"command": "replay", "jobs": args.jobs,
-                "penalty": args.penalty},
+                "penalty": args.penalty, **_fault_manifest_config(args)},
         jobs=jobs,
     )
     _write_trace(args, tracer, manifest)
@@ -453,14 +569,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
         ["fuxi", float(np.mean(jct_f)), float(np.median(jct_f))],
         ["delaystage", float(np.mean(jct_d)), float(np.median(jct_d))],
     ]
-    text = (
-        render_table(
-            ["strategy", "mean JCT (s)", "median (s)"],
-            rows,
-            title=f"trace replay — {len(jobs)} jobs (contention penalty {args.penalty})",
+    title = f"trace replay — {len(jobs)} jobs (contention penalty {args.penalty})"
+    extra = f"\n\nDelayStage vs Fuxi: {improvement:.1%} (paper 36.6%)"
+    if fault_summary is not None:
+        payload["faults"] = fault_summary
+        title = (f"trace replay under faults — {fault_summary['jobs_compared']}"
+                 f"/{len(jobs)} jobs completed under both strategies")
+        extra = f"\n\nDelayStage vs Fuxi: {improvement:.1%} (faults injected)"
+        extra += (
+            f"\nfaults: fuxi failed {fault_summary['fuxi']['jobs_failed']} "
+            f"job(s) with {fault_summary['fuxi']['retries']} retries; "
+            f"delaystage+replan failed "
+            f"{fault_summary['delaystage']['jobs_failed']} job(s) with "
+            f"{fault_summary['delaystage']['retries']} retries"
         )
-        + f"\n\nDelayStage vs Fuxi: {improvement:.1%} (paper 36.6%)"
-    )
+    text = render_table(["strategy", "mean JCT (s)", "median (s)"], rows,
+                        title=title) + extra
     return _finish(args, payload, text, manifest)
 
 
@@ -652,10 +776,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream a live heartbeat (jobs done, events/s, "
                             "running makespan, ETA) to stderr")
 
+    def add_faults_args(p: argparse.ArgumentParser) -> None:
+        g = p.add_mutually_exclusive_group()
+        g.add_argument("--faults", metavar="PATH",
+                       help="inject faults from this declarative plan "
+                            "(JSON; see docs/faults.md)")
+        g.add_argument("--chaos-seed", type=int, dest="chaos_seed",
+                       metavar="N",
+                       help="inject a seeded random fault plan (same N, "
+                            "same faults, same results)")
+
     p = sub.add_parser("compare", help="JCT under Spark/AggShuffle/DelayStage")
     add_workload_args(p)
     p.add_argument("--oracle", action="store_true",
                    help="plan on true parameters instead of profiling")
+    add_faults_args(p)
     add_json_arg(p)
     add_trace_args(p)
     add_progress_arg(p)
@@ -673,6 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the report as CSV here")
     p.add_argument("--prometheus", metavar="PATH",
                    help="also write Prometheus/OpenMetrics text here")
+    add_faults_args(p)
     add_json_arg(p)
     p.set_defaults(func=cmd_report)
 
@@ -720,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bisection switch: disable Algorithm 1 "
                         "memoization and bound pruning (results "
                         "identical, slower)")
+    add_faults_args(p)
     add_json_arg(p)
     add_trace_args(p)
     add_progress_arg(p)

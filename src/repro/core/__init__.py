@@ -25,8 +25,9 @@ from repro.core.search import random_search_schedule
 from repro.core.schedule import DelaySchedule
 from repro.core.delaystage import DelayStageParams, delay_stage_schedule
 from repro.core.calculator import DelayTimeCalculator
-from repro.core.delayer import StageDelayer
+from repro.core.delayer import ReplanningStageDelayer, StageDelayer
 from repro.core.properties import read_metrics_properties, write_metrics_properties
+from repro.core.replan import replan_delays
 
 __all__ = [
     "PathOrder",
@@ -36,6 +37,8 @@ __all__ = [
     "delay_stage_schedule",
     "DelayTimeCalculator",
     "StageDelayer",
+    "ReplanningStageDelayer",
+    "replan_delays",
     "write_metrics_properties",
     "read_metrics_properties",
     "MakespanBounds",

@@ -63,3 +63,38 @@ class StageDelayer:
 
     def __contains__(self, job_id: object) -> bool:
         return job_id in self._tables
+
+
+class ReplanningStageDelayer(StageDelayer):
+    """A :class:`StageDelayer` whose table may be revised mid-run.
+
+    The fault layer (:mod:`repro.faults`) recomputes Algorithm 1
+    against the surviving cluster when the topology changes and pushes
+    the fresh delays for not-yet-launched stages through
+    :meth:`update_table`.  ``params`` carries the
+    :class:`~repro.core.delaystage.DelayStageParams` the recompute
+    should use (typically the ones that produced the original table).
+
+    A submission timer that is already pending when an update lands
+    keeps its original delay — the sleep began under the old plan and,
+    like a submitted stage, is history.
+    """
+
+    def __init__(self, tables, params=None) -> None:
+        super().__init__(tables)
+        self.params = params
+        #: Revision count per job (observability).
+        self.revisions: dict[str, int] = {}
+
+    @classmethod
+    def from_schedule(cls, schedule: DelaySchedule, params=None) -> "ReplanningStageDelayer":
+        return cls({schedule.job_id: schedule.delays}, params=params)
+
+    def update_table(self, job_id: str, delays: Mapping[str, float]) -> None:
+        """Merge re-planned delays for ``job_id`` into the live table."""
+        table = self._tables.setdefault(job_id, {})
+        for sid, x in delays.items():
+            if x < 0:
+                raise ValueError(f"negative replanned delay for {job_id}/{sid}: {x}")
+            table[sid] = float(x)
+        self.revisions[job_id] = self.revisions.get(job_id, 0) + 1

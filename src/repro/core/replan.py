@@ -1,0 +1,63 @@
+"""Mid-run DelayStage re-planning against a degraded cluster.
+
+The paper plans delays once, offline, against a healthy cluster.  When
+the fault layer (:mod:`repro.faults`) shrinks or slows the cluster
+mid-run, the original delay table is stale: it interleaves resource
+phases that the surviving nodes can no longer sustain.  This module
+re-runs Algorithm 1 against the *surviving* cluster and returns fresh
+delays for the stages that have not launched yet.
+
+Already-submitted stages are **frozen**: their submission moment has
+passed, so their delays are unchangeable history.  The recompute sees
+the whole job (frozen stages still occupy resources in the model — the
+fluid evaluation inside Algorithm 1 replays them), but only the
+non-frozen entries of the resulting table are returned.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.delaystage import DelayStageParams, delay_stage_schedule
+from repro.dag.job import Job
+from repro.obs.tracer import Tracer
+
+
+def replan_delays(
+    job: Job,
+    cluster: ClusterSpec,
+    frozen: "AbstractSet[str]",
+    params: "DelayStageParams | None" = None,
+    tracer: "Tracer | None" = None,
+) -> dict[str, float]:
+    """Recompute Algorithm 1 delays for the not-yet-launched stages.
+
+    Parameters
+    ----------
+    job:
+        The job being re-planned (profiled or ground-truth, matching
+        whatever the original planning used).
+    cluster:
+        The *surviving* cluster: dead nodes removed, degradation
+        factors applied (see
+        :meth:`repro.faults.injector.FaultInjector.degraded_cluster`).
+    frozen:
+        Stage ids whose submission already happened; their delays are
+        immutable and excluded from the returned table.
+
+    Returns
+    -------
+    dict
+        ``{stage_id: delay_seconds}`` for exactly the stages of ``job``
+        that Algorithm 1 tabulated and that are not frozen.  Callers
+        merge this into the live policy via
+        :meth:`~repro.core.delayer.ReplanningStageDelayer.update_table`.
+    """
+    unknown = set(frozen) - set(job.stage_ids)
+    if unknown:
+        raise ValueError(f"frozen stages not in job {job.job_id!r}: {sorted(unknown)}")
+    schedule = delay_stage_schedule(job, cluster, params, tracer=tracer)
+    return {
+        sid: delay for sid, delay in schedule.delays.items() if sid not in frozen
+    }

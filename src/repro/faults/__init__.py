@@ -1,0 +1,45 @@
+"""Fault injection & recovery (extension beyond the paper).
+
+Declarative fault plans (node crashes, NIC brownouts, stragglers, lost
+shuffle partitions) injected deterministically into the fluid
+simulator, with engine-level retry/backoff, graceful degradation onto
+the surviving nodes, and mid-run DelayStage re-planning.  See
+``docs/faults.md``.
+
+The import surface is deliberately layered: :mod:`repro.faults.plan`
+and :mod:`repro.faults.chaos` depend on nothing in the simulator, so a
+plan can be built, validated, and serialized without instantiating any
+simulation machinery; :class:`~repro.faults.injector.FaultInjector` is
+only imported by the simulation when a non-empty plan is installed.
+"""
+
+from repro.faults.availability import (
+    AvailabilityRow,
+    availability_report,
+    availability_row,
+    render_availability,
+)
+from repro.faults.chaos import generate_plan
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import (
+    FaultPlan,
+    LostShufflePartition,
+    NicBrownout,
+    NodeCrash,
+    Straggler,
+)
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "NicBrownout",
+    "Straggler",
+    "LostShufflePartition",
+    "generate_plan",
+    "FaultInjector",
+    "FaultStats",
+    "AvailabilityRow",
+    "availability_row",
+    "availability_report",
+    "render_availability",
+]

@@ -1,0 +1,119 @@
+"""Availability reporting: what the faults cost each scheduler.
+
+Compares a healthy run against a faulty run of the same scheduler on
+the same workload and summarizes the damage: JCT/makespan inflation,
+retries, re-planning activity, and the volume of work lost to crashes
+or recomputed after shuffle-data loss.  This is an *extension beyond
+the paper* — Stage Delay Scheduling evaluates only healthy clusters;
+the availability section quantifies how gracefully each strategy
+degrades when the cluster does not cooperate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.simulation import SimulationResult
+
+
+@dataclass(frozen=True)
+class AvailabilityRow:
+    """One scheduler's healthy-vs-faulty comparison."""
+
+    scheduler: str
+    healthy_makespan: float
+    faulty_makespan: float
+    #: ``faulty / healthy - 1`` (0.0 means the faults were free).
+    jct_inflation: float
+    retries: int
+    replans: int
+    partitions_lost: int
+    jobs_failed: int
+    work_lost_mb: float
+    work_recomputed_mb: float
+
+    def to_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "healthy_makespan": self.healthy_makespan,
+            "faulty_makespan": self.faulty_makespan,
+            "jct_inflation": self.jct_inflation,
+            "retries": self.retries,
+            "replans": self.replans,
+            "partitions_lost": self.partitions_lost,
+            "jobs_failed": self.jobs_failed,
+            "work_lost_mb": self.work_lost_mb,
+            "work_recomputed_mb": self.work_recomputed_mb,
+        }
+
+
+def availability_row(
+    scheduler: str,
+    healthy: "SimulationResult",
+    faulty: "SimulationResult",
+) -> AvailabilityRow:
+    """Build one row from a healthy and a faulty run of ``scheduler``.
+
+    ``faulty`` must carry fault stats (``faulty.faults``); ``healthy``
+    must not (it is the baseline).  Failed jobs keep their failure time
+    as ``finish_time``, so both makespans are finite.
+    """
+    stats = faulty.faults
+    if stats is None:
+        raise ValueError(
+            f"faulty run of {scheduler!r} has no fault stats; was a fault "
+            "plan actually installed?"
+        )
+    healthy_makespan = healthy.makespan
+    faulty_makespan = faulty.makespan
+    if not math.isfinite(healthy_makespan) or not math.isfinite(faulty_makespan):
+        raise ValueError(f"non-finite makespan for {scheduler!r}")
+    inflation = (
+        faulty_makespan / healthy_makespan - 1.0 if healthy_makespan > 0.0 else 0.0
+    )
+    return AvailabilityRow(
+        scheduler=scheduler,
+        healthy_makespan=healthy_makespan,
+        faulty_makespan=faulty_makespan,
+        jct_inflation=inflation,
+        retries=stats.retries,
+        replans=stats.replans,
+        partitions_lost=stats.partitions_lost,
+        jobs_failed=len(stats.jobs_failed),
+        work_lost_mb=stats.work_lost_bytes / 1e6,
+        work_recomputed_mb=stats.work_recomputed_bytes / 1e6,
+    )
+
+
+def availability_report(
+    healthy: "Mapping[str, SimulationResult]",
+    faulty: "Mapping[str, SimulationResult]",
+) -> list[AvailabilityRow]:
+    """Rows for every scheduler present in both mappings (sorted by name)."""
+    rows = []
+    for name in sorted(healthy):
+        if name in faulty:
+            rows.append(availability_row(name, healthy[name], faulty[name]))
+    return rows
+
+
+def render_availability(rows: "list[AvailabilityRow]") -> str:
+    """Fixed-width text table of the availability section."""
+    if not rows:
+        return "(no availability data)"
+    header = (
+        f"{'scheduler':<18} {'healthy':>9} {'faulty':>9} {'inflation':>9} "
+        f"{'retries':>7} {'replans':>7} {'lost-MB':>9} {'recomp-MB':>9} {'failed':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.scheduler:<18} {row.healthy_makespan:>9.2f} "
+            f"{row.faulty_makespan:>9.2f} {row.jct_inflation:>8.1%} "
+            f"{row.retries:>7d} {row.replans:>7d} {row.work_lost_mb:>9.1f} "
+            f"{row.work_recomputed_mb:>9.1f} {row.jobs_failed:>6d}"
+        )
+    return "\n".join(lines)

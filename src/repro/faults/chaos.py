@@ -1,0 +1,114 @@
+"""Seeded random fault-plan generation (``--chaos-seed``).
+
+The generator draws a small, survivable fault plan from a seeded
+stream: the same ``(cluster, seed)`` pair always yields the same plan,
+so a chaos run is as replayable as a fault file on disk.  Plans never
+crash the last surviving worker and only target worker nodes, keeping
+every generated plan valid under
+:meth:`~repro.faults.plan.FaultPlan.validate_against`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.faults.plan import (
+    FaultPlan,
+    LostShufflePartition,
+    NicBrownout,
+    NodeCrash,
+    Straggler,
+)
+from repro.util.rng import resolve_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.spec import ClusterSpec
+    from repro.dag.job import Job
+
+
+def generate_plan(
+    cluster: "ClusterSpec",
+    seed: int,
+    *,
+    jobs: "Sequence[Job] | None" = None,
+    num_events: int = 3,
+    horizon: float = 60.0,
+    retry_budget: int = 3,
+    backoff_base: float = 0.5,
+    backoff_cap: float = 8.0,
+) -> FaultPlan:
+    """Draw a deterministic fault plan for ``cluster`` from ``seed``.
+
+    Parameters
+    ----------
+    jobs:
+        When given, ``lost_partition`` events become possible (they
+        need a concrete job/stage/partition to target).
+    num_events:
+        Faults to draw.  Node crashes are capped at ``workers - 1`` so
+        at least one worker always survives.
+    horizon:
+        Fault times are drawn uniformly from ``(0, horizon)``; pick
+        roughly the expected healthy makespan so faults land while
+        work is in flight.
+    """
+    if num_events < 0:
+        raise ValueError(f"num_events must be >= 0, got {num_events}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    gen = resolve_rng(int(seed))
+    workers = list(cluster.worker_ids)
+    kinds = ["nic_brownout", "straggler"]
+    if len(workers) > 1:
+        kinds.append("node_crash")
+    stages = []
+    if jobs:
+        for job in jobs:
+            stages.extend((job.job_id, sid) for sid in job.stage_ids)
+    if stages:
+        kinds.append("lost_partition")
+
+    events: list = []
+    crashed: set[str] = set()
+    for _ in range(num_events):
+        kind = kinds[int(gen.integers(0, len(kinds)))]
+        t = float(round(gen.uniform(0.0, horizon), 3))
+        if kind == "node_crash":
+            alive = [w for w in workers if w not in crashed]
+            if len(alive) <= 1:
+                kind = "straggler"  # survivability: never kill the last worker
+            else:
+                node = alive[int(gen.integers(0, len(alive)))]
+                crashed.add(node)
+                events.append(NodeCrash(time=t, node=node))
+                continue
+        if kind == "nic_brownout":
+            node = workers[int(gen.integers(0, len(workers)))]
+            span = float(round(gen.uniform(2.0, max(4.0, horizon / 3.0)), 3))
+            factor = float(round(gen.uniform(0.2, 0.8), 3))
+            events.append(
+                NicBrownout(start=t, end=t + span, node=node, factor=factor)
+            )
+        elif kind == "straggler":
+            node = workers[int(gen.integers(0, len(workers)))]
+            span = float(round(gen.uniform(2.0, max(4.0, horizon / 2.0)), 3))
+            factor = float(round(gen.uniform(1.5, 4.0), 3))
+            events.append(
+                Straggler(time=t, node=node, factor=factor, until=t + span)
+            )
+        else:  # lost_partition
+            job_id, stage_id = stages[int(gen.integers(0, len(stages)))]
+            part = workers[int(gen.integers(0, len(workers)))]
+            events.append(
+                LostShufflePartition(time=t, job=job_id, stage=stage_id, part=part)
+            )
+
+    events.sort(key=lambda e: (e.time, e.kind, getattr(e, "node", "")))
+    plan = FaultPlan(
+        events=tuple(events),
+        retry_budget=retry_budget,
+        backoff_base=backoff_base,
+        backoff_cap=backoff_cap,
+    )
+    plan.validate_against(cluster)
+    return plan

@@ -7,7 +7,7 @@ from dataclasses import replace
 
 from repro.cluster.spec import ClusterSpec
 from repro.core.calculator import DelayTimeCalculator
-from repro.core.delayer import StageDelayer
+from repro.core.delayer import ReplanningStageDelayer, StageDelayer
 from repro.core.delaystage import DelayStageParams, delay_stage_schedule
 from repro.core.ordering import PathOrder
 from repro.dag.job import Job
@@ -35,6 +35,16 @@ class DelayStageScheduler(Scheduler):
     sample_fraction / profiling_noise / measurement_noise / rng:
         Forwarded to :class:`~repro.core.calculator.DelayTimeCalculator`
         in profiled mode.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` the execution
+        runs under (planning always models the healthy cluster — faults
+        are surprises, not inputs).
+    replan:
+        Recompute Algorithm 1 against the surviving cluster when a
+        fault changes the topology mid-run (delays of already-submitted
+        stages stay frozen).  Requires the policy to be mutable, so the
+        prepared policy becomes a
+        :class:`~repro.core.delayer.ReplanningStageDelayer`.
     """
 
     def __init__(
@@ -51,6 +61,8 @@ class DelayStageScheduler(Scheduler):
         track_occupancy: bool = False,
         contention_penalty: float = 0.0,
         incremental: bool = True,
+        fault_plan=None,
+        replan: bool = False,
     ) -> None:
         self.params = params or DelayStageParams(order=order)
         if contention_penalty > 0.0 and self.params.sim_config is None:
@@ -75,14 +87,18 @@ class DelayStageScheduler(Scheduler):
         self.profiling_noise = profiling_noise
         self.measurement_noise = measurement_noise
         self.rng = rng
+        self.replan = replan
         self._config = SimulationConfig(
             track_metrics=track_metrics,
             track_occupancy=track_occupancy,
             contention_penalty=contention_penalty,
             incremental=incremental,
+            fault_plan=fault_plan,
         )
         order_name = PathOrder(self.params.order).value
         self.name = "delaystage" if order_name == "descending" else f"delaystage-{order_name}"
+        if replan:
+            self.name += "+replan"
 
     def prepare(
         self, job: Job, cluster: ClusterSpec, tracer: "Tracer | None" = None
@@ -101,8 +117,12 @@ class DelayStageScheduler(Scheduler):
         else:
             schedule = delay_stage_schedule(job, cluster, self.params, tracer=tracer)
             profile = None
+        if self.replan:
+            policy = ReplanningStageDelayer.from_schedule(schedule, params=self.params)
+        else:
+            policy = StageDelayer.from_schedule(schedule)
         return Prepared(
-            policy=StageDelayer.from_schedule(schedule),
+            policy=policy,
             config=self._config,
             info={"schedule": schedule, "profile": profile},
         )

@@ -31,11 +31,13 @@ class FuxiScheduler(Scheduler):
         track_metrics: bool = True,
         contention_penalty: float = 0.0,
         incremental: bool = True,
+        fault_plan=None,
     ) -> None:
         self._config = SimulationConfig(
             track_metrics=track_metrics,
             contention_penalty=contention_penalty,
             incremental=incremental,
+            fault_plan=fault_plan,
         )
 
     def prepare(

@@ -20,9 +20,16 @@ class StockSparkScheduler(Scheduler):
 
     name = "spark"
 
-    def __init__(self, track_metrics: bool = True, track_occupancy: bool = False) -> None:
+    def __init__(
+        self,
+        track_metrics: bool = True,
+        track_occupancy: bool = False,
+        fault_plan=None,
+    ) -> None:
         self._config = SimulationConfig(
-            track_metrics=track_metrics, track_occupancy=track_occupancy
+            track_metrics=track_metrics,
+            track_occupancy=track_occupancy,
+            fault_plan=fault_plan,
         )
 
     def prepare(

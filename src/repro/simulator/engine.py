@@ -159,6 +159,27 @@ class FluidEngine:
         """
         self._stop_requested = True
 
+    def cancel_item(self, item: WorkItem) -> bool:
+        """Withdraw an active item without firing its completion.
+
+        Fault-injection path: a crashed node's in-flight work leaves
+        the active set with its remaining volume intact (the caller
+        decides whether and where to requeue it).  Returns ``False``
+        if the item was not active (already completed or cancelled).
+        """
+        if item._pos < 0:
+            return False
+        self._remove_item(item)
+        if self._allocate_incremental is not None:
+            # An item added and cancelled within one allocation window
+            # must not reach the incremental allocator at all.
+            if item in self._added:
+                self._added.remove(item)
+            else:
+                self._removed.append(item)
+        self._dirty = True
+        return True
+
     def mark_dirty(self) -> None:
         """Force a rate reallocation before the next advance (call after
         externally mutating item properties such as rate caps)."""

@@ -22,6 +22,15 @@ class EventKind(enum.Enum):
     STAGE_COMPLETED = "stage_completed"
     JOB_COMPLETED = "job_completed"
     PREFETCH_STARTED = "prefetch_started"
+    # Fault-injection lifecycle (repro.faults); only emitted when a
+    # non-empty fault plan is installed, so healthy-run event logs are
+    # byte-identical with or without the fault subsystem present.
+    FAULT_INJECTED = "fault_injected"
+    NODE_CRASHED = "node_crashed"
+    PARTITION_LOST = "partition_lost"
+    TASK_RETRY = "task_retry"
+    STAGE_REPLANNED = "stage_replanned"
+    JOB_FAILED = "job_failed"
 
 
 @dataclass(frozen=True)

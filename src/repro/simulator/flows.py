@@ -40,9 +40,15 @@ class NetworkFlow(WorkItem):
         stage producing the data; while that parent is still computing
         at ``src``, the flow's rate cap tracks its output production
         rate.
+    part, src_slot:
+        Fault-mode bookkeeping (:mod:`repro.faults`): the reading
+        partition slot and the slot whose data ``src`` serves, so a
+        crashed node's flows can be requeued / re-sourced.  ``None``
+        on the healthy path.
     """
 
-    __slots__ = ("src", "dst", "stage_key", "rate_cap", "pipelined", "producer_key")
+    __slots__ = ("src", "dst", "stage_key", "rate_cap", "pipelined", "producer_key",
+                 "part", "src_slot")
 
     def __init__(
         self,
@@ -54,6 +60,8 @@ class NetworkFlow(WorkItem):
         rate_cap: float = math.inf,
         pipelined: bool = False,
         producer_key: "tuple[str, str] | None" = None,
+        part: "str | None" = None,
+        src_slot: "str | None" = None,
     ) -> None:
         super().__init__(volume, on_complete)
         if src == dst:
@@ -64,6 +72,8 @@ class NetworkFlow(WorkItem):
         self.rate_cap = rate_cap
         self.pipelined = pipelined
         self.producer_key = producer_key
+        self.part = part
+        self.src_slot = src_slot
 
     def alloc_groups(self) -> tuple[tuple[str, str], ...]:
         """Resource groups this flow's rate depends on (both NICs)."""
@@ -77,7 +87,7 @@ class ComputeDemand(WorkItem):
     ``executor_share * process_rate`` (bytes/s).
     """
 
-    __slots__ = ("node", "stage_key", "process_rate", "executor_share")
+    __slots__ = ("node", "stage_key", "process_rate", "executor_share", "part")
 
     def __init__(
         self,
@@ -86,6 +96,7 @@ class ComputeDemand(WorkItem):
         stage_key: tuple[str, str],
         process_rate: float,
         on_complete: "Callable[[float], None] | None" = None,
+        part: "str | None" = None,
     ) -> None:
         super().__init__(volume, on_complete)
         if process_rate <= 0:
@@ -94,6 +105,7 @@ class ComputeDemand(WorkItem):
         self.stage_key = stage_key
         self.process_rate = process_rate
         self.executor_share = 0.0  # filled by the allocator, read by metrics
+        self.part = part  # fault-mode partition slot (None on the healthy path)
 
     def alloc_groups(self) -> tuple[tuple[str, str], ...]:
         """Resource groups this demand's rate depends on (node executors)."""
@@ -103,7 +115,7 @@ class ComputeDemand(WorkItem):
 class DiskWrite(WorkItem):
     """Shuffle write of a stage partition to one worker's local disk."""
 
-    __slots__ = ("node", "stage_key")
+    __slots__ = ("node", "stage_key", "part")
 
     def __init__(
         self,
@@ -111,10 +123,12 @@ class DiskWrite(WorkItem):
         volume: float,
         stage_key: tuple[str, str],
         on_complete: "Callable[[float], None] | None" = None,
+        part: "str | None" = None,
     ) -> None:
         super().__init__(volume, on_complete)
         self.node = node
         self.stage_key = stage_key
+        self.part = part  # fault-mode partition slot (None on the healthy path)
 
     def alloc_groups(self) -> tuple[tuple[str, str], ...]:
         """Resource groups this write's rate depends on (node disk)."""

@@ -82,6 +82,36 @@ def _replay_shard(payload: tuple) -> "list[tuple[int, float]]":
     ]
 
 
+def _run_outcome(run) -> "tuple[float, bool, int]":
+    """(jct, failed, retries) of one single-job SchedulerRun.
+
+    On a healthy run ``failed`` is always False and ``retries`` 0; with
+    a fault plan a failed job's "JCT" is its time-to-failure (finite by
+    construction), flagged so aggregates can separate the populations.
+    """
+    result = run.result
+    (job_id,) = result.job_records.keys()
+    stats = result.faults
+    failed = stats is not None and job_id in stats.jobs_failed
+    retries = stats.retries if stats is not None else 0
+    return (run.jct, failed, retries)
+
+
+def _replay_outcomes_shard(payload: tuple) -> "list[tuple[int, float, bool, int]]":
+    """Worker entry point for :func:`replay_outcomes`."""
+    shard, cluster, scheduler, seed = payload
+    from repro.schedulers.runner import run_with_scheduler
+
+    np.random.default_rng(seed)
+    out = []
+    for idx, job in shard:
+        jct, failed, retries = _run_outcome(
+            run_with_scheduler(job, cluster, scheduler)
+        )
+        out.append((idx, jct, failed, retries))
+    return out
+
+
 def default_processes() -> int:
     """Worker count when the caller does not specify one."""
     return max(os.cpu_count() or 1, 1)
@@ -137,4 +167,54 @@ def replay_jcts(
                 merged[idx] = jct
             if on_shard_done is not None:
                 on_shard_done(len(pairs))
+    return merged
+
+
+def replay_outcomes(
+    jobs: "Sequence[Job]",
+    cluster: "ClusterSpec",
+    scheduler: "Scheduler",
+    *,
+    processes: "int | None" = None,
+    base_seed: int = 0,
+    on_shard_done: "Optional[Callable[[int], None]]" = None,
+) -> "list[tuple[float, bool, int]]":
+    """Per-job ``(jct, failed, retries)`` triples under ``scheduler``.
+
+    The fault-aware sibling of :func:`replay_jcts`: a scheduler whose
+    config carries a :class:`~repro.faults.plan.FaultPlan` may fail
+    jobs (retry budget exhausted), and availability reporting needs to
+    see which.  Sharding, seeding, and merge order are identical to
+    :func:`replay_jcts`, so with an empty plan the first element of
+    every triple matches ``replay_jcts`` exactly.
+    """
+    if processes is None:
+        processes = default_processes()
+    processes = min(processes, len(jobs))
+    if processes <= 1:
+        from repro.schedulers.runner import run_with_scheduler
+
+        outcomes = []
+        for j in jobs:
+            outcomes.append(_run_outcome(run_with_scheduler(j, cluster, scheduler)))
+            if on_shard_done is not None:
+                on_shard_done(1)
+        return outcomes
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    shards = split_shards(jobs, processes)
+    seeds = shard_seeds(base_seed, len(shards))
+    merged: "list[tuple[float, bool, int]]" = [(float("nan"), False, 0)] * len(jobs)
+    payloads = [
+        (shard, cluster, scheduler, seed) for shard, seed in zip(shards, seeds)
+    ]
+    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        futures = [pool.submit(_replay_outcomes_shard, p) for p in payloads]
+        for future in as_completed(futures):
+            rows = future.result()
+            for idx, jct, failed, retries in rows:
+                merged[idx] = (jct, failed, retries)
+            if on_shard_done is not None:
+                on_shard_done(len(rows))
     return merged

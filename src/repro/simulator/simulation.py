@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Protocol
+from typing import TYPE_CHECKING, Callable, Mapping, Protocol
 
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.topology import Topology
@@ -40,6 +40,10 @@ from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
 from repro.simulator.incremental import ScopedAllocator
 from repro.simulator.metrics import MetricsCollector
 from repro.verify import sanitizer as _sanitizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector, FaultStats
+    from repro.faults.plan import FaultPlan
 
 
 class SubmissionPolicy(Protocol):
@@ -136,6 +140,14 @@ class SimulationConfig:
     #: and stragglers real Spark stages exhibit.  Shuffle reads and disk
     #: writes remain fluid.
     task_granular: bool = False
+    #: Fault-injection plan (:class:`repro.faults.plan.FaultPlan`).
+    #: ``None`` or an empty plan leaves the healthy execution path —
+    #: and its event-log bytes — completely untouched; a non-empty plan
+    #: installs a :class:`repro.faults.injector.FaultInjector` that
+    #: takes over partition bookkeeping.  Incompatible with
+    #: ``pipelined_shuffle``, ``task_granular``, and ``fanin`` (those
+    #: modes place work the injector cannot requeue faithfully).
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.aggshuffle_cpu_penalty < 0:
@@ -144,6 +156,16 @@ class SimulationConfig:
             raise ValueError("fanin must be >= 1 or None")
         if self.contention_penalty < 0:
             raise ValueError("contention_penalty must be >= 0")
+        if self.fault_plan is not None and self.fault_plan.events:
+            if self.pipelined_shuffle:
+                raise ValueError("fault injection is incompatible with "
+                                 "pipelined_shuffle (AggShuffle)")
+            if self.task_granular:
+                raise ValueError("fault injection is incompatible with "
+                                 "task_granular execution")
+            if self.fanin is not None:
+                raise ValueError("fault injection is incompatible with a "
+                                 "fanin cap")
 
 
 @dataclass
@@ -209,6 +231,10 @@ class SimulationResult:
     #: fractions — serialized into every result so reports can carry
     #: aggregate telemetry without the full metric series.
     counters: dict = field(default_factory=dict)
+    #: Fault/recovery telemetry (:class:`repro.faults.injector.FaultStats`)
+    #: when a non-empty fault plan ran; ``None`` for healthy runs, so
+    #: healthy results stay structurally unchanged.
+    faults: "FaultStats | None" = None
 
     def job_completion_time(self, job_id: str) -> float:
         return self.job_records[job_id].completion_time
@@ -247,6 +273,8 @@ class _StageRun:
         "parts_write_done",
         "compute_active",
         "compute_volume",
+        "retries",
+        "regated",
     )
 
     def __init__(self, job: Job, stage_id: str, workers: list[str]) -> None:
@@ -265,6 +293,12 @@ class _StageRun:
         #: Per-part compute volume, identical for every worker; filled
         #: lazily by the first ``_part_read_done`` (-1.0 = not computed).
         self.compute_volume = -1.0
+        #: Fault mode: requeues charged against this stage's retry budget.
+        self.retries = 0
+        #: Fault mode: children re-gated by a lost-partition recompute
+        #: (``None`` outside a recompute — the re-completion then
+        #: releases exactly these instead of every child).
+        self.regated: "list[str] | None" = None
 
 
 class Simulation:
@@ -332,6 +366,17 @@ class Simulation:
         # outside run_truncated().
         self._watch_remaining: "set[str] | None" = None
         self._started = False
+        #: Fault injector; None (no overhead, byte-identical event logs)
+        #: unless the config carries a non-empty fault plan.  Imported
+        #: lazily so the simulator has no hard dependency on the fault
+        #: layer.
+        self._faults: "FaultInjector | None" = None
+        plan = self.config.fault_plan
+        if plan is not None and plan.events:
+            from repro.faults.injector import FaultInjector
+
+            plan.validate_against(cluster)
+            self._faults = FaultInjector(self, plan)
 
     # ------------------------------------------------------------------ #
     # public interface
@@ -418,6 +463,8 @@ class Simulation:
                 when,
                 lambda n=node_id, a=nf, b=df, c=ef: self._apply_degradation(n, a, b, c),
             )
+        if self._faults is not None:
+            self._faults.schedule_events()
         for job_id, (job, _policy, submit_time) in self._jobs.items():
             self._remaining_stages[job_id] = job.num_stages
             self._job_records[job_id] = JobRecord(job_id, submit_time)
@@ -436,6 +483,9 @@ class Simulation:
             metrics=self.metrics,
             events=self.events,
         )
+        if self._faults is not None:
+            self._faults.finalize()
+            result.faults = self._faults.stats
         result.counters = self._run_counters(result)
         if self.tracer.enabled:
             self._emit_trace(result)
@@ -465,6 +515,10 @@ class Simulation:
         """
         if horizon < 0 or math.isnan(horizon):
             raise ValueError(f"horizon must be >= 0, got {horizon!r}")
+        if self._faults is not None:
+            # A truncated fault run would leave requeues/backoffs dangling
+            # and its prefix property does not survive mid-flight retries.
+            raise RuntimeError("run_truncated is unsupported with a fault plan")
         self._watch_remaining = set(watch) if watch is not None else None
         self._start()
         self.engine.run(until=None if math.isinf(horizon) else horizon)
@@ -515,6 +569,18 @@ class Simulation:
 
     def _submit_stage(self, run: _StageRun) -> None:
         now = self.engine.now
+        if self._faults is not None:
+            # Fault mode: the injector owns the partition lifecycle (its
+            # work items carry slot identities so crashed work can be
+            # requeued); it may also veto the submission outright (failed
+            # job, or a stage re-gated by a lost shuffle partition).
+            if not self._faults.on_submit(run):
+                return
+            run.submitted = True
+            run.record.submit_time = now
+            self._log(EventKind.STAGE_SUBMITTED, run.key[0], run.key[1])
+            self._faults.start_parts(run)
+            return
         run.submitted = True
         run.record.submit_time = now
         self._log(EventKind.STAGE_SUBMITTED, run.key[0], run.key[1])
@@ -957,6 +1023,8 @@ class Simulation:
                 counters["busy_fraction.cpu"] = float(sum(cpu) / len(cpu))
                 counters["busy_fraction.net_in"] = float(sum(net) / len(net))
                 counters["busy_fraction.disk"] = float(sum(disk) / len(disk))
+        if self._faults is not None:
+            counters.update(self._faults.counters())
         return counters
 
     def _emit_trace(self, result: SimulationResult) -> None:

@@ -268,18 +268,35 @@ def check_result(result: "SimulationResult") -> None:
     Per job: the job finish equals its last stage finish.  Event
     timestamps are monotone and the per-stage submission/completion
     events agree with the records.
+
+    Fault runs (``result.faults`` set) relax exactly the clauses that
+    recovery legitimately bends: stages of *failed* jobs may carry
+    partial (or mid-recompute) lifecycle timestamps and are exempt from
+    the per-stage ordering clause; failed jobs' finish time is their
+    failure time, not a stage finish; and events may repeat per (kind,
+    stage) on requeue, so records are compared against the *last*
+    occurrence.  Fault-specific invariants are then checked on top via
+    :func:`check_fault_invariants`.
     """
     from repro.simulator.events import EventKind  # lazy: avoids import cycle
 
+    stats = getattr(result, "faults", None)
+    failed_jobs = set(stats.jobs_failed) if stats is not None else set()
+
+    labels = ["ready", "submit", "read_done", "compute_done", "finish"]
     for (job_id, stage_id), rec in result.stage_records.items():
         times = [rec.ready_time, rec.submit_time, rec.read_done_time,
                  rec.compute_done_time, rec.finish_time]
+        if job_id in failed_jobs:
+            # A failed job's stages stop wherever the failure caught
+            # them — including mid-recompute, where a later read-done
+            # may legally follow an earlier (stale) finish time.
+            continue
         if any(math.isnan(t) for t in times):
             raise SanitizerError(
                 f"stage {job_id}/{stage_id} finished with unset lifecycle "
                 f"timestamps: {times!r}"
             )
-        labels = ["ready", "submit", "read_done", "compute_done", "finish"]
         for (la, ta), (lb, tb) in zip(zip(labels, times), zip(labels[1:], times[1:])):
             if tb < ta - ABS_TOL:
                 raise SanitizerError(
@@ -288,6 +305,8 @@ def check_result(result: "SimulationResult") -> None:
                 )
 
     for job_id, jrec in result.job_records.items():
+        if job_id in failed_jobs:
+            continue  # finish time is the failure instant, not a stage finish
         finishes = [
             rec.finish_time
             for (jid, _sid), rec in result.stage_records.items()
@@ -301,6 +320,12 @@ def check_result(result: "SimulationResult") -> None:
                 f"its last stage finish {max(finishes):.9f}"
             )
 
+    checked_kinds = (EventKind.STAGE_READY, EventKind.STAGE_SUBMITTED,
+                     EventKind.STAGE_COMPLETED)
+    # Fault runs may re-log lifecycle events on requeue/recompute; the
+    # record keeps the final values, so compare the *last* occurrence.
+    last_only = stats is not None
+    last_seen: dict[tuple, object] = {}
     previous = -math.inf
     for event in result.events:
         if event.time < previous - ABS_TOL:
@@ -309,18 +334,91 @@ def check_result(result: "SimulationResult") -> None:
                 f"{event.time:.9f} after t={previous:.9f}"
             )
         previous = max(previous, event.time)
-        rec = result.stage_records.get((event.job_id, event.stage_id))
-        if rec is None:
+        if event.kind not in checked_kinds or event.job_id in failed_jobs:
             continue
-        expected = {
-            EventKind.STAGE_READY: rec.ready_time,
-            EventKind.STAGE_SUBMITTED: rec.submit_time,
-            EventKind.STAGE_COMPLETED: rec.finish_time,
-        }.get(event.kind)
-        if expected is not None and abs(event.time - expected) > ABS_TOL + REL_TOL * abs(
-            expected
-        ):
+        if last_only:
+            last_seen[(event.kind, event.job_id, event.stage_id)] = event
+            continue
+        _check_event_record(result, event)
+    for event in last_seen.values():
+        _check_event_record(result, event)
+
+    if stats is not None:
+        check_fault_invariants(result)
+
+
+def _check_event_record(result: "SimulationResult", event) -> None:
+    from repro.simulator.events import EventKind  # lazy: avoids import cycle
+
+    rec = result.stage_records.get((event.job_id, event.stage_id))
+    if rec is None:
+        return
+    expected = {
+        EventKind.STAGE_READY: rec.ready_time,
+        EventKind.STAGE_SUBMITTED: rec.submit_time,
+        EventKind.STAGE_COMPLETED: rec.finish_time,
+    }.get(event.kind)
+    if expected is not None and abs(event.time - expected) > ABS_TOL + REL_TOL * abs(
+        expected
+    ):
+        raise SanitizerError(
+            f"event {event.kind.value} for {event.job_id}/{event.stage_id} "
+            f"at {event.time:.9f} disagrees with the record ({expected:.9f})"
+        )
+
+
+def check_fault_invariants(result: "SimulationResult") -> None:
+    """Recovery-layer invariants for a fault-injected run.
+
+    Retries never exceed the per-stage budget (plus the one attempt
+    that exhausts it, which must belong to a failed job); every failed
+    job has a ``JOB_FAILED`` event and no ``JOB_COMPLETED``; all finish
+    times are finite; work accounting is non-negative.
+    """
+    from repro.simulator.events import EventKind  # lazy: avoids import cycle
+
+    stats = result.faults
+    if stats is None:
+        return
+    failed = set(stats.jobs_failed)
+    budget = stats.retry_budget
+    for label, count in stats.stage_retries.items():
+        job_id = label.split("/", 1)[0]
+        limit = budget + 1 if job_id in failed else budget
+        if count > limit:
             raise SanitizerError(
-                f"event {event.kind.value} for {event.job_id}/{event.stage_id} "
-                f"at {event.time:.9f} disagrees with the record ({expected:.9f})"
+                f"stage {label} retried {count} times, exceeding the retry "
+                f"budget of {budget}"
+            )
+    for job_id, jrec in result.job_records.items():
+        if math.isnan(jrec.finish_time) or math.isinf(jrec.finish_time):
+            raise SanitizerError(
+                f"job {job_id!r} ended a fault run with a non-finite finish "
+                f"time {jrec.finish_time!r}"
+            )
+    if stats.work_lost_bytes < 0 or stats.work_recomputed_bytes < 0:
+        raise SanitizerError(
+            f"negative work accounting: lost={stats.work_lost_bytes!r} "
+            f"recomputed={stats.work_recomputed_bytes!r}"
+        )
+    if result.events:
+        completed = {
+            e.job_id for e in result.events if e.kind is EventKind.JOB_COMPLETED
+        }
+        failed_logged = {
+            e.job_id for e in result.events if e.kind is EventKind.JOB_FAILED
+        }
+        for job_id in failed:
+            if job_id in completed:
+                raise SanitizerError(
+                    f"failed job {job_id!r} also logged JOB_COMPLETED"
+                )
+            if job_id not in failed_logged:
+                raise SanitizerError(
+                    f"failed job {job_id!r} never logged JOB_FAILED"
+                )
+        for job_id in failed_logged - failed:
+            raise SanitizerError(
+                f"JOB_FAILED logged for {job_id!r} but it is not in the "
+                "failed-jobs set"
             )

@@ -1,0 +1,125 @@
+"""CLI fault-injection surface (--faults / --chaos-seed)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultPlan, NodeCrash
+
+
+def _json_out(capsys):
+    return json.loads(capsys.readouterr().out)
+
+
+@pytest.fixture
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    FaultPlan(
+        events=(NodeCrash(time=30.0, node="w2"),),
+        retry_budget=3, backoff_base=0.5, backoff_cap=4.0,
+    ).save(path)
+    return str(path)
+
+
+def test_flags_are_mutually_exclusive(plan_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["compare", "--workload", "ALS", "--faults", plan_file,
+              "--chaos-seed", "1"])
+    capsys.readouterr()
+
+
+def test_compare_with_fault_plan(plan_file, capsys):
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--faults", plan_file, "--json"]) == 0
+    payload = _json_out(capsys)
+    # AggShuffle (pipelined shuffle) is swapped out for Fuxi, and the
+    # replanning DelayStage variant joins the lineup.
+    assert set(payload["runs"]) == {"spark", "fuxi", "delaystage",
+                                    "delaystage+replan"}
+    assert payload["fault_plan"]["events"][0]["kind"] == "node_crash"
+    for run in payload["runs"].values():
+        assert run["faults"]["injected"] == 1
+        assert run["faults"]["dead_nodes"] == {"w2": 30.0}
+        assert run["counters"]["faults.crashes"] == 1.0
+
+
+def test_compare_with_chaos_seed(capsys):
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--chaos-seed", "5", "--json"]) == 0
+    payload = _json_out(capsys)
+    assert len(payload["fault_plan"]["events"]) >= 1
+    assert payload["manifest"]["config"]["chaos_seed"] == 5
+
+
+def test_compare_healthy_lineup_unchanged(capsys):
+    assert main(["compare", "--workload", "ALS", "--oracle", "--json"]) == 0
+    payload = _json_out(capsys)
+    assert set(payload["runs"]) == {"spark", "aggshuffle", "delaystage"}
+    assert "fault_plan" not in payload
+
+
+def test_compare_rejects_plan_for_wrong_cluster(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    FaultPlan(events=(NodeCrash(time=1.0, node="w99"),)).save(path)
+    with pytest.raises(ValueError, match="unknown node"):
+        main(["compare", "--workload", "ALS", "--faults", str(path)])
+    capsys.readouterr()
+
+
+def test_compare_faults_emit_trace_validates(plan_file, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--faults", plan_file, "--emit-trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(trace), "--validate"]) == 0
+    capsys.readouterr()
+
+
+def test_report_availability_section(plan_file, capsys):
+    assert main(["report", "--workload", "ALS", "--oracle",
+                 "--faults", plan_file, "--json"]) == 0
+    payload = _json_out(capsys)
+    rows = payload["availability"]
+    assert rows, "availability section must be non-empty"
+    by_name = {row["scheduler"]: row for row in rows}
+    assert set(by_name) == {"fuxi", "spark", "delaystage"}
+    for row in by_name.values():
+        assert row["faulty_makespan"] >= row["healthy_makespan"] > 0
+        assert row["jct_inflation"] >= 0.0
+        assert row["jobs_failed"] == 0
+
+
+def test_report_availability_text(plan_file, capsys):
+    assert main(["report", "--workload", "ALS", "--oracle",
+                 "--faults", plan_file]) == 0
+    out = capsys.readouterr().out
+    assert "inflation" in out and "healthy" in out and "faulty" in out
+
+
+def test_empty_plan_file_is_accepted(tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    FaultPlan().save(path)
+    assert main(["compare", "--workload", "ALS", "--oracle",
+                 "--faults", str(path), "--json"]) == 0
+    payload = _json_out(capsys)
+    # No events: nothing injected, per-run fault stats stay null.
+    assert all(run["faults"] is None for run in payload["runs"].values())
+
+
+def test_replay_with_chaos_seed(capsys):
+    assert main(["replay", "--jobs", "2", "--chaos-seed", "1",
+                 "--parallel", "1", "--json"]) == 0
+    payload = _json_out(capsys)
+    faults = payload["faults"]
+    assert faults["plan_events"] >= 1
+    assert faults["jobs_compared"] <= 2
+    assert {"jobs_failed", "retries"} <= set(faults["fuxi"])
+
+
+def test_replay_faults_rejects_emit_trace(plan_file, tmp_path, capsys):
+    assert main(["replay", "--jobs", "2", "--chaos-seed", "1",
+                 "--emit-trace", str(tmp_path / "t.json")]) == 2
+    assert "not supported" in capsys.readouterr().err

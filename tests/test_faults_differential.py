@@ -1,0 +1,123 @@
+"""Differential chaos tests.
+
+Two contracts:
+
+* **Empty plan is free** — a scheduler handed ``FaultPlan()`` produces
+  byte-identical records and events to one handed no plan at all (the
+  injector must not even install itself).
+* **Replanning never hurts (much)** — on seeded chaos plans, DelayStage
+  with mid-run Algorithm 1 replanning finishes within 5 % of DelayStage
+  without it.  Replanning only moves *not-yet-submitted* stage delays,
+  so it can refine but not sabotage the schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import uniform_cluster
+from repro.core.delaystage import DelayStageParams
+from repro.faults import FaultPlan, generate_plan
+from repro.schedulers import (
+    DelayStageScheduler,
+    FuxiScheduler,
+    StockSparkScheduler,
+    run_with_scheduler,
+)
+from repro.workloads.synthetic import random_job
+
+
+def _cluster():
+    return uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
+                           disk_mb_per_sec=150, storage_nodes=0)
+
+
+def _records_equal(a, b) -> bool:
+    """Dataclass equality where NaN == NaN (unset lifecycle fields)."""
+    for f in dataclasses.fields(a):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(x, float) and math.isnan(x) and math.isnan(y):
+            continue
+        if x != y:
+            return False
+    return True
+
+
+def _assert_results_identical(a, b) -> None:
+    assert a.stage_records.keys() == b.stage_records.keys()
+    for key in a.stage_records:
+        assert _records_equal(a.stage_records[key], b.stage_records[key]), key
+    for jid in a.job_records:
+        assert _records_equal(a.job_records[jid], b.job_records[jid]), jid
+    assert a.events == b.events
+
+
+def _schedulers(plan):
+    return [
+        FuxiScheduler(track_metrics=False, fault_plan=plan),
+        StockSparkScheduler(track_metrics=False, fault_plan=plan),
+        DelayStageScheduler(profiled=False, track_metrics=False,
+                            params=DelayStageParams(max_slots=8),
+                            fault_plan=plan),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# empty plan == no plan, bit for bit (acceptance criterion)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), num_stages=st.integers(2, 7))
+def test_empty_plan_is_bit_identical(seed, num_stages):
+    job = random_job(num_stages, job_id="j0", rng=seed)
+    cluster = _cluster()
+    for bare, empty in zip(_schedulers(None), _schedulers(FaultPlan())):
+        a = run_with_scheduler(job, cluster, bare).result
+        b = run_with_scheduler(job, cluster, empty).result
+        assert b.faults is None  # injector never installed
+        _assert_results_identical(a, b)
+
+
+def test_empty_plan_identity_on_paper_workload():
+    from repro.workloads import workload_by_name
+
+    job = workload_by_name("ALS", 1.0)
+    cluster = _cluster()
+    for bare, empty in zip(_schedulers(None), _schedulers(FaultPlan())):
+        a = run_with_scheduler(job, cluster, bare).result
+        b = run_with_scheduler(job, cluster, empty).result
+        _assert_results_identical(a, b)
+
+
+# --------------------------------------------------------------------- #
+# replanning never loses by more than 5 % on seeded chaos
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 5, 8, 13])
+def test_replan_never_loses_to_static_plan(seed):
+    job = random_job(6, job_id="j0", rng=seed)
+    cluster = _cluster()
+    plan = generate_plan(cluster, seed, jobs=[job], num_events=4,
+                         retry_budget=5, backoff_base=0.25, backoff_cap=2.0)
+    params = DelayStageParams(max_slots=8)
+    static = run_with_scheduler(job, cluster, DelayStageScheduler(
+        profiled=False, track_metrics=False, params=params,
+        fault_plan=plan))
+    replan = run_with_scheduler(job, cluster, DelayStageScheduler(
+        profiled=False, track_metrics=False, params=params,
+        fault_plan=plan, replan=True))
+    assert replan.scheduler_name == "delaystage+replan"
+
+    static_failed = static.result.faults and static.result.faults.jobs_failed
+    replan_failed = replan.result.faults and replan.result.faults.jobs_failed
+    if static_failed:
+        return  # the static plan lost the job; replan cannot do worse
+    assert not replan_failed, f"seed {seed}: replanning failed a job static saved"
+    assert replan.jct <= 1.05 * static.jct, (
+        f"seed {seed}: replan {replan.jct:.2f}s vs static {static.jct:.2f}s"
+    )

@@ -1,0 +1,76 @@
+"""Golden seed-stability: chaos runs reproduce byte-for-byte.
+
+Three committed event-log fixtures pin down the full fault trajectory
+(injection, retries, replans, completions) of seeded chaos runs.  The
+same ``--chaos-seed`` must keep producing the same event log, byte for
+byte, forever — any diff means fault handling became nondeterministic
+or silently changed semantics, both of which break replayability.
+
+Regenerate (only after an *intentional* semantics change) with:
+
+    PYTHONPATH=src python -m tests.test_faults_golden
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.core.delaystage import DelayStageParams
+from repro.faults import generate_plan
+from repro.schedulers import DelayStageScheduler, run_with_scheduler
+from repro.simulator.eventlog import write_eventlog
+from repro.workloads.synthetic import random_job
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+SEEDS = (1, 2, 3)
+
+
+def _golden_path(seed: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"fault_events_seed{seed}.log"
+
+
+def _chaos_eventlog(seed: int) -> str:
+    """The event log of the canonical chaos run for ``seed``."""
+    cluster = uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
+                              disk_mb_per_sec=150, storage_nodes=0)
+    job = random_job(5, job_id=f"golden{seed}", rng=seed)
+    plan = generate_plan(cluster, seed, jobs=[job], num_events=4,
+                         retry_budget=3, backoff_base=0.25, backoff_cap=2.0)
+    scheduler = DelayStageScheduler(
+        profiled=False, track_metrics=False,
+        params=DelayStageParams(max_slots=8),
+        fault_plan=plan, replan=True,
+    )
+    result = run_with_scheduler(job, cluster, scheduler).result
+    buffer = io.StringIO()
+    write_eventlog(result.events, buffer)
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_run_matches_golden_eventlog(seed):
+    expected = _golden_path(seed).read_text(encoding="utf-8")
+    assert _chaos_eventlog(seed) == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_run_is_internally_reproducible(seed):
+    assert _chaos_eventlog(seed) == _chaos_eventlog(seed)
+
+
+def test_goldens_exercise_fault_machinery():
+    """The fixtures must actually contain fault events, or they pin
+    nothing interesting."""
+    text = "".join(_golden_path(s).read_text(encoding="utf-8") for s in SEEDS)
+    assert '"fault_injected"' in text
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for s in SEEDS:
+        _golden_path(s).write_text(_chaos_eventlog(s), encoding="utf-8")
+        print(f"wrote {_golden_path(s)}")

@@ -1,0 +1,339 @@
+"""Fault injection and recovery semantics (repro.faults.injector)."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.core.delayer import StageDelayer
+from repro.faults import (
+    FaultPlan,
+    LostShufflePartition,
+    NicBrownout,
+    NodeCrash,
+    Straggler,
+)
+from repro.simulator.events import EventKind
+from repro.simulator.simulation import ImmediatePolicy, Simulation, SimulationConfig
+
+from .testutil import make_job
+
+
+def _cluster(workers: int = 3):
+    return uniform_cluster(workers, executors_per_worker=2, nic_mbps=450,
+                           disk_mb_per_sec=150, storage_nodes=0)
+
+
+def _run(job, plan=None, *, policy=None, workers: int = 3, cluster=None):
+    cfg = SimulationConfig(track_metrics=False, fault_plan=plan)
+    sim = Simulation(cluster or _cluster(workers), cfg)
+    sim.add_job(job, policy or ImmediatePolicy())
+    return sim.run()
+
+
+def _makespan(result) -> float:
+    return max(r.finish_time for r in result.job_records.values())
+
+
+def _chain():
+    return make_job("j", [("A", "B")])
+
+
+# --------------------------------------------------------------------- #
+# installation
+
+
+def test_empty_plan_installs_nothing():
+    result = _run(_chain(), FaultPlan())
+    assert result.faults is None
+
+
+def test_incompatible_modes_rejected():
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w0"),))
+    for flag in ("pipelined_shuffle", "task_granular"):
+        with pytest.raises(ValueError, match="fault"):
+            SimulationConfig(track_metrics=False, fault_plan=plan, **{flag: True})
+
+
+def test_run_truncated_rejected():
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w1"),))
+    sim = Simulation(_cluster(), SimulationConfig(track_metrics=False,
+                                                  fault_plan=plan))
+    sim.add_job(_chain(), ImmediatePolicy())
+    with pytest.raises(RuntimeError, match="fault plan"):
+        sim.run_truncated(5.0)
+
+
+# --------------------------------------------------------------------- #
+# node crash
+
+
+def test_crash_requeues_onto_survivors():
+    healthy = _run(_chain())
+    mid = _makespan(healthy) / 3
+    plan = FaultPlan(events=(NodeCrash(time=mid, node="w2"),),
+                     retry_budget=3, backoff_base=0.25, backoff_cap=2.0)
+    result = _run(_chain(), plan)
+    stats = result.faults
+    assert stats is not None
+    assert stats.crashes == 1 and stats.injected == 1
+    assert stats.dead_nodes == {"w2": mid}
+    assert stats.retries >= 1
+    assert stats.work_lost_bytes > 0
+    assert not stats.jobs_failed
+    assert math.isfinite(_makespan(result))
+    assert _makespan(result) > _makespan(healthy)
+    kinds = [e.kind for e in result.events]
+    assert EventKind.NODE_CRASHED in kinds
+    assert EventKind.TASK_RETRY in kinds
+    assert EventKind.JOB_COMPLETED in kinds
+
+
+def test_crash_at_time_zero_still_completes():
+    plan = FaultPlan(events=(NodeCrash(time=0.0, node="w2"),))
+    result = _run(_chain(), plan)
+    assert not result.faults.jobs_failed
+    assert math.isfinite(_makespan(result))
+    # Two survivors do the same work slower.
+    assert _makespan(result) > _makespan(_run(_chain()))
+
+
+def test_crash_is_idempotent():
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w2"),
+                             NodeCrash(time=1.5, node="w2")))
+    result = _run(_chain(), plan)
+    assert result.faults.crashes == 1
+    assert not result.faults.jobs_failed
+
+
+def test_retry_budget_exhaustion_fails_job():
+    # t=1.0 is mid-compute of stage A, so the crash kills a live part.
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w2"),), retry_budget=0)
+    result = _run(_chain(), plan)
+    stats = result.faults
+    assert stats.jobs_failed == ["j"]
+    rec = result.job_records["j"]
+    assert rec.finish_time == 1.0  # time-to-failure, kept finite
+    kinds = [e.kind for e in result.events]
+    assert EventKind.JOB_FAILED in kinds
+    assert EventKind.JOB_COMPLETED not in kinds
+
+
+# --------------------------------------------------------------------- #
+# brownout / straggler
+
+
+def test_brownout_slows_the_read_phase():
+    healthy = _run(_chain())
+    end = _makespan(healthy)
+    plan = FaultPlan(events=(NicBrownout(start=0.0, end=end, node="w0",
+                                         factor=0.2),))
+    result = _run(_chain(), plan)
+    assert result.faults.brownouts == 1
+    assert not result.faults.jobs_failed
+    assert _makespan(result) > _makespan(healthy)
+
+
+def test_straggler_window_slows_compute():
+    healthy = _run(_chain())
+    plan = FaultPlan(events=(Straggler(time=0.0, node="w0", factor=4.0,
+                                       until=_makespan(healthy)),))
+    result = _run(_chain(), plan)
+    assert result.faults.stragglers == 1
+    assert not result.faults.jobs_failed
+    assert _makespan(result) > _makespan(healthy)
+
+
+def test_degradation_on_dead_node_has_no_effect():
+    crash_only = FaultPlan(events=(NodeCrash(time=1.0, node="w2"),),
+                           backoff_base=0.25, backoff_cap=1.0)
+    with_straggler = FaultPlan(events=(
+        NodeCrash(time=1.0, node="w2"),
+        Straggler(time=2.0, node="w2", factor=8.0, until=100.0),
+    ), backoff_base=0.25, backoff_cap=1.0)
+    a = _run(_chain(), crash_only)
+    b = _run(_chain(), with_straggler)
+    assert b.faults.crashes == 1 and b.faults.stragglers == 1
+    assert not b.faults.jobs_failed
+    # The event fires (and is counted) but a dead node cannot slow down.
+    assert _makespan(b) == pytest.approx(_makespan(a), rel=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# lost shuffle partition
+
+
+def _delayed_chain_run(lost_time: float, *, delay: float = 30.0):
+    plan = FaultPlan(
+        events=(LostShufflePartition(time=lost_time, job="j", stage="A",
+                                     part="w0"),),
+        backoff_base=0.25, backoff_cap=1.0,
+    )
+    policy = StageDelayer({"j": {"B": delay}})
+    return _run(_chain(), plan, policy=policy)
+
+
+def test_lost_partition_forces_parent_recompute():
+    healthy = _run(_chain(), policy=StageDelayer({"j": {"B": 30.0}}))
+    a_finish = healthy.stage_records[("j", "A")].finish_time
+    result = _delayed_chain_run(a_finish + 1.0)
+    stats = result.faults
+    assert stats.partitions_lost == 1
+    assert stats.work_recomputed_bytes > 0
+    assert not stats.jobs_failed
+    # A completes twice; B waits for the recomputed partition.
+    a_completions = [e.time for e in result.events
+                     if e.kind is EventKind.STAGE_COMPLETED
+                     and e.stage_id == "A"]
+    assert len(a_completions) == 2
+    b = result.stage_records[("j", "B")]
+    assert b.submit_time >= a_completions[-1]
+
+
+def test_lost_partition_single_resubmission_after_regate():
+    """Regression: a regate/re-ready cycle leaves two pending submission
+    timers for the child; exactly one may submit (the second must be a
+    stale no-op), otherwise the child's work items are duplicated."""
+    healthy = _run(_chain(), policy=StageDelayer({"j": {"B": 30.0}}))
+    a_finish = healthy.stage_records[("j", "A")].finish_time
+    result = _delayed_chain_run(a_finish + 1.0)
+    b_submissions = [e for e in result.events
+                     if e.kind is EventKind.STAGE_SUBMITTED
+                     and e.stage_id == "B"]
+    assert len(b_submissions) == 1
+
+
+def test_lost_partition_after_consumption_is_noop():
+    # With no delay, B is submitted the instant A finishes — losing A's
+    # output afterwards harms nobody (the data was already consumed).
+    healthy = _run(_chain())
+    a_finish = healthy.stage_records[("j", "A")].finish_time
+    plan = FaultPlan(events=(LostShufflePartition(
+        time=a_finish + 0.5, job="j", stage="A", part="w0"),))
+    result = _run(_chain(), plan)
+    assert result.faults.partitions_lost == 0
+    assert result.faults.injected == 1
+    assert _makespan(result) == pytest.approx(_makespan(healthy), rel=1e-9)
+
+
+def test_lost_partition_unknown_target_is_noop():
+    plan = FaultPlan(events=(LostShufflePartition(
+        time=1.0, job="other", stage="Z", part="w9"),))
+    result = _run(_chain(), plan)
+    assert result.faults.partitions_lost == 0
+    assert not result.faults.jobs_failed
+
+
+# --------------------------------------------------------------------- #
+# stats
+
+
+def test_stats_to_dict():
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w2"),),
+                     backoff_base=0.25, backoff_cap=1.0)
+    stats = _run(_chain(), plan).faults
+    data = stats.to_dict()
+    for key in ("crashes", "retries", "work_lost_bytes",
+                "work_recomputed_bytes", "jobs_failed", "dead_nodes",
+                "stage_retries"):
+        assert key in data
+    assert data["crashes"] == 1
+
+
+def test_counters_exported():
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w2"),),
+                     backoff_base=0.25, backoff_cap=1.0)
+    cfg = SimulationConfig(track_metrics=False, fault_plan=plan)
+    sim = Simulation(_cluster(), cfg)
+    sim.add_job(_chain(), ImmediatePolicy())
+    result = sim.run()
+    assert result.counters["faults.crashes"] == 1.0
+    assert result.counters["faults.retries"] >= 1.0
+
+
+# --------------------------------------------------------------------- #
+# availability rows
+
+
+def test_availability_row_and_rendering():
+    from repro.faults import (
+        availability_report,
+        availability_row,
+        render_availability,
+    )
+
+    healthy = _run(_chain())
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w2"),),
+                     backoff_base=0.25, backoff_cap=1.0)
+    faulty = _run(_chain(), plan)
+    rows = availability_report({"x": healthy}, {"x": faulty, "extra": faulty})
+    assert [r.scheduler for r in rows] == ["x"]
+    row = rows[0]
+    assert row.jct_inflation > 0
+    assert row.retries >= 1 and row.jobs_failed == 0
+    assert row.to_dict()["work_lost_mb"] == pytest.approx(
+        faulty.faults.work_lost_bytes / 1e6)
+    text = render_availability(rows)
+    assert "x" in text and "inflation" in text
+    assert render_availability([]) == "(no availability data)"
+
+    with pytest.raises(ValueError, match="no fault stats"):
+        availability_row("x", healthy, healthy)
+
+
+def test_availability_row_rejects_nonfinite():
+    from repro.faults import availability_row
+
+    healthy = _run(_chain())
+    plan = FaultPlan(events=(NodeCrash(time=1.0, node="w2"),),
+                     backoff_base=0.25, backoff_cap=1.0)
+    faulty = _run(_chain(), plan)
+    broken = dataclasses.replace(healthy)
+    broken.job_records = {"j": dataclasses.replace(
+        healthy.job_records["j"], finish_time=math.nan)}
+    with pytest.raises(ValueError, match="non-finite"):
+        availability_row("x", broken, faulty)
+
+
+# --------------------------------------------------------------------- #
+# satellite: degradation at an exact stage boundary (audit found the
+# factor applied exactly once; these pin that down either way)
+
+
+def _boundary_run(boundary: float, *, incremental: bool):
+    cfg = SimulationConfig(track_metrics=False, incremental=incremental)
+    sim = Simulation(_cluster(), cfg)
+    sim.inject_degradation("w0", boundary, nic_factor=0.5)
+    sim.add_job(_chain(), ImmediatePolicy())
+    return sim, sim.run()
+
+
+def test_degradation_at_exact_stage_boundary_applied_once():
+    healthy = _run(_chain())
+    boundary = healthy.stage_records[("j", "A")].finish_time
+    sim, result = _boundary_run(boundary, incremental=True)
+    idx = sim.topology.index["w0"]
+    fresh = Simulation(_cluster(), SimulationConfig(track_metrics=False))
+    original = fresh.topology.egress_capacity[idx]
+    # 0.5 applied once, not compounded by the realloc at the boundary.
+    assert sim.topology.egress_capacity[idx] == pytest.approx(0.5 * original)
+    assert math.isfinite(_makespan(result))
+
+
+def test_degradation_at_stage_boundary_incremental_matches_full():
+    healthy = _run(_chain())
+    boundary = healthy.stage_records[("j", "A")].finish_time
+    _, inc = _boundary_run(boundary, incremental=True)
+    _, full = _boundary_run(boundary, incremental=False)
+    assert inc.stage_records.keys() == full.stage_records.keys()
+    for key, rec in inc.stage_records.items():
+        other = full.stage_records[key]
+        for f in dataclasses.fields(rec):
+            x, y = getattr(rec, f.name), getattr(other, f.name)
+            if isinstance(x, float) and math.isnan(x) and math.isnan(y):
+                continue
+            assert x == y, (key, f.name)
+    assert inc.events == full.events

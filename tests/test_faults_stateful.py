@@ -1,0 +1,134 @@
+"""Stateful chaos testing: random fault plans against random jobs.
+
+A :class:`hypothesis.stateful.RuleBasedStateMachine` assembles an
+arbitrary (but always *valid*) fault plan step by step — jobs join the
+batch, nodes crash, NICs brown out, stragglers appear, shuffle
+partitions vanish — then the teardown runs the simulation under the
+accumulated plan and checks the global recovery invariants:
+
+* the run terminates (no livelock from requeue/backoff cycles);
+* every job either completes or is marked failed, with a finite
+  finish time either way;
+* fault accounting is consistent (every planned event fired, retries
+  match the per-stage books, nothing negative);
+* the runtime sanitizer (enabled suite-wide in ``conftest.py``) stays
+  silent — no resurrected work on dead nodes, no event-order
+  violations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
+
+from repro.cluster import uniform_cluster
+from repro.faults import (
+    FaultPlan,
+    LostShufflePartition,
+    NicBrownout,
+    NodeCrash,
+    Straggler,
+)
+from repro.simulator.simulation import ImmediatePolicy, Simulation, SimulationConfig
+from repro.workloads.synthetic import random_job
+
+WORKERS = ("w0", "w1", "w2")
+
+times = st.integers(0, 80).map(lambda n: n / 4.0)
+durations = st.integers(1, 40).map(lambda n: n / 2.0)
+
+
+class FaultMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.events: list = []
+        self.crashed: set[str] = set()
+        self.jobs: list = []
+        self.retry_budget = 3
+
+    @initialize(seed=st.integers(0, 10_000), num_stages=st.integers(2, 5))
+    def first_job(self, seed, num_stages):
+        self.jobs.append(random_job(num_stages, job_id="j0", rng=seed))
+
+    @rule(seed=st.integers(0, 10_000), num_stages=st.integers(2, 5))
+    def add_job(self, seed, num_stages):
+        if len(self.jobs) >= 3:
+            return
+        jid = f"j{len(self.jobs)}"
+        self.jobs.append(random_job(num_stages, job_id=jid, rng=seed))
+
+    @rule(time=times, which=st.integers(0, 2))
+    def add_crash(self, time, which):
+        node = WORKERS[which]
+        if node in self.crashed or len(self.crashed) >= 2:
+            return  # at least one worker must survive
+        self.crashed.add(node)
+        self.events.append(NodeCrash(time=time, node=node))
+
+    @rule(start=times, duration=durations, which=st.integers(0, 2),
+          factor=st.sampled_from([0.3, 0.5, 0.8]))
+    def add_brownout(self, start, duration, which, factor):
+        self.events.append(NicBrownout(start=start, end=start + duration,
+                                       node=WORKERS[which], factor=factor))
+
+    @rule(time=times, duration=durations, which=st.integers(0, 2),
+          factor=st.sampled_from([1.5, 2.0, 4.0]))
+    def add_straggler(self, time, duration, which, factor):
+        self.events.append(Straggler(time=time, node=WORKERS[which],
+                                     factor=factor, until=time + duration))
+
+    @rule(time=times, job_idx=st.integers(0, 2), stage_idx=st.integers(0, 4),
+          part=st.integers(0, 2))
+    def add_lost_partition(self, time, job_idx, stage_idx, part):
+        if not self.jobs:
+            return
+        job = self.jobs[job_idx % len(self.jobs)]
+        stages = sorted(job.stages)  # mapping: stage_id -> Stage
+        self.events.append(LostShufflePartition(
+            time=time, job=job.job_id,
+            stage=stages[stage_idx % len(stages)], part=f"w{part}"))
+
+    @rule(budget=st.sampled_from([0, 1, 3]))
+    def set_budget(self, budget):
+        self.retry_budget = budget
+
+    def teardown(self):
+        if not self.jobs:
+            return
+        cluster = uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
+                                  disk_mb_per_sec=150, storage_nodes=0)
+        plan = FaultPlan(events=tuple(self.events),
+                         retry_budget=self.retry_budget,
+                         backoff_base=0.25, backoff_cap=2.0)
+        plan.validate_against(cluster)
+        sim = Simulation(cluster, SimulationConfig(track_metrics=False,
+                                                   fault_plan=plan))
+        for job in self.jobs:
+            sim.add_job(job, ImmediatePolicy())
+        result = sim.run()  # termination is itself an assertion
+
+        stats = result.faults
+        if plan.is_empty:
+            assert stats is None
+            return
+        # every planned fault fired, exactly once
+        assert stats.injected == len(plan.events)
+        # every job ended, one way or the other, at a finite time
+        for jid, rec in result.job_records.items():
+            assert math.isfinite(rec.finish_time), jid
+        assert set(stats.jobs_failed) <= set(result.job_records)
+        # the books balance
+        assert stats.retries == sum(stats.stage_retries.values())
+        assert stats.work_lost_bytes >= 0
+        assert stats.work_recomputed_bytes >= 0
+        assert stats.crashes <= len(self.crashed)
+
+
+FaultMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=10, deadline=None
+)
+
+TestFaultMachine = FaultMachine.TestCase
