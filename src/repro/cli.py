@@ -678,7 +678,25 @@ def _verify_workload(name: str, scale: float) -> "Job":
     return workload_by_name(name, scale)
 
 
+def _cmd_verify_flow(args: argparse.Namespace) -> int:
+    """``repro verify --flow``: whole-program determinism analysis."""
+    from repro.verify.flow import FlowConfig, analyze_project
+    from repro.verify.flow.analyzer import default_baseline_path
+
+    baseline = args.flow_baseline or default_baseline_path()
+    config = FlowConfig(baseline_path=baseline, cache_dir=args.flow_cache)
+    result = analyze_project(args.flow_root, config=config)
+    if args.as_json:
+        print(json.dumps(result.to_payload(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
+    if args.flow:
+        return _cmd_verify_flow(args)
+
     from repro.verify import (
         Finding,
         Report,
@@ -912,6 +930,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-slots", type=int, default=48, dest="max_slots")
     p.add_argument("--delays",
                    help="metrics.properties file to validate against the DAGs")
+    p.add_argument("--flow", action="store_true",
+                   help="run the whole-program determinism & concurrency "
+                        "analyzer over the repro package instead of the "
+                        "workload validators; exit 1 iff unsuppressed "
+                        "findings (see docs/verification.md)")
+    p.add_argument("--flow-root", metavar="DIR", dest="flow_root",
+                   help="analyze this directory instead of the installed "
+                        "repro package (with --flow)")
+    p.add_argument("--flow-baseline", metavar="PATH", dest="flow_baseline",
+                   help="baseline suppression file (default: the committed "
+                        "tools/flow_baseline.json when present)")
+    p.add_argument("--flow-cache", metavar="DIR", dest="flow_cache",
+                   help="cache extracted module summaries here, keyed by "
+                        "file content hash (used by CI)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit a machine-readable report")
     p.set_defaults(func=cmd_verify)

@@ -14,6 +14,11 @@ Three layers of correctness tooling (see ``docs/verification.md``):
 3. **Lint** (:mod:`repro.verify.lint`) — an AST lint enforcing
    determinism and float-comparison hygiene, also exposed as
    ``tools/lint_repro.py`` for CI.
+4. **Whole-program flow analysis** (:mod:`repro.verify.flow`) — a
+   multi-pass interprocedural analyzer: project call graph, taint
+   fixpoint for nondeterminism sources, and a concurrency/shared-state
+   pass; surfaced as ``repro verify --flow`` and gated in CI against a
+   committed baseline (``tools/flow_baseline.json``).
 
 Quick use::
 
@@ -47,6 +52,18 @@ if TYPE_CHECKING:
     from repro.dag.job import Job
 
 _RULES_LOADED = False
+
+
+def analyze_flow(root=None, config=None):
+    """Run the whole-program flow analyzer (lazy import).
+
+    Thin wrapper over :func:`repro.verify.flow.analyze_project`; kept
+    lazy because this package loads inside the simulator's import path
+    and the analyzer is only needed on demand.
+    """
+    from repro.verify.flow import analyze_project
+
+    return analyze_project(root, config)
 
 
 def load_rule_modules() -> None:
@@ -146,4 +163,6 @@ __all__ = [
     "LintFinding",
     "lint_source",
     "lint_paths",
+    # whole-program flow analysis (lazy; see repro.verify.flow)
+    "analyze_flow",
 ]

@@ -1,0 +1,87 @@
+"""repro.verify.flow — whole-program determinism & concurrency analyzer.
+
+The per-function AST lint (:mod:`repro.verify.lint`) catches *local*
+determinism sins; this package catches the interprocedural ones.  It
+builds per-module symbol tables and a project call graph (with method
+resolution through the scheduler/simulator class hierarchies), runs a
+fixpoint taint analysis classifying every function as
+pure/deterministic/tainted, and adds a concurrency pass over the
+parallel-replay and callback code.
+
+Rule catalogue (all severities ERROR; the gate is "no unsuppressed
+findings"):
+
+==== ==============================================================
+F000 file does not parse
+F001 wall-clock read (``time.time``, ``datetime.now``, ...)
+F002 unseeded RNG (stdlib ``random``, legacy ``numpy.random`` global
+     state, ``default_rng()`` without a seed) outside ``util/rng.py``
+F003 filesystem-enumeration order (``os.listdir``, ``glob``,
+     ``Path.iterdir``/``glob``/``rglob``) not wrapped in ``sorted()``
+F004 ambient-environment read (``os.environ``, ``os.getenv``,
+     ``os.cpu_count``, ...)
+F005 set iteration order escaping the function (yield/append)
+F006 ``id()``-keyed/ordered structures (memory-layout dependent)
+F007 deterministic-zone function tainted *via calls* (the
+     interprocedural rule; details carry the call chain)
+F101 worker-reachable function mutates global/closure/module state
+F102 order-dependent accumulation inside an ``as_completed()`` loop
+F103 lambda / nested function shipped across a shard boundary
+==== ==============================================================
+
+Suppression: inline ``# flow: allow[F00x] reason`` pragmas or the
+committed baseline file (``tools/flow_baseline.json``) — see
+:mod:`repro.verify.flow.suppress` and ``docs/verification.md``.
+
+Quick use::
+
+    from repro.verify.flow import analyze_project
+    result = analyze_project()          # analyzes the repro package
+    print(result.render())
+    assert result.ok                    # no unsuppressed findings
+"""
+
+from __future__ import annotations
+
+from repro.verify.flow.analyzer import (
+    DEFAULT_CRITICAL_ZONES,
+    FlowConfig,
+    FlowResult,
+    analyze_project,
+    default_baseline_path,
+    default_root,
+)
+from repro.verify.flow.callgraph import CallGraph, link
+from repro.verify.flow.summary import (
+    ModuleSummary,
+    summarize_file,
+    summarize_source,
+)
+from repro.verify.flow.suppress import Baseline, BaselineEntry, parse_pragmas
+from repro.verify.flow.taint import TaintResult, run_taint
+
+#: Every flow rule id, for docs/tests.
+ALL_RULES = (
+    "F000", "F001", "F002", "F003", "F004", "F005", "F006", "F007",
+    "F101", "F102", "F103",
+)
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_CRITICAL_ZONES",
+    "FlowConfig",
+    "FlowResult",
+    "analyze_project",
+    "default_baseline_path",
+    "default_root",
+    "CallGraph",
+    "link",
+    "ModuleSummary",
+    "summarize_file",
+    "summarize_source",
+    "Baseline",
+    "BaselineEntry",
+    "parse_pragmas",
+    "TaintResult",
+    "run_taint",
+]

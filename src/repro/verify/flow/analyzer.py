@@ -1,0 +1,355 @@
+"""Whole-program flow analysis orchestrator.
+
+Pipeline (see the package docstring for the rule catalogue):
+
+1. discover ``*.py`` files under the analysis root (sorted, so results
+   never depend on filesystem order);
+2. extract one :class:`~repro.verify.flow.summary.ModuleSummary` per
+   file — served from the content-hash cache when unchanged;
+3. link summaries into a project call graph with class-hierarchy
+   method resolution;
+4. filter taint sources through inline pragmas + the committed
+   baseline, then run the taint fixpoint (F001–F006 at source sites,
+   F007 for critical-zone functions tainted only via calls);
+5. run the concurrency pass (F101–F103) and filter its findings the
+   same way;
+6. assemble a :class:`FlowResult` reporting through the existing
+   :mod:`repro.verify.diagnostics` types.
+
+The analyzer is itself part of ``src/repro`` and therefore analyzes
+(and must keep clean) its own source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.verify.diagnostics import Finding, Report, Severity
+from repro.verify.flow.callgraph import CallGraph, link
+from repro.verify.flow.concurrency import run_concurrency
+from repro.verify.flow.summary import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    SourceSite,
+    summarize_source,
+)
+from repro.verify.flow.suppress import Baseline, parse_pragmas, pragma_allows
+from repro.verify.flow.taint import TaintResult, run_taint
+
+#: Top-level packages (relative to the analysis root) whose functions
+#: must be deterministic: taint arriving *via calls* is reported (F007).
+DEFAULT_CRITICAL_ZONES = (
+    "core", "simulator", "schedulers", "faults", "model", "trace", "dag",
+)
+
+#: Path suffixes exempt from source extraction filtering — the blessed
+#: RNG plumbing is the sanctioned sink for randomness.
+DEFAULT_EXEMPT_SUFFIXES = ("util/rng.py",)
+
+
+@dataclass
+class FlowConfig:
+    """Tunable knobs; defaults match the repro package layout."""
+
+    critical_zones: tuple[str, ...] = DEFAULT_CRITICAL_ZONES
+    exempt_suffixes: tuple[str, ...] = DEFAULT_EXEMPT_SUFFIXES
+    baseline_path: "str | pathlib.Path | None" = None
+    cache_dir: "str | pathlib.Path | None" = None
+    #: dotted package name for the root directory; default: root.name
+    package: "str | None" = None
+
+
+@dataclass
+class SuppressedSite:
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    how: str  # "pragma" | "baseline"
+
+
+@dataclass
+class FlowResult:
+    """Everything one analysis run produced."""
+
+    root: str
+    report: Report
+    suppressed: list[SuppressedSite]
+    taint: TaintResult
+    graph: CallGraph
+    files: int
+    cache_hits: int
+    elapsed_s: float
+    baseline_path: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True iff there are no unsuppressed findings."""
+        return len(self.report) == 0
+
+    def to_payload(self) -> dict[str, Any]:
+        counts = self.taint.counts()
+        return {
+            "ok": self.ok,
+            "root": self.root,
+            "files": self.files,
+            "functions": len(self.graph.functions),
+            "call_edges": sum(len(v) for v in self.graph.edges.values()),
+            "classification_counts": counts,
+            "findings": [f.to_dict() for f in self.report],
+            "suppressed": [
+                {"rule": s.rule, "path": s.path, "line": s.line,
+                 "symbol": s.symbol, "how": s.how}
+                for s in self.suppressed
+            ],
+            "baseline": self.baseline_path,
+            "cache_hits": self.cache_hits,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    def render(self) -> str:
+        lines = [str(f) for f in self.report]
+        counts = self.taint.counts()
+        lines.append(
+            f"flow: {self.files} file(s), {len(self.graph.functions)} "
+            f"function(s) [{counts['pure']} pure, "
+            f"{counts['deterministic']} deterministic, "
+            f"{counts['tainted']} tainted], "
+            f"{len(self.report)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.elapsed_s:.2f}s")
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ #
+# cache
+# ------------------------------------------------------------------ #
+
+
+def _cache_key(source: str) -> str:
+    h = hashlib.sha256()
+    h.update(f"v{SUMMARY_VERSION}:".encode())
+    h.update(source.encode("utf-8"))
+    return h.hexdigest()
+
+
+def _cache_path(cache_dir: pathlib.Path, module: str) -> pathlib.Path:
+    return cache_dir / f"{module}.json"
+
+
+def _load_cached(cache_dir: "pathlib.Path | None", module: str,
+                 key: str) -> "ModuleSummary | None":
+    if cache_dir is None:
+        return None
+    path = _cache_path(cache_dir, module)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if data.get("key") != key or data.get("version") != SUMMARY_VERSION:
+        return None
+    try:
+        return ModuleSummary.from_dict(data["summary"])
+    except (KeyError, TypeError):
+        return None
+
+
+def _store_cached(cache_dir: "pathlib.Path | None", module: str, key: str,
+                  summary: ModuleSummary) -> None:
+    if cache_dir is None:
+        return
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    payload = {"version": SUMMARY_VERSION, "key": key,
+               "summary": summary.to_dict()}
+    _cache_path(cache_dir, module).write_text(
+        json.dumps(payload), encoding="utf-8")
+
+
+# ------------------------------------------------------------------ #
+# analysis
+# ------------------------------------------------------------------ #
+
+
+def default_root() -> pathlib.Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path() -> "pathlib.Path | None":
+    """The committed baseline in a source checkout, if present.
+
+    ``src/repro`` layout puts it at ``<repo>/tools/flow_baseline.json``;
+    for an installed package (no checkout) there is no baseline and the
+    analyzer runs unsuppressed.
+    """
+    candidate = default_root().parents[1] / "tools" / "flow_baseline.json"
+    return candidate if candidate.exists() else None
+
+
+def _module_qname(root: pathlib.Path, file: pathlib.Path,
+                  package: str) -> str:
+    rel = file.relative_to(root).with_suffix("")
+    parts = [p for p in rel.parts if p != "__init__"]
+    return ".".join([package, *parts]) if parts else package
+
+
+def analyze_project(
+    root: "str | pathlib.Path | None" = None,
+    config: "FlowConfig | None" = None,
+) -> FlowResult:
+    """Run the full flow analysis over every ``*.py`` under ``root``."""
+    started = time.perf_counter()
+    cfg = config or FlowConfig()
+    root_path = pathlib.Path(root).resolve() if root else default_root()
+    package = cfg.package or root_path.name
+    cache_dir = pathlib.Path(cfg.cache_dir) if cfg.cache_dir else None
+    baseline = Baseline.load(cfg.baseline_path)
+
+    files = sorted(root_path.rglob("*.py"))
+    summaries: dict[str, ModuleSummary] = {}
+    sources_text: dict[str, str] = {}
+    report = Report()
+    cache_hits = 0
+
+    for file in files:
+        module = _module_qname(root_path, file, package)
+        rel_display = str(
+            pathlib.Path(package) / file.relative_to(root_path))
+        text = file.read_text(encoding="utf-8")
+        sources_text[module] = text
+        key = _cache_key(text)
+        summary = _load_cached(cache_dir, module, key)
+        if summary is not None:
+            cache_hits += 1
+        else:
+            try:
+                summary = summarize_source(text, module=module,
+                                           path=rel_display)
+            except SyntaxError as exc:
+                report.add(Finding(
+                    "F000", Severity.ERROR,
+                    f"{rel_display}:{exc.lineno or 0}",
+                    f"syntax error: {exc.msg}",
+                    {"path": rel_display, "line": exc.lineno or 0},
+                ))
+                continue
+            _store_cached(cache_dir, module, key, summary)
+        summaries[module] = summary
+
+    graph = link(summaries)
+
+    # ---- pragma/baseline filtering of direct sources --------------- #
+    pragmas_by_module = {
+        module: parse_pragmas(sources_text[module].splitlines())
+        for module in summaries
+    }
+    suppressed: list[SuppressedSite] = []
+    active_seeds: dict[str, list[SourceSite]] = {}
+    source_findings: list[tuple[ModuleSummary, str, SourceSite]] = []
+    for module, summary in summaries.items():
+        exempt = any(summary.path.endswith(suffix)
+                     for suffix in cfg.exempt_suffixes)
+        if exempt:
+            continue
+        pragmas = pragmas_by_module[module]
+        for fact in summary.functions.values():
+            qname = f"{module}.{fact.name}"
+            for site in fact.sources:
+                if pragma_allows(pragmas, site.line, site.rule):
+                    suppressed.append(SuppressedSite(
+                        site.rule, summary.path, site.line, fact.name,
+                        "pragma"))
+                elif baseline.allows(site.rule, summary.path, fact.name):
+                    suppressed.append(SuppressedSite(
+                        site.rule, summary.path, site.line, fact.name,
+                        "baseline"))
+                else:
+                    active_seeds.setdefault(qname, []).append(site)
+                    source_findings.append((summary, fact.name, site))
+
+    taint = run_taint(graph, active_seeds)
+
+    for summary, fname, site in source_findings:
+        report.add(Finding(
+            site.rule, Severity.ERROR,
+            f"{summary.path}:{site.line}",
+            site.message,
+            {"path": summary.path, "line": site.line, "function": fname,
+             "symbol": site.symbol},
+        ))
+
+    # ---- F007: critical-zone functions tainted only via calls ------ #
+    def _zone(summary: ModuleSummary) -> str:
+        parts = pathlib.Path(summary.path).parts  # ("repro", "simulator", ...)
+        return parts[1] if len(parts) > 2 else ""
+
+    zone_files = {module: _zone(s) for module, s in summaries.items()}
+    for qname, info in sorted(taint.taint.items()):
+        if qname in active_seeds:
+            continue  # direct source, already reported at the site
+        module = graph.owner[qname]
+        if zone_files.get(module, "") not in cfg.critical_zones:
+            continue
+        summary = summaries[module]
+        fact = graph.functions[qname]
+        pragmas = pragmas_by_module[module]
+        chain = " -> ".join(info.chain)
+        if pragma_allows(pragmas, fact.line, "F007"):
+            suppressed.append(SuppressedSite(
+                "F007", summary.path, fact.line, fact.name, "pragma"))
+            continue
+        if baseline.allows("F007", summary.path, fact.name):
+            suppressed.append(SuppressedSite(
+                "F007", summary.path, fact.line, fact.name, "baseline"))
+            continue
+        report.add(Finding(
+            "F007", Severity.ERROR,
+            f"{summary.path}:{fact.line}",
+            f"deterministic-zone function {fact.name!r} is tainted via "
+            f"{chain} reaching {info.symbol} ({info.rule})",
+            {"path": summary.path, "line": fact.line,
+             "function": fact.name, "chain": info.chain,
+             "source_symbol": info.symbol, "source_rule": info.rule},
+        ))
+
+    # ---- concurrency pass ------------------------------------------ #
+    for cf in run_concurrency(graph):
+        pragmas = pragmas_by_module.get(cf.module, {})
+        if pragma_allows(pragmas, cf.line, cf.rule):
+            suppressed.append(SuppressedSite(
+                cf.rule, cf.path, cf.line, cf.function, "pragma"))
+            continue
+        if baseline.allows(cf.rule, cf.path, cf.function):
+            suppressed.append(SuppressedSite(
+                cf.rule, cf.path, cf.line, cf.function, "baseline"))
+            continue
+        details = {"path": cf.path, "line": cf.line, "function": cf.function}
+        if cf.worker_root:
+            details["worker_root"] = cf.worker_root
+        report.add(Finding(
+            cf.rule, Severity.ERROR, f"{cf.path}:{cf.line}",
+            cf.message, details))
+
+    return FlowResult(
+        root=str(root_path),
+        report=report,
+        suppressed=suppressed,
+        taint=taint,
+        graph=graph,
+        files=len(files),
+        cache_hits=cache_hits,
+        elapsed_s=time.perf_counter() - started,
+        baseline_path=str(cfg.baseline_path or ""),
+    )
+
+
+def summaries_of(result: FlowResult) -> Iterable[ModuleSummary]:
+    """The linked summaries of a result (test/introspection helper)."""
+    return result.graph.modules.values()

@@ -1,0 +1,208 @@
+"""Project linker: symbol tables + call graph over module summaries.
+
+Takes the per-module :class:`~repro.verify.flow.summary.ModuleSummary`
+facts and resolves their symbolic call references into a concrete call
+graph between project functions:
+
+* ``local`` refs resolve against the defining module's top level;
+* ``qname`` refs resolve against the global function/class tables
+  (a call to a class is an edge to its ``__init__`` when defined);
+* ``method``/``typed`` refs dispatch *virtually* through the class
+  hierarchy: an edge is added to every implementation the receiver
+  could select — the statically-known class, the nearest ancestor
+  providing the method, and every subclass override.  This is what
+  lets taint planted in one ``Scheduler`` subclass reach the generic
+  ``run_with_scheduler`` driver.
+
+External calls (``time.time``, ``numpy.*``, ...) are not graph nodes;
+their effects were already recorded as per-function source/impurity
+facts at extraction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.verify.flow.summary import FunctionFact, ModuleSummary
+
+
+@dataclass
+class CallGraph:
+    """Resolved project call graph.
+
+    ``edges`` maps caller qname -> {callee qname}; ``edge_lines`` keeps
+    one representative call-site line per (caller, callee) pair so
+    taint chains can cite concrete locations.
+    """
+
+    functions: dict[str, FunctionFact] = field(default_factory=dict)
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+    #: function qname -> defining module qname
+    owner: dict[str, str] = field(default_factory=dict)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    edge_lines: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def callees(self, qname: str) -> set[str]:
+        return self.edges.get(qname, set())
+
+    def callers_index(self) -> dict[str, set[str]]:
+        """Reverse adjacency: callee -> {caller}."""
+        rev: dict[str, set[str]] = {}
+        for caller, callees in self.edges.items():
+            for callee in callees:
+                rev.setdefault(callee, set()).add(caller)
+        return rev
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Transitive closure of ``roots`` over call edges (roots included)."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            fn = stack.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            stack.extend(self.edges.get(fn, ()))
+        return seen
+
+
+class _Hierarchy:
+    """Class hierarchy across all summaries, for virtual dispatch."""
+
+    def __init__(self, modules: dict[str, ModuleSummary]) -> None:
+        #: class qname -> (module, ClassFact)
+        self.classes: dict[str, tuple[str, object]] = {}
+        for mod_name, summary in modules.items():
+            for cls in summary.classes.values():
+                self.classes[f"{mod_name}.{cls.name}"] = (mod_name, cls)
+        #: class qname -> resolved base class qnames
+        self.bases: dict[str, list[str]] = {}
+        for qname, (mod_name, cls) in self.classes.items():
+            resolved = []
+            for base in cls.bases:  # type: ignore[attr-defined]
+                resolved_base = self._resolve_class(base, mod_name, modules)
+                if resolved_base:
+                    resolved.append(resolved_base)
+            self.bases[qname] = resolved
+        #: class qname -> direct subclasses
+        self.subclasses: dict[str, list[str]] = {}
+        for qname, base_list in self.bases.items():
+            for base in base_list:
+                self.subclasses.setdefault(base, []).append(qname)
+
+    def _resolve_class(self, dotted: str, mod_name: str,
+                       modules: dict[str, ModuleSummary]) -> "str | None":
+        # Already-qualified project class?
+        if dotted in self.classes:
+            return dotted
+        # Local class name in the defining module?
+        candidate = f"{mod_name}.{dotted}"
+        if candidate in self.classes:
+            return candidate
+        # Dotted path whose module part is a project module?
+        if "." in dotted:
+            mod, _, name = dotted.rpartition(".")
+            if mod in modules and f"{mod}.{name}" in self.classes:
+                return f"{mod}.{name}"
+        return None
+
+    def resolve_class_ref(self, dotted: str, mod_name: str,
+                          modules: dict[str, ModuleSummary]) -> "str | None":
+        return self._resolve_class(dotted, mod_name, modules)
+
+    def _defines(self, cls_qname: str, method: str) -> bool:
+        entry = self.classes.get(cls_qname)
+        if entry is None:
+            return False
+        return method in entry[1].methods  # type: ignore[attr-defined]
+
+    def _ancestor_with(self, cls_qname: str, method: str) -> "str | None":
+        """Nearest ancestor (DFS, left-to-right) defining ``method``."""
+        for base in self.bases.get(cls_qname, ()):
+            if self._defines(base, method):
+                return base
+            found = self._ancestor_with(base, method)
+            if found:
+                return found
+        return None
+
+    def _subtree(self, cls_qname: str) -> Iterable[str]:
+        yield cls_qname
+        for sub in self.subclasses.get(cls_qname, ()):
+            yield from self._subtree(sub)
+
+    def implementations(self, cls_qname: str, method: str) -> list[str]:
+        """Every implementation a ``cls_qname``-typed receiver may select.
+
+        The class' own definition or its nearest ancestor's, plus every
+        override in the subtree (virtual dispatch).
+        """
+        out: set[str] = set()
+        if self._defines(cls_qname, method):
+            out.add(self._method_qname(cls_qname, method))
+        else:
+            ancestor = self._ancestor_with(cls_qname, method)
+            if ancestor:
+                out.add(self._method_qname(ancestor, method))
+        for sub in self._subtree(cls_qname):
+            if self._defines(sub, method):
+                out.add(self._method_qname(sub, method))
+        return sorted(out)
+
+    def _method_qname(self, cls_qname: str, method: str) -> str:
+        mod_name, cls = self.classes[cls_qname]
+        return f"{mod_name}.{cls.name}.{method}"  # type: ignore[attr-defined]
+
+
+def link(modules: dict[str, ModuleSummary]) -> CallGraph:
+    """Build the project call graph from per-module summaries."""
+    graph = CallGraph(modules=modules)
+    hierarchy = _Hierarchy(modules)
+
+    # Global function table: "mod.f" and "mod.Cls.f".
+    for mod_name, summary in modules.items():
+        for fact in summary.functions.values():
+            qname = f"{mod_name}.{fact.name}"
+            graph.functions[qname] = fact
+            graph.owner[qname] = mod_name
+
+    for mod_name, summary in modules.items():
+        for fact in summary.functions.values():
+            caller = f"{mod_name}.{fact.name}"
+            targets: list[tuple[str, int]] = []
+            for ref in fact.calls:
+                if ref.kind == "local":
+                    candidate = f"{mod_name}.{ref.target}"
+                    if candidate in graph.functions:
+                        targets.append((candidate, ref.line))
+                    else:  # a local class? edge to its __init__
+                        init = f"{mod_name}.{ref.target}.__init__"
+                        if init in graph.functions:
+                            targets.append((init, ref.line))
+                elif ref.kind == "qname":
+                    if ref.target in graph.functions:
+                        targets.append((ref.target, ref.line))
+                    else:
+                        cls_q = hierarchy.resolve_class_ref(
+                            ref.target, mod_name, modules)
+                        if cls_q:
+                            init = f"{cls_q}.__init__"
+                            if init in graph.functions:
+                                targets.append((init, ref.line))
+                elif ref.kind in ("method", "typed"):
+                    if ref.kind == "method":
+                        cls_q = hierarchy.resolve_class_ref(
+                            ref.cls, mod_name, modules) if ref.cls else None
+                    else:
+                        cls_q = hierarchy.resolve_class_ref(
+                            ref.cls, mod_name, modules)
+                    if cls_q:
+                        for impl in hierarchy.implementations(
+                                cls_q, ref.target):
+                            if impl in graph.functions:
+                                targets.append((impl, ref.line))
+            for callee, line in targets:
+                graph.edges.setdefault(caller, set()).add(callee)
+                graph.edge_lines.setdefault((caller, callee), line)
+    return graph

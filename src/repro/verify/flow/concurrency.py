@@ -1,0 +1,139 @@
+"""Concurrency & shared-state pass over the project call graph.
+
+Three rule families, targeting the ways parallel replay and callback
+code can silently break the repo's order-independence guarantees:
+
+* **F101 — worker shared-state mutation.**  The *worker set* is every
+  function shipped to an executor (``pool.submit(f, ...)`` /
+  ``pool.map(f, ...)``) plus everything reachable from it through the
+  call graph.  Any ``global``/``nonlocal`` write or mutation of a
+  module-level object inside the worker set is flagged: in a process
+  pool the write silently diverges from the parent, in a thread pool
+  it races.
+* **F102 — order-dependent merge.**  Inside ``for ... in
+  as_completed(...)`` loops, appending/extending an accumulator
+  records *completion* order, which varies run to run.  Index-based
+  scatter (``merged[idx] = ...``) and commutative numeric reductions
+  are the sanctioned patterns and are not flagged.
+* **F103 — unpicklable/unfrozen shard crossing.**  Submitting a
+  ``lambda`` or a function nested inside another function fails (or
+  worse, semi-works) under pickling process pools; workers must be
+  module-level functions taking plain-data payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.verify.flow.callgraph import CallGraph
+
+
+@dataclass
+class ConcurrencyFinding:
+    """One concurrency finding at a concrete site."""
+
+    rule: str
+    module: str
+    path: str
+    line: int
+    function: str  # function name within the module
+    message: str
+    worker_root: str = ""
+
+
+def run_concurrency(graph: CallGraph) -> list[ConcurrencyFinding]:
+    findings: list[ConcurrencyFinding] = []
+
+    # ---- collect submit sites and the resolved worker roots -------- #
+    worker_roots: set[str] = set()
+    for mod_name, summary in graph.modules.items():
+        for fact in summary.functions.values():
+            for sub in fact.submits:
+                if sub.callee_kind == "lambda":
+                    findings.append(ConcurrencyFinding(
+                        rule="F103", module=mod_name, path=summary.path,
+                        line=sub.line, function=fact.name,
+                        message=f"{sub.via}() ships a lambda across the "
+                                "shard boundary; lambdas do not pickle — "
+                                "use a module-level worker function",
+                    ))
+                elif sub.callee_kind == "nested":
+                    findings.append(ConcurrencyFinding(
+                        rule="F103", module=mod_name, path=summary.path,
+                        line=sub.line, function=fact.name,
+                        message=f"{sub.via}() ships nested function "
+                                f"{sub.callee!r} across the shard boundary; "
+                                "nested functions do not pickle — hoist it "
+                                "to module level",
+                    ))
+                elif sub.callee_kind == "local":
+                    worker_roots.add(f"{mod_name}.{sub.callee}")
+                elif sub.callee_kind == "qname":
+                    if sub.callee in graph.functions:
+                        worker_roots.add(sub.callee)
+
+    # ---- F101: shared-state writes anywhere in the worker set ------ #
+    worker_set = graph.reachable_from(worker_roots)
+    root_of: dict[str, str] = {}
+    for root in sorted(worker_roots):
+        for fn in graph.reachable_from([root]):
+            root_of.setdefault(fn, root)
+    for fn in sorted(worker_set):
+        fact = graph.functions[fn]
+        mod_name = graph.owner[fn]
+        summary = graph.modules[mod_name]
+        for write in fact.writes:
+            # ``nonlocal`` writes target a closure created inside the
+            # worker itself — function-local, not shared across shards.
+            # (Closures genuinely shared with workers are handled below.)
+            if write.kind == "nonlocal":
+                continue
+            kind = ("a global" if write.kind == "global"
+                    else "module-level object")
+            findings.append(ConcurrencyFinding(
+                rule="F101", module=mod_name, path=summary.path,
+                line=write.line, function=fact.name,
+                message=f"worker-reachable function {fact.name!r} mutates "
+                        f"{kind} state {write.name!r}; in a process pool "
+                        "the write is lost, in a thread pool it races — "
+                        "return results and merge in the parent",
+                worker_root=root_of.get(fn, ""),
+            ))
+
+    # Closure state shared *with* a worker: a function that ships a
+    # nested function / lambda to an executor and also writes nonlocal
+    # state races that closure against the worker.
+    for mod_name, summary in graph.modules.items():
+        for fact in summary.functions.values():
+            ships_closure = any(
+                s.callee_kind in ("nested", "lambda") for s in fact.submits)
+            if not ships_closure:
+                continue
+            for write in fact.writes:
+                if write.kind != "nonlocal":
+                    continue
+                findings.append(ConcurrencyFinding(
+                    rule="F101", module=mod_name, path=summary.path,
+                    line=write.line, function=fact.name,
+                    message=f"{fact.name!r} mutates closed-over state "
+                            f"{write.name!r} while shipping a closure "
+                            "worker to an executor; the write races the "
+                            "worker — return results and merge in the "
+                            "parent",
+                ))
+
+    # ---- F102: order-dependent accumulation in merge loops --------- #
+    for mod_name, summary in graph.modules.items():
+        for fact in summary.functions.values():
+            for merge in fact.merges:
+                findings.append(ConcurrencyFinding(
+                    rule="F102", module=mod_name, path=summary.path,
+                    line=merge.line, function=fact.name,
+                    message=f"{merge.target}.{merge.op} inside an "
+                            "as_completed() loop records completion order, "
+                            "which varies run to run; scatter by original "
+                            "index or use a commutative reduction",
+                ))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

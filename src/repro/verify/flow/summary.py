@@ -1,0 +1,731 @@
+"""Per-module fact extraction for the whole-program flow analyzer.
+
+One :class:`ModuleSummary` is extracted per source file by a single AST
+pass.  Summaries are plain-data (JSON round-trippable, see
+:meth:`ModuleSummary.to_dict`) so the analyzer can cache them keyed by
+file content hash and skip re-parsing unchanged files.
+
+A summary records, per function (methods included, module-level code as
+the pseudo-function ``<module>``):
+
+* **direct taint sources** — wall-clock reads, unseeded RNG use,
+  filesystem-ordering primitives, ambient-environment reads, set
+  iteration escaping the function, ``id()``-keyed structures;
+* **call references** — resolved through the module's import table
+  where possible, or recorded symbolically (``self.method()``,
+  annotation-typed ``param.method()``) for the linker to resolve
+  through the class hierarchy;
+* **shared-state facts** — ``global``/``nonlocal`` writes and
+  mutations of module-level names;
+* **concurrency facts** — executor ``submit``/``map`` sites with the
+  submitted callable, and order-dependent accumulations inside
+  ``as_completed`` merge loops.
+
+The taint *verdicts* are not made here: extraction is purely local so
+that the interprocedural passes (:mod:`repro.verify.flow.callgraph`,
+:mod:`repro.verify.flow.taint`, :mod:`repro.verify.flow.concurrency`)
+can run from cached summaries alone.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
+
+#: Bump when the summary schema or extraction logic changes; invalidates
+#: cached summaries.
+SUMMARY_VERSION = 3
+
+# ------------------------------------------------------------------ #
+# taint-source tables
+# ------------------------------------------------------------------ #
+
+#: Wall-clock reads (``time.perf_counter``/``monotonic`` deliberately
+#: absent: duration measurement is sanctioned).
+WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Legacy module-level ``numpy.random`` functions (unseeded global state).
+NP_RANDOM_LEGACY = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal", "lognormal",
+})
+
+#: Filesystem-enumeration calls whose result order is OS-dependent.
+FSORDER_CALLS = frozenset({
+    "os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob",
+})
+
+#: Path-like methods with OS-dependent result order.
+FSORDER_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Ambient-environment reads: results differ across machines/sessions.
+ENV_CALLS = frozenset({
+    "os.getenv", "os.cpu_count", "os.sched_getaffinity", "os.uname",
+})
+
+#: Wrappers that erase iteration order, sanctioning what they enclose.
+ORDER_INSENSITIVE_WRAPPERS = frozenset({
+    "sorted", "frozenset", "set", "len", "sum", "min", "max", "any", "all",
+})
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "remove", "discard",
+    "setdefault", "pop", "popitem", "clear", "sort", "appendleft",
+})
+
+#: Executor classes whose ``submit``/``map`` cross process/thread bounds.
+EXECUTOR_CLASSES = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+})
+
+
+# ------------------------------------------------------------------ #
+# plain-data records
+# ------------------------------------------------------------------ #
+
+
+@dataclass
+class SourceSite:
+    """A direct taint source inside one function."""
+
+    rule: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+
+
+@dataclass
+class CallRef:
+    """One call reference, possibly still symbolic.
+
+    ``kind`` is one of:
+
+    * ``"qname"``  — ``target`` is a dotted name resolved through the
+      import table (project function, class, or external symbol);
+    * ``"local"``  — ``target`` is a bare name expected at this
+      module's top level;
+    * ``"method"`` — ``self.``/``cls.``-dispatched call; ``cls`` is the
+      enclosing class' local name, ``target`` the method name;
+    * ``"typed"``  — call on a local whose class is known from an
+      annotation or constructor assignment; ``cls`` is the dotted class.
+    """
+
+    kind: str
+    target: str
+    line: int
+    cls: str = ""
+
+
+@dataclass
+class WriteSite:
+    """A shared-state write: global/nonlocal or module-level mutation."""
+
+    kind: str  # "global" | "nonlocal" | "module"
+    name: str
+    line: int
+
+
+@dataclass
+class SubmitSite:
+    """An executor ``submit``/``map`` call and the callable it ships."""
+
+    line: int
+    via: str  # "submit" | "map"
+    callee_kind: str  # "qname" | "local" | "lambda" | "nested" | "unknown"
+    callee: str = ""
+
+
+@dataclass
+class MergeSite:
+    """An order-dependent accumulation inside an as_completed loop."""
+
+    line: int
+    op: str
+    target: str
+
+
+@dataclass
+class FunctionFact:
+    """Everything the interprocedural passes need about one function."""
+
+    name: str  # "f", "Cls.f", or "<module>"
+    line: int
+    cls: str = ""  # enclosing class local name, "" for free functions
+    sources: list[SourceSite] = field(default_factory=list)
+    calls: list[CallRef] = field(default_factory=list)
+    writes: list[WriteSite] = field(default_factory=list)
+    submits: list[SubmitSite] = field(default_factory=list)
+    merges: list[MergeSite] = field(default_factory=list)
+    nested_defs: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ClassFact:
+    """A class definition: bases (dotted where resolvable) and methods."""
+
+    name: str
+    line: int
+    bases: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleSummary:
+    """All extracted facts for one module."""
+
+    module: str  # dotted module name, e.g. "repro.simulator.parallel"
+    path: str  # path relative to the analysis root's parent
+    functions: dict[str, FunctionFact] = field(default_factory=dict)
+    classes: dict[str, ClassFact] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"version": SUMMARY_VERSION, **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ModuleSummary":
+        functions = {
+            name: FunctionFact(
+                name=f["name"], line=f["line"], cls=f["cls"],
+                sources=[SourceSite(**s) for s in f["sources"]],
+                calls=[CallRef(**c) for c in f["calls"]],
+                writes=[WriteSite(**w) for w in f["writes"]],
+                submits=[SubmitSite(**s) for s in f["submits"]],
+                merges=[MergeSite(**m) for m in f["merges"]],
+                nested_defs=list(f["nested_defs"]),
+            )
+            for name, f in data["functions"].items()
+        }
+        classes = {
+            name: ClassFact(name=c["name"], line=c["line"],
+                            bases=list(c["bases"]), methods=list(c["methods"]))
+            for name, c in data["classes"].items()
+        }
+        return cls(module=data["module"], path=data["path"],
+                   functions=functions, classes=classes,
+                   imports=dict(data["imports"]))
+
+
+# ------------------------------------------------------------------ #
+# extraction visitor
+# ------------------------------------------------------------------ #
+
+
+def _dotted(node: ast.expr) -> "list[str] | None":
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]``, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _annotation_dotted(ann: "ast.expr | None") -> "str | None":
+    """Best-effort dotted class name from a parameter annotation."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        text = ann.value.strip()
+        # "ClusterSpec | None" and 'Optional["Scheduler"]'-style strings:
+        # take the first dotted identifier if the whole string is simple.
+        head = text.split("|")[0].strip().strip("\"'")
+        if head and all(p.isidentifier() for p in head.split(".")):
+            return head
+        return None
+    parts = _dotted(ann)
+    return ".".join(parts) if parts else None
+
+
+class _Extractor(ast.NodeVisitor):
+    """Single-pass extractor producing a :class:`ModuleSummary`."""
+
+    def __init__(self, module: str, path: str, tree: ast.Module) -> None:
+        self.summary = ModuleSummary(module=module, path=path)
+        #: local name -> dotted target, for module aliases *and* from-imports
+        self._names: dict[str, str] = {}
+        #: names assigned at module top level (for shared-mutation checks)
+        self._module_names = _top_level_names(tree)
+        self._class_stack: list[str] = []
+        module_fact = FunctionFact(name="<module>", line=1)
+        self.summary.functions["<module>"] = module_fact
+        self._fact_stack: list[FunctionFact] = [module_fact]
+        #: nesting depth of real (non-module) function defs
+        self._func_depth = 0
+        #: enclosing-call wrapper names, for order-insensitive sanctioning
+        self._wrapper_stack: list[str] = []
+        #: as_completed merge-loop nesting depth
+        self._merge_depth = 0
+        #: per-function inferred local types / set-valued / list-valued names
+        self._local_types: dict[str, str] = {}
+        self._set_vars: set[str] = set()
+        self._list_vars: set[str] = set()
+        self._declared_globals: set[str] = set()
+        self._declared_nonlocals: set[str] = set()
+
+    # ------------------------- helpers ------------------------------ #
+
+    @property
+    def _fact(self) -> FunctionFact:
+        return self._fact_stack[-1]
+
+    def _emit_source(self, node: ast.AST, rule: str, symbol: str,
+                     message: str) -> None:
+        self._fact.sources.append(SourceSite(
+            rule=rule, line=node.lineno, col=node.col_offset,
+            symbol=symbol, message=message,
+        ))
+
+    def _resolve_dotted(self, parts: list[str]) -> str:
+        """Expand the head of an attribute chain through the imports."""
+        head, rest = parts[0], parts[1:]
+        base = self._names.get(head)
+        if base is None:
+            return ".".join(parts)
+        return ".".join([base, *rest]) if rest else base
+
+    def _expand_name(self, name: str) -> "str | None":
+        return self._names.get(name)
+
+    # ------------------------- imports ------------------------------ #
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self._names[local] = target
+            self.summary.imports[local] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        mod = node.module or ""
+        if node.level:  # relative import: anchor on this module's package
+            parts = self.summary.module.split(".")
+            anchor = parts[: len(parts) - node.level]
+            mod = ".".join([*anchor, mod]) if mod else ".".join(anchor)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self._names[local] = f"{mod}.{alias.name}" if mod else alias.name
+            self.summary.imports[local] = self._names[local]
+        self.generic_visit(node)
+
+    # --------------------- defs and classes ------------------------- #
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._class_stack and self._func_depth == 0:
+            bases = []
+            for b in node.bases:
+                parts = _dotted(b)
+                if parts:
+                    bases.append(self._resolve_dotted(parts))
+            methods = [n.name for n in node.body
+                       if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+            self.summary.classes[node.name] = ClassFact(
+                name=node.name, line=node.lineno, bases=bases, methods=methods)
+            self._class_stack.append(node.name)
+            self.generic_visit(node)
+            self._class_stack.pop()
+        else:  # nested class: visit body, attribute facts to current fact
+            self.generic_visit(node)
+
+    def _visit_funcdef(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        if self._func_depth > 0:
+            # Nested function: its body's facts accrue to the enclosing
+            # function (sound for taint: defining is inert, calling is
+            # almost always local), but remember the name so submit
+            # sites can flag unpicklable nested workers.
+            self._fact.nested_defs.append(node.name)
+            self._func_depth += 1
+            self.generic_visit(node)
+            self._func_depth -= 1
+            return
+        cls = self._class_stack[-1] if self._class_stack else ""
+        name = f"{cls}.{node.name}" if cls else node.name
+        fact = FunctionFact(name=name, line=node.lineno, cls=cls)
+        self.summary.functions[name] = fact
+        self._fact_stack.append(fact)
+        self._func_depth += 1
+        saved = (self._local_types, self._set_vars, self._list_vars,
+                 self._declared_globals, self._declared_nonlocals)
+        self._local_types = {}
+        self._set_vars = set()
+        self._list_vars = set()
+        self._declared_globals = set()
+        self._declared_nonlocals = set()
+        for arg in [*node.args.posonlyargs, *node.args.args,
+                    *node.args.kwonlyargs]:
+            ann = _annotation_dotted(arg.annotation)
+            if ann:
+                parts = ann.split(".")
+                self._local_types[arg.arg] = self._resolve_dotted(parts)
+        self.generic_visit(node)
+        (self._local_types, self._set_vars, self._list_vars,
+         self._declared_globals, self._declared_nonlocals) = saved
+        self._func_depth -= 1
+        self._fact_stack.pop()
+
+    visit_FunctionDef = _visit_funcdef
+    visit_AsyncFunctionDef = _visit_funcdef
+
+    # ------------------- shared-state writes ------------------------ #
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._declared_globals.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._declared_nonlocals.update(node.names)
+
+    def _record_store(self, target: ast.expr, line: int) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self._declared_globals:
+                self._fact.writes.append(WriteSite("global", target.id, line))
+            elif target.id in self._declared_nonlocals:
+                self._fact.writes.append(WriteSite("nonlocal", target.id, line))
+        elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            name = target.value.id
+            if (self._fact.name != "<module>" and name in self._module_names
+                    and name not in self._local_types
+                    and name not in self._set_vars
+                    and name not in self._list_vars):
+                self._fact.writes.append(WriteSite("module", name, line))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, line)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_store(target, node.lineno)
+            if isinstance(target, ast.Name):
+                self._infer_local(target.id, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_store(node.target, node.lineno)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._infer_local(node.target.id, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store(node.target, node.lineno)
+        if (self._merge_depth > 0 and isinstance(node.target, ast.Name)
+                and node.target.id in self._list_vars):
+            self._fact.merges.append(MergeSite(
+                line=node.lineno, op="+=", target=node.target.id))
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if isinstance(item.optional_vars, ast.Name):
+                self._infer_local(item.optional_vars.id, item.context_expr)
+        self.generic_visit(node)
+
+    def _infer_local(self, name: str, value: ast.expr) -> None:
+        """Track constructor-typed, set-valued, and list-valued locals."""
+        self._set_vars.discard(name)
+        self._list_vars.discard(name)
+        self._local_types.pop(name, None)
+        if _is_set_expr(value, self._set_vars):
+            self._set_vars.add(name)
+        elif isinstance(value, (ast.List, ast.ListComp)):
+            self._list_vars.add(name)
+        elif isinstance(value, ast.Call):
+            parts = _dotted(value.func)
+            if parts:
+                dotted = self._resolve_dotted(parts)
+                if dotted == "list":
+                    self._list_vars.add(name)
+                elif dotted == "set":
+                    self._set_vars.add(name)
+                else:
+                    self._local_types[name] = dotted
+
+    # --------------------------- loops ------------------------------ #
+
+    def visit_For(self, node: ast.For) -> None:
+        iter_call = node.iter
+        is_merge = False
+        if isinstance(iter_call, ast.Call):
+            parts = _dotted(iter_call.func)
+            if parts:
+                dotted = self._resolve_dotted(parts)
+                if dotted.endswith("as_completed"):
+                    is_merge = True
+        if (_is_set_expr(node.iter, self._set_vars)
+                and not self._in_order_insensitive()
+                and _loop_escapes_order(node)):
+            self._emit_source(
+                node, "F005", "set-iteration",
+                "iteration order of a set escapes this function "
+                "(hash-order dependent); sort or use an ordered container")
+        if is_merge:
+            self._merge_depth += 1
+        self.generic_visit(node)
+        if is_merge:
+            self._merge_depth -= 1
+
+    # --------------------------- calls ------------------------------ #
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._classify_call(node)
+        wrapper = ""
+        if isinstance(node.func, ast.Name):
+            wrapper = node.func.id
+        elif dotted:
+            wrapper = dotted.rsplit(".", 1)[-1]
+        if wrapper in ORDER_INSENSITIVE_WRAPPERS:
+            self._wrapper_stack.append(wrapper)
+            self.generic_visit(node)
+            self._wrapper_stack.pop()
+        else:
+            self.generic_visit(node)
+
+    def _in_order_insensitive(self) -> bool:
+        return bool(self._wrapper_stack)
+
+    def _classify_call(self, node: ast.Call) -> str:
+        """Record the call reference + any taint source; returns dotted."""
+        func = node.func
+        line = node.lineno
+
+        # -- bare-name calls --------------------------------------- #
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "id":
+                self._emit_source(
+                    node, "F006", "id()",
+                    "id() depends on memory layout; keying or ordering by "
+                    "it is run-dependent")
+                return "id"
+            expanded = self._expand_name(name)
+            if expanded is not None:
+                self._check_source_call(node, expanded)
+                self._fact.calls.append(CallRef("qname", expanded, line))
+                return expanded
+            self._fact.calls.append(CallRef("local", name, line))
+            return name
+
+        # -- attribute calls --------------------------------------- #
+        if isinstance(func, ast.Attribute):
+            parts = _dotted(func)
+            if parts is not None:
+                head = parts[0]
+                if head in ("self", "cls") and len(parts) == 2:
+                    self._fact.calls.append(CallRef(
+                        "method", parts[1], line, cls=self._fact.cls))
+                    return ""
+                if head in self._local_types and len(parts) == 2:
+                    self._check_submit(node, func, "")
+                    self._fact.calls.append(CallRef(
+                        "typed", parts[1], line,
+                        cls=self._local_types[head]))
+                    return ""
+                dotted = self._resolve_dotted(parts)
+                self._check_source_call(node, dotted)
+                self._fact.calls.append(CallRef("qname", dotted, line))
+                self._check_submit(node, func, dotted)
+                return dotted
+            # receiver is an arbitrary expression: only the trailing
+            # method name is meaningful.
+            self._check_method_source(node, func.attr)
+            self._check_submit(node, func, "")
+            return ""
+        return ""
+
+    def _check_source_call(self, node: ast.Call, dotted: str) -> None:
+        if dotted in WALLCLOCK_CALLS:
+            self._emit_source(
+                node, "F001", dotted,
+                f"{dotted}() reads the wall clock; pass timestamps "
+                "explicitly (perf_counter is sanctioned for durations)")
+        elif dotted == "random" or dotted.startswith("random."):
+            self._emit_source(
+                node, "F002", dotted,
+                f"stdlib {dotted} draws from unseeded global state; use "
+                "repro.util.rng.resolve_rng")
+        elif (dotted.startswith("numpy.random.")
+              and dotted.rsplit(".", 1)[-1] in NP_RANDOM_LEGACY):
+            self._emit_source(
+                node, "F002", dotted,
+                f"legacy {dotted} uses unseeded global state; use "
+                "numpy.random.default_rng via repro.util.rng")
+        elif dotted == "numpy.random.default_rng" and not node.args:
+            self._emit_source(
+                node, "F002", dotted,
+                "default_rng() without a seed is entropy-seeded; thread a "
+                "seed or Generator through repro.util.rng.resolve_rng")
+        elif dotted in FSORDER_CALLS and not self._in_order_insensitive():
+            self._emit_source(
+                node, "F003", dotted,
+                f"{dotted}() returns entries in OS-dependent order; wrap "
+                "in sorted()")
+        elif dotted in ENV_CALLS:
+            self._emit_source(
+                node, "F004", dotted,
+                f"{dotted}() reads the ambient environment; results differ "
+                "across machines and sessions")
+        elif dotted in ("os.environ.get", "os.environ.items",
+                        "os.environ.keys", "os.environ.__getitem__"):
+            self._emit_source(
+                node, "F004", "os.environ",
+                "os.environ read makes behavior depend on the ambient "
+                "environment")
+        self._check_method_source(node, dotted.rsplit(".", 1)[-1])
+
+    def _check_method_source(self, node: ast.Call, method: str) -> None:
+        if method in FSORDER_METHODS and not self._in_order_insensitive():
+            # .glob()/.rglob()/.iterdir() on some path-like receiver.
+            receiver_ok = isinstance(node.func, ast.Attribute)
+            if receiver_ok:
+                self._emit_source(
+                    node, "F003", f".{method}",
+                    f".{method}() yields entries in OS-dependent order; "
+                    "wrap in sorted()")
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # os.environ["X"] reads
+        parts = _dotted(node.value)
+        if parts and self._resolve_dotted(parts) == "os.environ":
+            self._emit_source(
+                node, "F004", "os.environ",
+                "os.environ read makes behavior depend on the ambient "
+                "environment")
+        self.generic_visit(node)
+
+    # ------------------------ concurrency --------------------------- #
+
+    def _check_submit(self, node: ast.Call, func: ast.Attribute,
+                      dotted: str) -> None:
+        method = func.attr
+        if method not in ("submit", "map"):
+            return
+        receiver = func.value
+        is_executor = False
+        if isinstance(receiver, ast.Name):
+            rtype = self._local_types.get(receiver.id, "")
+            is_executor = rtype in EXECUTOR_CLASSES or any(
+                key in receiver.id.lower() for key in ("pool", "executor"))
+        if not is_executor:
+            return
+        if not node.args:
+            return
+        target = node.args[0]
+        if isinstance(target, ast.Lambda):
+            self._fact.submits.append(SubmitSite(
+                line=node.lineno, via=method, callee_kind="lambda"))
+        elif isinstance(target, ast.Name):
+            name = target.id
+            if name in self._fact.nested_defs:
+                kind = "nested"
+            elif self._expand_name(name) is not None:
+                kind, name = "qname", self._expand_name(name) or name
+            else:
+                kind = "local"
+            self._fact.submits.append(SubmitSite(
+                line=node.lineno, via=method, callee_kind=kind, callee=name))
+        else:
+            parts = _dotted(target)
+            if parts is not None:
+                self._fact.submits.append(SubmitSite(
+                    line=node.lineno, via=method, callee_kind="qname",
+                    callee=self._resolve_dotted(parts)))
+            else:
+                self._fact.submits.append(SubmitSite(
+                    line=node.lineno, via=method, callee_kind="unknown"))
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # Statement-level mutator calls: X.append(...) on module-level
+        # or merge-loop targets.
+        call = node.value
+        if (isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute)
+                and call.func.attr in MUTATOR_METHODS
+                and isinstance(call.func.value, ast.Name)):
+            name = call.func.value.id
+            if self._merge_depth > 0 and call.func.attr in ("append", "extend"):
+                self._fact.merges.append(MergeSite(
+                    line=node.lineno, op=call.func.attr, target=name))
+            if (self._fact.name != "<module>" and name in self._module_names
+                    and name not in self._local_types
+                    and name not in self._set_vars
+                    and name not in self._list_vars):
+                self._fact.writes.append(
+                    WriteSite("module", name, node.lineno))
+        self.generic_visit(node)
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        targets: Iterable[ast.expr] = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = (node.target,)
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr, set_vars: set[str]) -> bool:
+    """True if ``node`` is statically known to evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "set"
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)):
+        return (_is_set_expr(node.left, set_vars)
+                or _is_set_expr(node.right, set_vars))
+    return False
+
+
+def _loop_escapes_order(node: ast.For) -> bool:
+    """True if the loop body makes iteration order observable outside."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if (isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in ("append", "extend")):
+            return True
+    return False
+
+
+# ------------------------------------------------------------------ #
+# entry point
+# ------------------------------------------------------------------ #
+
+
+def summarize_source(source: str, *, module: str, path: str) -> ModuleSummary:
+    """Extract a :class:`ModuleSummary` from source text.
+
+    Raises :class:`SyntaxError` for unparsable input — the analyzer
+    converts that into a finding rather than crashing the run.
+    """
+    tree = ast.parse(source, filename=path)
+    extractor = _Extractor(module, path, tree)
+    extractor.visit(tree)
+    return extractor.summary
+
+
+def summarize_file(file: pathlib.Path, *, module: str,
+                   path: str) -> ModuleSummary:
+    return summarize_source(file.read_text(encoding="utf-8"),
+                            module=module, path=path)

@@ -1,0 +1,113 @@
+"""Finding suppression: inline ``# flow: allow[...]`` pragmas + baseline.
+
+Two sanctioned ways to silence a flow finding:
+
+* **Inline pragma** — append ``# flow: allow[F001]`` (comma-separated
+  list, or ``allow[*]`` for any rule) to the offending line, ideally
+  with a justification after the bracket::
+
+      return max(os.cpu_count() or 1, 1)  # flow: allow[F004] worker
+      # count never affects results (merge is order-independent)
+
+  A pragma on a taint *source* line sanctions the source: callers are
+  not tainted through it.  A pragma on a derived finding (an F007
+  function, an F101 write) silences only that finding.
+
+* **Baseline file** — a committed JSON file
+  (``tools/flow_baseline.json`` by default) listing accepted findings
+  by ``(rule, path, symbol)``.  Line numbers are deliberately not part
+  of the key so routine edits don't churn the baseline.  ``symbol`` is
+  the function name within the module (``"<module>"`` for module-level
+  code, ``"*"`` to match any).
+
+The analyzer reports suppressed findings separately (counts + sites in
+the JSON payload), so suppression is auditable, never invisible.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+_PRAGMA_RE = re.compile(
+    r"#\s*flow:\s*allow\[(?P<rules>[A-Za-z0-9*, ]+)\]", re.IGNORECASE)
+
+
+def parse_pragmas(source_lines: "list[str]") -> dict[int, set[str]]:
+    """Map 1-based line number -> set of allowed rules (``"*"`` = all)."""
+    pragmas: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            rules = {r.strip().upper() for r in match.group("rules").split(",")
+                     if r.strip()}
+            pragmas[lineno] = rules
+    return pragmas
+
+
+def pragma_allows(pragmas: Mapping[int, set[str]], line: int,
+                  rule: str) -> bool:
+    rules = pragmas.get(line)
+    if rules is None:
+        return False
+    return "*" in rules or rule.upper() in rules
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding in the committed baseline."""
+
+    rule: str
+    path: str
+    symbol: str = "*"
+    reason: str = ""
+
+    def matches(self, rule: str, path: str, symbol: str) -> bool:
+        if self.rule != rule:
+            return False
+        norm = path.replace("\\", "/")
+        if not (norm == self.path or norm.endswith("/" + self.path)):
+            return False
+        return self.symbol in ("*", symbol)
+
+
+class Baseline:
+    """Committed suppression set loaded from a JSON file."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path | None") -> "Baseline":
+        """Load a baseline file; a missing/None path is an empty baseline."""
+        if path is None:
+            return cls()
+        p = pathlib.Path(path)
+        if not p.exists():
+            return cls()
+        data = json.loads(p.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=e["rule"], path=e["path"],
+                symbol=e.get("symbol", "*"), reason=e.get("reason", ""),
+            )
+            for e in data.get("suppressions", ())
+        ]
+        return cls(entries)
+
+    def allows(self, rule: str, path: str, symbol: str) -> bool:
+        return any(e.matches(rule, path, symbol) for e in self.entries)
+
+    def to_json(self) -> str:
+        payload = {
+            "version": 1,
+            "suppressions": [
+                {"rule": e.rule, "path": e.path, "symbol": e.symbol,
+                 "reason": e.reason}
+                for e in self.entries
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,141 @@
+"""Interprocedural taint fixpoint over the project call graph.
+
+Seeds are the *unsuppressed* direct taint sources extracted per
+function (wall clock, unseeded RNG, filesystem ordering, environment
+reads, set-order escapes, ``id()`` keys).  Taint then propagates from
+callee to caller to a fixpoint: a function that (transitively) calls a
+tainted function is itself tainted.  Multi-source BFS over the reverse
+graph yields, for every tainted function, a *shortest* call chain back
+to a concrete source site — that chain is attached to the F007
+findings so a report reads like a stack trace.
+
+Suppressed sources (``# flow: allow[...]`` pragma or baseline entry)
+do **not** seed the fixpoint: a justified source is sanctioned, so its
+callers stay clean.  Suppressing a *derived* F007 finding, by
+contrast, silences only that one function and never blocks
+propagation.
+
+Every function also gets a three-way classification:
+
+* ``tainted``       — reaches a nondeterminism source;
+* ``pure``          — no sources, no shared-state writes, no impure
+                      externals, and only pure project callees;
+* ``deterministic`` — everything else: deterministic given its inputs
+                      but effectful (I/O, registry mutation, ...).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.verify.flow.callgraph import CallGraph
+from repro.verify.flow.summary import SourceSite
+
+#: External call prefixes that make a function impure (not nondeterministic).
+IMPURE_EXTERNAL_PREFIXES = (
+    "os.", "sys.", "io.", "shutil.", "subprocess.", "socket.",
+    "logging.", "pathlib.",
+)
+
+#: Impure builtins reachable as bare-name calls.
+IMPURE_BUILTINS = frozenset({"print", "open", "input", "exec", "eval"})
+
+
+@dataclass
+class TaintInfo:
+    """Why one function is tainted."""
+
+    #: qname of the function holding the seeding source site
+    root: str
+    #: the source symbol, e.g. ``time.time``
+    symbol: str
+    #: the seeding rule, e.g. ``F001``
+    rule: str
+    #: call chain from this function down to ``root`` (inclusive)
+    chain: list[str]
+
+
+@dataclass
+class TaintResult:
+    """Fixpoint output: per-function classification + taint provenance."""
+
+    #: qname -> "tainted" | "pure" | "deterministic"
+    classification: dict[str, str]
+    #: qname -> provenance, for tainted functions only
+    taint: dict[str, TaintInfo]
+
+    def counts(self) -> dict[str, int]:
+        out = {"tainted": 0, "pure": 0, "deterministic": 0}
+        for kind in self.classification.values():
+            out[kind] += 1
+        return out
+
+
+def run_taint(
+    graph: CallGraph,
+    seeds: Mapping[str, list[SourceSite]],
+) -> TaintResult:
+    """Propagate taint from ``seeds`` (function qname -> source sites).
+
+    Only functions present in ``graph.functions`` participate; unknown
+    seed keys are ignored.
+    """
+    callers = graph.callers_index()
+
+    taint: dict[str, TaintInfo] = {}
+    queue: deque[str] = deque()
+    for qname, sites in seeds.items():
+        if qname not in graph.functions or not sites:
+            continue
+        site = sites[0]
+        taint[qname] = TaintInfo(
+            root=qname, symbol=site.symbol, rule=site.rule, chain=[qname])
+        queue.append(qname)
+
+    # Multi-source BFS over reverse edges: first visit = shortest chain.
+    while queue:
+        callee = queue.popleft()
+        info = taint[callee]
+        for caller in callers.get(callee, ()):
+            if caller in taint:
+                continue
+            taint[caller] = TaintInfo(
+                root=info.root, symbol=info.symbol, rule=info.rule,
+                chain=[caller, *info.chain])
+            queue.append(caller)
+
+    classification = {
+        qname: ("tainted" if qname in taint else "pure")
+        for qname in graph.functions
+    }
+
+    # Purity fixpoint: demote writers/impure-external callers, then
+    # propagate "deterministic" (impure-but-deterministic) to callers
+    # of non-pure functions.
+    impure: deque[str] = deque()
+    for qname, fact in graph.functions.items():
+        if classification[qname] != "pure":
+            continue
+        if fact.writes or _calls_impure_external(fact):
+            classification[qname] = "deterministic"
+            impure.append(qname)
+    while impure:
+        callee = impure.popleft()
+        for caller in callers.get(callee, ()):
+            if classification.get(caller) == "pure":
+                classification[caller] = "deterministic"
+                impure.append(caller)
+
+    return TaintResult(classification=classification, taint=taint)
+
+
+def _calls_impure_external(fact) -> bool:
+    for ref in fact.calls:
+        if ref.kind == "qname":
+            if ref.target.startswith(IMPURE_EXTERNAL_PREFIXES):
+                return True
+        elif ref.kind == "local" and ref.target in IMPURE_BUILTINS:
+            return True
+    return False

@@ -1,0 +1,640 @@
+"""Golden-findings tests for the whole-program flow analyzer."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.verify.flow import (
+    Baseline,
+    BaselineEntry,
+    FlowConfig,
+    analyze_project,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC_REPRO = REPO / "src" / "repro"
+BASELINE = REPO / "tools" / "flow_baseline.json"
+
+
+def write_project(tmp_path, files: dict[str, str]) -> pathlib.Path:
+    """Materialize a synthetic package under ``tmp_path / proj``."""
+    proj = tmp_path / "proj"
+    for rel, source in files.items():
+        path = proj / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        init = path.parent / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    if not (proj / "__init__.py").exists():
+        (proj / "__init__.py").write_text("")
+    return proj
+
+
+def analyze(tmp_path, files, **cfg):
+    cfg.setdefault("critical_zones", ("scheduler", "simulator"))
+    proj = write_project(tmp_path, files)
+    return analyze_project(proj, config=FlowConfig(**cfg))
+
+
+def findings_of(result, rule=None):
+    fs = list(result.report)
+    if rule is not None:
+        fs = [f for f in fs if f.rule == rule]
+    return fs
+
+
+# ------------------------------------------------------------------ #
+# taint sources: one golden fixture per rule class
+# ------------------------------------------------------------------ #
+
+
+class TestTaintSources:
+    def test_wallclock_f001_with_location(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """})
+        (f,) = findings_of(r, "F001")
+        assert f.details["path"] == "proj/mod.py"
+        assert f.details["line"] == 5
+        assert f.details["function"] == "stamp"
+
+    def test_perf_counter_sanctioned(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import time
+
+            def tick():
+                return time.perf_counter()
+        """})
+        assert findings_of(r) == []
+
+    def test_datetime_now_f001(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F001"]
+
+    def test_stdlib_random_f002(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import random
+
+            def draw():
+                return random.random()
+        """})
+        (f,) = findings_of(r, "F002")
+        assert f.details["line"] == 5
+
+    def test_numpy_legacy_f002(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F002"]
+
+    def test_unseeded_default_rng_f002(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import numpy as np
+
+            def gen():
+                return np.random.default_rng()
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F002"]
+
+    def test_seeded_default_rng_clean(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import numpy as np
+
+            def gen(seed):
+                return np.random.default_rng(seed)
+        """})
+        assert findings_of(r) == []
+
+    def test_rng_module_exempt(self, tmp_path):
+        r = analyze(tmp_path, {"util/rng.py": """
+            import numpy as np
+
+            def resolve_rng(rng):
+                if rng is None:
+                    return np.random.default_rng()
+                return np.random.default_rng(int(rng))
+        """}, exempt_suffixes=("util/rng.py",))
+        assert findings_of(r) == []
+
+    def test_listdir_f003(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import os
+
+            def names(d):
+                return os.listdir(d)
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F003"]
+
+    def test_sorted_listdir_sanctioned(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import os
+            import glob
+
+            def names(d):
+                return sorted(os.listdir(d)) + sorted(glob.glob(d))
+        """})
+        assert findings_of(r) == []
+
+    def test_rglob_f003_and_sorted_sanctioned(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            def walk(root):
+                return list(root.rglob("*.py"))
+
+            def walk_ok(root):
+                return sorted(root.rglob("*.py"))
+        """})
+        fs = findings_of(r, "F003")
+        assert [f.details["function"] for f in fs] == ["walk"]
+
+    def test_environ_f004(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            import os
+
+            def debug():
+                return os.environ.get("DEBUG", "")
+
+            def home():
+                return os.environ["HOME"]
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F004", "F004"]
+
+    def test_set_iteration_escape_f005(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            def leak(items):
+                out = []
+                for x in set(items):
+                    out.append(x)
+                return out
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F005"]
+
+    def test_sorted_set_iteration_sanctioned(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            def ordered(items):
+                out = []
+                for x in sorted(set(items)):
+                    out.append(x)
+                return out
+
+            def aggregate(items):
+                total = 0
+                for x in set(items):
+                    total += x
+                return total
+        """})
+        assert findings_of(r) == []
+
+    def test_id_keyed_f006(self, tmp_path):
+        r = analyze(tmp_path, {"mod.py": """
+            def key_by_identity(objs):
+                return {id(o): o for o in objs}
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F006"]
+
+
+# ------------------------------------------------------------------ #
+# interprocedural taint (F007)
+# ------------------------------------------------------------------ #
+
+
+class TestInterprocedural:
+    def test_taint_chain_reaches_critical_zone(self, tmp_path):
+        r = analyze(tmp_path, {
+            "util/clock.py": """
+                import time
+
+                def now():
+                    return time.time()
+            """,
+            "scheduler/plan.py": """
+                from proj.util.clock import now
+
+                def plan(job):
+                    return now() + 1.0
+            """,
+        })
+        rules = sorted(f.rule for f in findings_of(r))
+        assert rules == ["F001", "F007"]
+        (f7,) = findings_of(r, "F007")
+        assert f7.details["path"] == "proj/scheduler/plan.py"
+        assert f7.details["chain"] == [
+            "proj.scheduler.plan.plan", "proj.util.clock.now"]
+        assert f7.details["source_symbol"] == "time.time"
+
+    def test_method_dispatch_taints_through_hierarchy(self, tmp_path):
+        r = analyze(tmp_path, {
+            "scheduler/base.py": """
+                class Scheduler:
+                    def prepare(self, job):
+                        raise NotImplementedError
+            """,
+            "scheduler/bad.py": """
+                import time
+                from proj.scheduler.base import Scheduler
+
+                class BadScheduler(Scheduler):
+                    def prepare(self, job):
+                        return time.time()
+            """,
+            "scheduler/runner.py": """
+                def run(job, scheduler: "Scheduler"):
+                    return scheduler.prepare(job)
+            """ .replace("Scheduler", "proj.scheduler.base.Scheduler"),
+        })
+        f7 = findings_of(r, "F007")
+        assert any(f.details["function"] == "run" for f in f7), [
+            str(f) for f in findings_of(r)]
+
+    def test_taint_outside_zone_not_reported(self, tmp_path):
+        r = analyze(tmp_path, {
+            "util/clock.py": """
+                import time
+
+                def now():
+                    return time.time()
+            """,
+            "analysis/report.py": """
+                from proj.util.clock import now
+
+                def header():
+                    return str(now())
+            """,
+        })
+        assert [f.rule for f in findings_of(r)] == ["F001"]
+        assert r.taint.classification["proj.analysis.report.header"] == "tainted"
+
+
+# ------------------------------------------------------------------ #
+# concurrency rules
+# ------------------------------------------------------------------ #
+
+POOL_MODULE = """
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    STATE = {}
+
+    def worker(x):
+        STATE[x] = x * 2
+        return x
+
+    def run(items):
+        with ProcessPoolExecutor() as pool:
+            futs = [pool.submit(worker, i) for i in items]
+            out = []
+            for f in as_completed(futs):
+                out.append(f.result())
+        return out
+"""
+
+
+class TestConcurrency:
+    def test_worker_mutation_and_merge_order(self, tmp_path):
+        r = analyze(tmp_path, {"simulator/pool.py": POOL_MODULE})
+        rules = sorted(f.rule for f in findings_of(r))
+        assert rules == ["F101", "F102"]
+        (f101,) = findings_of(r, "F101")
+        assert f101.details["line"] == 7  # the STATE[x] write
+        (f102,) = findings_of(r, "F102")
+        assert f102.details["line"] == 15  # the out.append
+
+    def test_index_scatter_merge_is_sanctioned(self, tmp_path):
+        r = analyze(tmp_path, {"simulator/pool.py": """
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            def worker(pair):
+                idx, x = pair
+                return idx, x * 2
+
+            def run(items):
+                merged = [None] * len(items)
+                with ProcessPoolExecutor() as pool:
+                    futs = [pool.submit(worker, (i, x))
+                            for i, x in enumerate(items)]
+                    for f in as_completed(futs):
+                        idx, val = f.result()
+                        merged[idx] = val
+                return merged
+        """})
+        assert findings_of(r) == []
+
+    def test_lambda_submit_f103(self, tmp_path):
+        r = analyze(tmp_path, {"simulator/pool.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(lambda x: x, i) for i in items]
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F103"]
+
+    def test_nested_worker_f103(self, tmp_path):
+        r = analyze(tmp_path, {"simulator/pool.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                def work(x):
+                    return x * 2
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F103"]
+
+    def test_worker_reachable_callee_mutation_found(self, tmp_path):
+        # The mutation sits one call below the submitted worker.
+        r = analyze(tmp_path, {"simulator/pool.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            CACHE = {}
+
+            def helper(x):
+                CACHE[x] = x
+                return x
+
+            def worker(x):
+                return helper(x)
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(worker, i) for i in items]
+        """})
+        (f,) = findings_of(r, "F101")
+        assert f.details["function"] == "helper"
+        assert f.details["worker_root"] == "proj.simulator.pool.worker"
+
+
+# ------------------------------------------------------------------ #
+# suppression: pragmas + baseline
+# ------------------------------------------------------------------ #
+
+
+class TestSuppression:
+    def test_pragma_suppresses_and_stops_propagation(self, tmp_path):
+        r = analyze(tmp_path, {
+            "scheduler/plan.py": """
+                import time
+
+                def now():
+                    return time.time()  # flow: allow[F001] startup stamp only
+
+                def plan(job):
+                    return now() + 1.0
+            """,
+        })
+        assert findings_of(r) == []
+        assert [(s.rule, s.how) for s in r.suppressed] == [("F001", "pragma")]
+        # sanctioned source does not taint callers
+        assert r.taint.classification["proj.scheduler.plan.plan"] != "tainted"
+
+    def test_pragma_wrong_rule_does_not_suppress(self, tmp_path):
+        r = analyze(tmp_path, {"scheduler/plan.py": """
+            import time
+
+            def now():
+                return time.time()  # flow: allow[F002]
+        """})
+        assert [f.rule for f in findings_of(r)] == ["F001"]
+
+    def test_pragma_star_suppresses_any_rule(self, tmp_path):
+        r = analyze(tmp_path, {"scheduler/plan.py": """
+            import time
+
+            def now():
+                return time.time()  # flow: allow[*]
+        """})
+        assert findings_of(r) == []
+
+    def test_baseline_suppresses_by_rule_path_symbol(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(Baseline([BaselineEntry(
+            rule="F001", path="proj/scheduler/plan.py", symbol="now",
+            reason="test")]).to_json())
+        r = analyze(tmp_path, {"scheduler/plan.py": """
+            import time
+
+            def now():
+                return time.time()
+        """}, baseline_path=baseline)
+        assert findings_of(r) == []
+        assert [(s.rule, s.how) for s in r.suppressed] == [
+            ("F001", "baseline")]
+
+    def test_baseline_other_symbol_does_not_match(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(Baseline([BaselineEntry(
+            rule="F001", path="proj/scheduler/plan.py",
+            symbol="other")]).to_json())
+        r = analyze(tmp_path, {"scheduler/plan.py": """
+            import time
+
+            def now():
+                return time.time()
+        """}, baseline_path=baseline)
+        assert [f.rule for f in findings_of(r)] == ["F001"]
+
+    def test_suppressed_sites_are_auditable_in_payload(self, tmp_path):
+        r = analyze(tmp_path, {"scheduler/plan.py": """
+            import time
+
+            def now():
+                return time.time()  # flow: allow[F001]
+        """})
+        payload = r.to_payload()
+        assert payload["ok"] is True
+        assert payload["suppressed"][0]["rule"] == "F001"
+        assert payload["suppressed"][0]["how"] == "pragma"
+
+
+# ------------------------------------------------------------------ #
+# the real package: clean on main, caught when violations are injected
+# ------------------------------------------------------------------ #
+
+
+class TestRealPackage:
+    def test_src_repro_has_no_unsuppressed_findings(self):
+        r = analyze_project(SRC_REPRO,
+                            config=FlowConfig(baseline_path=BASELINE))
+        assert r.ok, "\n".join(str(f) for f in r.report)
+        # both suppression mechanisms are exercised on main
+        hows = {s.how for s in r.suppressed}
+        assert hows == {"pragma", "baseline"}
+
+    def test_src_repro_analysis_is_fast(self):
+        r = analyze_project(SRC_REPRO,
+                            config=FlowConfig(baseline_path=BASELINE))
+        assert r.elapsed_s < 10.0
+        assert r.files >= 80
+        assert len(r.graph.functions) > 500
+
+    @pytest.fixture()
+    def repro_copy(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(SRC_REPRO, copy)
+        return copy
+
+    def test_injected_wallclock_in_scheduler_caught(self, repro_copy):
+        target = repro_copy / "schedulers" / "delaystage.py"
+        source = target.read_text(encoding="utf-8")
+        marker = "import "
+        injected = ("import time as _wall\n_T0 = _wall.time()\n"
+                    + source)
+        target.write_text(injected, encoding="utf-8")
+        assert marker in source
+        r = analyze_project(repro_copy,
+                            config=FlowConfig(baseline_path=BASELINE))
+        f001 = [f for f in r.report if f.rule == "F001"]
+        assert len(f001) == 1
+        assert f001[0].details["path"] == "repro/schedulers/delaystage.py"
+        assert f001[0].details["line"] == 2
+        assert f001[0].details["function"] == "<module>"
+
+    def test_injected_global_rng_in_scheduler_caught(self, repro_copy):
+        target = repro_copy / "schedulers" / "fuxi.py"
+        source = target.read_text(encoding="utf-8")
+        target.write_text(
+            source + "\n\ndef _jitter():\n"
+                     "    import random\n"
+                     "    return random.random()\n",
+            encoding="utf-8")
+        line = 1 + next(
+            i for i, text in enumerate(
+                target.read_text(encoding="utf-8").splitlines())
+            if "return random.random()" in text)
+        r = analyze_project(repro_copy,
+                            config=FlowConfig(baseline_path=BASELINE))
+        f002 = [f for f in r.report if f.rule == "F002"]
+        assert len(f002) == 1
+        assert f002[0].details["path"] == "repro/schedulers/fuxi.py"
+        assert f002[0].details["line"] == line
+
+    def test_injected_worker_closure_mutation_caught(self, repro_copy):
+        target = repro_copy / "simulator" / "parallel.py"
+        source = target.read_text(encoding="utf-8")
+        needle = "    shard, cluster, scheduler, seed = payload\n"
+        assert needle in source
+        injected = source.replace(
+            needle,
+            needle + "    _SHARD_LOG.append(len(shard))\n",
+            1,
+        ).replace(
+            "import os\n",
+            "import os\n\n_SHARD_LOG = []\n",
+            1,
+        )
+        target.write_text(injected, encoding="utf-8")
+        r = analyze_project(repro_copy,
+                            config=FlowConfig(baseline_path=BASELINE))
+        f101 = [f for f in r.report if f.rule == "F101"]
+        assert len(f101) == 1
+        assert f101[0].details["path"] == "repro/simulator/parallel.py"
+        assert f101[0].details["function"] == "_replay_shard"
+
+    def test_injected_taint_propagates_to_runner(self, repro_copy):
+        # A wall-clock read planted inside DelayStage.prepare must taint
+        # the generic scheduler driver through virtual dispatch.
+        target = repro_copy / "schedulers" / "delaystage.py"
+        source = target.read_text(encoding="utf-8")
+        needle = "    def prepare(\n"
+        assert needle in source
+        target.write_text(
+            source.replace(
+                "from __future__ import annotations\n",
+                "from __future__ import annotations\n\nimport time\n", 1
+            ).replace(
+                needle, needle.rstrip("\n") + "\n", 1
+            ),
+            encoding="utf-8")
+        # plant the call on the first line of prepare's body
+        text = target.read_text(encoding="utf-8").splitlines(keepends=True)
+        for i, line in enumerate(text):
+            if line.startswith("    def prepare("):
+                j = i
+                while not text[j].rstrip().endswith(":"):
+                    j += 1
+                text.insert(j + 1, "        _t = time.time()\n")
+                break
+        target.write_text("".join(text), encoding="utf-8")
+        r = analyze_project(repro_copy,
+                            config=FlowConfig(baseline_path=BASELINE))
+        tainted = {q for q, c in r.taint.classification.items()
+                   if c == "tainted"}
+        assert "repro.schedulers.runner.run_with_scheduler" in tainted
+        f007_fns = {f.details["function"] for f in r.report
+                    if f.rule == "F007"}
+        assert "run_with_scheduler" in f007_fns
+
+
+# ------------------------------------------------------------------ #
+# CLI + tools entry points
+# ------------------------------------------------------------------ #
+
+
+class TestEntryPoints:
+    def test_repro_verify_flow_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--flow"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_repro_verify_flow_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--flow", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["classification_counts"]["tainted"] == 0
+
+    def test_repro_verify_flow_nonzero_on_findings(self, tmp_path, capsys):
+        from repro.cli import main
+
+        proj = write_project(tmp_path, {"mod.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """})
+        code = main(["verify", "--flow", "--flow-root", str(proj),
+                     "--flow-baseline", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "F001" in capsys.readouterr().out
+
+    def test_flow_cache_reuse(self, tmp_path):
+        cache = tmp_path / "cache"
+        cfg = FlowConfig(baseline_path=BASELINE, cache_dir=cache)
+        r1 = analyze_project(SRC_REPRO, config=cfg)
+        r2 = analyze_project(SRC_REPRO, config=cfg)
+        assert r1.cache_hits == 0
+        assert r2.cache_hits == r2.files
+        assert [str(f) for f in r1.report] == [str(f) for f in r2.report]
+        assert r1.taint.counts() == r2.taint.counts()
+
+    def test_lint_repro_tool_flags(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_repro.py"),
+             "--flow-only", "--json"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True
+        assert payload["lint"] == []
+        assert payload["flow"]["ok"] is True

@@ -1,0 +1,233 @@
+"""Unit tests for the flow analyzer's symbol tables and call graph."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.verify.flow import link, summarize_source
+
+
+def build(modules: dict[str, str]):
+    """Summarize + link a dict of ``module name -> source``."""
+    summaries = {}
+    for name, source in modules.items():
+        path = "proj/" + name.split(".", 1)[1].replace(".", "/") + ".py"
+        summaries[name] = summarize_source(
+            textwrap.dedent(source), module=name, path=path)
+    return link(summaries)
+
+
+class TestSummaryExtraction:
+    def test_functions_and_methods_tabulated(self):
+        s = summarize_source(textwrap.dedent("""
+            def free():
+                pass
+
+            class C:
+                def meth(self):
+                    pass
+        """), module="proj.m", path="proj/m.py")
+        assert set(s.functions) == {"<module>", "free", "C.meth"}
+        assert s.classes["C"].methods == ["meth"]
+
+    def test_import_aliases_resolved(self):
+        s = summarize_source(textwrap.dedent("""
+            import numpy as np
+            from time import perf_counter as tick
+
+            def f():
+                tick()
+                np.zeros(3)
+        """), module="proj.m", path="proj/m.py")
+        targets = {c.target for c in s.functions["f"].calls}
+        assert "time.perf_counter" in targets
+        assert "numpy.zeros" in targets
+
+    def test_relative_import_anchored_on_package(self):
+        s = summarize_source(textwrap.dedent("""
+            from .sibling import helper
+
+            def f():
+                helper()
+        """), module="proj.pkg.m", path="proj/pkg/m.py")
+        targets = {c.target for c in s.functions["f"].calls}
+        assert "proj.pkg.sibling.helper" in targets
+
+    def test_nested_function_facts_accrue_to_parent(self):
+        s = summarize_source(textwrap.dedent("""
+            import time
+
+            def outer():
+                def inner():
+                    return time.time()
+                return inner
+        """), module="proj.m", path="proj/m.py")
+        fact = s.functions["outer"]
+        assert fact.nested_defs == ["inner"]
+        assert [src.rule for src in fact.sources] == ["F001"]
+
+
+class TestLinking:
+    def test_local_call_resolves_within_module(self):
+        g = build({"proj.a": """
+            def helper():
+                pass
+
+            def main():
+                helper()
+        """})
+        assert "proj.a.helper" in g.callees("proj.a.main")
+
+    def test_cross_module_call_resolves_through_import(self):
+        g = build({
+            "proj.a": """
+                def helper():
+                    pass
+            """,
+            "proj.b": """
+                from proj.a import helper
+
+                def main():
+                    helper()
+            """,
+        })
+        assert "proj.a.helper" in g.callees("proj.b.main")
+
+    def test_constructor_call_edges_to_init(self):
+        g = build({
+            "proj.a": """
+                class Thing:
+                    def __init__(self):
+                        pass
+            """,
+            "proj.b": """
+                from proj.a import Thing
+
+                def make():
+                    return Thing()
+            """,
+        })
+        assert "proj.a.Thing.__init__" in g.callees("proj.b.make")
+
+    def test_self_call_resolves_to_own_method(self):
+        g = build({"proj.a": """
+            class C:
+                def top(self):
+                    self.helper()
+
+                def helper(self):
+                    pass
+        """})
+        assert "proj.a.C.helper" in g.callees("proj.a.C.top")
+
+    def test_self_call_resolves_to_inherited_method(self):
+        g = build({
+            "proj.base": """
+                class Base:
+                    def helper(self):
+                        pass
+            """,
+            "proj.sub": """
+                from proj.base import Base
+
+                class Sub(Base):
+                    def top(self):
+                        self.helper()
+            """,
+        })
+        assert "proj.base.Base.helper" in g.callees("proj.sub.Sub.top")
+
+    def test_virtual_dispatch_includes_overrides(self):
+        g = build({
+            "proj.base": """
+                class Scheduler:
+                    def prepare(self, job):
+                        pass
+            """,
+            "proj.impl": """
+                from proj.base import Scheduler
+
+                class Fast(Scheduler):
+                    def prepare(self, job):
+                        pass
+            """,
+            "proj.runner": """
+                from proj.base import Scheduler
+
+                def run(job, scheduler: Scheduler):
+                    return scheduler.prepare(job)
+            """,
+        })
+        callees = g.callees("proj.runner.run")
+        assert "proj.base.Scheduler.prepare" in callees
+        assert "proj.impl.Fast.prepare" in callees
+
+    def test_string_annotation_dispatch(self):
+        g = build({
+            "proj.base": """
+                class Engine:
+                    def step(self):
+                        pass
+            """,
+            "proj.runner": """
+                from proj.base import Engine
+
+                def drive(engine: "Engine"):
+                    engine.step()
+            """,
+        })
+        assert "proj.base.Engine.step" in g.callees("proj.runner.drive")
+
+    def test_constructor_typed_local_dispatch(self):
+        g = build({"proj.a": """
+            class Widget:
+                def render(self):
+                    pass
+
+            def show():
+                w = Widget()
+                w.render()
+        """})
+        assert "proj.a.Widget.render" in g.callees("proj.a.show")
+
+    def test_reachability_closure(self):
+        g = build({"proj.a": """
+            def c():
+                pass
+
+            def b():
+                c()
+
+            def a():
+                b()
+
+            def unrelated():
+                pass
+        """})
+        reach = g.reachable_from(["proj.a.a"])
+        assert reach == {"proj.a.a", "proj.a.b", "proj.a.c"}
+
+    def test_callers_index_is_reverse_of_edges(self):
+        g = build({"proj.a": """
+            def callee():
+                pass
+
+            def one():
+                callee()
+
+            def two():
+                callee()
+        """})
+        callers = g.callers_index()["proj.a.callee"]
+        assert callers == {"proj.a.one", "proj.a.two"}
+
+    def test_edge_lines_recorded(self):
+        g = build({"proj.a": """
+            def callee():
+                pass
+
+            def caller():
+                callee()
+        """})
+        line = g.edge_lines[("proj.a.caller", "proj.a.callee")]
+        assert line == 6

@@ -1,0 +1,179 @@
+"""Property-based tests for flow-analyzer suppression semantics.
+
+The contract under test: pragma suppression is *surgical*.  Adding
+``# flow: allow[rule]`` to a finding's line removes exactly that
+finding (plus any findings derived from it, e.g. F007 taint
+propagated from a sanctioned source) — it never creates findings, and
+suppressing every finding always yields the all-clear exit code.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.verify.flow import FlowConfig, analyze_project
+
+FAST = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+#: Violation snippet templates; {i} keeps function names unique.
+VIOLATIONS = [
+    "def wall{i}():\n    return time.time()\n",
+    "def draw{i}():\n    return random.random()\n",
+    "def ls{i}(d):\n    return os.listdir(d)\n",
+    "def env{i}():\n    return os.environ.get('X', '')\n",
+    ("def leak{i}(xs):\n    out = []\n"
+     "    for x in set(xs):\n        out.append(x)\n    return out\n"),
+    "def ident{i}(objs):\n    return {{id(o): o for o in objs}}\n",
+]
+
+#: Clean snippets interleaved to shift line numbers around.
+CLEAN = [
+    "def ok{i}(x):\n    return x + 1\n",
+    "def tick{i}():\n    return time.perf_counter()\n",
+    "def srt{i}(d):\n    return sorted(os.listdir(d))\n",
+]
+
+HEADER = "import os\nimport random\nimport time\n\n"
+
+
+def compose(picks: "list[tuple[bool, int]]") -> tuple[str, int]:
+    """Build module source from (is_violation, template_index) picks.
+
+    Returns (source, expected_finding_count).
+    """
+    parts = [HEADER]
+    expected = 0
+    for i, (is_violation, idx) in enumerate(picks):
+        pool = VIOLATIONS if is_violation else CLEAN
+        parts.append(pool[idx % len(pool)].format(i=i) + "\n")
+        if is_violation:
+            expected += 1
+    return "".join(parts), expected
+
+
+def run(tmp_dir, source: str):
+    proj = tmp_dir / "proj"
+    proj.mkdir(exist_ok=True)
+    (proj / "__init__.py").write_text("")
+    (proj / "mod.py").write_text(source, encoding="utf-8")
+    return analyze_project(proj, config=FlowConfig(
+        critical_zones=("proj",)))
+
+
+def exit_code(result) -> int:
+    """The CLI contract: 0 iff no unsuppressed findings."""
+    return 0 if result.ok else 1
+
+
+picks_strategy = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=9)),
+    min_size=1, max_size=8)
+
+
+@FAST
+@given(picks_strategy)
+def test_every_violation_found_exactly_once(tmp_path_factory, picks):
+    tmp = tmp_path_factory.mktemp("flow")
+    source, expected = compose(picks)
+    result = run(tmp, source)
+    assert len(result.report) == expected
+    assert exit_code(result) == (1 if expected else 0)
+
+
+@FAST
+@given(picks_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+def test_pragma_subset_is_surgical(tmp_path_factory, picks, subset_seed):
+    tmp = tmp_path_factory.mktemp("flow")
+    source, _ = compose(picks)
+    result = run(tmp, source)
+    findings = list(result.report)
+
+    # choose a deterministic subset of findings to suppress
+    chosen = [f for i, f in enumerate(findings)
+              if (subset_seed >> (i % 31)) & 1]
+    lines = source.splitlines()
+    for f in chosen:
+        idx = f.details["line"] - 1
+        lines[idx] += f"  # flow: allow[{f.rule}]"
+    suppressed_keys = {(f.rule, f.details["line"]) for f in chosen}
+
+    after = run(tmp, "\n".join(lines) + "\n")
+    after_keys = {(f.rule, f.details["line"]) for f in after.report}
+    before_keys = {(f.rule, f.details["line"]) for f in findings}
+
+    # suppression removed the chosen findings ...
+    assert after_keys.isdisjoint(suppressed_keys)
+    # ... changed nothing else, and never created findings
+    assert after_keys == before_keys - suppressed_keys
+    assert len(after.report) == len(findings) - len(chosen)
+    # suppressed sites remain auditable
+    assert {(s.rule, s.line) for s in after.suppressed} == suppressed_keys
+    # exit code only flips to 0 when *everything* is suppressed
+    assert exit_code(after) == (0 if len(chosen) == len(findings) else 1)
+
+
+@FAST
+@given(picks_strategy)
+def test_suppressing_everything_gives_all_clear(tmp_path_factory, picks):
+    tmp = tmp_path_factory.mktemp("flow")
+    source, _ = compose(picks)
+    result = run(tmp, source)
+    lines = source.splitlines()
+    for f in result.report:
+        lines[f.details["line"] - 1] += "  # flow: allow[*]"
+    after = run(tmp, "\n".join(lines) + "\n")
+    assert exit_code(after) == 0
+    assert len(after.report) == 0
+    assert len(after.suppressed) == len(result.report)
+
+
+@FAST
+@given(picks_strategy)
+def test_pragmas_on_clean_lines_change_nothing(tmp_path_factory, picks):
+    tmp = tmp_path_factory.mktemp("flow")
+    source, _ = compose(picks)
+    before = run(tmp, source)
+    finding_lines = {f.details["line"] for f in before.report}
+    lines = source.splitlines()
+    decorated = [
+        text + "  # flow: allow[*]"
+        if (i + 1) not in finding_lines and text.strip() else text
+        for i, text in enumerate(lines)
+    ]
+    after = run(tmp, "\n".join(decorated) + "\n")
+    assert [str(f) for f in after.report] == [str(f) for f in before.report]
+    assert exit_code(after) == exit_code(before)
+
+
+def test_sanctioned_source_stops_interprocedural_taint(tmp_path):
+    """Deterministic companion: pragma on a source un-taints callers."""
+    proj = tmp_path / "proj"
+    sched = proj / "sched"
+    sched.mkdir(parents=True)
+    (proj / "__init__.py").write_text("")
+    (sched / "__init__.py").write_text("")
+    (sched / "mod.py").write_text(textwrap.dedent("""
+        import time
+
+        def now():
+            return time.time()
+
+        def plan():
+            return now() + 1
+    """), encoding="utf-8")
+    tainted = analyze_project(proj, config=FlowConfig(
+        critical_zones=("sched",)))
+    assert {f.rule for f in tainted.report} == {"F001", "F007"}
+
+    source = (sched / "mod.py").read_text(encoding="utf-8").replace(
+        "return time.time()",
+        "return time.time()  # flow: allow[F001] sanctioned")
+    (sched / "mod.py").write_text(source, encoding="utf-8")
+    clean = analyze_project(proj, config=FlowConfig(
+        critical_zones=("sched",)))
+    assert len(clean.report) == 0
+    assert clean.taint.classification["proj.sched.mod.plan"] != "tainted"

@@ -1,25 +1,125 @@
 #!/usr/bin/env python3
-"""CI entry point for the repro custom lint.
+"""CI entry point for the repro static checks: AST lint + flow analysis.
 
 Usage::
 
     python tools/lint_repro.py src/repro [more paths...]
+    python tools/lint_repro.py --json src/repro       # machine-readable
+    python tools/lint_repro.py --flow-only            # analyzer only
+    python tools/lint_repro.py --no-flow src/repro    # lint only
+
+Runs two layers and combines their verdicts:
+
+1. the per-file AST lint (:mod:`repro.verify.lint`, rules L001-L004)
+   over every path given on the command line;
+2. the whole-program determinism & concurrency analyzer
+   (:mod:`repro.verify.flow`, rules F000-F103) over the repro package,
+   gated against the committed baseline ``tools/flow_baseline.json``.
+
+``--flow-only`` skips layer 1 (paths may then be omitted); ``--no-flow``
+skips layer 2.  ``--cache DIR`` reuses extracted module summaries keyed
+by file content hash, which keeps CI runs under a minute.
+
+Exit codes
+----------
+* ``0`` — clean: no lint findings and no unsuppressed flow findings.
+* ``1`` — at least one lint finding or unsuppressed flow finding.
+* ``2`` — usage or I/O error (missing path, unreadable file).
 
 Bootstraps ``src/`` onto ``sys.path`` so the script works from a bare
-checkout (no install needed), then delegates to
-:func:`repro.verify.lint.main`.  Exit code 1 iff findings.
+checkout (no install needed).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
 import sys
 
-_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+_SRC = _REPO / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.verify.lint import main  # noqa: E402
+from repro.verify.lint import lint_paths  # noqa: E402
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="repro static checks: AST lint (L-rules) + "
+                    "whole-program flow analysis (F-rules)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON payload combining both layers")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--flow-only", action="store_true",
+                       help="run only the whole-program flow analyzer")
+    group.add_argument("--no-flow", action="store_true",
+                       help="run only the AST lint")
+    parser.add_argument("--flow-root", metavar="DIR",
+                        help="analyze this tree instead of src/repro")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default=str(_REPO / "tools" / "flow_baseline.json"),
+                        help="flow baseline suppression file")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="flow summary cache directory (content-hash "
+                             "keyed; safe to persist across runs)")
+    args = parser.parse_args(argv)
+
+    lint_findings = []
+    if not args.flow_only:
+        paths = args.paths or [str(_SRC / "repro")]
+        try:
+            lint_findings = lint_paths(paths)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    flow_payload = None
+    flow_ok = True
+    if not args.no_flow:
+        from repro.verify.flow import FlowConfig, analyze_project
+
+        root = args.flow_root or _SRC / "repro"
+        try:
+            result = analyze_project(root, config=FlowConfig(
+                baseline_path=args.baseline, cache_dir=args.cache))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        flow_payload = result.to_payload()
+        flow_ok = result.ok
+
+    if args.as_json:
+        print(json.dumps({
+            "ok": not lint_findings and flow_ok,
+            "lint": [f.to_dict() for f in lint_findings],
+            "flow": flow_payload,
+        }, indent=2))
+    else:
+        for finding in lint_findings:
+            print(finding)
+        if lint_findings:
+            print(f"{len(lint_findings)} lint finding(s)")
+        if flow_payload is not None:
+            for f in flow_payload["findings"]:
+                d = f["details"]
+                print(f"{d.get('path')}:{d.get('line')}: {f['rule']} "
+                      f"{f['message']}")
+            counts = flow_payload["classification_counts"]
+            print(f"flow: {flow_payload['files']} file(s), "
+                  f"{flow_payload['functions']} function(s) "
+                  f"[{counts['pure']} pure, {counts['deterministic']} "
+                  f"deterministic, {counts['tainted']} tainted], "
+                  f"{len(flow_payload['findings'])} finding(s), "
+                  f"{len(flow_payload['suppressed'])} suppressed")
+    return 1 if (lint_findings or not flow_ok) else 0
+
 
 if __name__ == "__main__":
     sys.exit(main())
