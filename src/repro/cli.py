@@ -35,6 +35,14 @@ declarative fault plan, see ``docs/faults.md``) or ``--chaos-seed N``
 (a seeded random plan) to run the simulation under injected faults;
 ``report`` then adds an availability section contrasting healthy and
 degraded runs.
+
+The same three commands accept ``--serve [HOST:]PORT`` (live telemetry
+over HTTP while the run executes — ``/metrics`` OpenMetrics,
+``/healthz``, ``/runs/<id>`` snapshots, ``/events`` JSON lines —
+optionally kept up ``--serve-grace`` seconds after results print) and
+``--log-json`` (structured JSON log records correlated with the run
+manifest hash); ``repro tail URL`` pretty-prints a server's event
+stream.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -143,17 +151,93 @@ def _tracer_for(args: argparse.Namespace) -> "Tracer | None":
     return Tracer() if getattr(args, "emit_trace", None) else None
 
 
-def _progress_for(args: argparse.Namespace, label: str,
-                  total_jobs: int) -> "ProgressReporter | None":
-    """A heartbeat reporter when ``--progress`` was given, else None.
+def _parse_serve(spec: str) -> "tuple[str, int]":
+    """``[HOST:]PORT`` → (host, port); bare ``PORT`` binds loopback."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "", spec
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise SystemExit(f"error: --serve expects [HOST:]PORT, got {spec!r}")
+    return host or "127.0.0.1", port_num
 
-    Without the flag nothing is constructed and nothing is written —
-    the zero-output-when-off guarantee ``tests/test_obs_progress.py``
-    checks.
+
+def _live_for(args: argparse.Namespace, label: str, total_jobs: int,
+              run_id: "str | None" = None):
+    """Build the ``--progress``/``--serve``/``--log-json`` telemetry plane.
+
+    Returns ``(publisher, hub, server)``; all None when every flag is
+    off, so untelemetered runs construct nothing (the zero-cost /
+    zero-output guarantee).  ``--progress`` upgrades the publisher to a
+    stderr-rendering :class:`ProgressReporter`; ``--serve`` attaches a
+    :class:`~repro.obs.live.LiveHub` to the same bus and starts the
+    HTTP server (its URL is echoed to stderr — port 0 binds an
+    ephemeral port, so read it from there).
     """
-    if not getattr(args, "progress", False):
-        return None
-    return ProgressReporter(label=label, total_jobs=total_jobs)
+    serve = getattr(args, "serve", None)
+    want_progress = getattr(args, "progress", False)
+    want_log = getattr(args, "log_json", False)
+    if serve is None and not want_progress and not want_log:
+        return None, None, None
+    from repro.obs.live import LiveHub, LiveServer, TelemetryPublisher
+
+    if want_progress:
+        publisher = ProgressReporter(label=label, total_jobs=total_jobs,
+                                     run_id=run_id)
+    else:
+        publisher = TelemetryPublisher(label=label, total_jobs=total_jobs,
+                                       run_id=run_id)
+    hub = server = None
+    if serve is not None:
+        hub = LiveHub(bus=publisher.bus)
+        host, port = _parse_serve(serve)
+        server = LiveServer(hub, host=host, port=port).start()
+        _echo(f"live telemetry: {server.url}/metrics")
+    return publisher, hub, server
+
+
+def _attach_log(args: argparse.Namespace, publisher,
+                manifest: "RunManifest") -> None:
+    """``--log-json``: subscribe a structured logger to the run's bus.
+
+    Every record carries the run id and the manifest's config hash, so
+    log lines join to traces, reports, and metrics on one key.
+    """
+    if publisher is None or not getattr(args, "log_json", False):
+        return
+    from repro.obs.live import StructuredLogger, bus_logger
+
+    logger = StructuredLogger(run=publisher.run_id,
+                              manifest=manifest.config_hash)
+    publisher.bus.subscribe(bus_logger(logger))
+
+
+def _live_finish(args: argparse.Namespace, publisher, hub, server,
+                 payload: "dict | None" = None,
+                 reports: "dict | None" = None) -> None:
+    """Tear the telemetry plane down (after results have printed).
+
+    Publishes ``run_finished`` (idempotent), attaches the final result
+    payload to the run snapshot and — for ``report`` — the
+    InterleavingReports to ``/metrics`` (which is what makes the final
+    scrape value-identical to ``repro report --prometheus``), then
+    keeps the server up for ``--serve-grace`` seconds so scrapers can
+    collect the final state.
+    """
+    if publisher is not None:
+        publisher.close()
+    if hub is not None:
+        if reports is not None:
+            hub.set_reports(reports)
+        hub.finish_run(publisher.run_id, payload)
+    if server is not None:
+        grace = getattr(args, "serve_grace", 0.0) or 0.0
+        if grace > 0:
+            _echo(f"serving final telemetry for {grace:.0f}s more at "
+                  f"{server.url}")
+        server.wait(grace)
+        server.close()
 
 
 def _write_trace(args: argparse.Namespace, tracer: "Tracer | None",
@@ -193,12 +277,6 @@ def cmd_compare(args: argparse.Namespace) -> int:
             AggShuffleScheduler(track_metrics=track),
             DelayStageScheduler(profiled=not args.oracle, track_metrics=track),
         ]
-    progress = _progress_for(args, f"compare {args.workload}",
-                             total_jobs=len(schedulers))
-    runs = compare_schedulers(job, cluster, schedulers,
-                              tracer=tracer, progress=progress)
-    if progress is not None:
-        progress.close()
     manifest = build_manifest(
         seed=0,
         config={"command": "compare", "workload": args.workload,
@@ -206,6 +284,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "oracle": args.oracle, **_fault_manifest_config(args)},
         jobs=[job],
     )
+    publisher, hub, server = _live_for(args, f"compare {args.workload}",
+                                       total_jobs=len(schedulers),
+                                       run_id="compare")
+    _attach_log(args, publisher, manifest)
+    if publisher is not None:
+        publisher.run_started(workload=args.workload,
+                              manifest=manifest.config_hash)
+    runs = compare_schedulers(job, cluster, schedulers,
+                              tracer=tracer, progress=publisher)
+    if publisher is not None:
+        publisher.close()
     _write_trace(args, tracer, manifest)
     spark = runs["spark"].jct
     rows = [
@@ -236,7 +325,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if plan is not None:
         title += f" ({len(plan.events)} fault(s) injected)"
     text = render_table(["strategy", "JCT (s)", "vs spark"], rows, title=title)
-    return _finish(args, payload, text, manifest)
+    ret = _finish(args, payload, text, manifest)
+    _live_finish(args, publisher, hub, server, payload=payload)
+    return ret
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -251,6 +342,22 @@ def cmd_report(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
     plan = _fault_plan_for(args, cluster, jobs=[job])
+    manifest = build_manifest(
+        seed=0,
+        config={"command": "report", "workload": args.workload,
+                "workers": cluster.num_workers, "scale": args.scale,
+                "oracle": args.oracle, **_fault_manifest_config(args)},
+        jobs=[job],
+    )
+    has_faulty = plan is not None and not plan.is_empty
+    publisher, hub, server = _live_for(
+        args, f"report {args.workload}",
+        total_jobs=6 if has_faulty else 3, run_id="report",
+    )
+    _attach_log(args, publisher, manifest)
+    if publisher is not None:
+        publisher.run_started(workload=args.workload,
+                              manifest=manifest.config_hash)
     runs = compare_schedulers(
         job,
         cluster,
@@ -259,13 +366,14 @@ def cmd_report(args: argparse.Namespace) -> int:
             StockSparkScheduler(track_metrics=True),
             DelayStageScheduler(profiled=not args.oracle, track_metrics=True),
         ],
+        progress=publisher,
     )
     reports = {
         name: interleaving_report(run.result, job, label=name)
         for name, run in runs.items()
     }
     availability = None
-    if plan is not None and not plan.is_empty:
+    if has_faulty:
         # The interleaving analytics above stay healthy-run; availability
         # contrasts them with the same schedulers under the fault plan.
         from repro.faults import availability_report
@@ -279,18 +387,14 @@ def cmd_report(args: argparse.Namespace) -> int:
                 DelayStageScheduler(profiled=not args.oracle,
                                     track_metrics=True, fault_plan=plan),
             ],
+            progress=publisher,
         )
         availability = availability_report(
             {name: run.result for name, run in runs.items()},
             {name: run.result for name, run in faulty.items()},
         )
-    manifest = build_manifest(
-        seed=0,
-        config={"command": "report", "workload": args.workload,
-                "workers": cluster.num_workers, "scale": args.scale,
-                "oracle": args.oracle, **_fault_manifest_config(args)},
-        jobs=[job],
-    )
+    if publisher is not None:
+        publisher.close()
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write(reports_to_csv(reports))
@@ -316,7 +420,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         payload["availability"] = [row.to_dict() for row in availability]
         payload["fault_plan"] = plan.to_dict()
         text += "\n\n" + render_availability(availability)
-    return _finish(args, payload, text, manifest)
+    ret = _finish(args, payload, text, manifest)
+    _live_finish(args, publisher, hub, server, payload=payload,
+                 reports=reports)
+    return ret
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
@@ -512,12 +619,24 @@ def cmd_replay(args: argparse.Namespace) -> int:
         incremental=incremental, fault_plan=plan,
         replan=plan is not None,
     )
-    progress = _progress_for(args, "replay", total_jobs=2 * len(jobs))
+    manifest = build_manifest(
+        seed=args.seed,
+        config={"command": "replay", "jobs": args.jobs,
+                "penalty": args.penalty, **_fault_manifest_config(args)},
+        jobs=jobs,
+    )
+    publisher, hub, server = _live_for(args, "replay",
+                                       total_jobs=2 * len(jobs),
+                                       run_id="replay")
+    _attach_log(args, publisher, manifest)
+    if publisher is not None:
+        publisher.run_started(jobs=len(jobs), seed=args.seed,
+                              manifest=manifest.config_hash)
     fault_summary = None
     if plan is not None:
         from repro.simulator.parallel import replay_outcomes
 
-        done = progress.shard_done if progress is not None else None
+        done = publisher.shard_done if publisher is not None else None
         out_f = replay_outcomes(jobs, cluster, fuxi, processes=args.parallel,
                                 on_shard_done=done)
         out_d = replay_outcomes(jobs, cluster, ds, processes=args.parallel,
@@ -539,17 +658,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
         }
     else:
         jct_f = replay_batch(jobs, cluster, fuxi, processes=args.parallel,
-                             tracer=tracer, progress=progress)
+                             tracer=tracer, progress=publisher)
         jct_d = replay_batch(jobs, cluster, ds, processes=args.parallel,
-                             tracer=tracer, progress=progress)
-    if progress is not None:
-        progress.close()
-    manifest = build_manifest(
-        seed=args.seed,
-        config={"command": "replay", "jobs": args.jobs,
-                "penalty": args.penalty, **_fault_manifest_config(args)},
-        jobs=jobs,
-    )
+                             tracer=tracer, progress=publisher)
+    if publisher is not None:
+        publisher.close()
     _write_trace(args, tracer, manifest)
     improvement = float(1 - np.mean(jct_d) / np.mean(jct_f))
     payload = {
@@ -585,7 +698,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )
     text = render_table(["strategy", "mean JCT (s)", "median (s)"], rows,
                         title=title) + extra
-    return _finish(args, payload, text, manifest)
+    ret = _finish(args, payload, text, manifest)
+    _live_finish(args, publisher, hub, server, payload=payload)
+    return ret
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
@@ -628,6 +743,23 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(render_summary(doc, max_stages=args.max_stages))
     if args.validate and errors:
         return 1
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Pretty-print a live server's /events stream (``repro tail URL``)."""
+    from repro.obs.live import tail
+
+    try:
+        count = tail(args.url, max_events=args.max, raw=args.raw,
+                     timeout=args.timeout)
+    except ValueError as exc:
+        _echo(f"error: {exc}")
+        return 2
+    except OSError as exc:
+        _echo(f"error: cannot reach {args.url!r}: {exc}")
+        return 1
+    _echo(f"tail: {count} event(s)")
     return 0
 
 
@@ -794,6 +926,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream a live heartbeat (jobs done, events/s, "
                             "running makespan, ETA) to stderr")
 
+    def add_serve_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--serve", metavar="[HOST:]PORT",
+                       help="serve live telemetry over HTTP during the run: "
+                            "/metrics (OpenMetrics), /healthz, /runs/<id> "
+                            "(JSON snapshot), /events (JSON lines); port 0 "
+                            "binds an ephemeral port (URL echoed on stderr)")
+        p.add_argument("--serve-grace", type=float, default=0.0,
+                       dest="serve_grace", metavar="SECONDS",
+                       help="keep the telemetry server up this long after "
+                            "results print, so scrapers can collect the "
+                            "final state")
+        p.add_argument("--log-json", action="store_true", dest="log_json",
+                       help="emit structured JSON log records (one per run "
+                            "event, correlated with the manifest hash) to "
+                            "stderr")
+
     def add_faults_args(p: argparse.ArgumentParser) -> None:
         g = p.add_mutually_exclusive_group()
         g.add_argument("--faults", metavar="PATH",
@@ -812,6 +960,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_json_arg(p)
     add_trace_args(p)
     add_progress_arg(p)
+    add_serve_args(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -828,6 +977,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write Prometheus/OpenMetrics text here")
     add_faults_args(p)
     add_json_arg(p)
+    add_progress_arg(p)
+    add_serve_args(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("schedule", help="compute a DelayStage delay table")
@@ -878,7 +1029,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_json_arg(p)
     add_trace_args(p)
     add_progress_arg(p)
+    add_serve_args(p)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "tail", help="pretty-print a live server's /events stream"
+    )
+    p.add_argument("url", help="server URL (HOST:PORT, or a full "
+                               "http://HOST:PORT/events URL)")
+    p.add_argument("--max", type=int, default=None, metavar="N",
+                   help="stop after N events (default: until the server "
+                        "closes the stream)")
+    p.add_argument("--raw", action="store_true",
+                   help="print the JSON lines untouched (for jq)")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                   help="connect/read timeout")
+    p.set_defaults(func=cmd_tail)
 
     p = sub.add_parser(
         "inspect", help="summarize / validate a trace written with --emit-trace"

@@ -141,6 +141,7 @@ class FaultInjector:
             info={"fault": event.kind, **_event_info(event)},
         )
         self._instant(f"fault:{event.kind}", _event_info(event))
+        self._telemetry("injected", fault=event.kind, **_event_info(event))
         if isinstance(event, NodeCrash):
             self._crash(event)
         elif isinstance(event, NicBrownout):
@@ -312,6 +313,7 @@ class FaultInjector:
         self.stats.crashes += 1
         self.stats.dead_nodes[node] = now
         self._log(EventKind.NODE_CRASHED, "", "", info={"node": node})
+        self._telemetry("crash", node=node)
 
         # Deterministic slot succession: the dead node's slots go
         # round-robin over the survivors, starting at its own index.
@@ -321,7 +323,9 @@ class FaultInjector:
             raise RuntimeError("fault plan crashed every worker")
         start = sim.workers.index(node)
         for i, slot in enumerate(dying):
-            self.slot_host[slot] = live[(start + i) % len(live)]
+            successor = live[(start + i) % len(live)]
+            self.slot_host[slot] = successor
+            self._telemetry("slot_succession", slot=slot, node=successor)
 
         dying_set = set(dying)
         for run in sim._runs.values():
@@ -382,6 +386,7 @@ class FaultInjector:
 
     def _brownout(self, event: NicBrownout) -> None:
         self.stats.brownouts += 1
+        self._telemetry("brownout", node=event.node, factor=event.factor)
         if event.node in self.dead:
             return
         self._degrade(event.node, nic=event.factor)
@@ -396,6 +401,7 @@ class FaultInjector:
 
     def _straggler(self, event: Straggler) -> None:
         self.stats.stragglers += 1
+        self._telemetry("straggler", node=event.node, factor=event.factor)
         if event.node in self.dead:
             return
         self._degrade(event.node, executors=1.0 / event.factor)
@@ -441,6 +447,9 @@ class FaultInjector:
         self._log(
             EventKind.PARTITION_LOST, event.job, event.stage, info={"part": slot}
         )
+        self._telemetry(
+            "partition_lost", job=event.job, stage=event.stage, part=slot
+        )
         was_complete = len(run.parts_write_done) == len(sim.workers)
         run.parts_write_done.discard(slot)
         run.parts_read_done.discard(slot)
@@ -473,6 +482,12 @@ class FaultInjector:
         stage_label = f"{run.key[0]}/{run.key[1]}"
         self.stats.stage_retries[stage_label] = (
             self.stats.stage_retries.get(stage_label, 0) + 1
+        )
+        # Published before the budget check so the live retry counter
+        # matches stats.retries (which also counts the exhausting attempt).
+        self._telemetry(
+            "retry", stage=stage_label, part=slot, attempt=run.retries,
+            reason=reason,
         )
         if run.retries > self.plan.retry_budget:
             self._fail_job(run.key[0], f"retry budget exhausted at {stage_label}")
@@ -515,6 +530,7 @@ class FaultInjector:
         jrec.finish_time = now  # time of failure keeps makespans finite
         self._log(EventKind.JOB_FAILED, job_id, "", info={"reason": reason})
         self._instant("job-failed", {"job": job_id, "reason": reason})
+        self._telemetry("job_failed", job=job_id, reason=reason)
         for key in list(self._active):
             if key[0][0] != job_id:
                 continue
@@ -562,6 +578,9 @@ class FaultInjector:
             )
             self._instant(
                 "replan", {"job": job_id, "reason": reason, "stages": len(delays)}
+            )
+            self._telemetry(
+                "replan", job=job_id, reason=reason, stages=len(delays)
             )
 
     def degraded_cluster(self):
@@ -616,6 +635,16 @@ class FaultInjector:
 
     def _log(self, kind: EventKind, job_id: str, stage_id: str, info: dict) -> None:
         self.sim._log(kind, job_id, stage_id, info=info)
+
+    def _telemetry(self, kind: str, **fields) -> None:
+        """Publish one fault event to the live plane (one branch when off).
+
+        The hook only observes — it reads nothing back — so runs with
+        and without a subscriber stay byte-identical.
+        """
+        hook = self.sim.fault_hook
+        if hook is not None:
+            hook(kind, fields)
 
     def _instant(self, name: str, args: dict) -> None:
         tracer = self.sim.tracer

@@ -21,7 +21,11 @@ after a run:
   bands) with markdown / OpenMetrics / CSV exporters (``repro
   report``).
 * :mod:`repro.obs.progress` — the throttled stderr heartbeat behind
-  the ``--progress`` flag.
+  the ``--progress`` flag (a renderer over the live bus).
+* :mod:`repro.obs.live` — the live telemetry plane: thread-safe
+  metrics registry, run-event bus, OpenMetrics HTTP server
+  (``--serve``), streaming ``/events``, structured JSON logs, and the
+  ``repro tail`` client.
 
 The simulator emits one span per stage with ``delay-wait`` /
 ``shuffle-read`` / ``compute`` / ``disk-write`` phase children;
@@ -78,6 +82,15 @@ from repro.obs.metrics import (
     reports_to_openmetrics,
 )
 from repro.obs.progress import ProgressReporter
+from repro.obs.live import (
+    LiveHub,
+    LiveServer,
+    MetricsRegistry,
+    StructuredLogger,
+    TelemetryBus,
+    TelemetryPublisher,
+    validate_openmetrics_text,
+)
 
 __all__ = [
     "Tracer",
@@ -117,4 +130,11 @@ __all__ = [
     "reports_to_csv",
     "reports_to_openmetrics",
     "ProgressReporter",
+    "TelemetryBus",
+    "TelemetryPublisher",
+    "LiveHub",
+    "LiveServer",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "validate_openmetrics_text",
 ]

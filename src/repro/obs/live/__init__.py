@@ -1,0 +1,59 @@
+"""repro.obs.live — the live telemetry plane.
+
+One bus, many consumers: runners publish run-lifecycle events through
+:class:`TelemetryPublisher`; the stderr progress renderer, the
+:class:`LiveHub` metrics aggregator, ``/events`` HTTP streams, and the
+structured logger all subscribe to the same
+:class:`TelemetryBus`.  :class:`LiveServer` exposes the hub over HTTP
+(``/metrics`` OpenMetrics, ``/healthz``, ``/runs/<id>``, ``/events``);
+``repro tail`` is the matching client.
+
+Telemetry is observation-only by construction — publishers read
+engine state but never feed anything back, so simulation results are
+bit-identical with the plane on or off.
+"""
+
+from repro.obs.live.bus import (
+    EVENT_TYPES,
+    TelemetryBus,
+    TelemetryPublisher,
+    fault_hook,
+)
+from repro.obs.live.hub import LiveHub
+from repro.obs.live.logging import StructuredLogger, bus_logger
+from repro.obs.live.registry import (
+    DEFAULT_JCT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    parse_openmetrics_text,
+    validate_openmetrics_text,
+)
+from repro.obs.live.server import OPENMETRICS_CONTENT_TYPE, LiveServer
+from repro.obs.live.tail import iter_events, normalize_url, render_event, tail
+
+__all__ = [
+    "EVENT_TYPES",
+    "TelemetryBus",
+    "TelemetryPublisher",
+    "fault_hook",
+    "LiveHub",
+    "StructuredLogger",
+    "bus_logger",
+    "DEFAULT_JCT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeSeries",
+    "parse_openmetrics_text",
+    "validate_openmetrics_text",
+    "OPENMETRICS_CONTENT_TYPE",
+    "LiveServer",
+    "iter_events",
+    "normalize_url",
+    "render_event",
+    "tail",
+]

@@ -1,0 +1,223 @@
+"""LiveHub: the bus→registry aggregator behind the HTTP surface.
+
+The hub subscribes to a :class:`~repro.obs.live.bus.TelemetryBus` and
+folds every run event into a :class:`~repro.obs.live.registry
+.MetricsRegistry` (counters/gauges/histograms for ``/metrics``) and a
+per-run snapshot dict (for ``/runs/<id>``).  It is the only component
+that knows both vocabularies; publishers know events, the server knows
+HTTP.
+
+``/metrics`` output is the live registry exposition concatenated with
+the PR-4 report exporter's families once final reports are attached
+via :meth:`set_reports` — which is what makes the post-run scrape
+value-identical to ``repro report --prometheus``: both render the
+*same* report objects through the *same* exporter.
+
+Live families use the ``repro_live_`` prefix; report families use the
+existing ``repro_`` names.  The prefixes are disjoint, so the merged
+exposition has no duplicate families and exactly one ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping, Optional
+
+from repro.obs.live.bus import TelemetryBus
+from repro.obs.live.registry import MetricsRegistry
+
+
+class LiveHub:
+    """Aggregates bus events into metrics and per-run JSON snapshots."""
+
+    def __init__(
+        self,
+        bus: "Optional[TelemetryBus]" = None,
+        registry: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        self.bus = bus if bus is not None else TelemetryBus()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.RLock()
+        self._runs: "dict[str, dict]" = {}
+        self._reports: "Optional[Mapping[str, Any]]" = None
+
+        reg = self.registry
+        self._jobs = reg.counter(
+            "repro_live_jobs_completed",
+            "Jobs completed per run (serial completions + shard merges).",
+        )
+        self._events = reg.counter(
+            "repro_live_engine_events",
+            "Cumulative fluid-engine events processed per run.",
+        )
+        self._faults = reg.counter(
+            "repro_live_faults",
+            "Fault-injection events by kind (crash, brownout, retry, ...).",
+        )
+        self._schedules = reg.counter(
+            "repro_live_schedules_computed",
+            "Scheduling decisions (Algorithm 1 tables and baselines).",
+        )
+        self._scrapes = reg.counter(
+            "repro_live_scrapes",
+            "HTTP scrapes served by endpoint.",
+        )
+        self._sim_clock = reg.gauge(
+            "repro_live_sim_clock_seconds",
+            "Current simulated clock per run.",
+        )
+        self._active = reg.gauge(
+            "repro_live_runs_active",
+            "Runs started and not yet finished.",
+        )
+        self._jct = reg.histogram(
+            "repro_live_job_jct_seconds",
+            "Per-job completion times observed during replay.",
+        )
+        self._throughput = reg.series(
+            "repro_live_jobs_throughput",
+            "Recent (elapsed_s, jobs_done) samples per run.",
+        )
+        self.bus.subscribe(self._on_event)
+
+    # -- event folding ------------------------------------------------- #
+
+    def _run(self, run_id: str) -> dict:
+        run = self._runs.get(run_id)
+        if run is None:
+            run = self._runs[run_id] = {
+                "run": run_id,
+                "status": "running",
+                "jobs_done": 0,
+                "total_jobs": None,
+                "events_total": 0,
+                "t_sim": 0.0,
+                "faults": {},
+                "schedules": 0,
+                "started_elapsed_s": None,
+                "finished_elapsed_s": None,
+            }
+        return run
+
+    def _on_event(self, event: dict) -> None:
+        type_ = event.get("type")
+        run_id = str(event.get("run", "run"))
+        with self._lock:
+            run = self._run(run_id)
+            if type_ == "run_started":
+                run["status"] = "running"
+                run["started_elapsed_s"] = event.get("elapsed_s")
+                if event.get("total_jobs") is not None:
+                    run["total_jobs"] = event["total_jobs"]
+                for key in ("label", "scheduler", "workload", "manifest"):
+                    if key in event:
+                        run[key] = event[key]
+                self._active.add(1.0)
+            elif type_ == "tick":
+                events_total = int(event.get("events_total", 0))
+                t_sim = float(event.get("t_sim", 0.0))
+                run["events_total"] = max(run["events_total"], events_total)
+                run["t_sim"] = t_sim
+                self._events.inc_to(float(events_total), run=run_id)
+                self._sim_clock.set(t_sim, run=run_id)
+            elif type_ == "job":
+                run["jobs_done"] = int(event.get("jobs_done", run["jobs_done"]))
+                if event.get("total_jobs") is not None:
+                    run["total_jobs"] = event["total_jobs"]
+                self._jobs.inc(1.0, run=run_id)
+                self._throughput.append(
+                    float(event.get("elapsed_s", 0.0)),
+                    float(run["jobs_done"]), run=run_id,
+                )
+                jct = event.get("jct")
+                if jct is not None:
+                    self._jct.observe(float(jct), run=run_id)
+            elif type_ == "shard":
+                run["jobs_done"] = int(event.get("jobs_done", run["jobs_done"]))
+                if event.get("total_jobs") is not None:
+                    run["total_jobs"] = event["total_jobs"]
+                self._jobs.inc(float(event.get("num_jobs", 0)), run=run_id)
+                self._throughput.append(
+                    float(event.get("elapsed_s", 0.0)),
+                    float(run["jobs_done"]), run=run_id,
+                )
+            elif type_ == "jcts":
+                for jct in event.get("jcts", ()):
+                    self._jct.observe(float(jct), run=run_id)
+            elif type_ == "fault":
+                kind = str(event.get("kind", "unknown"))
+                run["faults"][kind] = run["faults"].get(kind, 0) + 1
+                self._faults.inc(1.0, run=run_id, kind=kind)
+            elif type_ == "schedule":
+                run["schedules"] += 1
+                scheduler = str(event.get("scheduler", "unknown"))
+                self._schedules.inc(1.0, run=run_id, scheduler=scheduler)
+            elif type_ == "run_finished":
+                if run["status"] != "finished":
+                    run["status"] = "finished"
+                    run["finished_elapsed_s"] = event.get("elapsed_s")
+                    run["jobs_done"] = int(
+                        event.get("jobs_done", run["jobs_done"])
+                    )
+                    events_total = int(event.get("events_total", 0))
+                    run["events_total"] = max(run["events_total"], events_total)
+                    self._events.inc_to(float(events_total), run=run_id)
+                    self._active.add(-1.0)
+
+    # -- HTTP-facing reads --------------------------------------------- #
+
+    def run_ids(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._runs)
+
+    def run_snapshot(self, run_id: str) -> "Optional[dict]":
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is None:
+                return None
+            snapshot = dict(run)
+            snapshot["faults"] = dict(run["faults"])
+        snapshot["throughput"] = self._throughput.points(run=run_id)
+        snapshot["last_seq"] = self.bus.last_seq
+        return snapshot
+
+    def finish_run(self, run_id: str, payload: "Optional[Mapping[str, Any]]" = None) -> None:
+        """Attach the final result payload to a run's snapshot."""
+        with self._lock:
+            run = self._run(run_id)
+            if payload is not None:
+                run["result"] = dict(payload)
+
+    def set_reports(self, reports: "Mapping[str, Any]") -> None:
+        """Attach final InterleavingReports; /metrics then includes them."""
+        with self._lock:
+            self._reports = dict(reports)
+
+    def count_scrape(self, endpoint: str) -> None:
+        self._scrapes.inc(1.0, endpoint=endpoint)
+
+    def render_metrics(self) -> str:
+        """Full /metrics exposition: live families + final report families."""
+        with self._lock:
+            reports = self._reports
+        text = self.registry.render_openmetrics(eof=False)
+        if reports:
+            # Lazy import: obs.metrics sits above this module in the
+            # package graph (obs/__init__ imports progress -> live.bus).
+            from repro.obs.metrics import reports_to_openmetrics
+
+            return text + reports_to_openmetrics(reports)
+        return text + "# EOF\n"
+
+    def healthz(self) -> dict:
+        with self._lock:
+            running = sum(
+                1 for r in self._runs.values() if r["status"] == "running"
+            )
+            total = len(self._runs)
+        return {
+            "status": "ok",
+            "runs": total,
+            "running": running,
+            "last_seq": self.bus.last_seq,
+        }

@@ -1,0 +1,553 @@
+"""Thread-safe in-process metrics registry for the live telemetry plane.
+
+Four primitive families, each addressable by a sorted label set:
+
+* :class:`Counter` — monotone non-decreasing totals (``inc``), plus an
+  ``inc_to`` ratchet for sources that already report cumulative values
+  (the engine's ``events_processed``);
+* :class:`Gauge`  — last-write-wins scalars (the simulation clock);
+* :class:`Histogram` — fixed-bucket distributions with OpenMetrics
+  ``_bucket``/``_sum``/``_count`` exposition (per-job JCTs);
+* :class:`TimeSeries` — bounded ring buffers of ``(t, value)`` samples
+  for the ``/runs/<id>`` JSON snapshots (recent throughput window);
+  deliberately *not* part of the OpenMetrics exposition.
+
+All mutation goes through one registry lock, so engine ticks on the
+simulation thread and scrapes on HTTP handler threads never observe a
+torn update.  Updates are O(1) dictionary operations; publishers hit
+the registry at most once per 20k engine events (the existing progress
+cadence), so the hot path stays unmeasurable.
+
+The module also carries the OpenMetrics *consumer* side — a text
+parser and validator (:func:`parse_openmetrics_text`,
+:func:`validate_openmetrics_text`) used by the test suite, the CI
+observability job, and the drift check that pins the final ``/metrics``
+scrape to ``repro report --prometheus`` output.
+
+Stdlib-only on purpose: this module is imported by the progress
+reporter, which the innermost simulator paths touch.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Label sets are canonicalized to sorted key/value tuples.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default JCT histogram bucket upper bounds, in seconds.  Spans the
+#: trace twin's short interactive jobs through multi-hour stragglers;
+#: +Inf is implicit.
+DEFAULT_JCT_BUCKETS: "tuple[float, ...]" = (
+    30.0, 60.0, 120.0, 300.0, 600.0, 1200.0, 3600.0, 14400.0,
+)
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(key: LabelKey, extra: "Sequence[tuple[str, str]]" = ()) -> str:
+    items = list(key) + list(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{_escape(v)}"' for k, v in items) + "}"
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    if name.endswith(("_total", "_bucket", "_sum", "_count")):
+        raise ValueError(
+            f"family name {name!r} must not carry a reserved sample suffix"
+        )
+    return name
+
+
+class _Family:
+    """Base: a named metric family sharing the registry lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock) -> None:
+        self.name = _check_name(name)
+        self.help = str(help_text)
+        self._lock = lock
+
+    def header_lines(self) -> "list[str]":
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Family):
+    """Monotone non-decreasing total; exposed as ``<name>_total``."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock) -> None:
+        super().__init__(name, help_text, lock)
+        self._values: "dict[LabelKey, float]" = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        amount = float(amount)
+        if amount < 0.0 or math.isnan(amount):
+            raise ValueError(f"counter increment must be >= 0, got {amount!r}")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def inc_to(self, value: float, **labels: Any) -> None:
+        """Ratchet to ``value`` if larger (cumulative upstream sources)."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("counter value must not be NaN")
+        key = _label_key(labels)
+        with self._lock:
+            if value > self._values.get(key, 0.0):
+                self._values[key] = value
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def sample_lines(self) -> "list[str]":
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}_total{_render_labels(key)} {value!r}"
+            for key, value in items
+        ]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {_render_labels(k) or "{}": v
+                    for k, v in sorted(self._values.items())}
+
+
+class Gauge(_Family):
+    """Last-write-wins scalar."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock) -> None:
+        super().__init__(name, help_text, lock)
+        self._values: "dict[LabelKey, float]" = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("gauge value must not be NaN")
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def sample_lines(self) -> "list[str]":
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(key)} {value!r}"
+            for key, value in items
+        ]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {_render_labels(k) or "{}": v
+                    for k, v in sorted(self._values.items())}
+
+
+class Histogram(_Family):
+    """Fixed-bucket histogram (cumulative buckets, OpenMetrics style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.RLock,
+        buckets: "Sequence[float]" = DEFAULT_JCT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        for lo, hi in zip(bounds, bounds[1:]):
+            if not lo < hi:
+                raise ValueError(
+                    f"bucket bounds must be strictly increasing, got {bounds}"
+                )
+        if any(math.isnan(b) or math.isinf(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.bounds = bounds
+        #: label key -> (per-bucket counts incl. +Inf, sum)
+        self._state: "dict[LabelKey, tuple[list[int], float]]" = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("histogram observation must not be NaN")
+        key = _label_key(labels)
+        with self._lock:
+            counts, total = self._state.get(
+                key, ([0] * (len(self.bounds) + 1), 0.0)
+            )
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[i] += 1
+            counts[-1] += 1  # +Inf bucket counts everything
+            self._state[key] = (counts, total + value)
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            state = self._state.get(_label_key(labels))
+            return state[0][-1] if state else 0
+
+    def sum(self, **labels: Any) -> float:
+        with self._lock:
+            state = self._state.get(_label_key(labels))
+            return state[1] if state else 0.0
+
+    def sample_lines(self) -> "list[str]":
+        with self._lock:
+            items = sorted(
+                (k, (list(c), s)) for k, (c, s) in self._state.items()
+            )
+        lines: "list[str]" = []
+        for key, (counts, total) in items:
+            for bound, count in zip(self.bounds, counts):
+                le = _render_labels(key, extra=(("le", repr(bound)),))
+                lines.append(f"{self.name}_bucket{le} {count}")
+            inf = _render_labels(key, extra=(("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{inf} {counts[-1]}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {counts[-1]}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {total!r}")
+        return lines
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                _render_labels(k) or "{}": {
+                    "buckets": dict(zip([repr(b) for b in self.bounds]
+                                        + ["+Inf"], counts)),
+                    "count": counts[-1],
+                    "sum": total,
+                }
+                for k, (counts, total) in sorted(self._state.items())
+            }
+
+
+class TimeSeries(_Family):
+    """Bounded ring buffer of ``(t, value)`` samples per label set.
+
+    Serves the ``/runs/<id>`` snapshots (recent throughput window);
+    not part of the OpenMetrics text — scrapers get totals, snapshots
+    get the time dimension.
+    """
+
+    kind = "timeseries"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.RLock,
+        maxlen: int = 512,
+    ) -> None:
+        super().__init__(name, help_text, lock)
+        if maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.maxlen = int(maxlen)
+        self._series: "dict[LabelKey, deque]" = {}
+
+    def append(self, t: float, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = deque(maxlen=self.maxlen)
+            series.append((float(t), float(value)))
+
+    def points(self, **labels: Any) -> "list[tuple[float, float]]":
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return list(series) if series else []
+
+    def last(self, **labels: Any) -> "tuple[float, float] | None":
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series[-1] if series else None
+
+    def sample_lines(self) -> "list[str]":  # pragma: no cover - excluded
+        return []
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                _render_labels(k) or "{}": [[t, v] for t, v in series]
+                for k, series in sorted(self._series.items())
+            }
+
+
+class MetricsRegistry:
+    """The process-wide family table behind ``/metrics``.
+
+    Registration is idempotent: asking for an existing name returns
+    the existing family (the kind must match).  Rendering walks the
+    families in name order, so the exposition is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: "dict[str, _Family]" = {}
+
+    def _register(self, cls, name: str, help_text: str, **kwargs) -> Any:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            family = cls(name, help_text, self._lock, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._register(Gauge, name, help_text)
+
+    def histogram(
+        self, name: str, help_text: str,
+        buckets: "Sequence[float]" = DEFAULT_JCT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help_text, buckets=buckets)
+
+    def series(self, name: str, help_text: str, maxlen: int = 512) -> TimeSeries:
+        return self._register(TimeSeries, name, help_text, maxlen=maxlen)
+
+    def families(self) -> "list[_Family]":
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def render_openmetrics(self, eof: bool = True) -> str:
+        """OpenMetrics text exposition of every non-series family."""
+        lines: "list[str]" = []
+        for family in self.families():
+            if isinstance(family, TimeSeries):
+                continue
+            samples = family.sample_lines()
+            if not samples:
+                continue
+            lines.extend(family.header_lines())
+            lines.extend(samples)
+        text = "\n".join(lines)
+        if text:
+            text += "\n"
+        if eof:
+            text += "# EOF\n"
+        return text
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every family (series included)."""
+        return {
+            family.name: {"kind": family.kind, "help": family.help,
+                          "values": family.snapshot()}
+            for family in self.families()
+        }
+
+
+# --------------------------------------------------------------------- #
+# OpenMetrics consumer side: parser + validator
+
+
+def _parse_label_block(block: str, line_no: int,
+                       errors: "list[str]") -> "LabelKey | None":
+    """Parse ``k="v",k2="v2"`` (without braces) into a label key."""
+    labels: "list[tuple[str, str]]" = []
+    i, n = 0, len(block)
+    while i < n:
+        eq = block.find('="', i)
+        if eq < 0:
+            errors.append(f"line {line_no}: malformed label block {block!r}")
+            return None
+        name = block[i:eq]
+        j = eq + 2
+        value = []
+        while j < n:
+            c = block[j]
+            if c == "\\" and j + 1 < n:
+                value.append({"n": "\n", '"': '"', "\\": "\\"}.get(
+                    block[j + 1], block[j + 1]))
+                j += 2
+                continue
+            if c == '"':
+                break
+            value.append(c)
+            j += 1
+        else:
+            errors.append(f"line {line_no}: unterminated label value")
+            return None
+        labels.append((name, "".join(value)))
+        j += 1
+        if j < n:
+            if block[j] != ",":
+                errors.append(f"line {line_no}: expected ',' in labels")
+                return None
+            j += 1
+        i = j
+    return tuple(labels)
+
+
+def parse_openmetrics_text(
+    text: str,
+) -> "tuple[dict[tuple[str, LabelKey], float], dict[str, str], list[str]]":
+    """Parse an OpenMetrics exposition.
+
+    Returns ``(samples, types, errors)``: sample values keyed by
+    ``(sample_name, labels)``, the declared family types, and any
+    structural errors found along the way.
+    """
+    samples: "dict[tuple[str, LabelKey], float]" = {}
+    types: "dict[str, str]" = {}
+    errors: "list[str]" = []
+    lines = text.splitlines()
+    saw_eof = False
+    for line_no, line in enumerate(lines, start=1):
+        if saw_eof and line:
+            errors.append(f"line {line_no}: content after # EOF")
+            break
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if parts[:2] == ["#", "EOF"]:
+                saw_eof = True
+            elif len(parts) >= 3 and parts[1] == "TYPE":
+                name = parts[2]
+                if name in types:
+                    errors.append(f"line {line_no}: duplicate TYPE for {name}")
+                types[name] = parts[3] if len(parts) > 3 else ""
+            elif len(parts) >= 3 and parts[1] in ("HELP", "UNIT"):
+                pass
+            else:
+                errors.append(f"line {line_no}: unrecognized comment {line!r}")
+            continue
+        head, _, value_text = line.rpartition(" ")
+        if not head:
+            errors.append(f"line {line_no}: not a sample line: {line!r}")
+            continue
+        if "{" in head:
+            name, _, rest = head.partition("{")
+            if not rest.endswith("}"):
+                errors.append(f"line {line_no}: unterminated label block")
+                continue
+            labels = _parse_label_block(rest[:-1], line_no, errors)
+            if labels is None:
+                continue
+        else:
+            name, labels = head, ()
+        try:
+            value = float(value_text)
+        except ValueError:
+            errors.append(
+                f"line {line_no}: sample value {value_text!r} is not a float"
+            )
+            continue
+        if math.isnan(value):
+            errors.append(f"line {line_no}: sample value is NaN")
+        key = (name, tuple(labels))
+        if key in samples:
+            errors.append(f"line {line_no}: duplicate sample {head!r}")
+        samples[key] = value
+    if not saw_eof:
+        errors.append("exposition does not end with # EOF")
+    return samples, types, errors
+
+
+def _family_of(sample_name: str, types: Mapping[str, str]) -> "str | None":
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_total", "_bucket", "_count", "_sum"):
+        if sample_name.endswith(suffix):
+            stem = sample_name[: -len(suffix)]
+            if stem in types:
+                return stem
+    return None
+
+
+def validate_openmetrics_text(text: str) -> "list[str]":
+    """Structural validation; an empty list means the text is valid.
+
+    Checks: ``# EOF`` termination, parseable sample lines and label
+    blocks, every sample attached to a declared ``# TYPE`` family,
+    counter samples using the ``_total`` suffix, and histogram series
+    carrying consistent ``+Inf``/``_count`` totals with monotone
+    cumulative buckets.
+    """
+    samples, types, errors = parse_openmetrics_text(text)
+
+    hist_buckets: "dict[tuple[str, LabelKey], list[tuple[float, float]]]" = {}
+    for (name, labels), value in samples.items():
+        family = _family_of(name, types)
+        if family is None:
+            errors.append(f"sample {name!r} has no # TYPE declaration")
+            continue
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"counter sample {name!r} must use the _total suffix"
+                )
+            elif value < 0:
+                errors.append(f"counter {name!r} is negative: {value!r}")
+        elif kind == "histogram" and name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(f"histogram bucket {name!r} lacks an le label")
+                continue
+            bound = math.inf if le == "+Inf" else float(le)
+            rest = tuple(kv for kv in labels if kv[0] != "le")
+            hist_buckets.setdefault((family, rest), []).append((bound, value))
+
+    for (family, labels), buckets in sorted(hist_buckets.items()):
+        buckets.sort(key=lambda bv: bv[0])
+        label_text = _render_labels(labels)
+        if not buckets or not math.isinf(buckets[-1][0]):
+            errors.append(f"histogram {family}{label_text} lacks an "
+                          "le=\"+Inf\" bucket")
+            continue
+        counts = [v for _, v in buckets]
+        if any(hi < lo for lo, hi in zip(counts, counts[1:])):
+            errors.append(
+                f"histogram {family}{label_text} buckets are not cumulative"
+            )
+        total = samples.get((f"{family}_count", labels))
+        if total is not None and abs(total - counts[-1]) > 1e-9:
+            errors.append(
+                f"histogram {family}{label_text} _count {total!r} != "
+                f"+Inf bucket {counts[-1]!r}"
+            )
+    return errors

@@ -1,0 +1,133 @@
+"""`repro tail` — a tiny client that pretty-prints a /events stream.
+
+Connects to a live server's ``/events`` endpoint (JSON lines), renders
+each event as a one-line human summary, and exits after ``--max``
+events or when the server closes the stream.  ``--raw`` passes the
+JSON through untouched (useful for piping into jq).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+from typing import Iterator, Optional, TextIO
+from urllib.parse import urlsplit, urlunsplit
+
+
+def normalize_url(url: str, max_events: "Optional[int]" = None) -> str:
+    """Default scheme/path: ``HOST:PORT`` becomes ``http://HOST:PORT/events``."""
+    if "//" not in url:
+        url = "http://" + url
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", "https"):
+        raise ValueError(
+            f"unsupported scheme {parts.scheme!r}; use http:// or https://"
+        )
+    path = parts.path
+    if path in ("", "/"):
+        path = "/events"
+    query = parts.query
+    if max_events is not None and "max=" not in query:
+        extra = f"max={int(max_events)}"
+        query = f"{query}&{extra}" if query else extra
+    return urlunsplit((parts.scheme, parts.netloc, path, query, ""))
+
+
+def iter_events(
+    url: str,
+    timeout: float = 10.0,
+    max_events: "Optional[int]" = None,
+) -> "Iterator[dict]":
+    """Yield parsed event dicts from a /events JSON-lines stream."""
+    target = normalize_url(url, max_events=max_events)
+    seen = 0
+    with urllib.request.urlopen(target, timeout=timeout) as response:  # noqa: S310 - scheme restricted by normalize_url
+        for raw in response:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            yield event
+            seen += 1
+            if max_events is not None and seen >= max_events:
+                return
+
+
+def render_event(event: dict) -> str:
+    """One human line per event, led by seq and type."""
+    seq = event.get("seq", "?")
+    type_ = event.get("type", "event")
+    run = event.get("run")
+    head = f"#{seq:>5} {type_:<12}" if isinstance(seq, int) else f"#{seq} {type_}"
+    bits = []
+    if run:
+        bits.append(f"run={run}")
+    if type_ == "tick":
+        bits.append(f"events={event.get('events_total', 0):.3g}")
+        bits.append(f"t_sim={event.get('t_sim', 0.0):.1f}s")
+    elif type_ in ("job", "shard"):
+        total = event.get("total_jobs")
+        done = event.get("jobs_done", 0)
+        bits.append(f"jobs={done}/{total}" if total else f"jobs={done}")
+        if type_ == "shard":
+            bits.append(f"+{event.get('num_jobs', 0)}")
+        if event.get("jct") is not None:
+            bits.append(f"jct={event['jct']:.1f}s")
+    elif type_ == "jcts":
+        bits.append(f"count={event.get('count', 0)}")
+    elif type_ == "schedule":
+        bits.append(f"scheduler={event.get('scheduler', '?')}")
+        if event.get("stages_delayed") is not None:
+            bits.append(f"delayed={event['stages_delayed']}")
+        if event.get("predicted_makespan") is not None:
+            bits.append(f"predicted={event['predicted_makespan']:.1f}s")
+    elif type_ == "fault":
+        bits.append(f"kind={event.get('kind', '?')}")
+        for key in ("node", "slot", "stage", "job"):
+            if key in event:
+                bits.append(f"{key}={event[key]}")
+    elif type_ == "run_started":
+        if event.get("total_jobs") is not None:
+            bits.append(f"total_jobs={event['total_jobs']}")
+        if event.get("manifest"):
+            bits.append(f"manifest={event['manifest'][:12]}")
+    elif type_ == "run_finished":
+        bits.append(f"jobs={event.get('jobs_done', 0)}")
+        bits.append(f"events={event.get('events_total', 0):.3g}")
+        bits.append(f"t_sim={event.get('t_sim', 0.0):.1f}s")
+    else:
+        bits.extend(
+            f"{k}={v}" for k, v in sorted(event.items())
+            if k not in ("seq", "elapsed_s", "type", "run")
+        )
+    elapsed = event.get("elapsed_s")
+    if isinstance(elapsed, (int, float)):
+        bits.append(f"@{elapsed:.2f}s")
+    return head + " " + " ".join(bits) if bits else head
+
+
+def tail(
+    url: str,
+    stream: "Optional[TextIO]" = None,
+    max_events: "Optional[int]" = None,
+    raw: bool = False,
+    timeout: float = 10.0,
+) -> int:
+    """Stream events from ``url`` to ``stream``; returns the event count."""
+    out = stream if stream is not None else sys.stdout
+    count = 0
+    try:
+        for event in iter_events(url, timeout=timeout, max_events=max_events):
+            if raw:
+                out.write(json.dumps(event, sort_keys=True) + "\n")
+            else:
+                out.write(render_event(event) + "\n")
+            out.flush()
+            count += 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return count

@@ -1,13 +1,21 @@
 """Live stderr heartbeat for long replays and comparisons.
 
-:class:`ProgressReporter` receives ticks from three sources — the fluid
-engine's hot loop (via :meth:`engine_tick`, wired through
-``Simulation(progress=...)``), per-job completions in serial runs
-(:meth:`job_done`), and shard completions in parallel replay
-(:meth:`shard_done`) — and throttles them into at most a couple of
+:class:`ProgressReporter` is now a *renderer over the live telemetry
+bus* (:mod:`repro.obs.live.bus`): it subclasses
+:class:`~repro.obs.live.bus.TelemetryPublisher`, so the runners keep
+calling the same progress protocol — :meth:`engine_tick` from the
+fluid engine's hot loop (wired through ``Simulation(progress=...)``),
+:meth:`job_done` for serial completions, :meth:`shard_done` for
+parallel-replay shards — and each call becomes one bus event that the
+reporter itself subscribes to and throttles into at most a couple of
 newline-terminated status lines per second on stderr:
 
 ``[progress] replay: 12/80 jobs, 1.4e+06 events (3.5e+05/s), t_sim=418.2s, eta 11s``
+
+Because rendering rides the bus, the same event stream simultaneously
+feeds the metrics registry, ``/events`` HTTP clients, and the
+structured logger — a single telemetry source, with stderr output
+byte-identical to the pre-bus reporter.
 
 Design constraints:
 
@@ -27,6 +35,8 @@ import sys
 import time
 from typing import TYPE_CHECKING, Callable, Optional, TextIO
 
+from repro.obs.live.bus import TelemetryBus, TelemetryPublisher
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.engine import FluidEngine
 
@@ -35,8 +45,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: cost stays a single modulo on an already-local counter.
 DEFAULT_PROGRESS_EVERY = 20_000
 
+#: Bus event types the stderr renderer reacts to (throttled); shard
+#: completions force an emit, run completion renders the final line.
+_RENDERED_EVENTS = frozenset({"tick", "job", "shard", "run_finished"})
 
-class ProgressReporter:
+
+class ProgressReporter(TelemetryPublisher):
     """Throttled stderr heartbeat; see the module docstring."""
 
     def __init__(
@@ -45,57 +59,39 @@ class ProgressReporter:
         total_jobs: "Optional[int]" = None,
         stream: "Optional[TextIO]" = None,
         min_interval_s: float = 0.5,
+        bus: "Optional[TelemetryBus]" = None,
+        run_id: "Optional[str]" = None,
     ) -> None:
-        self.label = label
-        self.total_jobs = total_jobs
+        super().__init__(bus=bus, label=label, total_jobs=total_jobs,
+                         run_id=run_id)
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval_s = min_interval_s
-        self.jobs_done = 0
         self._started = time.perf_counter()
         self._last_emit = self._started - min_interval_s  # emit immediately
         self._lines_emitted = 0
-        # Events from engines that have already finished, plus the live
-        # engine's running count.  Engines are recreated per simulation,
-        # so we fold a finished engine's total into the base when a new
-        # engine identity shows up.
-        self._events_base = 0
-        self._live_engine: "Optional[FluidEngine]" = None
-        self._live_events = 0
-        self._sim_now = 0.0
+        self.bus.subscribe(self._on_event)
 
-    # -- tick sources -------------------------------------------------- #
+    # -- bus subscriber ------------------------------------------------ #
 
-    def engine_tick(self, engine: "FluidEngine") -> None:
-        """Periodic callback from the fluid engine's event loop."""
-        if engine is not self._live_engine:
-            self._events_base += self._live_events
-            self._live_engine = engine
-        self._live_events = engine.events_processed
-        self._sim_now = engine.now
-        self._maybe_emit()
+    def _on_event(self, event: dict) -> None:
+        """Render bus events published by *this* reporter's protocol calls.
 
-    def job_done(self) -> None:
-        """A serial run finished one job."""
-        self.jobs_done += 1
-        self._maybe_emit()
-
-    def shard_done(self, num_jobs: int) -> None:
-        """A parallel-replay shard finished ``num_jobs`` jobs."""
-        self.jobs_done += num_jobs
-        # Shard workers run in other processes; their engine events are
-        # not visible here, so the heartbeat reports job throughput.
-        self._maybe_emit(force=True)
-
-    def close(self) -> None:
-        """Emit a final summary line (only if anything was reported)."""
-        if self._lines_emitted or self.jobs_done:
-            self._emit(final=True)
+        State (``jobs_done``, ``events_total``, ``t_sim``) is updated by
+        the publisher methods before the event is delivered, so the
+        rendered line always reflects the event that triggered it.
+        """
+        type_ = event.get("type")
+        if type_ not in _RENDERED_EVENTS or event.get("run") != self.run_id:
+            return
+        if type_ == "run_finished":
+            if self._lines_emitted or self.jobs_done:
+                self._emit(final=True)
+        elif type_ == "shard":
+            self._maybe_emit(force=True)
+        else:
+            self._maybe_emit()
 
     # -- rendering ----------------------------------------------------- #
-
-    @property
-    def events_total(self) -> int:
-        return self._events_base + self._live_events
 
     def _maybe_emit(self, force: bool = False) -> None:
         now = time.perf_counter()
@@ -115,7 +111,7 @@ class ProgressReporter:
         else:
             bits.append(f"{self.jobs_done} jobs")
         bits.append(f"{events:.3g} events ({events / elapsed:.3g}/s)")
-        bits.append(f"t_sim={self._sim_now:.1f}s")
+        bits.append(f"t_sim={self.t_sim:.1f}s")
         eta = self._eta(elapsed)
         if final:
             bits.append(f"done in {elapsed:.1f}s")

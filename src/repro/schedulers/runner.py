@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.cluster.spec import ClusterSpec
 from repro.dag.job import Job
+from repro.obs.live.bus import TelemetryPublisher, fault_hook
 from repro.obs.progress import ProgressReporter, engine_hook
 from repro.obs.tracer import Tracer
 from repro.schedulers.base import Scheduler
@@ -38,25 +39,34 @@ def run_with_scheduler(
     ``tracer`` (see :mod:`repro.obs`) collects the scheduler's
     decision-audit spans and the simulation's stage/phase spans; the
     run's tracks are scoped by the scheduler name so several runs can
-    share one trace file.  ``progress`` streams a stderr heartbeat from
-    the engine loop; it only reads telemetry, never the schedule.
+    share one trace file.  ``progress`` is any telemetry publisher
+    (:class:`~repro.obs.live.bus.TelemetryPublisher`, of which the
+    stderr :class:`ProgressReporter` is one): the engine loop, the
+    scheduling decision, fault-injection events, and the per-job JCT
+    all publish through it.  Telemetry only reads simulation state,
+    never the schedule, so results are bit-identical either way.
     """
     prepared = scheduler.prepare(job, cluster, tracer=tracer)
+    if progress is not None:
+        progress.schedule_computed(scheduler.name, prepared.info)
     sim = Simulation(
         cluster,
         prepared.config,
         tracer=tracer,
         trace_scope=scheduler.name,
         progress=engine_hook(progress),
+        fault_hook=fault_hook(progress),
     )
     sim.add_job(job, prepared.policy)
     result = sim.run()
+    run = SchedulerRun(scheduler.name, result, prepared.info)
     if progress is not None:
         # Fold the finished engine's final telemetry in (short runs may
         # never reach the periodic in-loop tick), then count the job.
         progress.engine_tick(sim.engine)
-        progress.job_done()
-    return SchedulerRun(scheduler.name, result, prepared.info)
+        jct = run.jct
+        progress.job_done(jct=jct if jct == jct and jct != float("inf") else None)
+    return run
 
 
 def compare_schedulers(
@@ -102,13 +112,18 @@ def replay_batch(
     if tracer is None and (processes is None or processes > 1):
         from repro.simulator.parallel import replay_jcts
 
-        return replay_jcts(
+        jcts = replay_jcts(
             jobs,
             cluster,
             scheduler,
             processes=processes,
             on_shard_done=progress.shard_done if progress is not None else None,
         )
+        if progress is not None:
+            # Shard workers run out-of-process, so per-job JCTs arrive
+            # only with the merged result; publish them in bulk.
+            progress.observe_jcts(jcts)
+        return jcts
     return [
         run_with_scheduler(j, cluster, scheduler, tracer, progress=progress).jct
         for j in jobs

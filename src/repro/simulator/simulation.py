@@ -312,9 +312,15 @@ class Simulation:
         tracer: "Tracer | None" = None,
         trace_scope: str = "sim",
         progress: "Callable[[FluidEngine], None] | None" = None,
+        fault_hook: "Callable[[str, dict], None] | None" = None,
     ) -> None:
         self.cluster = cluster
         self.config = config or SimulationConfig()
+        #: Live-telemetry callback for fault-injection events; the
+        #: injector publishes (kind, fields) through it.  ``None`` (the
+        #: default) costs one branch per fault event; the hook only
+        #: observes, so event logs stay byte-identical either way.
+        self.fault_hook = fault_hook
         #: Span tracer; spans are emitted from the stage records after
         #: the run, so the hot path pays nothing while tracing.
         self.tracer = tracer if tracer is not None else NULL_TRACER

@@ -5,11 +5,12 @@ code can silently break the repo's order-independence guarantees:
 
 * **F101 — worker shared-state mutation.**  The *worker set* is every
   function shipped to an executor (``pool.submit(f, ...)`` /
-  ``pool.map(f, ...)``) plus everything reachable from it through the
-  call graph.  Any ``global``/``nonlocal`` write or mutation of a
-  module-level object inside the worker set is flagged: in a process
-  pool the write silently diverges from the parent, in a thread pool
-  it races.
+  ``pool.map(f, ...)``) or spawned on a thread
+  (``threading.Thread(target=f)``), plus everything reachable from it
+  through the call graph.  Any ``global``/``nonlocal`` write or
+  mutation of a module-level object inside the worker set is flagged:
+  in a process pool the write silently diverges from the parent, in a
+  thread pool or spawned thread it races.
 * **F102 — order-dependent merge.**  Inside ``for ... in
   as_completed(...)`` loops, appending/extending an accumulator
   records *completion* order, which varies run to run.  Index-based
@@ -18,7 +19,9 @@ code can silently break the repo's order-independence guarantees:
 * **F103 — unpicklable/unfrozen shard crossing.**  Submitting a
   ``lambda`` or a function nested inside another function fails (or
   worse, semi-works) under pickling process pools; workers must be
-  module-level functions taking plain-data payloads.
+  module-level functions taking plain-data payloads.  ``via ==
+  "thread"`` submits are exempt — threads share the interpreter, so
+  nothing pickles — but their targets still join the F101 worker set.
 """
 
 from __future__ import annotations
@@ -49,6 +52,18 @@ def run_concurrency(graph: CallGraph) -> list[ConcurrencyFinding]:
     for mod_name, summary in graph.modules.items():
         for fact in summary.functions.values():
             for sub in fact.submits:
+                if sub.via == "thread":
+                    # Same-interpreter spawn: no pickle boundary, so
+                    # F103 does not apply; named targets still seed the
+                    # F101 shared-state reachability pass.  (Nested /
+                    # lambda targets racing closed-over state are
+                    # caught by the closure-race check below.)
+                    if sub.callee_kind == "local":
+                        worker_roots.add(f"{mod_name}.{sub.callee}")
+                    elif (sub.callee_kind == "qname"
+                          and sub.callee in graph.functions):
+                        worker_roots.add(sub.callee)
+                    continue
                 if sub.callee_kind == "lambda":
                     findings.append(ConcurrencyFinding(
                         rule="F103", module=mod_name, path=summary.path,

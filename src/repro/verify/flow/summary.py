@@ -36,7 +36,7 @@ from typing import Any, Iterable
 
 #: Bump when the summary schema or extraction logic changes; invalidates
 #: cached summaries.
-SUMMARY_VERSION = 3
+SUMMARY_VERSION = 4
 
 # ------------------------------------------------------------------ #
 # taint-source tables
@@ -86,6 +86,13 @@ EXECUTOR_CLASSES = frozenset({
     "concurrent.futures.ThreadPoolExecutor",
     "concurrent.futures.process.ProcessPoolExecutor",
     "concurrent.futures.thread.ThreadPoolExecutor",
+})
+
+#: Thread-spawn constructors whose ``target=`` runs concurrently in the
+#: same interpreter: nothing crosses a pickle boundary, but the target's
+#: shared-state writes still race the spawning thread.
+THREAD_CLASSES = frozenset({
+    "threading.Thread", "threading.Timer",
 })
 
 
@@ -138,10 +145,16 @@ class WriteSite:
 
 @dataclass
 class SubmitSite:
-    """An executor ``submit``/``map`` call and the callable it ships."""
+    """A call shipping a callable to concurrent execution.
+
+    ``via`` is ``"submit"``/``"map"`` for executor methods (the callable
+    crosses a process/thread pool boundary, so it must pickle) or
+    ``"thread"`` for ``threading.Thread``/``Timer`` constructors (same
+    interpreter — no pickling, but shared state still races).
+    """
 
     line: int
-    via: str  # "submit" | "map"
+    via: str  # "submit" | "map" | "thread"
     callee_kind: str  # "qname" | "local" | "lambda" | "nested" | "unknown"
     callee: str = ""
 
@@ -514,6 +527,7 @@ class _Extractor(ast.NodeVisitor):
             expanded = self._expand_name(name)
             if expanded is not None:
                 self._check_source_call(node, expanded)
+                self._check_thread_spawn(node, expanded)
                 self._fact.calls.append(CallRef("qname", expanded, line))
                 return expanded
             self._fact.calls.append(CallRef("local", name, line))
@@ -536,6 +550,7 @@ class _Extractor(ast.NodeVisitor):
                     return ""
                 dotted = self._resolve_dotted(parts)
                 self._check_source_call(node, dotted)
+                self._check_thread_spawn(node, dotted)
                 self._fact.calls.append(CallRef("qname", dotted, line))
                 self._check_submit(node, func, dotted)
                 return dotted
@@ -623,29 +638,41 @@ class _Extractor(ast.NodeVisitor):
             return
         if not node.args:
             return
-        target = node.args[0]
+        kind, callee = self._classify_callee(node.args[0])
+        self._fact.submits.append(SubmitSite(
+            line=node.lineno, via=method, callee_kind=kind, callee=callee))
+
+    def _classify_callee(self, target: ast.expr) -> "tuple[str, str]":
+        """Classify a callable shipped to an executor or thread."""
         if isinstance(target, ast.Lambda):
-            self._fact.submits.append(SubmitSite(
-                line=node.lineno, via=method, callee_kind="lambda"))
-        elif isinstance(target, ast.Name):
+            return "lambda", ""
+        if isinstance(target, ast.Name):
             name = target.id
             if name in self._fact.nested_defs:
-                kind = "nested"
-            elif self._expand_name(name) is not None:
-                kind, name = "qname", self._expand_name(name) or name
-            else:
-                kind = "local"
-            self._fact.submits.append(SubmitSite(
-                line=node.lineno, via=method, callee_kind=kind, callee=name))
-        else:
-            parts = _dotted(target)
-            if parts is not None:
-                self._fact.submits.append(SubmitSite(
-                    line=node.lineno, via=method, callee_kind="qname",
-                    callee=self._resolve_dotted(parts)))
-            else:
-                self._fact.submits.append(SubmitSite(
-                    line=node.lineno, via=method, callee_kind="unknown"))
+                return "nested", name
+            expanded = self._expand_name(name)
+            if expanded is not None:
+                return "qname", expanded
+            return "local", name
+        parts = _dotted(target)
+        if parts is not None:
+            return "qname", self._resolve_dotted(parts)
+        return "unknown", ""
+
+    def _check_thread_spawn(self, node: ast.Call, dotted: str) -> None:
+        """Record ``threading.Thread(target=...)`` as a thread submit."""
+        if dotted not in THREAD_CLASSES:
+            return
+        target = next(
+            (kw.value for kw in node.keywords if kw.arg == "target"), None)
+        if target is None and len(node.args) > 1:
+            # Thread(group, target, ...) positional form.
+            target = node.args[1]
+        if target is None:
+            return
+        kind, callee = self._classify_callee(target)
+        self._fact.submits.append(SubmitSite(
+            line=node.lineno, via="thread", callee_kind=kind, callee=callee))
 
     def visit_Expr(self, node: ast.Expr) -> None:
         # Statement-level mutator calls: X.append(...) on module-level
