@@ -10,7 +10,9 @@ from repro.bench.harness import (
     bench_alg1,
     bench_realloc,
     bench_replay,
+    profile_benchmarks,
     run_benchmarks,
+    write_profiles,
     write_results,
 )
 from repro.bench.watch import (
@@ -35,7 +37,9 @@ __all__ = [
     "compare_to_baselines",
     "has_failures",
     "load_baselines",
+    "profile_benchmarks",
     "render_findings",
     "run_benchmarks",
+    "write_profiles",
     "write_results",
 ]

@@ -1,9 +1,18 @@
 """Benchmark harness behind ``repro bench``.
 
 Each benchmark times an optimized path against its escape-hatch
-baseline (``--no-incremental`` / ``--no-memo`` equivalents) and checks
-that both produce **identical results** — the speedups this repo claims
-are only meaningful because the optimizations are bit-exact.
+baseline (``--no-incremental`` / ``--no-memo`` / ``--no-vector``
+equivalents) and checks that both produce **identical results** — the
+speedups this repo claims are only meaningful because the optimizations
+are bit-exact.
+
+Event throughput counts :attr:`~repro.simulator.engine.FluidEngine.
+TOTAL_EVENTS` — every engine loop iteration the timed section paid for,
+including Algorithm 1's planning-probe simulations — sampled around
+each run.  The per-run ``engine_events`` counter (final execution runs
+only) is still recorded in the config for continuity with older
+baselines, which divided it by a wall clock that nevertheless included
+all the planning work.
 
 Methodology
 -----------
@@ -110,7 +119,42 @@ def _replay_inputs(num_jobs: int, seed: int):
     return [to_job(tj) for tj in trace[:num_jobs]], cluster
 
 
-def bench_replay(quick: bool = False) -> BenchResult:
+#: Controlled references against the commit *before* the vector-engine
+#: PR landed.  That PR also changed the event-throughput *metric*: the
+#: old ``events_per_s`` divided the final execution runs' engine events
+#: by a wall clock that included all of Algorithm 1's planning-probe
+#: simulations (the bulk of the work), systematically undercounting.
+#: The refreshed numbers divide ``TOTAL_EVENTS`` — every loop iteration
+#: the timed section executed — by the same wall; both the old counter
+#: (``engine_events``) and the new one (``total_events``) are recorded
+#: in the config so either ratio can be recomputed.
+_REPLAY_PRE_PR_REFERENCE = {
+    "commit": "607aa01",
+    "wall_s": 41.174,
+    "baseline_wall_s": 174.961,
+    "events_per_s": 2126.0,
+    "events_metric": "engine_events (final execution runs only)",
+}
+
+_REALLOC_PRE_PR_REFERENCE = {
+    "commit": "607aa01",
+    "wall_s": 2.166,
+    "baseline_wall_s": 2.873,
+    "events_per_s": 3312.2,
+    "events_metric": "engine_events (final execution runs only)",
+}
+
+
+def _sampled_total_events(fn):
+    """Run ``fn``, returning (result, engine loop iterations executed)."""
+    from repro.simulator.engine import FluidEngine
+
+    before = FluidEngine.TOTAL_EVENTS
+    result = fn()
+    return result, FluidEngine.TOTAL_EVENTS - before
+
+
+def bench_replay(quick: bool = False, vector: bool = True) -> BenchResult:
     """Twin-trace replay under Fuxi and DelayStage, as ``repro replay``."""
     from repro.core.delaystage import DelayStageParams
     from repro.schedulers.delaystage import DelayStageScheduler
@@ -122,43 +166,51 @@ def bench_replay(quick: bool = False) -> BenchResult:
     penalty = 0.5
     jobs, cluster = _replay_inputs(num_jobs, seed)
 
-    def _run(optimized: bool) -> tuple[list[float], int]:
+    def _run(optimized: bool) -> tuple[list[float], int, int]:
+        vec = vector and optimized
         fuxi = FuxiScheduler(track_metrics=False, contention_penalty=penalty,
-                             incremental=optimized)
+                             incremental=optimized, vector=vec)
         ds = DelayStageScheduler(
             profiled=False, track_metrics=False, contention_penalty=penalty,
             params=DelayStageParams(max_slots=12, memoize=optimized,
                                     bound_prune=optimized),
-            incremental=optimized,
+            incremental=optimized, vector=vec,
         )
-        jcts: list[float] = []
-        events = 0
-        for sched in (fuxi, ds):
-            for job in jobs:
-                result = run_with_scheduler(job, cluster, sched).result
-                jcts.append(result.job_completion_time(job.job_id))
-                events += int(result.counters.get("engine_events", 0))
-        return jcts, events
+
+        def _batch():
+            jcts: list[float] = []
+            events = 0
+            for sched in (fuxi, ds):
+                for job in jobs:
+                    result = run_with_scheduler(job, cluster, sched).result
+                    jcts.append(result.job_completion_time(job.job_id))
+                    events += int(result.counters.get("engine_events", 0))
+            return jcts, events
+
+        (jcts, events), total = _sampled_total_events(_batch)
+        return jcts, events, total
 
     wall, base_wall, opt, base = _interleaved(
         lambda: _run(True), lambda: _run(False), repeats=2 if quick else 1
     )
-    jcts, events = opt
+    jcts, events, total = opt
     manifest = build_manifest(
         seed=seed,
         config={"bench": "replay", "jobs": num_jobs, "penalty": penalty,
-                "quick": quick},
+                "quick": quick, "vector": vector},
     )
     return BenchResult(
         name="replay",
         wall_s=wall,
         baseline_wall_s=base_wall,
         jobs_per_s=num_jobs / wall,
-        events_per_s=events / wall,
+        events_per_s=total / wall,
         equivalent=jcts == base[0],
         manifest_hash=manifest.config_hash,
         config={"jobs": num_jobs, "seed": seed, "penalty": penalty,
-                "engine_events": events, "quick": quick},
+                "engine_events": events, "total_events": total,
+                "quick": quick, "vector": vector,
+                "pre_pr_reference": dict(_REPLAY_PRE_PR_REFERENCE)},
     )
 
 
@@ -168,8 +220,9 @@ def bench_replay(quick: bool = False) -> BenchResult:
 # event triggers an allocation over a large active set)
 
 
-def bench_realloc(quick: bool = False) -> BenchResult:
-    """Concurrent multi-job simulation: scoped allocator vs full re-solve."""
+def bench_realloc(quick: bool = False, vector: bool = True) -> BenchResult:
+    """Concurrent multi-job simulation: scoped allocator + vector engine
+    vs full re-solve on the scalar object engine."""
     from repro.schedulers.fuxi import FuxiScheduler
     from repro.schedulers.runner import run_jobs_with_scheduler
 
@@ -177,9 +230,10 @@ def bench_realloc(quick: bool = False) -> BenchResult:
     seed = 3
     jobs, cluster = _replay_inputs(num_jobs, seed)
 
-    def _run(incremental: bool):
+    def _run(optimized: bool):
         sched = FuxiScheduler(track_metrics=False, contention_penalty=0.5,
-                              incremental=incremental)
+                              incremental=optimized,
+                              vector=vector and optimized)
         result = run_jobs_with_scheduler(jobs, cluster, sched)
         jcts = [result.job_completion_time(j.job_id) for j in jobs]
         return jcts, int(result.counters.get("engine_events", 0))
@@ -190,7 +244,8 @@ def bench_realloc(quick: bool = False) -> BenchResult:
     jcts, events = opt
     manifest = build_manifest(
         seed=seed,
-        config={"bench": "realloc", "jobs": num_jobs, "quick": quick},
+        config={"bench": "realloc", "jobs": num_jobs, "quick": quick,
+                "vector": vector},
     )
     return BenchResult(
         name="realloc",
@@ -201,7 +256,8 @@ def bench_realloc(quick: bool = False) -> BenchResult:
         equivalent=jcts == base[0],
         manifest_hash=manifest.config_hash,
         config={"jobs": num_jobs, "seed": seed,
-                "engine_events": events, "quick": quick},
+                "engine_events": events, "quick": quick, "vector": vector,
+                "pre_pr_reference": dict(_REALLOC_PRE_PR_REFERENCE)},
     )
 
 
@@ -229,7 +285,7 @@ _ALG1_PRE_PR_REFERENCE = {
 }
 
 
-def bench_alg1(quick: bool = False) -> BenchResult:
+def bench_alg1(quick: bool = False, vector: bool = True) -> BenchResult:
     """Full ALS planning scan: memo + bound pruning vs plain Alg. 1."""
     from repro.cluster.spec import uniform_cluster
     from repro.core.delaystage import DelayStageParams, delay_stage_schedule
@@ -246,12 +302,15 @@ def bench_alg1(quick: bool = False) -> BenchResult:
 
     def _run(optimized: bool):
         # The baseline engages every escape hatch, like the CLI's
-        # --no-incremental --no-memo bisection path: plain Algorithm 1
-        # whose candidate evaluations re-solve fair sharing globally.
+        # --no-incremental --no-memo --no-vector bisection path: plain
+        # Algorithm 1 whose candidate evaluations re-solve fair sharing
+        # globally on the scalar object engine.
         params = DelayStageParams(
             memoize=optimized, bound_prune=optimized,
-            sim_config=None if optimized else SimulationConfig(
-                track_metrics=False, incremental=False),
+            sim_config=SimulationConfig(
+                track_metrics=False, vector=vector)
+            if optimized else SimulationConfig(
+                track_metrics=False, incremental=False, vector=False),
         )
         schedule = None
         for _ in range(iters):
@@ -285,30 +344,79 @@ def bench_alg1(quick: bool = False) -> BenchResult:
         config={"workload": "als", "iters": iters, "repeats": repeats,
                 "evaluations": opt.evaluations,
                 "baseline_evaluations": base.evaluations, "quick": quick,
+                "vector": vector,
                 "pre_pr_reference": dict(_ALG1_PRE_PR_REFERENCE)},
     )
 
 
-BENCHMARKS: "dict[str, Callable[[bool], BenchResult]]" = {
+BENCHMARKS: "dict[str, Callable[[bool, bool], BenchResult]]" = {
     "realloc": bench_realloc,
     "alg1": bench_alg1,
     "replay": bench_replay,
 }
 
 
-def run_benchmarks(
-    names: "list[str] | None" = None, quick: bool = False
-) -> list[BenchResult]:
-    """Run the named benchmarks (all by default) in definition order."""
+def _select(names: "list[str] | None") -> list[str]:
     selected = list(BENCHMARKS) if not names else names
-    results = []
     for name in selected:
         if name not in BENCHMARKS:
             raise ValueError(
                 f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
             )
-        results.append(BENCHMARKS[name](quick))
-    return results
+    return selected
+
+
+def run_benchmarks(
+    names: "list[str] | None" = None,
+    quick: bool = False,
+    vector: bool = True,
+) -> list[BenchResult]:
+    """Run the named benchmarks (all by default) in definition order.
+
+    ``vector=False`` runs each benchmark's *optimized* arm on the scalar
+    object engine (the ``--no-vector`` hatch) so CI can gate both modes;
+    the escape-hatch baseline arm always runs with every hatch engaged.
+    """
+    return [BENCHMARKS[name](quick, vector) for name in _select(names)]
+
+
+def profile_benchmarks(
+    names: "list[str] | None" = None,
+    quick: bool = True,
+    vector: bool = True,
+    top: "int | None" = None,
+):
+    """Run benchmarks under cProfile; returns (result, report) pairs.
+
+    Profiled wall times are distorted (see
+    :mod:`repro.profiling.hotspots`), so callers must not archive the
+    ``BenchResult`` timings — the equivalence bit and the hotspot table
+    are the outputs.
+    """
+    from repro.profiling.hotspots import DEFAULT_TOP, capture_hotspots
+
+    pairs = []
+    for name in _select(names):
+        result, report = capture_hotspots(
+            lambda name=name: BENCHMARKS[name](quick, vector),
+            name=name,
+            top=top or DEFAULT_TOP,
+        )
+        pairs.append((result, report))
+    return pairs
+
+
+def write_profiles(reports, out_dir: str) -> list[str]:
+    """Write one ``PROFILE_<name>.txt`` per report; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for report in reports:
+        path = os.path.join(out_dir, f"PROFILE_{report.name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(f"# {report.summary()}\n")
+            fh.write(report.text)
+        paths.append(path)
+    return paths
 
 
 def write_results(results: "list[BenchResult]", out_dir: str) -> list[str]:

@@ -38,6 +38,7 @@ DEFAULT_WALL_THRESHOLD = 1.5
 #: (telemetry and methodology knobs, not workload shape).
 _VOLATILE_CONFIG_KEYS = (
     "engine_events",
+    "total_events",
     "repeats",
     "evaluations",
     "baseline_evaluations",

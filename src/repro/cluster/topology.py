@@ -30,6 +30,14 @@ class Topology:
         )
         self.ingress_capacity = self.egress_capacity.copy()
         self._pair_caps: dict[tuple[int, int], float] = {}
+        #: Bumped on every capacity mutation; consumers (the small-path
+        #: water-filling solver) key per-solve working buffers on it so
+        #: unchanged capacities are not re-materialized every solve.
+        #: Code that mutates ``egress_capacity``/``ingress_capacity``
+        #: in place directly must call :meth:`invalidate` (the built-in
+        #: mutators here do).
+        self.version = 0
+        self._capacity_lists: "tuple[int, list[float], list[float]] | None" = None
         #: Optional oversubscribed-core model: rack id per node index and
         #: the aggregate capacity of the core fabric shared by all
         #: cross-rack flows.  ``None`` = non-blocking core (the default).
@@ -39,6 +47,37 @@ class Topology:
     @property
     def num_nodes(self) -> int:
         return len(self.node_ids)
+
+    def invalidate(self) -> None:
+        """Mark capacity state changed (bumps :attr:`version`)."""
+        self.version += 1
+        self._capacity_lists = None
+
+    def scale_nic(self, node_id: str, factor: float) -> None:
+        """Scale one node's NIC egress and ingress capacity in place.
+
+        Degradation-injection path; factors compound across calls.
+        """
+        idx = self.index[node_id]
+        self.egress_capacity[idx] *= factor
+        self.ingress_capacity[idx] *= factor
+        self.invalidate()
+
+    def capacity_lists(self) -> "tuple[list[float], list[float]]":
+        """Base (egress, ingress) capacities as plain float lists.
+
+        Cached until :meth:`invalidate`; callers must *copy* before
+        mutating (the water-filling solvers consume capacity as they
+        freeze flows).  The cached floats are ``ndarray.tolist()``
+        output, so values are bit-identical to a fresh conversion.
+        """
+        cached = self._capacity_lists
+        if cached is not None and cached[0] == self.version:
+            return cached[1], cached[2]
+        egress = self.egress_capacity.tolist()
+        ingress = self.ingress_capacity.tolist()
+        self._capacity_lists = (self.version, egress, ingress)
+        return egress, ingress
 
     def set_core_oversubscription(
         self, racks: "dict[str, int]", core_capacity: float

@@ -1,0 +1,68 @@
+"""Self-profiling: cProfile hotspot capture for the bench harness.
+
+The other modules in this package profile *simulated jobs* (the paper's
+Sec. 4.2 pipeline); this one profiles *the reproduction itself*.
+``repro bench --profile`` runs each benchmark under :mod:`cProfile` and
+writes a pstats top-N table per bench as a CI artifact, so future perf
+work starts from measured hotspots instead of guesses.
+
+Profiled wall times are **not comparable** to unprofiled ones — the
+tracer taxes every Python function call while leaving time spent inside
+numpy kernels untouched, which systematically inflates object-loop code
+relative to array code.  The harness therefore never writes
+``BENCH_*.json`` from a profiled run; the artifact is the hotspot
+table, nothing else.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Rows shown in a hotspot table by default.
+DEFAULT_TOP = 25
+
+
+@dataclass(frozen=True)
+class HotspotReport:
+    """Top-N hotspot table from one profiled run."""
+
+    name: str
+    top: int
+    total_calls: int
+    total_seconds: float
+    #: ``pstats`` table sorted by cumulative time, then by internal time
+    #: (two views of the same profile; rendered one after the other).
+    text: str
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.total_calls} calls, "
+            f"{self.total_seconds:.3f}s profiled"
+        )
+
+
+def capture_hotspots(
+    fn: "Callable[[], T]", name: str, top: int = DEFAULT_TOP
+) -> "tuple[T, HotspotReport]":
+    """Run ``fn`` under cProfile; return its result and the hotspot table."""
+    profile = cProfile.Profile()
+    result = profile.runcall(fn)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    for sort in ("cumulative", "tottime"):
+        buffer.write(f"--- top {top} by {sort} ---\n")
+        stats.sort_stats(sort).print_stats(top)
+    report = HotspotReport(
+        name=name,
+        top=top,
+        total_calls=int(stats.total_calls),
+        total_seconds=float(stats.total_tt),
+        text=buffer.getvalue(),
+    )
+    return result, report

@@ -87,6 +87,16 @@ class FluidEngine:
     #: Relative tolerance used to snap near-complete items to done.
     EPS = 1e-9
 
+    #: Process-wide count of loop iterations across every engine
+    #: instance (subclasses included), accumulated when :meth:`run`
+    #: returns.  Whole-pipeline throughput accounting: a scheduler run
+    #: drives many engines — Algorithm 1's planning probes simulate the
+    #: job dozens of times before the final execution run — and this
+    #: counter is the only place that total is visible.  The bench
+    #: harness samples it around a timed section; simulations never
+    #: read it.
+    TOTAL_EVENTS = 0
+
     def __init__(
         self,
         allocate: Callable[[list[WorkItem]], None],
@@ -212,85 +222,88 @@ class FluidEngine:
         heappop = heapq.heappop
         progress = self._progress
         progress_every = self._progress_every
-        while (items or timers) and not self._stop_requested:
-            events += 1
-            self.events_processed += 1
-            if progress is not None and events % progress_every == 0:
-                progress(self)
-            if events > self._max_events:
-                raise RuntimeError(
-                    f"engine exceeded {self._max_events} events at t={self.now:.3f}; "
-                    "likely a livelock (items repeatedly added with zero volume?)"
-                )
-            if len(items) > self.max_active_items:
-                self.max_active_items = len(items)
-            if self._dirty:
-                self._reallocate()
+        try:
+            while (items or timers) and not self._stop_requested:
+                events += 1
+                self.events_processed += 1
+                if progress is not None and events % progress_every == 0:
+                    progress(self)
+                if events > self._max_events:
+                    raise RuntimeError(
+                        f"engine exceeded {self._max_events} events at t={self.now:.3f}; "
+                        "likely a livelock (items repeatedly added with zero volume?)"
+                    )
+                if len(items) > self.max_active_items:
+                    self.max_active_items = len(items)
+                if self._dirty:
+                    self._reallocate()
 
-            # Next completion among items with positive rate.
-            dt_complete = inf
-            for item in items:
-                rate = item.rate
-                if rate > 0.0:
-                    dt = item.remaining / rate
-                    if dt < dt_complete:
-                        dt_complete = dt
-            t_complete = self.now + dt_complete
+                # Next completion among items with positive rate.
+                dt_complete = inf
+                for item in items:
+                    rate = item.rate
+                    if rate > 0.0:
+                        dt = item.remaining / rate
+                        if dt < dt_complete:
+                            dt_complete = dt
+                t_complete = self.now + dt_complete
 
-            t_timer = timers[0][0] if timers else inf
-            t_next = t_complete if t_complete <= t_timer else t_timer
+                t_timer = timers[0][0] if timers else inf
+                t_next = t_complete if t_complete <= t_timer else t_timer
 
-            if t_next == inf:
-                raise EngineStalledError(
-                    f"{len(items)} active items but all rates are zero "
-                    f"and no timers pending at t={self.now:.3f}"
-                )
-            if until is not None and t_next > until:
-                # ``until`` in the past is an explicit no-op, not a
-                # backwards clock move.
-                if until > self.now:
-                    self._advance_to(until)
-                return self.now
+                if t_next == inf:
+                    raise EngineStalledError(
+                        f"{len(items)} active items but all rates are zero "
+                        f"and no timers pending at t={self.now:.3f}"
+                    )
+                if until is not None and t_next > until:
+                    # ``until`` in the past is an explicit no-op, not a
+                    # backwards clock move.
+                    if until > self.now:
+                        self._advance_to(until)
+                    return self.now
 
-            self._advance_to(t_next)
+                self._advance_to(t_next)
 
-            # Fire due timers (they may add items / schedule more timers).
-            # A timer firing does not by itself invalidate rates: every
-            # state change a callback makes goes through add_item() /
-            # mark_dirty() / item completion, each of which sets the
-            # dirty flag, so a pure bookkeeping timer costs no re-solve.
-            fired = False
-            t_due = self.now + 1e-12
-            while timers and timers[0][0] <= t_due:
-                _, _, callback = heappop(timers)
-                callback()
-                fired = True
-            if fired and _sanitizer.ENABLED:
-                # Timer callbacks that corrupt item state used to be
-                # caught by the (now elided) unconditional re-solve;
-                # keep catching them without paying for one.
-                _sanitizer.check_rates_valid(items)
+                # Fire due timers (they may add items / schedule more timers).
+                # A timer firing does not by itself invalidate rates: every
+                # state change a callback makes goes through add_item() /
+                # mark_dirty() / item completion, each of which sets the
+                # dirty flag, so a pure bookkeeping timer costs no re-solve.
+                fired = False
+                t_due = self.now + 1e-12
+                while timers and timers[0][0] <= t_due:
+                    _, _, callback = heappop(timers)
+                    callback()
+                    fired = True
+                if fired and _sanitizer.ENABLED:
+                    # Timer callbacks that corrupt item state used to be
+                    # caught by the (now elided) unconditional re-solve;
+                    # keep catching them without paying for one.
+                    _sanitizer.check_rates_valid(items)
 
-            # Collect completions (swap-remove keeps this O(completed)
-            # instead of rebuilding the whole active list every event).
-            # Threshold is EPS * max(1.0, rate), spelled branchy to avoid
-            # a builtin call per item on the hottest loop in the tree.
-            completed = [
-                it
-                for it in items
-                if it.remaining <= (eps * it.rate if it.rate > 1.0 else eps)
-            ]
-            if completed:
-                for item in completed:
-                    self._remove_item(item)
-                if self._allocate_incremental is not None:
-                    self._removed.extend(completed)
-                self._dirty = True
-                for item in completed:
-                    item.remaining = 0.0
-                    if item.on_complete is not None:
-                        item.on_complete(self.now)
-        return self.now
+                # Collect completions (swap-remove keeps this O(completed)
+                # instead of rebuilding the whole active list every event).
+                # Threshold is EPS * max(1.0, rate), spelled branchy to avoid
+                # a builtin call per item on the hottest loop in the tree.
+                completed = [
+                    it
+                    for it in items
+                    if it.remaining <= (eps * it.rate if it.rate > 1.0 else eps)
+                ]
+                if completed:
+                    for item in completed:
+                        self._remove_item(item)
+                    if self._allocate_incremental is not None:
+                        self._removed.extend(completed)
+                    self._dirty = True
+                    for item in completed:
+                        item.remaining = 0.0
+                        if item.on_complete is not None:
+                            item.on_complete(self.now)
+            return self.now
+        finally:
+            FluidEngine.TOTAL_EVENTS += events
 
     # ------------------------------------------------------------------ #
     # internals

@@ -170,13 +170,19 @@ def _maxmin_small(flows: Sequence[NetworkFlow], topology: Topology) -> "list[flo
     # Integer node indices and flat capacity lists instead of string-keyed
     # dicts; every arithmetic operation below is performed in the same
     # order on the same values as the original dict-based form, so rates
-    # are unchanged bit-for-bit.
-    egress = topology.egress_capacity.tolist()
-    ingress = topology.ingress_capacity.tolist()
+    # are unchanged bit-for-bit.  The base capacity lists are cached on
+    # the topology (invalidated by degradations) so consecutive solves —
+    # one or more per engine event — skip the ndarray→list conversion;
+    # ``list.copy`` reuses the boxed floats, so the working values are
+    # the identical objects a fresh ``tolist()`` would box.
+    base_egress, base_ingress = topology.capacity_lists()
+    egress = base_egress.copy()
+    ingress = base_ingress.copy()
     srcs = [index[f.src] for f in flows]
     dsts = [index[f.dst] for f in flows]
     caps = [f.rate_cap for f in flows]
     rates = [0.0] * n
+    level = [0.0] * n
     active = list(range(n))
     for _ in range(2 * n_nodes + n + 1):
         if not active:
@@ -186,7 +192,6 @@ def _maxmin_small(flows: Sequence[NetworkFlow], topology: Topology) -> "list[flo
         for i in active:
             n_eg[srcs[i]] += 1
             n_ing[dsts[i]] += 1
-        level = {}
         bottleneck = math.inf
         for i in active:
             s = srcs[i]
@@ -198,30 +203,44 @@ def _maxmin_small(flows: Sequence[NetworkFlow], topology: Topology) -> "list[flo
             if lv < bottleneck:
                 bottleneck = lv
         threshold = bottleneck + 1e-12
-        capped = [i for i in active if caps[i] <= threshold]
-        if capped:
-            for i in capped:
+        # Freeze and rebuild in one pass over ``active``: frozen flows
+        # are visited in ascending index order — the same order the
+        # two-pass (listcomp + subtract loop) form and ``np.flatnonzero``
+        # use — so capacity subtractions happen in the identical
+        # sequence and rates agree bit-for-bit with the vector path.
+        any_capped = False
+        for i in active:
+            if caps[i] <= threshold:
+                any_capped = True
+                break
+        survivors: "list[int]" = []
+        push = survivors.append
+        if any_capped:
+            for i in active:
                 r = caps[i]
-                rates[i] = r
-                s = srcs[i]
-                d = dsts[i]
-                t = egress[s] - r
-                egress[s] = t if t > 0.0 else 0.0
-                t = ingress[d] - r
-                ingress[d] = t if t > 0.0 else 0.0
-            frozen_set = set(capped)
+                if r <= threshold:
+                    rates[i] = r
+                    s = srcs[i]
+                    d = dsts[i]
+                    t = egress[s] - r
+                    egress[s] = t if t > 0.0 else 0.0
+                    t = ingress[d] - r
+                    ingress[d] = t if t > 0.0 else 0.0
+                else:
+                    push(i)
         else:
-            frozen = [i for i in active if level[i] <= threshold]
-            for i in frozen:
-                rates[i] = bottleneck
-                s = srcs[i]
-                d = dsts[i]
-                t = egress[s] - bottleneck
-                egress[s] = t if t > 0.0 else 0.0
-                t = ingress[d] - bottleneck
-                ingress[d] = t if t > 0.0 else 0.0
-            frozen_set = set(frozen)
-        active = [i for i in active if i not in frozen_set]
+            for i in active:
+                if level[i] <= threshold:
+                    rates[i] = bottleneck
+                    s = srcs[i]
+                    d = dsts[i]
+                    t = egress[s] - bottleneck
+                    egress[s] = t if t > 0.0 else 0.0
+                    t = ingress[d] - bottleneck
+                    ingress[d] = t if t > 0.0 else 0.0
+                else:
+                    push(i)
+        active = survivors
     raise RuntimeError("water-filling failed to converge")  # pragma: no cover
 
 

@@ -34,6 +34,7 @@ from repro.cluster.topology import Topology
 from repro.dag.job import Job
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulator.engine import FluidEngine
+from repro.simulator.vector import VectorFluidEngine
 from repro.simulator.events import EventKind, SimEvent
 from repro.simulator.fairshare import compute_shares, disk_shares, maxmin_rates_seq
 from repro.simulator.flows import ComputeDemand, DiskWrite, NetworkFlow
@@ -148,6 +149,14 @@ class SimulationConfig:
     #: ``pipelined_shuffle``, ``task_granular``, and ``fanin`` (those
     #: modes place work the injector cannot requeue faithfully).
     fault_plan: "FaultPlan | None" = None
+    #: Struct-of-arrays event core: run the fluid loop on
+    #: :class:`repro.simulator.vector.VectorFluidEngine`, which keeps
+    #: remaining volume / rate / completion threshold in flat numpy
+    #: arrays and evaluates the per-event scans as vector kernels.
+    #: Results are bit-identical to the scalar object engine (same
+    #: records, event-log bytes, and telemetry streams); disable
+    #: (``--no-vector``) only to bisect a suspected engine bug.
+    vector: bool = True
 
     def __post_init__(self) -> None:
         if self.aggshuffle_cpu_penalty < 0:
@@ -342,17 +351,19 @@ class Simulation:
             if self.config.track_metrics
             else None
         )
+        engine_cls = VectorFluidEngine if self.config.vector else FluidEngine
+        self.engine = engine_cls(
+            allocate=self._allocate,
+            observe=self.metrics.observe if self.metrics else None,
+            progress=progress,
+        )
         self._scoped = (
-            ScopedAllocator(self)
+            ScopedAllocator(self, core=getattr(self.engine, "core", None))
             if self.config.incremental and not self.config.pipelined_shuffle
             else None
         )
-        self.engine = FluidEngine(
-            allocate=self._allocate,
-            observe=self.metrics.observe if self.metrics else None,
-            allocate_incremental=self._scoped.allocate if self._scoped else None,
-            progress=progress,
-        )
+        if self._scoped is not None:
+            self.engine._allocate_incremental = self._scoped.allocate
         self.events: list[SimEvent] = []
         self._jobs: dict[str, tuple[Job, SubmissionPolicy, float]] = {}
         self._runs: dict[tuple[str, str], _StageRun] = {}
@@ -429,9 +440,7 @@ class Simulation:
     def _apply_degradation(
         self, node_id: str, nic_factor: float, disk_factor: float, executor_factor: float
     ) -> None:
-        idx = self.topology.index[node_id]
-        self.topology.egress_capacity[idx] *= nic_factor
-        self.topology.ingress_capacity[idx] *= nic_factor
+        self.topology.scale_nic(node_id, nic_factor)
         self._disk_bw[node_id] *= disk_factor
         if not math.isclose(executor_factor, 1.0):
             self._executors[node_id] = self._executors[node_id] * executor_factor
