@@ -14,7 +14,13 @@ from repro.analysis.timeline import (
     stage_gantt,
     utilization_series,
 )
-from repro.analysis.report import render_cdf, render_gantt, render_series, render_table
+from repro.analysis.report import (
+    render_blame_bars,
+    render_cdf,
+    render_gantt,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "empirical_cdf",
@@ -30,6 +36,7 @@ __all__ = [
     "render_series",
     "render_cdf",
     "render_gantt",
+    "render_blame_bars",
     "compare_results",
     "ResultComparison",
     "StageDelta",

@@ -95,6 +95,30 @@ def render_gantt(
     return "\n".join(lines)
 
 
+def render_blame_bars(
+    categories: "dict[str, float]",
+    total: float,
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """ASCII share bars for a blame decomposition (``repro why``).
+
+    One row per category with its seconds, share of ``total``, and a
+    proportional ``█`` bar — the terminal twin of the paper's Fig. 4
+    utilization bands, but along the critical path instead of the
+    cluster timeline.
+    """
+    lines = [title] if title else []
+    name_w = max((len(c) for c in categories), default=0)
+    for cat, seconds in categories.items():
+        share = seconds / total if total > 0 else 0.0
+        bar = "█" * max(int(round(share * width)), 1 if seconds > 0 else 0)
+        lines.append(
+            f"  {cat.ljust(name_w)}  {seconds:8.1f} s  {share:6.1%}  {bar}"
+        )
+    return "\n".join(lines)
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.1f}"

@@ -430,6 +430,134 @@ def cmd_report(args: argparse.Namespace) -> int:
     return ret
 
 
+def cmd_why(args: argparse.Namespace) -> int:
+    """Critical-path blame attribution (``repro why``).
+
+    Runs the same Fuxi/Spark/DelayStage comparison as ``repro report``,
+    then walks each finished run's critical path and attributes every
+    second of it to one blame category (compute, network, disk,
+    delay-wait, contention, fault-retry, dependency) — the categories
+    sum to the measured JCT/makespan *bit-for-bit*.  ``--diff`` adds
+    the per-category deltas between two runs, making "DelayStage
+    converted N seconds of contention into overlap" a first-class
+    output.
+    """
+    from repro.analysis import render_blame_bars
+    from repro.obs import (
+        blame_diff,
+        render_blame_markdown,
+        render_diff_markdown,
+        run_blame,
+    )
+
+    cluster = _cluster_for(args)
+    job = workload_by_name(args.workload, args.scale)
+    plan = _fault_plan_for(args, cluster, jobs=[job])
+    manifest = build_manifest(
+        seed=0,
+        config={"command": "why", "workload": args.workload,
+                "workers": cluster.num_workers, "scale": args.scale,
+                "oracle": args.oracle, "diff": args.diff,
+                **_fault_manifest_config(args)},
+        jobs=[job],
+    )
+    # Blame reads demand accounting (on by default), not the metrics
+    # counters, so the runs skip counter tracking entirely.
+    schedulers = [
+        FuxiScheduler(track_metrics=False, fault_plan=plan),
+        StockSparkScheduler(track_metrics=False, fault_plan=plan),
+        DelayStageScheduler(profiled=not args.oracle, track_metrics=False,
+                            fault_plan=plan),
+    ]
+    publisher, hub, server = _live_for(args, f"why {args.workload}",
+                                       total_jobs=len(schedulers),
+                                       run_id="why")
+    _attach_log(args, publisher, manifest)
+    if publisher is not None:
+        publisher.run_started(workload=args.workload,
+                              manifest=manifest.config_hash)
+    runs = compare_schedulers(job, cluster, schedulers, progress=publisher)
+    blames = {
+        name: run_blame(run.result, job, label=name, delays=run.delay_table)
+        for name, run in runs.items()
+    }
+    if publisher is not None:
+        for name, blame in blames.items():
+            publisher.blame_computed(name, blame.categories,
+                                     blame.makespan_seconds,
+                                     top_jobs=blame.top_jobs())
+        publisher.close()
+    for name, blame in blames.items():
+        if not blame.identity_exact:  # pragma: no cover - invariant
+            _echo(f"warning: blame identity not exact for {name!r}")
+    if args.job is not None:
+        for name, blame in blames.items():
+            if args.job not in blame.jobs:
+                _echo(f"error: run {name!r} has no finished job "
+                      f"{args.job!r} (jobs: {sorted(blame.jobs)})")
+                return 2
+    diff = None
+    if args.diff:
+        for role, name in (("baseline", args.baseline),
+                           ("candidate", args.candidate)):
+            if name not in blames:
+                _echo(f"error: --diff {role} {name!r} is not one of "
+                      f"{sorted(blames)}")
+                return 2
+        diff = blame_diff(blames[args.baseline], blames[args.candidate])
+
+    payload = {
+        "command": "why",
+        "workload": args.workload,
+        "manifest": manifest.to_dict(),
+        "blames": {name: blame.to_dict() for name, blame in blames.items()},
+    }
+    if args.job is not None:
+        payload["job"] = args.job
+    if diff is not None:
+        payload["diff"] = diff.to_dict()
+
+    if args.md:
+        text = render_blame_markdown(
+            blames,
+            title=(f"Critical-path blame — {args.workload} on "
+                   f"{cluster.num_workers} workers"),
+        )
+    else:
+        sections = []
+        for name, blame in blames.items():
+            focus = blame.jobs[args.job] if args.job else None
+            total = (focus.jct_seconds if focus is not None
+                     else blame.makespan_seconds)
+            categories = (focus.categories if focus is not None
+                          else blame.categories)
+            what = (f"job {args.job} JCT" if focus is not None
+                    else f"makespan (job {blame.makespan_job})")
+            sections.append(render_blame_bars(
+                categories, total,
+                title=f"{name}: {what} {total:.1f} s",
+            ))
+            if focus is not None:
+                rows = [
+                    [sb.stage_id,
+                     f"{sb.finish - sb.start:.1f}",
+                     max(sb.seconds, key=lambda c: (sb.seconds[c], c)),
+                     "-" if sb.chosen_delay is None
+                     else f"{sb.chosen_delay:.1f}",
+                     sb.retries]
+                    for sb in focus.stages
+                ]
+                sections.append(render_table(
+                    ["stage", "span (s)", "dominant", "chosen delay", "retries"],
+                    rows, title=f"{name}: critical chain"))
+        text = "\n\n".join(sections)
+    if diff is not None:
+        text += "\n\n" + render_diff_markdown(diff)
+    ret = _finish(args, payload, text, manifest)
+    _live_finish(args, publisher, hub, server, payload=payload)
+    return ret
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     cluster = _cluster_for(args)
     job = workload_by_name(args.workload, args.scale)
@@ -758,7 +886,7 @@ def cmd_tail(args: argparse.Namespace) -> int:
 
     try:
         count = tail(args.url, max_events=args.max, raw=args.raw,
-                     timeout=args.timeout)
+                     timeout=args.timeout, reconnect=args.reconnect)
     except ValueError as exc:
         _echo(f"error: {exc}")
         return 2
@@ -1025,6 +1153,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_args(p)
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser(
+        "why",
+        help="critical-path blame: where each second of JCT/makespan "
+             "went (exact per-category decomposition, optional "
+             "cross-scheduler diff)",
+    )
+    add_workload_args(p)
+    p.add_argument("--oracle", action="store_true",
+                   help="plan on true parameters instead of profiling")
+    p.add_argument("--job", default=None, metavar="ID",
+                   help="blame one job's JCT instead of the makespan "
+                        "(also prints its critical chain)")
+    p.add_argument("--md", action="store_true",
+                   help="full markdown blame tables instead of the "
+                        "bar view")
+    p.add_argument("--diff", action="store_true",
+                   help="report per-category savings of --candidate "
+                        "over --baseline")
+    p.add_argument("--baseline", default="fuxi",
+                   choices=["fuxi", "spark", "delaystage"],
+                   help="diff baseline run (default: fuxi)")
+    p.add_argument("--candidate", default="delaystage",
+                   choices=["fuxi", "spark", "delaystage"],
+                   help="diff candidate run (default: delaystage)")
+    add_faults_args(p)
+    add_json_arg(p)
+    add_progress_arg(p)
+    add_serve_args(p)
+    p.set_defaults(func=cmd_why)
+
     p = sub.add_parser("schedule", help="compute a DelayStage delay table")
     add_workload_args(p)
     p.add_argument("--order", choices=["descending", "random", "ascending"],
@@ -1092,6 +1250,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the JSON lines untouched (for jq)")
     p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
                    help="connect/read timeout")
+    p.add_argument("--reconnect", type=int, default=0, metavar="N",
+                   help="survive dropped streams: retry up to N "
+                        "consecutive times with capped backoff, resuming "
+                        "at the last seen event (no duplicates)")
     p.set_defaults(func=cmd_tail)
 
     p = sub.add_parser(

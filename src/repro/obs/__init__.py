@@ -20,6 +20,9 @@ after a run:
   overlap, CPU/network complementarity, delay-wait shares, utilization
   bands) with markdown / OpenMetrics / CSV exporters (``repro
   report``).
+* :mod:`repro.obs.critical` — critical-path extraction with an exact
+  (bit-for-bit) per-category blame decomposition of every JCT and the
+  makespan, plus cross-run diffing (``repro why``).
 * :mod:`repro.obs.progress` — the throttled stderr heartbeat behind
   the ``--progress`` flag (a renderer over the live bus).
 * :mod:`repro.obs.live` — the live telemetry plane: thread-safe
@@ -81,6 +84,19 @@ from repro.obs.metrics import (
     reports_to_csv,
     reports_to_openmetrics,
 )
+from repro.obs.critical import (
+    CATEGORIES,
+    BlameDiff,
+    JobBlame,
+    RunBlame,
+    StageBlame,
+    blame_diff,
+    blames_to_openmetrics_lines,
+    render_blame_markdown,
+    render_diff_markdown,
+    run_blame,
+    validate_blame_payload,
+)
 from repro.obs.progress import ProgressReporter
 from repro.obs.live import (
     LiveHub,
@@ -129,6 +145,17 @@ __all__ = [
     "render_markdown_report",
     "reports_to_csv",
     "reports_to_openmetrics",
+    "CATEGORIES",
+    "StageBlame",
+    "JobBlame",
+    "RunBlame",
+    "BlameDiff",
+    "run_blame",
+    "blame_diff",
+    "render_blame_markdown",
+    "render_diff_markdown",
+    "blames_to_openmetrics_lines",
+    "validate_blame_payload",
     "ProgressReporter",
     "TelemetryBus",
     "TelemetryPublisher",

@@ -34,6 +34,7 @@ EVENT_TYPES = (
     "shard",
     "jcts",
     "fault",
+    "blame",
     "run_finished",
 )
 
@@ -245,6 +246,28 @@ class TelemetryPublisher:
     def fault_event(self, kind: str, fields: Mapping[str, Any]) -> None:
         """Fault-injection hook (crash/brownout/retry/...)."""
         self.bus.publish("fault", run=self.run_id, kind=kind, **fields)
+
+    def blame_computed(
+        self,
+        label: str,
+        categories: Mapping[str, float],
+        makespan: float,
+        top_jobs: "Iterable[tuple[str, float]]" = (),
+    ) -> None:
+        """Publish one run's critical-path blame decomposition.
+
+        ``label`` is the per-scheduler blame label (e.g. ``fuxi``),
+        distinct from the command-level ``run`` id; the LiveHub folds
+        the categories into the ``repro_live_critical_*`` families.
+        """
+        self.bus.publish(
+            "blame",
+            run=self.run_id,
+            label=label,
+            makespan=float(makespan),
+            categories={k: float(v) for k, v in categories.items()},
+            top_jobs=[[jid, float(jct)] for jid, jct in top_jobs],
+        )
 
     # -- accounting ---------------------------------------------------- #
 

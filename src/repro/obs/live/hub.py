@@ -24,7 +24,7 @@ import threading
 from typing import Any, Mapping, Optional
 
 from repro.obs.live.bus import TelemetryBus
-from repro.obs.live.registry import MetricsRegistry
+from repro.obs.live.registry import DEFAULT_JCT_BUCKETS, MetricsRegistry
 
 
 class LiveHub:
@@ -34,6 +34,7 @@ class LiveHub:
         self,
         bus: "Optional[TelemetryBus]" = None,
         registry: "Optional[MetricsRegistry]" = None,
+        jct_buckets: "Optional[tuple[float, ...]]" = None,
     ) -> None:
         self.bus = bus if bus is not None else TelemetryBus()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -73,10 +74,26 @@ class LiveHub:
         self._jct = reg.histogram(
             "repro_live_job_jct_seconds",
             "Per-job completion times observed during replay.",
+            buckets=(
+                DEFAULT_JCT_BUCKETS if jct_buckets is None
+                else tuple(jct_buckets)
+            ),
         )
         self._throughput = reg.series(
             "repro_live_jobs_throughput",
             "Recent (elapsed_s, jobs_done) samples per run.",
+        )
+        self._critical = reg.gauge(
+            "repro_live_critical_seconds",
+            "Critical-path seconds per blame category and run.",
+        )
+        self._critical_makespan = reg.gauge(
+            "repro_live_critical_makespan_seconds",
+            "Blamed makespan per run (categories sum to this exactly).",
+        )
+        self._critical_jobs = reg.gauge(
+            "repro_live_critical_job_seconds",
+            "Top-K most-blamed jobs by critical-path time per run.",
         )
         self.bus.subscribe(self._on_event)
 
@@ -148,6 +165,23 @@ class LiveHub:
                 kind = str(event.get("kind", "unknown"))
                 run["faults"][kind] = run["faults"].get(kind, 0) + 1
                 self._faults.inc(1.0, run=run_id, kind=kind)
+            elif type_ == "blame":
+                label = str(event.get("label", run_id))
+                run.setdefault("blame", {})[label] = {
+                    "makespan": float(event.get("makespan", 0.0)),
+                    "categories": dict(event.get("categories", {})),
+                }
+                self._critical_makespan.set(
+                    float(event.get("makespan", 0.0)), run=label
+                )
+                for cat, seconds in (event.get("categories") or {}).items():
+                    self._critical.set(
+                        float(seconds), run=label, category=str(cat)
+                    )
+                for jid, jct in event.get("top_jobs") or ():
+                    self._critical_jobs.set(
+                        float(jct), run=label, job=str(jid)
+                    )
             elif type_ == "schedule":
                 run["schedules"] += 1
                 scheduler = str(event.get("scheduler", "unknown"))

@@ -11,7 +11,9 @@ Endpoints:
 * ``GET /events`` — JSON-lines event stream.  Query params:
   ``replay=N`` (emit up to N most recent history events first,
   default all), ``follow=0|1`` (keep streaming live events, default
-  1), ``max=N`` (close after N events total).
+  1), ``max=N`` (close after N events total), ``since=SEQ`` (skip
+  events with ``seq <= SEQ`` — what ``repro tail`` sends when it
+  reconnects after a dropped stream, so no event is re-printed).
 
 The server owns no telemetry state: it reads a
 :class:`~repro.obs.live.hub.LiveHub` and the hub's bus.  Handler
@@ -133,6 +135,7 @@ class _Handler(BaseHTTPRequestHandler):
         replay = _int_param("replay", None)
         max_events = _int_param("max", None)
         follow = _int_param("follow", 1) != 0
+        since = _int_param("since", 0) or 0
 
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson; charset=utf-8")
@@ -156,7 +159,7 @@ class _Handler(BaseHTTPRequestHandler):
         if follow:
             q: "queue.Queue[dict]" = queue.Queue()
             enqueue = q.put  # hold the bound method so unsubscribe matches
-            backlog = bus.tap(enqueue)
+            backlog = bus.tap(enqueue, since=since)
             try:
                 if replay is not None:
                     backlog = backlog[-replay:] if replay > 0 else []
@@ -174,7 +177,7 @@ class _Handler(BaseHTTPRequestHandler):
                 bus.unsubscribe(enqueue)
                 self.close_connection = True
         else:
-            backlog = bus.events_since(limit=replay)
+            backlog = bus.events_since(since=since, limit=replay)
             for event in backlog:
                 if not _write(event):
                     break

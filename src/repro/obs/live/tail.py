@@ -4,19 +4,41 @@ Connects to a live server's ``/events`` endpoint (JSON lines), renders
 each event as a one-line human summary, and exits after ``--max``
 events or when the server closes the stream.  ``--raw`` passes the
 JSON through untouched (useful for piping into jq).
+
+``--reconnect N`` makes the client survive dropped connections (a
+restarted server, a flaky proxy): when the stream breaks mid-follow it
+retries up to ``N`` times with doubling backoff capped at
+:data:`MAX_BACKOFF_S`, resuming with ``since=<last seq>`` so no event
+is duplicated or lost from the server's history window.  A
+successfully received event resets the retry budget, so a long tail
+session tolerates ``N`` *consecutive* failures, not ``N`` total.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import time
 import urllib.request
-from typing import Iterator, Optional, TextIO
+from typing import Callable, Iterator, Optional, TextIO
 from urllib.parse import urlsplit, urlunsplit
 
+#: First-retry backoff; doubles per consecutive failure.
+INITIAL_BACKOFF_S = 0.5
+#: Backoff ceiling for reconnect attempts.
+MAX_BACKOFF_S = 5.0
 
-def normalize_url(url: str, max_events: "Optional[int]" = None) -> str:
-    """Default scheme/path: ``HOST:PORT`` becomes ``http://HOST:PORT/events``."""
+
+def normalize_url(
+    url: str,
+    max_events: "Optional[int]" = None,
+    since: "Optional[int]" = None,
+) -> str:
+    """Default scheme/path: ``HOST:PORT`` becomes ``http://HOST:PORT/events``.
+
+    ``since`` appends the reconnect cursor (``since=SEQ``), replacing
+    any cursor already present — each retry advances it.
+    """
     if "//" not in url:
         url = "http://" + url
     parts = urlsplit(url)
@@ -31,17 +53,17 @@ def normalize_url(url: str, max_events: "Optional[int]" = None) -> str:
     if max_events is not None and "max=" not in query:
         extra = f"max={int(max_events)}"
         query = f"{query}&{extra}" if query else extra
+    if since is not None:
+        pieces = [p for p in query.split("&") if p and not p.startswith("since=")]
+        pieces.append(f"since={int(since)}")
+        query = "&".join(pieces)
     return urlunsplit((parts.scheme, parts.netloc, path, query, ""))
 
 
-def iter_events(
-    url: str,
-    timeout: float = 10.0,
-    max_events: "Optional[int]" = None,
+def _read_stream(
+    target: str, timeout: float
 ) -> "Iterator[dict]":
-    """Yield parsed event dicts from a /events JSON-lines stream."""
-    target = normalize_url(url, max_events=max_events)
-    seen = 0
+    """Yield parsed events from one connection until it ends or breaks."""
     with urllib.request.urlopen(target, timeout=timeout) as response:  # noqa: S310 - scheme restricted by normalize_url
         for raw in response:
             line = raw.decode("utf-8", errors="replace").strip()
@@ -52,9 +74,65 @@ def iter_events(
             except json.JSONDecodeError:
                 continue
             yield event
-            seen += 1
-            if max_events is not None and seen >= max_events:
+
+
+def iter_events(
+    url: str,
+    timeout: float = 10.0,
+    max_events: "Optional[int]" = None,
+    reconnect: int = 0,
+    sleep: "Callable[[float], None]" = time.sleep,
+    on_reconnect: "Optional[Callable[[int, float], None]]" = None,
+) -> "Iterator[dict]":
+    """Yield parsed event dicts from a /events JSON-lines stream.
+
+    With ``reconnect > 0`` a broken read re-opens the stream (up to
+    that many consecutive attempts, doubling backoff capped at
+    :data:`MAX_BACKOFF_S`) with ``since=<last seq>``, so the server
+    replays only what this client has not seen; stale duplicates from
+    servers without ``since`` support are dropped client-side too.
+    ``sleep`` is injectable for tests; ``on_reconnect(attempt, delay)``
+    observes each retry.
+    """
+    seen = 0
+    last_seq = 0
+    failures = 0
+    while True:
+        target = normalize_url(
+            url,
+            max_events=max_events,
+            since=last_seq if last_seq > 0 else None,
+        )
+        try:
+            for event in _read_stream(target, timeout):
+                seq = event.get("seq")
+                if isinstance(seq, int):
+                    if seq <= last_seq:
+                        continue  # duplicate from a since-less replay
+                    last_seq = seq
+                failures = 0
+                yield event
+                seen += 1
+                if max_events is not None and seen >= max_events:
+                    return
+            # Clean end of stream: the server finished (follow=0 or
+            # shutdown).  Without a reconnect budget that is the normal
+            # exit; with one, treat it like a drop — a follow stream
+            # should only end when the plane goes away, and the budget
+            # bounds how long we probe for its return.
+            if reconnect <= 0:
                 return
+            raise OSError("event stream ended")
+        except OSError:
+            failures += 1
+            if reconnect <= 0 or failures > reconnect:
+                raise
+            delay = min(
+                INITIAL_BACKOFF_S * (2 ** (failures - 1)), MAX_BACKOFF_S
+            )
+            if on_reconnect is not None:
+                on_reconnect(failures, delay)
+            sleep(delay)
 
 
 def render_event(event: dict) -> str:
@@ -90,6 +168,13 @@ def render_event(event: dict) -> str:
         for key in ("node", "slot", "stage", "job"):
             if key in event:
                 bits.append(f"{key}={event[key]}")
+    elif type_ == "blame":
+        bits.append(f"label={event.get('label', '?')}")
+        bits.append(f"makespan={event.get('makespan', 0.0):.1f}s")
+        categories = event.get("categories") or {}
+        if categories:
+            top = max(categories, key=lambda c: (categories[c], c))
+            bits.append(f"top={top}:{categories[top]:.1f}s")
     elif type_ == "run_started":
         if event.get("total_jobs") is not None:
             bits.append(f"total_jobs={event['total_jobs']}")
@@ -116,12 +201,23 @@ def tail(
     max_events: "Optional[int]" = None,
     raw: bool = False,
     timeout: float = 10.0,
+    reconnect: int = 0,
+    sleep: "Callable[[float], None]" = time.sleep,
 ) -> int:
     """Stream events from ``url`` to ``stream``; returns the event count."""
     out = stream if stream is not None else sys.stdout
+
+    def note_reconnect(attempt: int, delay: float) -> None:
+        print(
+            f"tail: stream dropped; reconnect {attempt} in {delay:.1f}s",
+            file=sys.stderr,
+        )
+
     count = 0
     try:
-        for event in iter_events(url, timeout=timeout, max_events=max_events):
+        for event in iter_events(url, timeout=timeout, max_events=max_events,
+                                 reconnect=reconnect, sleep=sleep,
+                                 on_reconnect=note_reconnect):
             if raw:
                 out.write(json.dumps(event, sort_keys=True) + "\n")
             else:

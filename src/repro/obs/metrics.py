@@ -186,6 +186,15 @@ class InterleavingReport:
     cluster_cpu_pct: float
     cluster_net_pct: float
     utilization: "UtilizationSummary"
+    #: Per-stage delay-wait seconds (``(stage_id, seconds)``, sorted by
+    #: stage id) — the raw addends behind ``delay_wait_seconds``,
+    #: exported as CSV columns so blame output can be cross-checked
+    #: against report output.
+    stage_delay_waits: "tuple[tuple[str, float], ...]" = ()
+    #: Critical-path blame categories for the makespan path
+    #: (:data:`repro.obs.critical.CATEGORIES` → seconds); ``None`` when
+    #: the run carried no demand accounting or no job DAG was passed.
+    blame: "dict[str, float] | None" = None
 
     def to_dict(self) -> dict:
         return {
@@ -207,6 +216,13 @@ class InterleavingReport:
                 "cpu_pct_mean": float(self.utilization.cpu_pct_mean),
                 "cpu_pct_std": float(self.utilization.cpu_pct_std),
             },
+            "stage_delay_waits": {
+                sid: float(d) for sid, d in self.stage_delay_waits
+            },
+            "blame": (
+                None if self.blame is None
+                else {k: float(v) for k, v in self.blame.items()}
+            ),
         }
 
 
@@ -331,7 +347,9 @@ def interleaving_report(
 
     Requires metrics tracking (``track_metrics=True``).  Pass the
     ``job`` to additionally decompose the delay-wait per execution
-    path (Fig. 7); without it ``path_delay_shares`` is empty.  The
+    path (Fig. 7) and — when the run carries demand accounting — the
+    critical-path blame categories (:mod:`repro.obs.critical`);
+    without it ``path_delay_shares`` is empty and ``blame`` is None.  The
     Table 3 summary embedded as ``utilization`` and the Table 4
     cluster averages reuse the exact computations of
     :func:`repro.analysis.stats.utilization_summary` and
@@ -353,10 +371,21 @@ def interleaving_report(
         jct = makespan
 
     delay_total = 0.0
-    for rec in result.stage_records.values():
+    stage_delays: "list[tuple[str, float]]" = []
+    for (_jid, sid), rec in sorted(result.stage_records.items()):
         d = rec.submit_time - rec.ready_time
         if math.isfinite(d) and d > 0:
             delay_total += d
+            stage_delays.append((sid, d))
+        else:
+            stage_delays.append((sid, 0.0))
+
+    blame = None
+    if (job is not None and result.demands is not None
+            and set(result.job_records) == {job.job_id}):
+        from repro.obs.critical import run_blame
+
+        blame = dict(run_blame(result, job, label=label).categories)
 
     return InterleavingReport(
         label=label,
@@ -378,6 +407,8 @@ def interleaving_report(
         cluster_cpu_pct=metrics.cluster_average("cpu_utilization", 0.0, makespan) * 100.0,
         cluster_net_pct=metrics.cluster_average("net_utilization", 0.0, makespan) * 100.0,
         utilization=utilization_summary(result),
+        stage_delay_waits=tuple(stage_delays),
+        blame=blame,
     )
 
 
@@ -441,6 +472,21 @@ def render_markdown_report(
             ]
             lines.append(f"| {band} | " + " | ".join(cells) + " |")
 
+    blamed = [k for k in order if reports[k].blame is not None]
+    if blamed:
+        from repro.obs.critical import CATEGORIES
+
+        lines.append("")
+        lines.append("## Critical-path blame (seconds, sums to makespan)")
+        lines.append("")
+        lines.append("| category | " + " | ".join(blamed) + " |")
+        lines.append("|---|" + "---|" * len(blamed))
+        for cat in CATEGORIES:
+            cells = [
+                f"{(reports[k].blame or {}).get(cat, 0.0):.1f}" for k in blamed
+            ]
+            lines.append(f"| {cat} | " + " | ".join(cells) + " |")
+
     delayed = [
         k for k in order
         if any(p.delay_seconds > 0 for p in reports[k].path_delay_shares)
@@ -501,6 +547,23 @@ def reports_to_openmetrics(reports: "Mapping[str, InterleavingReport]") -> str:
             for band, frac in zip(bands.labels(), bands.fractions):
                 labels = {"run": run, "resource": resource, "band": band}
                 lines.append(f"{name}{_openmetrics_labels(labels)} {float(frac)!r}")
+    name = "repro_stage_delay_wait_seconds"
+    lines.append(f"# HELP {name} Deliberate submission delay per stage")
+    lines.append(f"# TYPE {name} gauge")
+    for run, report in reports.items():
+        for sid, delay in report.stage_delay_waits:
+            labels = {"run": run, "stage": sid}
+            lines.append(f"{name}{_openmetrics_labels(labels)} {float(delay)!r}")
+    if any(r.blame is not None for r in reports.values()):
+        name = "repro_blame_seconds"
+        lines.append(f"# HELP {name} Critical-path seconds per blame category")
+        lines.append(f"# TYPE {name} gauge")
+        for run, report in reports.items():
+            for cat, seconds in (report.blame or {}).items():
+                labels = {"run": run, "category": cat}
+                lines.append(
+                    f"{name}{_openmetrics_labels(labels)} {float(seconds)!r}"
+                )
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
@@ -519,6 +582,20 @@ def reports_to_csv(reports: "Mapping[str, InterleavingReport]") -> str:
     ]
     header += [f"cpu_band_{b}" for b in band_labels]
     header += [f"net_band_{b}" for b in band_labels]
+    # Per-stage delay-wait columns (cross-checkable against `repro why`
+    # blame output) and, when any report carries blame, the per-category
+    # critical-path seconds.  Both append after the long-standing
+    # columns so existing consumers keep their positions.
+    stage_ids = sorted({
+        sid for r in reports.values() for sid, _d in r.stage_delay_waits
+    })
+    header += [f"delay_wait_{sid}" for sid in stage_ids]
+    blame_cats: "list[str]" = []
+    if any(r.blame is not None for r in reports.values()):
+        from repro.obs.critical import CATEGORIES
+
+        blame_cats = list(CATEGORIES)
+        header += [f"blame_{c}" for c in blame_cats]
     buf = io.StringIO()
     writer = csv.writer(buf, lineterminator="\n")
     writer.writerow(header)
@@ -532,5 +609,9 @@ def reports_to_csv(reports: "Mapping[str, InterleavingReport]") -> str:
         ]
         row += list(r.cpu_bands.fractions)
         row += list(r.net_bands.fractions)
+        delays = dict(r.stage_delay_waits)
+        row += [delays.get(sid, 0.0) for sid in stage_ids]
+        blame = r.blame or {}
+        row += [blame.get(c, 0.0) for c in blame_cats]
         writer.writerow(row)
     return buf.getvalue()

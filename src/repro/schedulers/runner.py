@@ -26,6 +26,19 @@ class SchedulerRun:
         (job_id,) = self.result.job_records.keys()
         return self.result.job_completion_time(job_id)
 
+    @property
+    def delay_table(self) -> "dict[str, float]":
+        """Algorithm 1's chosen per-stage delays, or ``{}``.
+
+        The decision-audit cross-link for blame attribution: DelayStage
+        runs carry their :class:`~repro.core.delaystage.DelaySchedule`
+        in ``info["schedule"]``; immediate-submission baselines (Spark,
+        Fuxi, AggShuffle) have none, so every delay is zero.
+        """
+        schedule = self.info.get("schedule")
+        delays = getattr(schedule, "delays", None)
+        return dict(delays) if delays else {}
+
 
 def run_with_scheduler(
     job: Job,

@@ -213,6 +213,30 @@ class StageRecord:
         return self.finish_time - self.submit_time
 
 
+@dataclass(frozen=True)
+class StageDemand:
+    """Post-run demand accounting for one stage (blame attribution).
+
+    Captures the run-internal facts the critical-path blame engine
+    (:mod:`repro.obs.critical`) cannot re-derive from the job and
+    cluster specs alone: the per-part compute volume actually charged
+    (including any AggShuffle CPU penalty), the per-worker remote
+    shuffle-read volume net of prefetched bytes, and the fanin-selected
+    remote source set each worker read from.  Wanted rates are *not*
+    stored — they follow from the healthy cluster spec plus the fair
+    share allocator's alone-on-the-resource semantics, which is where
+    the blame engine recomputes them.  Everything here is assembled
+    once after the engine finishes, so the hot loop pays nothing and
+    results stay bit-identical whether or not anyone consumes it.
+    """
+
+    compute_volume: float
+    write_volume: float
+    read_volumes: "dict[str, float]"
+    remote_sources: "dict[str, tuple[str, ...]]"
+    retries: int = 0
+
+
 @dataclass
 class JobRecord:
     """Observed lifecycle of one job."""
@@ -244,6 +268,11 @@ class SimulationResult:
     #: when a non-empty fault plan ran; ``None`` for healthy runs, so
     #: healthy results stay structurally unchanged.
     faults: "FaultStats | None" = None
+    #: Per-stage :class:`StageDemand` accounting for the critical-path
+    #: blame engine.  ``None`` when the run disabled event tracking
+    #: (Algorithm 1's planning probes), so the scan loop keeps paying
+    #: zero for observability it never reads.
+    demands: "dict[tuple[str, str], StageDemand] | None" = None
 
     def job_completion_time(self, job_id: str) -> float:
         return self.job_records[job_id].completion_time
@@ -502,6 +531,8 @@ class Simulation:
             self._faults.finalize()
             result.faults = self._faults.stats
         result.counters = self._run_counters(result)
+        if self.config.track_events:
+            result.demands = self._demand_accounting(result)
         if self.tracer.enabled:
             self._emit_trace(result)
         if _sanitizer.ENABLED:
@@ -1041,6 +1072,56 @@ class Simulation:
         if self._faults is not None:
             counters.update(self._faults.counters())
         return counters
+
+    def _demand_accounting(
+        self, result: SimulationResult
+    ) -> "dict[tuple[str, str], StageDemand]":
+        """Assemble per-stage :class:`StageDemand` records post-run.
+
+        Pure bookkeeping over state the run already produced (stage
+        runtime objects, prefetch assignments, fault stats) — the same
+        shape as :meth:`_run_counters` — so the engine's event loop is
+        untouched and results stay bit-identical with accounting on.
+        The volumes/sources mirror :meth:`_submit_stage` exactly, which
+        is what lets the blame engine recompute each phase's
+        contention-free duration from the allocator's own sharing
+        rules.
+        """
+        demands: "dict[tuple[str, str], StageDemand]" = {}
+        n_workers = len(self.workers)
+        for key, run in self._runs.items():
+            rec = run.record
+            if math.isnan(rec.submit_time):
+                continue  # never submitted (failed job / truncated run)
+            sources = self._read_sources(run)
+            per_worker = run.stage.input_bytes / n_workers
+            read_volumes: "dict[str, float]" = {}
+            remote_sources: "dict[str, tuple[str, ...]]" = {}
+            for wi, w in enumerate(self.workers):
+                remote_fraction = (
+                    (len(sources) - 1) / len(sources) if w in sources else 1.0
+                )
+                remote_volume = per_worker * remote_fraction
+                remote_volume -= run.prefetch_assigned[w]
+                if remote_volume < 0.0:
+                    remote_volume = 0.0
+                read_volumes[w] = remote_volume
+                remote_sources[w] = tuple(
+                    self._select_sources([s for s in sources if s != w], wi)
+                )
+            volume = run.compute_volume
+            if volume < 0.0:
+                # Stage never reached _part_read_done (e.g. failed job);
+                # fall back to the same formula it would have used.
+                volume = self._compute_volume(run)
+            demands[key] = StageDemand(
+                compute_volume=volume,
+                write_volume=run.stage.output_bytes / n_workers,
+                read_volumes=read_volumes,
+                remote_sources=remote_sources,
+                retries=run.retries,
+            )
+        return demands
 
     def _emit_trace(self, result: SimulationResult) -> None:
         """Emit per-stage phase spans and per-node counter tracks.

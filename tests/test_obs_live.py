@@ -734,3 +734,261 @@ class TestCli:
         # Port 1 on loopback is essentially never listening.
         assert main(["tail", "http://127.0.0.1:1/events",
                      "--timeout", "0.2"]) == 1
+
+    def test_tail_reconnect_flag_survives_drop(self, capsys):
+        from repro.cli import main
+
+        events = [{"seq": i, "type": "tick", "run": "r",
+                   "events_total": i, "t_sim": float(i)}
+                  for i in range(1, 4)]
+        with _FlakyEventServer(events, per_conn=1) as flaky:
+            assert main(["tail", flaky.url, "--max", "3",
+                         "--reconnect", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "tail: 3 event(s)" in captured.err
+        assert "reconnect" in captured.err
+
+
+# --------------------------------------------------------------------- #
+# satellite: histogram boundaries and configurable buckets
+
+
+class TestHistogramBoundaries:
+    def test_value_on_bucket_boundary_counts_le(self):
+        # OpenMetrics buckets are `value <= le`: a JCT of exactly 60s
+        # belongs in the le="60.0" bucket, not the next one up.
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_live_edge", "demo", buckets=(30.0, 60.0))
+        h.observe(60.0)
+        samples, _, errors = parse_openmetrics_text(reg.render_openmetrics())
+        assert not errors
+        assert samples[("repro_live_edge_bucket", (("le", "30.0"),))] == 0.0
+        assert samples[("repro_live_edge_bucket", (("le", "60.0"),))] == 1.0
+        assert samples[("repro_live_edge_bucket", (("le", "+Inf"),))] == 1.0
+
+    def test_plus_inf_catches_overflow_only_there(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_live_inf", "demo", buckets=(1.0,))
+        h.observe(10.0)
+        h.observe(float("inf"))
+        samples, _, errors = parse_openmetrics_text(reg.render_openmetrics())
+        assert not errors
+        assert samples[("repro_live_inf_bucket", (("le", "1.0"),))] == 0.0
+        assert samples[("repro_live_inf_bucket", (("le", "+Inf"),))] == 2.0
+        assert samples[("repro_live_inf_count", ())] == 2.0
+
+    def test_bucket_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("repro_live_bad1", "demo", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("repro_live_bad2", "demo", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("repro_live_bad3", "demo",
+                          buckets=(1.0, float("inf")))
+
+    def test_hub_jct_buckets_configurable(self):
+        pub = TelemetryPublisher(run_id="r")
+        hub = LiveHub(bus=pub.bus, jct_buckets=(1.0, 2.0, 4.0))
+        pub.job_done(jct=2.0)
+        pub.job_done(jct=3.0)
+        text = hub.render_metrics()
+        samples, _, errors = parse_openmetrics_text(text)
+        assert not errors
+        key = "repro_live_job_jct_seconds_bucket"
+        assert samples[(key, (("run", "r"), ("le", "1.0")))] == 0.0
+        assert samples[(key, (("run", "r"), ("le", "2.0")))] == 1.0
+        assert samples[(key, (("run", "r"), ("le", "4.0")))] == 2.0
+        assert samples[(key, (("run", "r"), ("le", "+Inf")))] == 2.0
+
+    def test_hub_default_buckets_unchanged(self):
+        from repro.obs.live.registry import DEFAULT_JCT_BUCKETS
+
+        pub = TelemetryPublisher(run_id="r")
+        hub = LiveHub(bus=pub.bus)
+        pub.job_done(jct=10.0)
+        text = hub.registry.render_openmetrics()
+        for bound in DEFAULT_JCT_BUCKETS:
+            assert f'le="{float(bound)}"' in text
+
+
+# --------------------------------------------------------------------- #
+# satellite: OpenMetrics label-value escaping
+
+
+class TestLabelEscaping:
+    AWKWARD = [
+        'back\\slash',
+        'quo"te',
+        'new\nline',
+        'all\\three\n"at once"',
+        '\\',
+        '\n',
+    ]
+
+    def test_escape_round_trips_through_parser(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_live_esc", "demo")
+        for i, value in enumerate(self.AWKWARD):
+            g.set(float(i), label=value)
+        text = reg.render_openmetrics()
+        samples, _, errors = parse_openmetrics_text(text)
+        assert not errors
+        for i, value in enumerate(self.AWKWARD):
+            assert samples[("repro_live_esc", (("label", value),))] == float(i)
+
+    def test_rendered_exposition_is_one_line_per_sample(self):
+        # A raw newline inside a label value would split the sample
+        # across lines and corrupt the exposition; escaped it must not.
+        reg = MetricsRegistry()
+        reg.gauge("repro_live_esc2", "demo").set(1.0, label="a\nb")
+        text = reg.render_openmetrics()
+        sample_lines = [ln for ln in text.splitlines()
+                        if ln.startswith("repro_live_esc2")]
+        assert len(sample_lines) == 1
+        assert '\\n' in sample_lines[0]
+        assert validate_openmetrics_text(text) == []
+
+    def test_escaped_backslash_not_double_unescaped(self):
+        # "\\n" (escaped backslash + n) must parse back to a literal
+        # backslash followed by 'n', not a newline.
+        reg = MetricsRegistry()
+        reg.gauge("repro_live_esc3", "demo").set(1.0, label="\\n")
+        samples, _, errors = parse_openmetrics_text(reg.render_openmetrics())
+        assert not errors
+        assert ("repro_live_esc3", (("label", "\\n"),)) in samples
+
+
+# --------------------------------------------------------------------- #
+# satellite: tail reconnect against a connection-dropping server
+
+
+class _FlakyEventServer:
+    """Serves /events but closes the connection after ``per_conn``
+    events, recording each connection's ``since=`` cursor.
+
+    HTTP/1.0 with no Content-Length means an abrupt close reads as end
+    of stream on the client — exactly what a dying live plane or a
+    mid-stream proxy drop looks like to ``repro tail``.
+    """
+
+    def __init__(self, events, per_conn=2):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+        from urllib.parse import parse_qs, urlsplit
+
+        self.events = list(events)
+        self.per_conn = per_conn
+        self.sinces: "list[int]" = []
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.0"
+
+            def log_message(self, *args):  # noqa: A003
+                pass
+
+            def do_GET(self):  # noqa: N802
+                params = parse_qs(urlsplit(self.path).query)
+                since = int(params.get("since", ["0"])[0])
+                outer.sinces.append(since)
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "application/x-ndjson; charset=utf-8")
+                self.end_headers()
+                pending = [e for e in outer.events if e["seq"] > since]
+                for event in pending[: outer.per_conn]:
+                    self.wfile.write(
+                        (json.dumps(event) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                # Fall through without more data: connection closes
+                # mid-stream from the client's point of view.
+
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True)
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address
+        return f"http://{host}:{port}/events"
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+
+class TestTailReconnect:
+    def _events(self, n):
+        return [{"seq": i, "type": "tick", "run": "r",
+                 "events_total": i, "t_sim": float(i)}
+                for i in range(1, n + 1)]
+
+    def test_resumes_with_since_and_no_duplicates(self):
+        from repro.obs.live.tail import iter_events
+
+        sleeps: "list[float]" = []
+        with _FlakyEventServer(self._events(5), per_conn=2) as flaky:
+            got = list(iter_events(flaky.url, max_events=5, reconnect=3,
+                                   sleep=sleeps.append))
+        assert [e["seq"] for e in got] == [1, 2, 3, 4, 5]
+        # Each reconnect advanced the cursor: the server never replayed
+        # an event this client had already seen.
+        assert flaky.sinces == [0, 2, 4]
+        # Successful events reset the failure count, so every retry
+        # waited the initial backoff.
+        assert sleeps == [0.5, 0.5]
+
+    def test_no_reconnect_stops_at_first_drop(self):
+        from repro.obs.live.tail import iter_events
+
+        with _FlakyEventServer(self._events(5), per_conn=2) as flaky:
+            got = list(iter_events(flaky.url, max_events=5, reconnect=0))
+        assert [e["seq"] for e in got] == [1, 2]
+        assert flaky.sinces == [0]
+
+    def test_budget_exhausted_raises_after_capped_backoff(self):
+        from repro.obs.live.tail import (
+            INITIAL_BACKOFF_S,
+            MAX_BACKOFF_S,
+            iter_events,
+        )
+
+        sleeps: "list[float]" = []
+        attempts: "list[tuple[int, float]]" = []
+        # Port 1 on loopback is essentially never listening: every
+        # attempt fails, so backoff doubles until the cap.
+        with pytest.raises(OSError):
+            list(iter_events("http://127.0.0.1:1/events", timeout=0.2,
+                             reconnect=5, sleep=sleeps.append,
+                             on_reconnect=lambda a, d: attempts.append((a, d))))
+        assert sleeps == [0.5, 1.0, 2.0, 4.0, 5.0]
+        assert sleeps[0] == INITIAL_BACKOFF_S
+        assert max(sleeps) == MAX_BACKOFF_S
+        assert [a for a, _ in attempts] == [1, 2, 3, 4, 5]
+
+    def test_tail_helper_reports_reconnects(self, capsys):
+        from repro.obs.live.tail import tail as tail_fn
+
+        out = io.StringIO()
+        with _FlakyEventServer(self._events(3), per_conn=1) as flaky:
+            count = tail_fn(flaky.url, stream=out, max_events=3,
+                            reconnect=5, sleep=lambda _s: None)
+        assert count == 3
+        assert len(out.getvalue().splitlines()) == 3
+        err = capsys.readouterr().err
+        assert "stream dropped; reconnect" in err
+
+    def test_server_since_param_skips_old_events(self, live_plane):
+        pub, _, server = live_plane
+        pub.run_started()
+        pub.job_done(jct=1.0)
+        pub.job_done(jct=2.0)
+        status, _, body = _get(server.url + "/events?follow=0&since=1")
+        assert status == 200
+        seqs = [json.loads(line)["seq"] for line in body.splitlines()]
+        assert seqs == [2, 3]
