@@ -880,6 +880,135 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming scheduler daemon (``repro serve``).
+
+    Boots the PR-7 telemetry plane with the service control surface
+    attached, optionally plays an open-loop arrival schedule sampled
+    from the trace twin, and runs until drained: auto-drain after the
+    sampled arrivals finish (or ``--drain-after``), a client's ``POST
+    /service/drain``, or the first SIGINT/SIGTERM.  A second signal
+    hard-stops without waiting for in-flight jobs.
+    """
+    import asyncio
+    import signal
+
+    from repro.obs.live import LiveHub, LiveServer, TelemetryPublisher
+    from repro.service import (
+        AdmissionConfig,
+        ServiceCore,
+        ServiceDaemon,
+        WallClock,
+    )
+    from repro.trace.generator import open_loop_arrivals
+
+    cluster = alibaba_sim_cluster(
+        num_machines=3, storage_nodes=1, nic_mbps_range=(600, 2000), rng=0
+    )
+    trace_cfg = TraceGeneratorConfig(
+        num_jobs=max(args.jobs, 1), replay_workers=3, max_stages=60,
+        replay_read_mb_per_sec=85.0,
+    )
+    arrivals = None
+    arrival_jobs: "list[Job]" = []
+    drain_after = args.drain_after
+    if args.jobs > 0:
+        schedule = open_loop_arrivals(
+            trace_cfg, rng=args.seed, rate_jobs_per_s=args.rate,
+            num_jobs=args.jobs,
+        )
+        arrivals = [(t, to_job(tj, trace_cfg)) for t, tj in schedule]
+        arrival_jobs = [job for _, job in arrivals]
+        if drain_after is None:
+            # Batch-style invocation: drain once the sampled arrivals
+            # are in, so the command terminates on its own.
+            drain_after = schedule[-1][0]
+    plan = _fault_plan_for(args, cluster, jobs=arrival_jobs or None)
+    if args.strategy == "fuxi":
+        scheduler = FuxiScheduler(track_metrics=False, fault_plan=plan)
+    else:
+        scheduler = DelayStageScheduler(
+            profiled=False, track_metrics=False,
+            params=DelayStageParams(max_slots=12),
+            fault_plan=plan, replan=plan is not None,
+        )
+    publisher = TelemetryPublisher(label="serve", run_id="serve",
+                                   total_jobs=args.jobs or None)
+    core = ServiceCore(
+        cluster, scheduler, slots=args.slots,
+        admission=AdmissionConfig(max_pending=args.max_pending,
+                                  max_stages=args.max_stages),
+        publisher=publisher,
+    )
+    daemon = ServiceDaemon(core, WallClock(scale=args.time_scale),
+                           arrivals=arrivals, drain_after=drain_after)
+    hub = LiveHub(bus=publisher.bus)
+    host, port = _parse_serve(args.bind)
+    server = LiveServer(hub, host=host, port=port, control=daemon).start()
+    _echo(f"service control: {server.url}/service "
+          f"(telemetry at {server.url}/metrics)")
+    publisher.run_started(
+        jobs=args.jobs or None, seed=args.seed, rate=args.rate,
+        slots=args.slots, max_pending=args.max_pending,
+        time_scale=args.time_scale, scheduler=scheduler.name,
+    )
+
+    async def _run() -> dict:
+        loop = asyncio.get_running_loop()
+
+        def on_signal() -> None:
+            if not core.draining:
+                _echo("serve: drain requested (signal); "
+                      "in-flight jobs will finish — signal again to stop")
+                daemon.drain()
+            else:
+                _echo("serve: hard stop")
+                daemon.stop()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, on_signal)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break  # non-main thread / platform without signal support
+        return await daemon.run()
+
+    try:
+        stats = asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive fallback
+        daemon.stop()
+        stats = daemon.stats()
+    payload = {
+        "command": "serve",
+        "service": stats,
+        "jobs": daemon.jobs_list(),
+    }
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=float)
+        _echo(f"serve: drain snapshot written to {args.snapshot}")
+    publisher.close()
+    hub.finish_run("serve", {"service": stats})
+    grace = args.serve_grace or 0.0
+    if grace > 0:
+        _echo(f"serving final telemetry for {grace:.0f}s more at {server.url}")
+    server.wait(grace)
+    server.close()
+    counters = stats["counters"]
+    jcts = [j["jct"] for j in payload["jobs"] if j.get("jct") is not None]
+    rows = [[state, count] for state, count in sorted(stats["states"].items())]
+    text = render_table(
+        ["state", "jobs"], rows,
+        title=(f"serve — {counters['submitted']} submitted, "
+               f"{counters['rejected']} shed, peak queue "
+               f"{stats['peak_queue_depth']}"),
+    )
+    if jcts:
+        text += (f"\n\nmean JCT {float(np.mean(jcts)):.1f}s over "
+                 f"{len(jcts)} completion(s) "
+                 f"(service time {stats['now']:.1f}s)")
+    return _finish(args, payload, text)
+
+
 def cmd_tail(args: argparse.Namespace) -> int:
     """Pretty-print a live server's /events stream (``repro tail URL``)."""
     from repro.obs.live import tail
@@ -1237,6 +1366,58 @@ def build_parser() -> argparse.ArgumentParser:
     add_progress_arg(p)
     add_serve_args(p)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the streaming scheduler daemon (online DelayStage over "
+             "open-loop arrivals, with HTTP submit/status/cancel/drain)",
+    )
+    p.add_argument("--bind", metavar="[HOST:]PORT", default="127.0.0.1:0",
+                   help="bind the control + telemetry server here "
+                        "(default: loopback, ephemeral port echoed on "
+                        "stderr)")
+    p.add_argument("--jobs", type=int, default=0, metavar="N",
+                   help="sample N open-loop arrivals from the trace twin "
+                        "(default 0: jobs arrive only via POST "
+                        "/service/submit)")
+    p.add_argument("--rate", type=float, default=0.05, metavar="JOBS_PER_S",
+                   help="Poisson arrival rate for --jobs, in service "
+                        "seconds (crank past the service rate to reach "
+                        "overload)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace twin + arrival sampling seed")
+    p.add_argument("--slots", type=int, default=2,
+                   help="concurrent dispatch slots")
+    p.add_argument("--max-pending", type=int, default=64, dest="max_pending",
+                   metavar="N",
+                   help="bounded pending queue; submissions beyond it are "
+                        "shed with a typed queue_full rejection (HTTP 429)")
+    p.add_argument("--max-stages", type=int, default=None, dest="max_stages",
+                   metavar="N",
+                   help="reject DAGs with more stages than this (413)")
+    p.add_argument("--strategy", choices=["delaystage", "fuxi"],
+                   default="delaystage",
+                   help="online scheduling strategy (default delaystage)")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   dest="time_scale", metavar="X",
+                   help="service seconds per wall second (600 compresses "
+                        "ten simulated minutes into each real second)")
+    p.add_argument("--drain-after", type=float, default=None,
+                   dest="drain_after", metavar="T",
+                   help="auto-drain once service time passes T and the "
+                        "arrival schedule is exhausted (default with "
+                        "--jobs: right after the last sampled arrival)")
+    p.add_argument("--snapshot", metavar="PATH",
+                   help="write the drain snapshot (service stats + every "
+                        "retained job record) here as JSON")
+    p.add_argument("--serve-grace", type=float, default=0.0,
+                   dest="serve_grace", metavar="SECONDS",
+                   help="keep the telemetry server up this long after the "
+                        "drain completes")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the drain snapshot on stdout")
+    add_faults_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "tail", help="pretty-print a live server's /events stream"

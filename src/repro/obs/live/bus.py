@@ -35,8 +35,18 @@ EVENT_TYPES = (
     "jcts",
     "fault",
     "blame",
+    "submitted",
+    "rejected",
+    "cancelled",
+    "failed",
+    "draining",
+    "drained",
     "run_finished",
 )
+
+#: Event types after which a stream has nothing more to say: the run
+#: (or service) is over and clients may hang up instead of reconnecting.
+TERMINAL_EVENT_TYPES = frozenset({"run_finished", "drained"})
 
 
 class TelemetryBus:
@@ -246,6 +256,89 @@ class TelemetryPublisher:
     def fault_event(self, kind: str, fields: Mapping[str, Any]) -> None:
         """Fault-injection hook (crash/brownout/retry/...)."""
         self.bus.publish("fault", run=self.run_id, kind=kind, **fields)
+
+    # -- service lifecycle --------------------------------------------- #
+
+    def job_submitted(
+        self, service_id: str, *, stages: int, queue_depth: int, running: int
+    ) -> None:
+        """One job admitted into the service's pending queue."""
+        self.bus.publish(
+            "submitted",
+            run=self.run_id,
+            service_id=service_id,
+            stages=int(stages),
+            queue_depth=int(queue_depth),
+            running=int(running),
+        )
+
+    def job_rejected(
+        self, service_id: str, reason: str, *, queue_depth: int, running: int
+    ) -> None:
+        """One submission shed by admission control (typed reason)."""
+        self.bus.publish(
+            "rejected",
+            run=self.run_id,
+            service_id=service_id,
+            reason=reason,
+            queue_depth=int(queue_depth),
+            running=int(running),
+        )
+
+    def job_cancelled(
+        self, service_id: str, *, was: str, queue_depth: int, running: int
+    ) -> None:
+        """A queued or running job cancelled by the caller."""
+        self.bus.publish(
+            "cancelled",
+            run=self.run_id,
+            service_id=service_id,
+            was=was,
+            queue_depth=int(queue_depth),
+            running=int(running),
+        )
+
+    def job_failed(
+        self,
+        service_id: str,
+        *,
+        failure_time: float,
+        retries: int,
+        queue_depth: int,
+        running: int,
+    ) -> None:
+        """A dispatched job exhausted its retry budget under faults."""
+        self.bus.publish(
+            "failed",
+            run=self.run_id,
+            service_id=service_id,
+            failure_time=float(failure_time),
+            retries=int(retries),
+            queue_depth=int(queue_depth),
+            running=int(running),
+        )
+
+    def drain_started(self, *, queue_depth: int, running: int) -> None:
+        """The service stopped admitting; in-flight work continues."""
+        self.bus.publish(
+            "draining",
+            run=self.run_id,
+            queue_depth=int(queue_depth),
+            running=int(running),
+        )
+
+    def drain_finished(
+        self, *, completed: int, failed: int, cancelled: int, rejected: int
+    ) -> None:
+        """Terminal service event: the queue is empty and nothing runs."""
+        self.bus.publish(
+            "drained",
+            run=self.run_id,
+            completed=int(completed),
+            failed=int(failed),
+            cancelled=int(cancelled),
+            rejected=int(rejected),
+        )
 
     def blame_computed(
         self,

@@ -95,6 +95,34 @@ class LiveHub:
             "repro_live_critical_job_seconds",
             "Top-K most-blamed jobs by critical-path time per run.",
         )
+        self._svc_submitted = reg.counter(
+            "repro_live_service_submitted",
+            "Jobs admitted into the service's pending queue.",
+        )
+        self._svc_rejected = reg.counter(
+            "repro_live_service_rejected",
+            "Submissions shed by admission control, by typed reason.",
+        )
+        self._svc_cancelled = reg.counter(
+            "repro_live_service_cancelled",
+            "Jobs cancelled while queued or running.",
+        )
+        self._svc_failed = reg.counter(
+            "repro_live_service_failed",
+            "Dispatched jobs that exhausted their fault retry budget.",
+        )
+        self._svc_queue = reg.gauge(
+            "repro_live_service_queue_depth",
+            "Jobs currently waiting in the service's pending queue.",
+        )
+        self._svc_running = reg.gauge(
+            "repro_live_service_running",
+            "Jobs currently occupying a dispatch slot.",
+        )
+        self._svc_draining = reg.gauge(
+            "repro_live_service_draining",
+            "1 while the service refuses new work, 2 once fully drained.",
+        )
         self.bus.subscribe(self._on_event)
 
     # -- event folding ------------------------------------------------- #
@@ -186,6 +214,47 @@ class LiveHub:
                 run["schedules"] += 1
                 scheduler = str(event.get("scheduler", "unknown"))
                 self._schedules.inc(1.0, run=run_id, scheduler=scheduler)
+            elif type_ == "submitted":
+                svc = self._service(run)
+                svc["submitted"] += 1
+                self._svc_submitted.inc(1.0, run=run_id)
+                self._fold_occupancy(svc, event, run_id)
+            elif type_ == "rejected":
+                svc = self._service(run)
+                svc["rejected"] += 1
+                reason = str(event.get("reason", "unknown"))
+                svc["rejected_by_reason"][reason] = (
+                    svc["rejected_by_reason"].get(reason, 0) + 1
+                )
+                self._svc_rejected.inc(1.0, run=run_id, reason=reason)
+                self._fold_occupancy(svc, event, run_id)
+            elif type_ == "cancelled":
+                svc = self._service(run)
+                svc["cancelled"] += 1
+                self._svc_cancelled.inc(1.0, run=run_id)
+                self._fold_occupancy(svc, event, run_id)
+            elif type_ == "failed":
+                svc = self._service(run)
+                svc["failed"] += 1
+                self._svc_failed.inc(1.0, run=run_id)
+                self._fold_occupancy(svc, event, run_id)
+            elif type_ == "draining":
+                svc = self._service(run)
+                svc["draining"] = True
+                self._svc_draining.set(1.0, run=run_id)
+                self._fold_occupancy(svc, event, run_id)
+            elif type_ == "drained":
+                svc = self._service(run)
+                svc["draining"] = True
+                svc["drained"] = True
+                for key in ("completed", "failed", "cancelled", "rejected"):
+                    if key in event:
+                        svc[key] = int(event[key])
+                svc["queue_depth"] = 0
+                svc["running"] = 0
+                self._svc_draining.set(2.0, run=run_id)
+                self._svc_queue.set(0.0, run=run_id)
+                self._svc_running.set(0.0, run=run_id)
             elif type_ == "run_finished":
                 if run["status"] != "finished":
                     run["status"] = "finished"
@@ -197,6 +266,32 @@ class LiveHub:
                     run["events_total"] = max(run["events_total"], events_total)
                     self._events.inc_to(float(events_total), run=run_id)
                     self._active.add(-1.0)
+
+    def _service(self, run: dict) -> dict:
+        """Lazily attach the service-lifecycle subdict to a run snapshot."""
+        svc = run.get("service")
+        if svc is None:
+            svc = run["service"] = {
+                "submitted": 0,
+                "rejected": 0,
+                "rejected_by_reason": {},
+                "cancelled": 0,
+                "failed": 0,
+                "queue_depth": 0,
+                "running": 0,
+                "draining": False,
+                "drained": False,
+            }
+        return svc
+
+    def _fold_occupancy(self, svc: dict, event: dict, run_id: str) -> None:
+        """Mirror an event's queue/slot occupancy into snapshot + gauges."""
+        if "queue_depth" in event:
+            svc["queue_depth"] = int(event["queue_depth"])
+            self._svc_queue.set(float(event["queue_depth"]), run=run_id)
+        if "running" in event:
+            svc["running"] = int(event["running"])
+            self._svc_running.set(float(event["running"]), run=run_id)
 
     # -- HTTP-facing reads --------------------------------------------- #
 
@@ -211,6 +306,11 @@ class LiveHub:
                 return None
             snapshot = dict(run)
             snapshot["faults"] = dict(run["faults"])
+            if "service" in run:
+                snapshot["service"] = dict(run["service"])
+                snapshot["service"]["rejected_by_reason"] = dict(
+                    run["service"]["rejected_by_reason"]
+                )
         snapshot["throughput"] = self._throughput.points(run=run_id)
         snapshot["last_seq"] = self.bus.last_seq
         return snapshot

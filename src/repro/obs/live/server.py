@@ -15,6 +15,18 @@ Endpoints:
   events with ``seq <= SEQ`` — what ``repro tail`` sends when it
   reconnects after a dropped stream, so no event is re-printed).
 
+When a ``control`` object (the ``repro serve`` daemon) is attached,
+the service control surface is layered on the same server:
+
+* ``GET /service`` — occupancy + counters snapshot.
+* ``GET /service/jobs`` / ``GET /service/jobs/<id>`` — lifecycle
+  records for retained jobs.
+* ``POST /service/submit`` — wire-format DAG in the JSON body;
+  ``202`` on admit, or a typed rejection (``429`` queue_full,
+  ``503`` draining, ``409`` duplicate, ``413`` too_large).
+* ``POST /service/cancel/<id>`` — cancel a queued or running job.
+* ``POST /service/drain`` — stop admitting; in-flight work finishes.
+
 The server owns no telemetry state: it reads a
 :class:`~repro.obs.live.hub.LiveHub` and the hub's bus.  Handler
 threads are daemonic and never touch the simulation, so serving is
@@ -47,6 +59,17 @@ OPENMETRICS_CONTENT_TYPE = (
 
 #: How often streaming handlers wake up to check for shutdown.
 _STREAM_POLL_S = 0.25
+
+#: HTTP status per typed rejection reason (see service admission).
+REJECTION_STATUS = {
+    "queue_full": 429,
+    "draining": 503,
+    "duplicate": 409,
+    "too_large": 413,
+}
+
+#: Cap on accepted POST bodies; a DAG submission is a few KB.
+_MAX_BODY_BYTES = 4 * 1024 * 1024
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -115,12 +138,118 @@ class _Handler(BaseHTTPRequestHandler):
             elif path == "/events":
                 self.live.hub.count_scrape("events")
                 self._stream_events(params)
+            elif path == "/service" or path.startswith("/service/"):
+                self._service_get(path)
             else:
                 self._send_json({"error": f"no route for {path!r}"}, status=404)
         except (BrokenPipeError, ConnectionResetError):
             # Client went away mid-response; nothing to clean up beyond
             # the handler thread itself.
             self.close_connection = True
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        # Lazy import: repro.service sits above obs in the package
+        # graph (service.core simulates; simulator imports obs).
+        from repro.service.state import RejectedSubmission
+
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            control = self.live.control
+            if control is None:
+                self._send_json(
+                    {"error": "no service attached (start with repro serve)"},
+                    status=404,
+                )
+                return
+            if path == "/service/submit":
+                self.live.hub.count_scrape("service")
+                payload = self._read_json_body()
+                if payload is None:
+                    return
+                try:
+                    record = control.submit_wire(payload)
+                except ValueError as exc:
+                    self._send_json({"error": str(exc)}, status=400)
+                    return
+                except RejectedSubmission as exc:
+                    rejection = exc.rejection
+                    self._send_json(
+                        {"rejected": rejection.to_dict()},
+                        status=REJECTION_STATUS.get(rejection.reason, 429),
+                    )
+                    return
+                self._send_json({"job": record}, status=202)
+            elif path.startswith("/service/cancel/"):
+                self.live.hub.count_scrape("service")
+                service_id = path[len("/service/cancel/"):]
+                record = control.cancel(service_id)
+                if record is None:
+                    self._send_json(
+                        {"error": f"unknown job {service_id!r}"}, status=404
+                    )
+                else:
+                    self._send_json({"job": record})
+            elif path == "/service/drain":
+                self.live.hub.count_scrape("service")
+                self._send_json({"service": control.drain()})
+            else:
+                self._send_json({"error": f"no route for {path!r}"}, status=404)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _service_get(self, path: str) -> None:
+        control = self.live.control
+        if control is None:
+            self._send_json(
+                {"error": "no service attached (start with repro serve)"},
+                status=404,
+            )
+            return
+        self.live.hub.count_scrape("service")
+        if path == "/service":
+            self._send_json({"service": control.stats()})
+        elif path == "/service/jobs":
+            self._send_json({"jobs": control.jobs_list()})
+        elif path.startswith("/service/jobs/"):
+            service_id = path[len("/service/jobs/"):]
+            record = control.job(service_id)
+            if record is None:
+                self._send_json(
+                    {"error": f"unknown job {service_id!r}"}, status=404
+                )
+            else:
+                self._send_json({"job": record})
+        else:
+            self._send_json({"error": f"no route for {path!r}"}, status=404)
+
+    def _read_json_body(self) -> "Optional[dict]":
+        """Parse the request's JSON body; sends the error response itself."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            self._send_json({"error": "a JSON request body is required"},
+                            status=400)
+            return None
+        if length > _MAX_BODY_BYTES:
+            self._send_json(
+                {"error": f"request body exceeds {_MAX_BODY_BYTES} bytes"},
+                status=413,
+            )
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json({"error": f"malformed JSON body: {exc}"},
+                            status=400)
+            return None
+        if not isinstance(payload, dict):
+            self._send_json({"error": "JSON body must be an object"},
+                            status=400)
+            return None
+        return payload
 
     def _stream_events(self, params: "dict[str, list[str]]") -> None:
         def _int_param(name: str, default: "Optional[int]") -> "Optional[int]":
@@ -195,8 +324,17 @@ class LiveServer:
     :attr:`stopping` event.
     """
 
-    def __init__(self, hub: LiveHub, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        hub: LiveHub,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        control=None,
+    ) -> None:
         self.hub = hub
+        #: Optional service-control facade (the ``repro serve`` daemon);
+        #: when absent, ``/service*`` routes answer 404.
+        self.control = control
         self.stopping = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True

@@ -23,6 +23,8 @@ import urllib.request
 from typing import Callable, Iterator, Optional, TextIO
 from urllib.parse import urlsplit, urlunsplit
 
+from repro.obs.live.bus import TERMINAL_EVENT_TYPES
+
 #: First-retry backoff; doubles per consecutive failure.
 INITIAL_BACKOFF_S = 0.5
 #: Backoff ceiling for reconnect attempts.
@@ -97,6 +99,7 @@ def iter_events(
     seen = 0
     last_seq = 0
     failures = 0
+    last_type: "Optional[str]" = None
     while True:
         target = normalize_url(
             url,
@@ -111,19 +114,30 @@ def iter_events(
                         continue  # duplicate from a since-less replay
                     last_seq = seq
                 failures = 0
+                last_type = event.get("type")
                 yield event
                 seen += 1
                 if max_events is not None and seen >= max_events:
                     return
             # Clean end of stream: the server finished (follow=0 or
             # shutdown).  Without a reconnect budget that is the normal
-            # exit; with one, treat it like a drop — a follow stream
-            # should only end when the plane goes away, and the budget
-            # bounds how long we probe for its return.
-            if reconnect <= 0:
+            # exit.  With one, a terminal event (run_finished, a
+            # service's drained) means the plane said everything it
+            # ever will — reconnect-looping against a draining server
+            # would just burn the budget and exit non-zero — so that is
+            # a normal exit too.  Anything else is treated like a drop:
+            # a follow stream should only end when the plane goes away,
+            # and the budget bounds how long we probe for its return.
+            if reconnect <= 0 or last_type in TERMINAL_EVENT_TYPES:
                 return
             raise OSError("event stream ended")
         except OSError:
+            if last_type in TERMINAL_EVENT_TYPES:
+                # The plane already said everything it ever will; a
+                # read timeout or drop after the terminal event is the
+                # server idling through its shutdown grace window (a
+                # follow stream stays open but silent), not data loss.
+                return
             failures += 1
             if reconnect <= 0 or failures > reconnect:
                 raise
@@ -175,6 +189,22 @@ def render_event(event: dict) -> str:
         if categories:
             top = max(categories, key=lambda c: (categories[c], c))
             bits.append(f"top={top}:{categories[top]:.1f}s")
+    elif type_ in ("submitted", "rejected", "cancelled", "failed"):
+        if event.get("service_id"):
+            bits.append(f"id={event['service_id']}")
+        if type_ == "rejected":
+            bits.append(f"reason={event.get('reason', '?')}")
+        if type_ == "cancelled" and event.get("was"):
+            bits.append(f"was={event['was']}")
+        if "queue_depth" in event:
+            bits.append(f"queued={event['queue_depth']}")
+        if "running" in event:
+            bits.append(f"running={event['running']}")
+    elif type_ in ("draining", "drained"):
+        for key in ("queue_depth", "running", "completed", "failed",
+                    "cancelled", "rejected"):
+            if key in event:
+                bits.append(f"{key}={event[key]}")
     elif type_ == "run_started":
         if event.get("total_jobs") is not None:
             bits.append(f"total_jobs={event['total_jobs']}")

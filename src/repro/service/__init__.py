@@ -1,0 +1,61 @@
+"""Streaming scheduler service: online DelayStage over open-loop arrivals.
+
+The offline pipeline replays a fixed batch of trace-twin jobs; this
+package turns the same machinery into a long-running daemon.  Jobs
+arrive as a stream (sampled open-loop from the trace generator, or
+POSTed by remote clients), each new DAG gets its stage-delay table
+computed at admission, and completions are played out on a virtual or
+scaled wall clock while the PR-7 telemetry plane (``/metrics``,
+``/runs/<id>``, ``/events``) observes everything live.
+
+Layering, bottom up:
+
+* :mod:`~repro.service.clock` — the only place the daemon learns what
+  time it is (``WallClock`` for ``repro serve``, ``VirtualClock`` for
+  deterministic tests with zero wall sleeps);
+* :mod:`~repro.service.state` — per-job lifecycle state machine and
+  typed rejections;
+* :mod:`~repro.service.admission` — bounded-queue admission control
+  and load shedding;
+* :mod:`~repro.service.core` — the deterministic submit/dispatch/
+  complete engine (time-passive: callers hand it instants);
+* :mod:`~repro.service.daemon` — the asyncio pump + arrival driver +
+  HTTP control facade;
+* :mod:`~repro.service.wire` / :mod:`~repro.service.client` — the JSON
+  job format and a stdlib client for remote drivers.
+"""
+
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.clock import Clock, VirtualClock, WallClock
+from repro.service.core import ServiceCore
+from repro.service.daemon import ServiceDaemon
+from repro.service.state import (
+    IllegalTransition,
+    JobState,
+    RejectedSubmission,
+    Rejection,
+    RejectionReason,
+    ServiceJob,
+)
+from repro.service.wire import job_from_wire, job_to_wire
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "Clock",
+    "IllegalTransition",
+    "JobState",
+    "RejectedSubmission",
+    "Rejection",
+    "RejectionReason",
+    "ServiceClient",
+    "ServiceCore",
+    "ServiceDaemon",
+    "ServiceError",
+    "ServiceJob",
+    "VirtualClock",
+    "WallClock",
+    "job_from_wire",
+    "job_to_wire",
+]

@@ -1,0 +1,103 @@
+"""Admission control: who gets in, who gets shed, and why.
+
+The service is open-loop — arrivals do not slow down because the
+cluster is busy — so overload protection has to happen at the door.
+The controller is a pure predicate over the service's current occupancy
+(no clock, no randomness): given the same submission against the same
+queue state it always returns the same verdict, which keeps overload
+runs exactly as replayable as healthy ones.
+
+Verdicts are ``None`` (admit) or a :data:`RejectionReason` string:
+
+* ``queue_full`` — the bounded pending queue is at ``max_pending``;
+  admitting more would grow memory without bound under sustained
+  overload.  This is the backpressure signal: clients see a typed
+  rejection (HTTP 429) and decide whether to back off and retry.
+* ``draining``   — the service has stopped admitting (graceful
+  shutdown); queued and running jobs still finish.
+* ``duplicate``  — the service id is already tracked; replaying a
+  submission must not double-run a job.
+* ``too_large``  — the DAG exceeds ``max_stages`` (off by default);
+  a per-job size cap for deployments that bound worst-case planning
+  cost up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.state import RejectionReason
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the service's admission and retention policy."""
+
+    #: Bound on the pending (admitted-but-not-dispatched) queue.
+    max_pending: int = 64
+    #: Reject DAGs with more stages than this (``None``: no cap).
+    max_stages: "Optional[int]" = None
+    #: Terminal job records kept for ``status``; older ones are evicted
+    #: (counters are preserved), bounding memory over a long soak.
+    retain_results: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.max_stages is not None and self.max_stages < 1:
+            raise ValueError(
+                f"max_stages must be >= 1, got {self.max_stages}"
+            )
+        if self.retain_results < 0:
+            raise ValueError(
+                f"retain_results must be >= 0, got {self.retain_results}"
+            )
+
+
+class AdmissionController:
+    """Stateless admit/shed verdicts against an :class:`AdmissionConfig`."""
+
+    def __init__(self, config: "AdmissionConfig | None" = None) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+
+    def decide(
+        self,
+        *,
+        service_id: str,
+        stages: int,
+        queue_depth: int,
+        draining: bool,
+        known: bool,
+    ) -> "Optional[tuple[str, str]]":
+        """``None`` to admit, else ``(reason, detail)``.
+
+        Checks are ordered so the most actionable reason wins: a
+        duplicate is a caller bug regardless of load; draining beats
+        queue pressure; the size cap beats queue pressure (the job
+        would never be admissible).
+        """
+        if known:
+            return (
+                RejectionReason.DUPLICATE,
+                f"service id {service_id!r} is already tracked",
+            )
+        if draining:
+            return (
+                RejectionReason.DRAINING,
+                "service is draining and admits no new jobs",
+            )
+        cfg = self.config
+        if cfg.max_stages is not None and stages > cfg.max_stages:
+            return (
+                RejectionReason.TOO_LARGE,
+                f"job has {stages} stages, cap is {cfg.max_stages}",
+            )
+        if queue_depth >= cfg.max_pending:
+            return (
+                RejectionReason.QUEUE_FULL,
+                f"pending queue is at its bound ({cfg.max_pending})",
+            )
+        return None

@@ -1,0 +1,120 @@
+"""ServiceClient: a stdlib HTTP client for the ``repro serve`` surface.
+
+Thin urllib wrapper over the control routes — submit a DAG (wire
+format), poll job status, cancel, drain, read service stats — with the
+server's typed rejections surfaced as the same
+:class:`~repro.service.state.RejectedSubmission` exception the
+in-process core raises, so driver code (the demo, the CI load job) is
+identical against a local core or a remote daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING, Optional
+from urllib.parse import urlsplit
+
+from repro.service.state import RejectedSubmission, Rejection
+from repro.service.wire import job_to_wire
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dag.job import Job
+
+
+class ServiceError(RuntimeError):
+    """Non-rejection HTTP failure from the service (4xx/5xx + message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        if "//" not in base_url:
+            base_url = "http://" + base_url
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", "https"):
+            raise ValueError(
+                f"unsupported scheme {parts.scheme!r}; use http:// or https://"
+            )
+        self.base_url = f"{parts.scheme}://{parts.netloc}"
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _request(
+        self, method: str, path: str, payload: "Optional[dict]" = None
+    ) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:  # noqa: S310 - scheme restricted above
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(body)
+            except json.JSONDecodeError:
+                parsed = {}
+            rejected = parsed.get("rejected")
+            if isinstance(rejected, dict):
+                raise RejectedSubmission(Rejection(
+                    job_id=str(rejected.get("job_id", "?")),
+                    reason=str(rejected.get("reason", "unknown")),
+                    detail=str(rejected.get("detail", "")),
+                    at=float(rejected.get("at", 0.0)),
+                    queue_depth=int(rejected.get("queue_depth", 0)),
+                )) from exc
+            message = parsed.get("error", body.strip() or exc.reason)
+            raise ServiceError(exc.code, str(message)) from exc
+
+    # -- control surface ------------------------------------------------ #
+
+    def submit(self, job: "Job") -> dict:
+        """Submit a DAG; returns the queued lifecycle record.
+
+        Raises :class:`RejectedSubmission` when the daemon sheds the
+        job (queue full, draining, duplicate, too large) — the caller
+        decides whether to back off and retry.
+        """
+        return self._request(
+            "POST", "/service/submit", job_to_wire(job)
+        )["job"]
+
+    def submit_wire(self, payload: dict) -> dict:
+        return self._request("POST", "/service/submit", payload)["job"]
+
+    def status(self, service_id: str) -> dict:
+        return self._request("GET", f"/service/jobs/{service_id}")["job"]
+
+    def jobs(self) -> "list[dict]":
+        return self._request("GET", "/service/jobs")["jobs"]
+
+    def cancel(self, service_id: str) -> dict:
+        return self._request("POST", f"/service/cancel/{service_id}")["job"]
+
+    def drain(self) -> dict:
+        return self._request("POST", "/service/drain")["service"]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/service")["service"]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        url = self.base_url + "/metrics"
+        with urllib.request.urlopen(url, timeout=self.timeout) as resp:  # noqa: S310 - scheme restricted above
+            return resp.read().decode("utf-8")

@@ -1,0 +1,427 @@
+"""ServiceCore: the deterministic heart of the scheduler daemon.
+
+The core is a discrete-event state machine over *service time*: it
+accepts submissions, holds admitted jobs in a bounded FIFO queue,
+dispatches them onto a fixed number of concurrent slots, and schedules
+each job's completion event at ``dispatch_t + JCT``.  Crucially it is
+**time-passive** — it never reads a clock; callers hand it instants
+(``submit(..., )`` uses the time of the last ``advance_to``), so the
+same submission sequence against the same core yields the same event
+trajectory whether the instants came from a wall clock, a virtual
+clock, or a plain test loop.
+
+Dispatch is where the paper's machinery runs online: the configured
+:class:`~repro.schedulers.base.Scheduler` prepares the job — for
+DelayStage that is Algorithm 1 computing the stage-delay table for the
+newly arrived DAG — and the prepared job runs through its own fluid
+:class:`~repro.simulator.simulation.Simulation`, exactly as the offline
+``replay_batch`` path does.  The per-job simulated JCT is therefore
+bit-identical to an offline replay of the same job (the acceptance
+contract); service-level queueing delay lives in the lifecycle record
+(``dispatch_t - submit_t``), never inside the JCT.
+
+Concurrency model: every public method takes the core's re-entrant
+lock, so HTTP handler threads and the asyncio pump can interleave
+freely; within the lock all bookkeeping is pure data-structure work.
+Fault plans ride on the scheduler's simulation config; each per-job
+simulation gets its own injector, and fault telemetry is published on
+the shared bus as the simulations execute.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.live.bus import TelemetryPublisher, fault_hook
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.state import (
+    JobState,
+    RejectedSubmission,
+    Rejection,
+    ServiceJob,
+)
+from repro.simulator.simulation import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.spec import ClusterSpec
+    from repro.dag.job import Job
+    from repro.schedulers.base import Scheduler
+
+#: Bounded ring of recent rejections kept for inspection.
+REJECTION_HISTORY = 256
+
+
+class ServiceCore:
+    """Deterministic submit/dispatch/complete state machine."""
+
+    def __init__(
+        self,
+        cluster: "ClusterSpec",
+        scheduler: "Scheduler",
+        *,
+        slots: int = 2,
+        admission: "AdmissionConfig | None" = None,
+        publisher: "TelemetryPublisher | None" = None,
+        start_time: float = 0.0,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.slots = slots
+        self.admission = AdmissionController(admission)
+        self.publisher = publisher
+        self._lock = threading.RLock()
+        self._now = float(start_time)
+        self._seq = 0
+        #: All known job records (bounded: terminal ones are evicted
+        #: beyond ``retain_results``); insertion ordered.
+        self.jobs: "dict[str, ServiceJob]" = {}
+        #: Admitted job payloads, dropped once the job is terminal.
+        self._payloads: "dict[str, Job]" = {}
+        self._queue: "deque[str]" = deque()
+        #: (finish_t, seq, service_id) completion events.
+        self._running: "list[tuple[float, int, str]]" = []
+        self._in_flight = 0
+        #: Simulated outcome parked until the completion event fires.
+        self._outcomes: "dict[str, tuple[float, bool, int]]" = {}
+        self._terminal_order: "deque[str]" = deque()
+        self._rejections: "deque[Rejection]" = deque(maxlen=REJECTION_HISTORY)
+        self.draining = False
+        self._drained_published = False
+        self.counters = {
+            "submitted": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "evicted": 0,
+        }
+        self.rejected_by_reason: "dict[str, int]" = {}
+        self.peak_queue_depth = 0
+
+    # -- time ----------------------------------------------------------- #
+
+    @property
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def next_deadline(self) -> "Optional[float]":
+        """Earliest pending completion, or ``None`` when nothing runs."""
+        with self._lock:
+            return self._running[0][0] if self._running else None
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or running."""
+        with self._lock:
+            return not self._queue and not self._running
+
+    # -- submission ----------------------------------------------------- #
+
+    def submit(
+        self, job: "Job", *, service_id: "str | None" = None
+    ) -> ServiceJob:
+        """Admit ``job`` (or shed it with a typed rejection).
+
+        Returns the queued :class:`ServiceJob`; raises
+        :class:`RejectedSubmission` when admission control says no.
+        The job is *not* dispatched here — dispatch happens on the next
+        ``advance_to``, which is what keeps HTTP submit latency flat
+        even when simulations are expensive.
+        """
+        sid = service_id if service_id is not None else job.job_id
+        with self._lock:
+            self.counters["submitted"] += 1
+            verdict = self.admission.decide(
+                service_id=sid,
+                stages=job.num_stages,
+                queue_depth=len(self._queue),
+                draining=self.draining,
+                known=sid in self.jobs,
+            )
+            if verdict is not None:
+                reason, detail = verdict
+                rejection = Rejection(
+                    job_id=sid, reason=reason, detail=detail,
+                    at=self._now, queue_depth=len(self._queue),
+                )
+                self.counters["rejected"] += 1
+                self.rejected_by_reason[reason] = (
+                    self.rejected_by_reason.get(reason, 0) + 1
+                )
+                self._rejections.append(rejection)
+                if self.publisher is not None:
+                    self.publisher.job_rejected(
+                        sid, reason, queue_depth=len(self._queue),
+                        running=self._in_flight,
+                    )
+                raise RejectedSubmission(rejection)
+            self._seq += 1
+            record = ServiceJob(
+                service_id=sid,
+                dag_job_id=job.job_id,
+                stages=job.num_stages,
+                submit_t=self._now,
+                seq=self._seq,
+                scheduler=self.scheduler.name,
+            )
+            self.jobs[sid] = record
+            self._payloads[sid] = job
+            self._queue.append(sid)
+            self.counters["admitted"] += 1
+            self.peak_queue_depth = max(self.peak_queue_depth,
+                                        len(self._queue))
+            if self.publisher is not None:
+                self.publisher.job_submitted(
+                    sid, stages=job.num_stages,
+                    queue_depth=len(self._queue), running=self._in_flight,
+                )
+            return record
+
+    # -- control -------------------------------------------------------- #
+
+    def cancel(self, service_id: str) -> "Optional[ServiceJob]":
+        """Cancel a queued or running job.
+
+        Returns the (possibly unchanged) record, or ``None`` for an
+        unknown id.  Cancelling a terminal job is a no-op; cancelling a
+        running job frees its slot immediately — its already-simulated
+        outcome is discarded, so it never reports a JCT.
+        """
+        with self._lock:
+            record = self.jobs.get(service_id)
+            if record is None or record.terminal:
+                return record
+            was = record.state
+            record.mark_cancelled(self._now)
+            if was is JobState.QUEUED:
+                self._queue.remove(service_id)
+            else:  # RUNNING: the stale heap entry is skipped at pop time
+                self._outcomes.pop(service_id, None)
+                self._in_flight -= 1
+            self.counters["cancelled"] += 1
+            self._retire(service_id)
+            if self.publisher is not None:
+                self.publisher.job_cancelled(
+                    service_id, was=was.value,
+                    queue_depth=len(self._queue), running=self._in_flight,
+                )
+            self._dispatch(self._now)
+            self._maybe_drained()
+            return record
+
+    def drain(self) -> dict:
+        """Stop admitting; queued and running jobs still finish."""
+        with self._lock:
+            if not self.draining:
+                self.draining = True
+                if self.publisher is not None:
+                    self.publisher.drain_started(
+                        queue_depth=len(self._queue), running=self._in_flight,
+                    )
+            self._maybe_drained()
+            return self.stats()
+
+    @property
+    def drained(self) -> bool:
+        with self._lock:
+            return self.draining and not self._queue and not self._running
+
+    # -- the event loop body -------------------------------------------- #
+
+    def advance_to(self, t: float) -> int:
+        """Move service time to ``t``, firing everything due on the way.
+
+        Completions are processed in ``(finish_t, seq)`` order; each
+        freed slot immediately redispatches from the queue *at the
+        completion instant*, so a burst of completions at the same time
+        drains the queue deterministically.  Returns the number of
+        lifecycle events (dispatches + completions) processed.
+        """
+        with self._lock:
+            t = float(t)
+            if t < self._now:
+                raise ValueError(
+                    f"cannot rewind service time from {self._now} to {t}"
+                )
+            processed = self._dispatch(self._now)
+            while self._running and self._running[0][0] <= t:
+                finish_t, _, sid = heapq.heappop(self._running)
+                self._now = max(self._now, finish_t)
+                record = self.jobs.get(sid)
+                if record is None or record.state is not JobState.RUNNING:
+                    continue  # cancelled (slot already freed) or evicted
+                outcome = self._outcomes.pop(sid)
+                jct, failed, retries = outcome
+                record.retries = retries
+                if failed:
+                    record.mark_failed(self._now, failure_time=jct)
+                    self.counters["failed"] += 1
+                    if self.publisher is not None:
+                        self.publisher.job_failed(
+                            sid, failure_time=jct, retries=retries,
+                            queue_depth=len(self._queue),
+                            running=self._in_flight - 1,
+                        )
+                else:
+                    record.mark_completed(self._now, jct=jct)
+                    self.counters["completed"] += 1
+                    if self.publisher is not None:
+                        self.publisher.job_done(jct=jct)
+                self._in_flight -= 1
+                self._retire(sid)
+                processed += 1
+                processed += self._dispatch(self._now)
+            self._now = t
+            self._maybe_drained()
+            return processed
+
+    def run_until_idle(self, limit: "float | None" = None) -> float:
+        """Advance through completions until nothing is running.
+
+        Dispatches the backlog first, then repeatedly jumps to the next
+        completion.  ``limit`` bounds how far time may advance (the
+        soak tests' deadlock guard).  Returns the final service time.
+        """
+        with self._lock:
+            self.advance_to(self._now)
+            while True:
+                deadline = self.next_deadline()
+                if deadline is None:
+                    break
+                if limit is not None and deadline > limit:
+                    break
+                self.advance_to(deadline)
+            return self._now
+
+    # -- internals ------------------------------------------------------ #
+
+    def _dispatch(self, t: float) -> int:
+        """Fill free slots from the queue; runs the simulations eagerly.
+
+        The simulation executes at dispatch time (its wall cost is the
+        service's processing cost) but the *service-time* completion is
+        scheduled at ``t + JCT`` — the fluid simulator plays the role
+        of the cluster, and the core plays the role of its clock.
+        """
+        dispatched = 0
+        while self._queue and self._in_flight < self.slots:
+            sid = self._queue[0]
+            record = self.jobs[sid]
+            if record.submit_t > t:
+                break  # future arrival (pump catching up); not due yet
+            self._queue.popleft()
+            job = self._payloads[sid]
+            record.mark_running(t)
+            prepared = self.scheduler.prepare(job, self.cluster)
+            schedule = prepared.info.get("schedule")
+            delays = getattr(schedule, "delays", None)
+            if delays:
+                record.stages_delayed = sum(1 for d in delays.values() if d > 0)
+                record.total_delay_s = float(sum(delays.values()))
+            predicted = getattr(schedule, "predicted_makespan", None)
+            if predicted is not None:
+                record.predicted_makespan = float(predicted)
+            if self.publisher is not None:
+                self.publisher.schedule_computed(
+                    self.scheduler.name, prepared.info
+                )
+            sim = Simulation(
+                self.cluster,
+                prepared.config,
+                fault_hook=fault_hook(self.publisher),
+            )
+            sim.add_job(job, prepared.policy)
+            result = sim.run()
+            jct = result.job_completion_time(job.job_id)
+            stats = result.faults
+            failed = stats is not None and job.job_id in stats.jobs_failed
+            retries = stats.retries if stats is not None else 0
+            if stats is not None:
+                record.extra["faults"] = {
+                    "injected": stats.injected,
+                    "crashes": stats.crashes,
+                    "brownouts": stats.brownouts,
+                    "stragglers": stats.stragglers,
+                    "partitions_lost": stats.partitions_lost,
+                    "retries": stats.retries,
+                }
+            duration = float(jct)
+            self._outcomes[sid] = (duration, failed, retries)
+            self._seq += 1
+            heapq.heappush(self._running, (t + duration, self._seq, sid))
+            self._in_flight += 1
+            dispatched += 1
+        return dispatched
+
+    def _retire(self, service_id: str) -> None:
+        """Drop the payload and enforce the terminal-record bound."""
+        self._payloads.pop(service_id, None)
+        self._terminal_order.append(service_id)
+        retain = self.admission.config.retain_results
+        while len(self._terminal_order) > retain:
+            victim = self._terminal_order.popleft()
+            if self.jobs.pop(victim, None) is not None:
+                self.counters["evicted"] += 1
+
+    def _maybe_drained(self) -> None:
+        if (self.draining and not self._queue and not self._running
+                and not self._drained_published):
+            self._drained_published = True
+            if self.publisher is not None:
+                self.publisher.drain_finished(
+                    completed=self.counters["completed"],
+                    failed=self.counters["failed"],
+                    cancelled=self.counters["cancelled"],
+                    rejected=self.counters["rejected"],
+                )
+
+    # -- views ----------------------------------------------------------- #
+
+    def status(self, service_id: str) -> "Optional[ServiceJob]":
+        with self._lock:
+            return self.jobs.get(service_id)
+
+    def jobs_snapshot(self) -> "list[ServiceJob]":
+        """Retained lifecycle records in admission order."""
+        with self._lock:
+            return sorted(self.jobs.values(), key=lambda r: r.seq)
+
+    def job_states(self) -> "dict[str, int]":
+        """Count of retained records per lifecycle state."""
+        with self._lock:
+            counts: "dict[str, int]" = {}
+            for record in self.jobs.values():
+                counts[record.state.value] = (
+                    counts.get(record.state.value, 0) + 1
+                )
+            return counts
+
+    def rejections(self) -> "list[Rejection]":
+        with self._lock:
+            return list(self._rejections)
+
+    def stats(self) -> dict:
+        """Counters + occupancy snapshot (the ``/service`` payload)."""
+        with self._lock:
+            return {
+                "now": self._now,
+                "slots": self.slots,
+                "queue_depth": len(self._queue),
+                "running": self._in_flight,
+                "peak_queue_depth": self.peak_queue_depth,
+                "max_pending": self.admission.config.max_pending,
+                "draining": self.draining,
+                "drained": (self.draining and not self._queue
+                            and not self._running),
+                "scheduler": self.scheduler.name,
+                "counters": dict(self.counters),
+                "rejected_by_reason": dict(self.rejected_by_reason),
+                "states": self.job_states(),
+            }

@@ -1,0 +1,209 @@
+"""Job lifecycle state machine for the scheduler service.
+
+Every job the service admits is tracked by one :class:`ServiceJob`
+record walking a fixed transition graph::
+
+    QUEUED ──▶ RUNNING ──▶ COMPLETED
+       │          ├──────▶ FAILED
+       └──────────┴──────▶ CANCELLED
+
+Transitions outside the graph raise :class:`IllegalTransition` — the
+state machine *enforces* its invariants at runtime rather than trusting
+callers, which is what the stateful hypothesis battery hammers:
+
+* a job reaches at most one terminal state (no double completion);
+* a JCT is recorded exactly on the ``RUNNING → COMPLETED`` edge and
+  never afterwards — cancelled and failed jobs never report one;
+* timestamps are monotone along the lifecycle
+  (``submit_t ≤ dispatch_t ≤ finish_t``).
+
+Submissions the service refuses to admit never become jobs at all:
+they are captured as typed :class:`Rejection` records (queue full,
+draining, duplicate id, DAG too large) raised to the caller as
+:class:`RejectedSubmission` and counted by the core, so load shedding
+is observable without growing state per shed request.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of an admitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: Legal transitions; terminal states map to the empty set.
+TRANSITIONS: "dict[JobState, frozenset[JobState]]" = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset(
+        {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED}
+    ),
+    JobState.COMPLETED: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+TERMINAL_STATES = frozenset(
+    state for state, nexts in TRANSITIONS.items() if not nexts
+)
+
+
+class IllegalTransition(RuntimeError):
+    """A caller attempted a transition outside the lifecycle graph."""
+
+
+class RejectionReason:
+    """Typed load-shed reasons (stable strings, used as metric labels)."""
+
+    QUEUE_FULL = "queue_full"
+    DRAINING = "draining"
+    DUPLICATE = "duplicate"
+    TOO_LARGE = "too_large"
+
+    ALL = (QUEUE_FULL, DRAINING, DUPLICATE, TOO_LARGE)
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One refused submission (the job was never admitted)."""
+
+    job_id: str
+    reason: str
+    detail: str
+    at: float
+    queue_depth: int
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "reason": self.reason,
+            "detail": self.detail,
+            "at": self.at,
+            "queue_depth": self.queue_depth,
+        }
+
+
+class RejectedSubmission(Exception):
+    """Raised by ``submit`` when admission control sheds the job."""
+
+    def __init__(self, rejection: Rejection) -> None:
+        super().__init__(
+            f"job {rejection.job_id!r} rejected ({rejection.reason}): "
+            f"{rejection.detail}"
+        )
+        self.rejection = rejection
+
+
+@dataclass
+class ServiceJob:
+    """One admitted job's lifecycle record.
+
+    ``jct`` is the job's *simulated* completion time — the quantity the
+    acceptance contract pins bit-identical to an offline replay of the
+    same job.  Service-side queueing shows up separately as
+    ``dispatch_t - submit_t``, never inside the JCT.
+    """
+
+    service_id: str
+    dag_job_id: str
+    stages: int
+    submit_t: float
+    state: JobState = JobState.QUEUED
+    dispatch_t: "Optional[float]" = None
+    finish_t: "Optional[float]" = None
+    jct: "Optional[float]" = None
+    failure_time: "Optional[float]" = None
+    retries: int = 0
+    scheduler: "Optional[str]" = None
+    stages_delayed: "Optional[int]" = None
+    total_delay_s: "Optional[float]" = None
+    predicted_makespan: "Optional[float]" = None
+    cancelled_from: "Optional[str]" = None
+    #: Deterministic admission order (assigned by the core).
+    seq: int = 0
+    extra: dict = field(default_factory=dict)
+
+    # -- transitions ---------------------------------------------------- #
+
+    def _advance(self, new_state: JobState) -> None:
+        if new_state not in TRANSITIONS[self.state]:
+            raise IllegalTransition(
+                f"job {self.service_id!r}: {self.state.value} -> "
+                f"{new_state.value} is not a legal transition"
+            )
+        self.state = new_state
+
+    def mark_running(self, at: float) -> None:
+        if at < self.submit_t:
+            raise IllegalTransition(
+                f"job {self.service_id!r}: dispatch at {at} precedes "
+                f"submit at {self.submit_t}"
+            )
+        self._advance(JobState.RUNNING)
+        self.dispatch_t = at
+
+    def mark_completed(self, at: float, jct: float) -> None:
+        self._advance(JobState.COMPLETED)
+        self._check_finish(at)
+        self.finish_t = at
+        self.jct = float(jct)
+
+    def mark_failed(self, at: float, failure_time: float) -> None:
+        self._advance(JobState.FAILED)
+        self._check_finish(at)
+        self.finish_t = at
+        self.failure_time = float(failure_time)
+
+    def mark_cancelled(self, at: float) -> None:
+        was = self.state
+        self._advance(JobState.CANCELLED)
+        self.cancelled_from = was.value
+        self.finish_t = at
+        # Invariant, not an accident: a cancelled job never reports a
+        # JCT even if its simulation already ran.
+        self.jct = None
+
+    def _check_finish(self, at: float) -> None:
+        if self.dispatch_t is not None and at < self.dispatch_t:
+            raise IllegalTransition(
+                f"job {self.service_id!r}: finish at {at} precedes "
+                f"dispatch at {self.dispatch_t}"
+            )
+
+    # -- views ----------------------------------------------------------- #
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        payload: "dict[str, Any]" = {
+            "service_id": self.service_id,
+            "dag_job_id": self.dag_job_id,
+            "stages": self.stages,
+            "state": self.state.value,
+            "submit_t": self.submit_t,
+            "dispatch_t": self.dispatch_t,
+            "finish_t": self.finish_t,
+            "jct": self.jct,
+            "failure_time": self.failure_time,
+            "retries": self.retries,
+            "scheduler": self.scheduler,
+            "stages_delayed": self.stages_delayed,
+            "total_delay_s": self.total_delay_s,
+            "predicted_makespan": self.predicted_makespan,
+            "cancelled_from": self.cancelled_from,
+            "seq": self.seq,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload

@@ -234,6 +234,52 @@ def generate_trace(
     return jobs
 
 
+def open_loop_arrivals(
+    config: "TraceGeneratorConfig | None" = None,
+    rng: "int | np.random.Generator | None" = 0,
+    *,
+    rate_jobs_per_s: float = 0.05,
+    num_jobs: "int | None" = None,
+    start: float = 0.0,
+) -> "list[tuple[float, TraceJob]]":
+    """Sample an open-loop submission schedule from the trace twin.
+
+    Draws jobs from :func:`generate_trace` and re-times them as a
+    Poisson arrival process at ``rate_jobs_per_s`` — the streaming
+    analogue of the batch replay: inter-arrival gaps are exponential
+    with mean ``1 / rate``, independent of job size and of how busy
+    the service is (arrivals never back off, which is what makes
+    overload reachable and load shedding observable).  Cranking the
+    rate 10×/100× past the service rate is exactly the overload knob
+    the service load tests turn.
+
+    Returns ``[(submit_t, trace_job), ...]`` sorted by time; pair with
+    :func:`repro.trace.replay.to_job` to get simulatable DAGs.  The
+    schedule is a pure function of ``(config, rng, rate, num_jobs,
+    start)`` — same seed, same schedule — so a service run and its
+    offline replay see byte-identical jobs.
+    """
+    if rate_jobs_per_s <= 0:
+        raise ValueError(
+            f"rate_jobs_per_s must be positive, got {rate_jobs_per_s}"
+        )
+    cfg = config or TraceGeneratorConfig()
+    n = cfg.num_jobs if num_jobs is None else int(num_jobs)
+    if n < 0:
+        raise ValueError(f"num_jobs must be >= 0, got {n}")
+    if n > cfg.num_jobs:
+        cfg = TraceGeneratorConfig(**{**cfg.__dict__, "num_jobs": n})
+    gen = resolve_rng(rng)
+    jobs = generate_trace(cfg, gen)[:n]
+    gaps = gen.exponential(1.0 / rate_jobs_per_s, size=n)
+    t = float(start)
+    schedule: "list[tuple[float, TraceJob]]" = []
+    for job, gap in zip(jobs, gaps):
+        t += float(gap)
+        schedule.append((t, job))
+    return schedule
+
+
 def generate_machine_usage(
     num_machines: int = 100,
     span_seconds: float = 8 * 24 * 3600.0,

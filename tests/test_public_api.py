@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.profiling",
     "repro.analysis",
     "repro.obs",
+    "repro.service",
     "repro.util",
 ]
 

@@ -1,0 +1,138 @@
+"""Chaos coverage for the service: faults mid-service stay consistent.
+
+Injector crash/straggler/brownout events firing inside dispatched
+jobs' simulations must leave the telemetry plane coherent: the
+``/runs/<id>`` snapshot's fault counts equal the per-job ``FaultStats``
+sums recorded in the lifecycle records, failed jobs are typed
+``failed`` (never ``completed``), and the whole trajectory is a pure
+function of the chaos seed.
+
+Golden seed-stability (the PR-5 pattern): committed fixtures pin the
+drained service state — every lifecycle record with its JCT, retries,
+and per-job fault summary, plus the final counters — for seeded chaos
+runs.  The same seed must keep producing the same drained snapshot,
+byte for byte.  Regenerate (only after an *intentional* semantics
+change) with:
+
+    PYTHONPATH=src python -m tests.test_service_chaos
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.faults import generate_plan
+from repro.obs.live.bus import TelemetryBus, TelemetryPublisher
+from repro.obs.live.hub import LiveHub
+from repro.schedulers import FuxiScheduler
+from repro.service import AdmissionConfig, RejectedSubmission, ServiceCore
+from repro.workloads.synthetic import random_job
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+SEEDS = (1, 2)
+NUM_JOBS = 4
+
+
+def _golden_path(seed: int) -> pathlib.Path:
+    return GOLDEN_DIR / f"service_chaos_seed{seed}.json"
+
+
+def _chaos_service_run(seed: int):
+    """Run the canonical seeded chaos service; returns (core, hub, bus)."""
+    cluster = uniform_cluster(3, executors_per_worker=2, nic_mbps=450,
+                              disk_mb_per_sec=150, storage_nodes=0)
+    jobs = [random_job(4, job_id=f"c{seed}-{i}", rng=seed * 100 + i)
+            for i in range(NUM_JOBS)]
+    plan = generate_plan(cluster, seed, jobs=jobs, num_events=4,
+                         retry_budget=1, backoff_base=0.25, backoff_cap=1.0)
+    scheduler = FuxiScheduler(track_metrics=False, fault_plan=plan)
+    bus = TelemetryBus()
+    publisher = TelemetryPublisher(bus, label="serve", run_id="serve")
+    hub = LiveHub(bus=bus)
+    core = ServiceCore(cluster, scheduler, slots=2, publisher=publisher,
+                       admission=AdmissionConfig(max_pending=8))
+    for i, job in enumerate(jobs):
+        core.advance_to(10.0 * i)
+        try:
+            core.submit(job)
+        except RejectedSubmission:  # pragma: no cover - queue is large enough
+            pass
+    core.drain()
+    core.run_until_idle()
+    return core, hub, bus
+
+
+def _drained_snapshot(core: ServiceCore) -> dict:
+    """The golden payload: stable fields of the drained service."""
+    stats = core.stats()
+    return {
+        "counters": stats["counters"],
+        "states": stats["states"],
+        "jobs": [r.to_dict() for r in core.jobs_snapshot()],
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_service_matches_golden_snapshot(seed):
+    expected = json.loads(_golden_path(seed).read_text(encoding="utf-8"))
+    core, _, _ = _chaos_service_run(seed)
+    assert _drained_snapshot(core) == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_stats_consistent_with_hub(seed):
+    """Hub fault counts == sum of per-job FaultStats; states typed."""
+    core, hub, bus = _chaos_service_run(seed)
+    snap = hub.run_snapshot("serve")
+    records = core.jobs_snapshot()
+    # every dispatched job carries its FaultStats summary
+    per_job = [r.extra["faults"] for r in records if "faults" in r.extra]
+    assert per_job, "chaos plan must have touched at least one job"
+    injected = sum(f["injected"] for f in per_job)
+    assert injected > 0
+    # bus fault events == total injections + retries + replans etc.;
+    # at minimum every *injection* published one event per kind
+    fault_events = [e for e in bus.events_since() if e["type"] == "fault"]
+    assert len(fault_events) >= injected
+    assert sum(snap["faults"].values()) == len(fault_events)
+    # failed jobs report typed failure, never a JCT
+    for record in records:
+        if record.state.value == "failed":
+            assert record.jct is None
+            assert record.failure_time is not None
+        if record.state.value == "completed":
+            assert record.jct is not None
+    # the service snapshot agrees with the core's books
+    svc = snap["service"]
+    assert svc["submitted"] == core.stats()["counters"]["admitted"]
+    assert svc["failed"] == core.stats()["counters"]["failed"]
+    assert svc["drained"] is True
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_service_is_seed_stable_in_process(seed):
+    """Two in-process runs of the same seed are identical, field by field."""
+    first = _drained_snapshot(_chaos_service_run(seed)[0])
+    second = _drained_snapshot(_chaos_service_run(seed)[0])
+    assert first == second
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for seed in SEEDS:
+        core, _, _ = _chaos_service_run(seed)
+        path = _golden_path(seed)
+        path.write_text(
+            json.dumps(_drained_snapshot(core), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

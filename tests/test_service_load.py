@@ -1,0 +1,389 @@
+"""Service load battery: rates, overload, bit-identity, virtual clock.
+
+Drives the streaming scheduler service at 10×/100×/overload arrival
+rates — entirely in virtual time, zero wall-clock sleeps — and asserts
+the acceptance contract of PR 10:
+
+* the pending queue never exceeds its bound, and overload sheds load
+  with typed ``queue_full`` rejections instead of deadlocking or
+  growing memory;
+* completion counters are monotone (no double completion, no lost
+  job: admitted = terminal + live at every step);
+* per-job JCTs from a service run are **bit-identical** to an offline
+  ``replay_batch`` of the same jobs — queueing lives in the lifecycle
+  record, never inside the JCT;
+* the asyncio daemon driven by a :class:`VirtualClock` reproduces the
+  synchronous core's trajectory exactly, ending in a ``drained``
+  terminal event;
+* ``repro tail`` against a draining server exits cleanly after the
+  terminal event instead of burning its reconnect budget (regression
+  for the PR-10 tail fix).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.cluster import alibaba_sim_cluster
+from repro.obs.live.bus import TelemetryBus, TelemetryPublisher
+from repro.obs.live.hub import LiveHub
+from repro.obs.live.server import LiveServer
+from repro.obs.live.tail import iter_events, tail
+from repro.schedulers import DelayStageScheduler, FuxiScheduler, replay_batch
+from repro.service import (
+    AdmissionConfig,
+    RejectedSubmission,
+    ServiceCore,
+    ServiceDaemon,
+    VirtualClock,
+)
+from repro.trace.generator import TraceGeneratorConfig, open_loop_arrivals
+from repro.trace.replay import to_job
+
+TRACE_CFG = TraceGeneratorConfig(num_jobs=24, max_stages=16,
+                                 replay_workers=3,
+                                 replay_read_mb_per_sec=85.0)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return alibaba_sim_cluster(num_machines=3, storage_nodes=1,
+                               nic_mbps_range=(600, 2000), rng=0)
+
+
+def _arrival_jobs(rate: float, n: int, seed: int = 5):
+    schedule = open_loop_arrivals(TRACE_CFG, rng=seed,
+                                  rate_jobs_per_s=rate, num_jobs=n)
+    return [(t, to_job(tj, TRACE_CFG)) for t, tj in schedule]
+
+
+def _scheduler():
+    return FuxiScheduler(track_metrics=False)
+
+
+def _drive(core: ServiceCore, arrivals) -> int:
+    """Feed an arrival schedule through a core in timestamp order."""
+    shed = 0
+    for t, job in arrivals:
+        core.advance_to(t)
+        try:
+            core.submit(job)
+        except RejectedSubmission as exc:
+            assert exc.rejection.reason == "queue_full"
+            shed += 1
+    core.run_until_idle()
+    return shed
+
+
+# -- arrival-rate sweep ------------------------------------------------- #
+
+@pytest.mark.parametrize("rate_multiplier", [10.0, 100.0])
+def test_elevated_rates_bounded_queue_no_loss(cluster, rate_multiplier):
+    """10×/100× the nominal rate: queue bounded, every job accounted."""
+    arrivals = _arrival_jobs(0.01 * rate_multiplier, 12)
+    core = ServiceCore(cluster, _scheduler(), slots=2,
+                       admission=AdmissionConfig(max_pending=8))
+    shed = _drive(core, arrivals)
+    stats = core.stats()
+    assert stats["peak_queue_depth"] <= 8
+    assert stats["counters"]["submitted"] == 12
+    assert stats["counters"]["admitted"] + stats["counters"]["rejected"] == 12
+    assert stats["counters"]["rejected"] == shed
+    # no lost job, no deadlock: everything admitted reached a terminal
+    assert stats["counters"]["completed"] == stats["counters"]["admitted"]
+    assert stats["states"] == {"completed": stats["counters"]["completed"]}
+
+
+def test_overload_sheds_without_deadlock_or_unbounded_memory(cluster):
+    """Sustained overload: arrivals far faster than service.
+
+    The queue bound forces typed rejections; the retention bound caps
+    retained records; the run still terminates with monotone counters.
+    """
+    arrivals = _arrival_jobs(50.0, 24)  # ~24 jobs in ~0.5s of service time
+    core = ServiceCore(
+        cluster, _scheduler(), slots=1,
+        admission=AdmissionConfig(max_pending=3, retain_results=2),
+    )
+    completed_seen = 0
+    shed = 0
+    for t, job in arrivals:
+        core.advance_to(t)
+        try:
+            core.submit(job)
+        except RejectedSubmission as exc:
+            assert exc.rejection.reason == "queue_full"
+            shed += 1
+        # counters are monotone and internally consistent at every step
+        s = core.stats()
+        assert s["counters"]["completed"] >= completed_seen
+        completed_seen = s["counters"]["completed"]
+        assert s["queue_depth"] <= 3
+        live = s["queue_depth"] + s["running"]
+        terminal = (s["counters"]["completed"] + s["counters"]["failed"]
+                    + s["counters"]["cancelled"])
+        assert s["counters"]["admitted"] == live + terminal
+    core.run_until_idle()
+    stats = core.stats()
+    assert shed > 0 and stats["rejected_by_reason"] == {"queue_full": shed}
+    assert stats["counters"]["completed"] == stats["counters"]["admitted"]
+    # memory bound: at most retain_results terminal records retained
+    assert len(core.jobs) <= 2
+    assert stats["counters"]["evicted"] > 0
+    # evicted records drop out of status but never out of the counters
+    assert (stats["counters"]["completed"] + stats["counters"]["evicted"]
+            >= stats["counters"]["admitted"])
+
+
+def test_rejections_are_typed_and_bounded(cluster):
+    core = ServiceCore(cluster, _scheduler(), slots=1,
+                       admission=AdmissionConfig(max_pending=1, max_stages=4))
+    arrivals = _arrival_jobs(100.0, 8)
+    big = next((j for _, j in arrivals if j.num_stages > 4), None)
+    small = [(t, j) for t, j in arrivals if j.num_stages <= 4]
+    if big is not None:
+        with pytest.raises(RejectedSubmission) as exc:
+            core.submit(big)
+        assert exc.value.rejection.reason == "too_large"
+    if small:
+        t, job = small[0]
+        core.submit(job, service_id="dup")
+        with pytest.raises(RejectedSubmission) as exc:
+            core.submit(job, service_id="dup")
+        assert exc.value.rejection.reason == "duplicate"
+    core.drain()
+    if len(small) > 1:
+        with pytest.raises(RejectedSubmission) as exc:
+            core.submit(small[1][1])
+        assert exc.value.rejection.reason == "draining"
+    reasons = {r.reason for r in core.rejections()}
+    assert reasons <= {"queue_full", "draining", "duplicate", "too_large"}
+    core.run_until_idle()
+    assert core.drained
+
+
+# -- bit-identity vs offline replay -------------------------------------- #
+
+@pytest.mark.parametrize("make_sched", [
+    lambda: FuxiScheduler(track_metrics=False),
+    lambda: DelayStageScheduler(profiled=False, track_metrics=False),
+], ids=["fuxi", "delaystage"])
+def test_service_jcts_bit_identical_to_offline_replay(cluster, make_sched):
+    """The acceptance contract: service JCT ≡ offline replay JCT."""
+    arrivals = _arrival_jobs(0.5, 8)
+    jobs = [job for _, job in arrivals]
+    core = ServiceCore(cluster, make_sched(), slots=2,
+                       admission=AdmissionConfig(max_pending=64))
+    _drive(core, arrivals)
+    offline = replay_batch(jobs, cluster, make_sched(), processes=1)
+    for job, expected in zip(jobs, offline):
+        record = core.status(job.job_id)
+        assert record is not None and record.state.value == "completed"
+        assert record.jct == expected  # bit-identical, not approx
+        # queueing delay is recorded separately, never folded into JCT
+        assert record.dispatch_t is not None
+        assert record.dispatch_t >= record.submit_t
+
+
+def test_queueing_delay_separated_from_jct(cluster):
+    """Jobs queued behind a busy slot keep their offline JCT."""
+    arrivals = _arrival_jobs(100.0, 4)  # all arrive near-instantly
+    jobs = [job for _, job in arrivals]
+    core = ServiceCore(cluster, _scheduler(), slots=1,
+                       admission=AdmissionConfig(max_pending=64))
+    _drive(core, arrivals)
+    offline = replay_batch(jobs, cluster, _scheduler(), processes=1)
+    waited = 0
+    for job, expected in zip(jobs, offline):
+        record = core.status(job.job_id)
+        assert record.jct == expected
+        assert record.finish_t == pytest.approx(record.dispatch_t + expected)
+        if record.dispatch_t - record.submit_t > 0:
+            waited += 1
+    assert waited > 0  # with one slot, someone must have queued
+
+
+# -- the asyncio daemon under a virtual clock ---------------------------- #
+
+def test_daemon_virtual_clock_matches_core_and_drains(cluster):
+    """Full daemon (arrival task + pump) in virtual time, zero sleeps."""
+    arrivals = _arrival_jobs(0.2, 6)
+    jobs = [job for _, job in arrivals]
+    bus = TelemetryBus()
+    publisher = TelemetryPublisher(bus, label="serve", run_id="serve")
+    hub = LiveHub(bus=bus)
+    core = ServiceCore(cluster, _scheduler(), slots=2, publisher=publisher,
+                       admission=AdmissionConfig(max_pending=64))
+    clock = VirtualClock()
+    last_arrival = arrivals[-1][0]
+    daemon = ServiceDaemon(core, clock, arrivals=arrivals,
+                           drain_after=last_arrival)
+
+    async def scenario():
+        task = asyncio.create_task(daemon.run())
+        # partway in: some jobs should be live, none lost
+        await clock.run_until(last_arrival / 2)
+        mid = core.stats()
+        assert mid["counters"]["submitted"] >= 1
+        await clock.run_until(last_arrival + 1e7)
+        assert core.drained
+        return await asyncio.wait_for(task, timeout=5)
+
+    stats = asyncio.run(scenario())
+    assert stats["counters"]["completed"] == len(jobs)
+    offline = replay_batch(jobs, cluster, _scheduler(), processes=1)
+    for job, expected in zip(jobs, offline):
+        assert core.status(job.job_id).jct == expected
+    types = [e["type"] for e in bus.events_since()]
+    assert types[-1] == "drained"
+    assert types.count("drained") == 1
+    assert types.count("submitted") == len(jobs)
+    snap = hub.run_snapshot("serve")
+    assert snap["service"]["drained"] is True
+    assert snap["service"]["queue_depth"] == 0
+
+
+def test_daemon_virtual_clock_is_deterministic(cluster):
+    """Same seed, same schedule, same event trajectory — twice."""
+
+    def one_run():
+        arrivals = _arrival_jobs(2.0, 6, seed=9)
+        bus = TelemetryBus()
+        publisher = TelemetryPublisher(bus, label="serve", run_id="serve")
+        core = ServiceCore(cluster, _scheduler(), slots=1,
+                           publisher=publisher,
+                           admission=AdmissionConfig(max_pending=2))
+        clock = VirtualClock()
+        daemon = ServiceDaemon(core, clock, arrivals=arrivals,
+                               drain_after=arrivals[-1][0])
+
+        async def scenario():
+            task = asyncio.create_task(daemon.run())
+            await clock.run_until(1e8)
+            return await asyncio.wait_for(task, timeout=5)
+
+        stats = asyncio.run(scenario())
+        trajectory = [
+            {k: e[k] for k in e if k != "elapsed_s"}
+            for e in bus.events_since()
+        ]
+        return stats, trajectory
+
+    first_stats, first_events = one_run()
+    second_stats, second_events = one_run()
+    assert first_stats == second_stats
+    assert first_events == second_events
+    assert any(e["type"] == "rejected" for e in first_events)
+
+
+# -- tail vs a draining server (regression) ------------------------------ #
+
+def _fake_stream_factory(batches):
+    """Each call to _read_stream yields the next batch then ends."""
+    calls = {"n": 0}
+
+    def fake(target, timeout):
+        i = min(calls["n"], len(batches) - 1)
+        calls["n"] += 1
+        yield from batches[i]
+
+    return fake, calls
+
+
+def test_tail_exits_cleanly_after_terminal_event(monkeypatch):
+    """A stream ending on a terminal event must not reconnect-loop."""
+    import importlib
+
+    tail_mod = importlib.import_module("repro.obs.live.tail")
+    events = [
+        {"seq": 1, "type": "submitted", "run": "serve"},
+        {"seq": 2, "type": "job", "run": "serve", "jobs_done": 1},
+        {"seq": 3, "type": "drained", "run": "serve"},
+    ]
+    fake, calls = _fake_stream_factory([events])
+    monkeypatch.setattr(tail_mod, "_read_stream", fake)
+    sleeps: list = []
+    got = list(iter_events("127.0.0.1:9", reconnect=5, sleep=sleeps.append))
+    assert [e["seq"] for e in got] == [1, 2, 3]
+    assert calls["n"] == 1  # no reconnect attempt after the terminal event
+    assert sleeps == []
+
+
+def test_tail_exits_cleanly_on_timeout_after_terminal_event(monkeypatch):
+    """A read timeout after the terminal event is a normal exit.
+
+    A shutting-down server holds the follow stream open (silent)
+    through its grace window, so the client's next read *times out*
+    rather than ending cleanly — that OSError must not be re-raised or
+    burn the reconnect budget once a terminal event has been seen.
+    """
+    import importlib
+
+    tail_mod = importlib.import_module("repro.obs.live.tail")
+    events = [
+        {"seq": 1, "type": "job", "run": "serve", "jobs_done": 1},
+        {"seq": 2, "type": "run_finished", "run": "serve"},
+    ]
+    calls = {"n": 0}
+
+    def fake(target, timeout):
+        calls["n"] += 1
+        yield from events
+        raise OSError("timed out")
+
+    monkeypatch.setattr(tail_mod, "_read_stream", fake)
+    sleeps: list = []
+    got = list(iter_events("127.0.0.1:9", reconnect=5, sleep=sleeps.append))
+    assert [e["seq"] for e in got] == [1, 2]
+    assert calls["n"] == 1
+    assert sleeps == []
+
+
+def test_tail_still_reconnects_after_nonterminal_end(monkeypatch):
+    """The reconnect budget still guards genuinely dropped streams."""
+    import importlib
+
+    tail_mod = importlib.import_module("repro.obs.live.tail")
+    events = [{"seq": 1, "type": "job", "run": "serve", "jobs_done": 1}]
+    fake, calls = _fake_stream_factory([events, [], []])
+    monkeypatch.setattr(tail_mod, "_read_stream", fake)
+    sleeps: list = []
+    with pytest.raises(OSError):
+        list(iter_events("127.0.0.1:9", reconnect=2, sleep=sleeps.append))
+    assert calls["n"] == 3  # initial + 2 retries
+    assert len(sleeps) == 2
+
+
+def test_tail_against_real_draining_server_exits_zero():
+    """End-to-end: tail a live server that drains and closes."""
+    bus = TelemetryBus()
+    publisher = TelemetryPublisher(bus, label="serve", run_id="serve")
+    hub = LiveHub(bus=bus)
+    server = LiveServer(hub).start()
+    publisher.job_submitted("j0", stages=3, queue_depth=1, running=0)
+    publisher.drain_started(queue_depth=0, running=1)
+    publisher.drain_finished(completed=1, failed=0, cancelled=0, rejected=0)
+    result: dict = {}
+
+    def run_tail():
+        import io
+
+        out = io.StringIO()
+        result["count"] = tail(server.url, stream=out, reconnect=5,
+                               timeout=5.0, sleep=lambda s: None)
+
+    thread = threading.Thread(target=run_tail)
+    thread.start()
+    try:
+        # Give the tail a moment to connect and replay the backlog,
+        # then close the server: the stream ends after `drained`.
+        deadline = threading.Event()
+        deadline.wait(0.5)
+    finally:
+        server.close()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert result["count"] == 3
